@@ -1,0 +1,135 @@
+//===- bench/bench_constraints.cpp - Encoding ablations ------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Ablations of the constraint encoding (Section 4):
+///
+///  * the `Oa := Ob` substitution vs. the naive explicit-adjacency
+///    encoding (formula size and end-to-end detection time);
+///  * maximal (control-flow) constraints vs. Said et al.'s whole-trace
+///    read-write consistency (constraint counts — the reason our
+///    technique solves faster);
+///  * raw constraint-generation throughput.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Closure.h"
+#include "detect/Cop.h"
+#include "detect/Detect.h"
+#include "detect/RaceEncoder.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rvp;
+
+namespace {
+
+Trace makeTrace(uint64_t Events) {
+  SyntheticSpec Spec;
+  Spec.Name = "encode-bench";
+  Spec.Workers = 6;
+  Spec.TargetEvents = Events;
+  Spec.PlainRaces = 4;
+  Spec.RvOnlyRaces = 4;
+  Spec.SaidOnlyRaces = 4;
+  Spec.OrderedPairs = 4;
+  Spec.Seed = 17;
+  return generateSynthetic(Spec);
+}
+
+void BM_DetectSubstitution(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.SubstituteRaceVars = true;
+  Options.CollectWitnesses = false;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void BM_DetectNaiveAdjacency(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.SubstituteRaceVars = false;
+  Options.CollectWitnesses = false;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+/// Formula sizes: maximal vs. Said encoding for the same COPs.
+void BM_FormulaSize(benchmark::State &State) {
+  Trace T = makeTrace(2000);
+  Span S = T.fullSpan();
+  EventClosure Mhb(T, S, ClosureConfig::mhb());
+  RaceEncoder Encoder(T, S, Mhb, T.initialValues());
+  std::vector<Cop> Cops = collectCops(T, S);
+  double MaximalNodes = 0, SaidNodes = 0;
+  size_t Queries = 0;
+  for (auto _ : State) {
+    MaximalNodes = SaidNodes = 0;
+    Queries = 0;
+    for (const Cop &C : Cops) {
+      if (Queries >= 16)
+        break;
+      ++Queries;
+      FormulaBuilder FbMaximal;
+      Encoder.encodeMaximalRace(FbMaximal, C.First, C.Second);
+      MaximalNodes += static_cast<double>(FbMaximal.numNodes());
+      FormulaBuilder FbSaid;
+      Encoder.encodeSaidRace(FbSaid, C.First, C.Second);
+      SaidNodes += static_cast<double>(FbSaid.numNodes());
+    }
+    benchmark::DoNotOptimize(MaximalNodes);
+  }
+  State.counters["maximal_nodes/query"] =
+      MaximalNodes / static_cast<double>(Queries);
+  State.counters["said_nodes/query"] =
+      SaidNodes / static_cast<double>(Queries);
+}
+
+/// Raw encoding throughput (no solving).
+void BM_EncodeThroughput(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  Span S = T.fullSpan();
+  EventClosure Mhb(T, S, ClosureConfig::mhb());
+  RaceEncoder Encoder(T, S, Mhb, T.initialValues());
+  std::vector<Cop> Cops = collectCops(T, S);
+  if (Cops.empty()) {
+    State.SkipWithError("no COPs in the trace");
+    return;
+  }
+  size_t Next = 0;
+  for (auto _ : State) {
+    const Cop &C = Cops[Next++ % Cops.size()];
+    FormulaBuilder FB;
+    NodeRef Root = Encoder.encodeMaximalRace(FB, C.First, C.Second);
+    benchmark::DoNotOptimize(Root);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_DetectSubstitution)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DetectNaiveAdjacency)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FormulaSize)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EncodeThroughput)
+    ->Arg(1000)
+    ->Arg(4000)
+    ->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

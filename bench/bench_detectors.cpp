@@ -1,0 +1,118 @@
+//===- bench/bench_detectors.cpp - Detector throughput ------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Scalability of the four techniques with trace length (the paper's
+/// claim: HB/CP are fast, the SMT-based detectors remain practical with
+/// windowing; our technique generates fewer constraints than Said et
+/// al.'s whole-trace consistency and solves faster), plus the quick-check
+/// ablation of Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "detect/Detect.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rvp;
+
+namespace {
+
+Trace makeTrace(uint64_t Events) {
+  SyntheticSpec Spec;
+  Spec.Name = "bench";
+  Spec.Workers = 8;
+  Spec.TargetEvents = Events;
+  Spec.PlainRaces = 4;
+  Spec.CpOnlyRaces = 2;
+  Spec.SaidOnlyRaces = 2;
+  Spec.HbNotSaidRaces = 2;
+  Spec.RvOnlyRaces = 2;
+  Spec.QcOnlyPairs = 4;
+  Spec.OrderedPairs = 8;
+  Spec.AtomicityPairs = 4;
+  Spec.DeadlockCycles = 4;
+  Spec.Seed = 5;
+  return generateSynthetic(Spec);
+}
+
+void runDetector(benchmark::State &State, Technique Tech,
+                 bool UseQuickCheck = true) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.UseQuickCheck = UseQuickCheck;
+  Options.CollectWitnesses = false;
+  size_t Races = 0;
+  uint64_t SolverCalls = 0;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Tech, Options);
+    Races = R.raceCount();
+    SolverCalls = R.Stats.SolverCalls;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["races"] = static_cast<double>(Races);
+  State.counters["solves"] = static_cast<double>(SolverCalls);
+  State.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(T.size()), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Hb(benchmark::State &State) { runDetector(State, Technique::Hb); }
+void BM_Cp(benchmark::State &State) { runDetector(State, Technique::Cp); }
+void BM_Said(benchmark::State &State) {
+  runDetector(State, Technique::Said);
+}
+void BM_Maximal(benchmark::State &State) {
+  runDetector(State, Technique::Maximal);
+}
+void BM_MaximalNoQuickCheck(benchmark::State &State) {
+  runDetector(State, Technique::Maximal, /*UseQuickCheck=*/false);
+}
+
+void BM_Atomicity(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  size_t Found = 0;
+  for (auto _ : State) {
+    AtomicityResult R = detectAtomicityViolations(T, Options);
+    Found = R.Violations.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["violations"] = static_cast<double>(Found);
+}
+
+void BM_Deadlock(benchmark::State &State) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  size_t Found = 0;
+  for (auto _ : State) {
+    DeadlockResult R = detectDeadlocks(T, Options);
+    Found = R.Deadlocks.size();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["deadlocks"] = static_cast<double>(Found);
+}
+
+} // namespace
+
+BENCHMARK(BM_Hb)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cp)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Said)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Maximal)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MaximalNoQuickCheck)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Atomicity)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Deadlock)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

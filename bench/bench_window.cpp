@@ -1,0 +1,72 @@
+//===- bench/bench_window.cpp - Window size ablation --------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The windowing strategy of Section 4: sweeping the window size on a
+/// fixed long trace shows the trade-off the paper describes — small
+/// windows are fast but can miss races whose events fall into different
+/// windows; large windows find everything but solve bigger constraint
+/// systems. (The generator used here intentionally does NOT align
+/// patterns to window boundaries, so losses are visible.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "workloads/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace rvp;
+
+namespace {
+
+const Trace &sharedTrace() {
+  static Trace T = [] {
+    SyntheticSpec Spec;
+    Spec.Name = "window-bench";
+    Spec.Workers = 8;
+    Spec.TargetEvents = 24000;
+    Spec.PlainRaces = 8;
+    Spec.CpOnlyRaces = 4;
+    Spec.SaidOnlyRaces = 4;
+    Spec.HbNotSaidRaces = 4;
+    Spec.RvOnlyRaces = 4;
+    Spec.QcOnlyPairs = 4;
+    Spec.OrderedPairs = 8;
+    Spec.AlignWindow = 0;    // allow patterns to straddle boundaries
+    Spec.PatternSpread = 150; // stretch each race across ~600 events
+    Spec.Seed = 9;
+    return generateSynthetic(Spec);
+  }();
+  return T;
+}
+
+void BM_WindowSweep(benchmark::State &State) {
+  const Trace &T = sharedTrace();
+  DetectorOptions Options;
+  Options.WindowSize = static_cast<uint32_t>(State.range(0));
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  size_t Races = 0;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    Races = R.raceCount();
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["races"] = static_cast<double>(Races);
+}
+
+} // namespace
+
+BENCHMARK(BM_WindowSweep)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(24000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

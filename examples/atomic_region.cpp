@@ -1,0 +1,93 @@
+//===- examples/atomic_region.cpp - Atomicity-violation prediction -----------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The maximal causal model is not limited to races (Section 2.5): this
+/// example predicts *atomicity violations* from one execution. The
+/// scenario mirrors the Eclipse KeyedHashSet finding the paper reports —
+/// a class documented as thread-unsafe used concurrently: the element
+/// count is read and re-written inside what the author assumed was an
+/// atomic section, while another thread updates it through a different
+/// entry point.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Atomicity.h"
+#include "runtime/Interpreter.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace rvp;
+
+namespace {
+
+const char *SetProgram = R"(
+shared elementCount;
+shared storage[8];
+lock setLock;
+thread adder {
+  sync setLock {
+    local n = elementCount;      // read size
+    storage[n] = 11;             // place element
+    elementCount = n + 1;        // publish new size
+  }
+}
+thread remover {
+  local n = elementCount;        // misses the lock entirely...
+  elementCount = n - 1;          // ...and updates unconditionally
+}
+thread reader {
+  local n = elementCount;        // racy size probe, but every use of it
+  local x = 0;                   // is guarded by the branch below, so the
+  if (n > 0) { x = storage[n - 1]; }   // model refutes intrusion by it
+}
+main {
+  spawn adder; spawn remover; spawn reader;
+  join adder; join remover; join reader;
+  assert elementCount >= 0;
+}
+)";
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options("Predict atomicity violations of critical sections");
+  Options.addOption("seed", "recording schedule seed", "2");
+  if (!Options.parse(Argc, Argv))
+    return 1;
+
+  Trace T;
+  RunResult Run;
+  std::string Error;
+  RandomScheduler S(Options.getInt("seed", 2), 85);
+  if (!recordTrace(SetProgram, T, Run, Error, &S)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("recorded %llu events (final elementCount = %lld)\n\n",
+              static_cast<unsigned long long>(T.size()),
+              static_cast<long long>(Run.FinalCells.at("elementCount")));
+
+  AtomicityResult R = detectAtomicityViolations(T);
+  std::printf("%zu atomicity violation(s) of the critical sections:\n",
+              R.Violations.size());
+  for (const AtomicityReport &V : R.Violations) {
+    std::printf("\n  region on lock %s (events %u..%u), variable %s\n",
+                T.lockName(V.RegionLock).c_str(), V.RegionAcquire,
+                V.RegionRelease, V.Variable.c_str());
+    std::printf("  pattern: %s\n", atomicityPatternName(V.Pattern));
+    std::printf("  %s  ..intruded by..  %s  ..before..  %s   [witness %s]\n",
+                V.LocFirst.c_str(), V.LocRemote.c_str(),
+                V.LocSecond.c_str(),
+                V.WitnessValid ? "validated" : "-");
+  }
+  if (!R.Violations.empty())
+    std::printf("\nthe size update in `adder` is not atomic against the\n"
+                "lock-free `remover`/`reader`: a remote update between the\n"
+                "read of elementCount and its re-write loses an element or\n"
+                "reads out of bounds.\n");
+  return 0;
+}

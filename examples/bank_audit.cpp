@@ -1,0 +1,123 @@
+//===- examples/bank_audit.cpp - Predict, then replay a race -----------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A realistic scenario end to end: a small banking service where the
+/// audit thread reads the balance without the account lock. We record a
+/// *clean* execution (the audit happens to run while no transfer is in
+/// flight), predict the race from that single trace, and then *replay*
+/// the predicted witness schedule in the interpreter to watch the race
+/// manifest for real.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "runtime/Interpreter.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace rvp;
+
+namespace {
+
+const char *BankProgram = R"(
+shared balance = 100;
+shared auditOk = 1;
+lock account;
+thread deposit {
+  sync account {
+    local b = balance;
+    balance = b + 50;
+  }
+}
+thread withdraw {
+  sync account {
+    local b = balance;
+    balance = b - 30;
+  }
+}
+thread audit {
+  local snapshot = balance;   // <-- reads balance without the lock
+  if (snapshot != 100 && snapshot != 150 && snapshot != 120) {
+    auditOk = 0;
+  }
+}
+main {
+  spawn deposit;
+  spawn withdraw;
+  spawn audit;
+  join deposit;
+  join withdraw;
+  join audit;
+  assert auditOk == 1;
+}
+)";
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options("Predict a race from one clean run, then replay it");
+  Options.addOption("seed", "recording schedule seed", "3");
+  if (!Options.parse(Argc, Argv))
+    return 1;
+
+  // 1. Record one (racy-schedule-free) execution.
+  Trace T;
+  RunResult Run;
+  std::string Error;
+  RandomScheduler Scheduler(Options.getInt("seed", 3), 80);
+  if (!recordTrace(BankProgram, T, Run, Error, &Scheduler)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("recorded %llu events; final balance = %lld; errors: %zu\n",
+              static_cast<unsigned long long>(T.size()),
+              static_cast<long long>(Run.FinalCells.at("balance")),
+              Run.Errors.size());
+
+  // 2. Predict races from that single trace.
+  DetectionResult R = detectRaces(T, Technique::Maximal);
+  std::printf("\nmaximal detector: %zu race signature(s)\n", R.raceCount());
+  for (const RaceReport &Race : R.Races)
+    std::printf("  %-10s %s <-> %s  witness=%s\n", Race.Variable.c_str(),
+                Race.LocFirst.c_str(), Race.LocSecond.c_str(),
+                Race.WitnessValid ? "valid" : "-");
+  if (R.Races.empty())
+    return 0;
+
+  // 3. Replay the first witness: drive the interpreter with the predicted
+  //    thread schedule and watch the two accesses execute back to back.
+  const RaceReport &Race = R.Races[0];
+  std::vector<ThreadId> Schedule;
+  for (EventId Id : Race.Witness)
+    Schedule.push_back(T[Id].Tid);
+
+  Trace Replayed;
+  RunResult ReplayRun;
+  ReplayScheduler Replay(Schedule);
+  if (!recordTrace(BankProgram, Replayed, ReplayRun, Error, &Replay)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("\nreplayed the witness schedule: %s\n",
+              Replay.diverged() ? "diverged (schedule-dependent values)"
+                                : "followed exactly");
+
+  // Find the racing pair in the replayed trace and show the neighborhood.
+  std::printf("replayed neighborhood of the race:\n");
+  for (EventId Id = 0; Id < Replayed.size(); ++Id) {
+    const Event &E = Replayed[Id];
+    if (E.Loc == UnknownLoc)
+      continue;
+    const std::string &Loc = Replayed.locName(E.Loc);
+    if (Loc == Race.LocFirst || Loc == Race.LocSecond)
+      std::printf("  %2u: %s @%s\n", Id, toString(E).c_str(), Loc.c_str());
+  }
+  std::printf("\nthe unsynchronized audit read can interleave inside a\n"
+              "transfer; with an inconsistent snapshot the audit flags a\n"
+              "healthy account.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- examples/control_flow.cpp - Figure 2: why branch events matter -------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Demonstrates the paper's key insight (Figure 2): two programs that
+/// produce *identical* read/write traces but differ in control flow. With
+/// branch events in the trace, the detector distinguishes them — case ①
+/// has a race on x, case ② does not.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "trace/TraceBuilder.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+
+using namespace rvp;
+
+namespace {
+
+void analyze(const char *Label, const Trace &T) {
+  std::printf("--- %s ----------------------------------------\n", Label);
+  std::printf("%s", writeTraceText(T).c_str());
+  DetectionResult R = detectRaces(T, Technique::Maximal);
+  if (R.Races.empty()) {
+    std::printf("=> no race: line 4 is control-dependent on the read of "
+                "y\n\n");
+    return;
+  }
+  for (const RaceReport &Race : R.Races)
+    std::printf("=> race on %s between %s and %s\n", Race.Variable.c_str(),
+                Race.LocFirst.c_str(), Race.LocSecond.c_str());
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Figure 2 of the paper: `r1 = y` vs `while (y == 0);` give\n"
+              "the same read/write trace; only the branch event differs.\n\n");
+
+  // Case ①: r1 = y — a plain read, no control dependence afterwards.
+  {
+    TraceBuilder B;
+    B.write("t1", "x", 1, "line1");
+    B.write("t1", "y", 1, "line2", /*IsVolatile=*/true);
+    B.read("t2", "y", 1, "line3", /*IsVolatile=*/true);
+    B.read("t2", "x", 1, "line4");
+    analyze("case 1: r1 = y", B.build());
+  }
+
+  // Case ②: while (y == 0); — the loop's branch guards everything after.
+  {
+    TraceBuilder B;
+    B.write("t1", "x", 1, "line1");
+    B.write("t1", "y", 1, "line2", /*IsVolatile=*/true);
+    B.read("t2", "y", 1, "line3", /*IsVolatile=*/true);
+    B.branch("t2", "line3");
+    B.read("t2", "x", 1, "line4");
+    analyze("case 2: while (y == 0);", B.build());
+  }
+
+  std::printf("A detector without control-flow abstraction must treat both\n"
+              "cases like case 2 and miss the race; an unsound one treats\n"
+              "both like case 1 and reports a false positive for case 2.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- examples/deadlock_predict.cpp - Predict and replay a deadlock ----------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Predicts a deadlock from a single clean execution and then replays the
+/// witness schedule to drive the program into the real deadlock — the
+/// deadlock analogue of predictive race detection (Section 2.5's "other
+/// notions" on the same maximal causal model).
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Deadlock.h"
+#include "runtime/Interpreter.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+
+using namespace rvp;
+
+namespace {
+
+const char *TransferProgram = R"(
+shared fromBalance = 100;
+shared toBalance = 50;
+lock fromLock; lock toLock;
+thread transferAB {
+  lock fromLock;
+  local amount = 10;
+  lock toLock;                 // from -> to
+  fromBalance = fromBalance - amount;
+  toBalance = toBalance + amount;
+  unlock toLock;
+  unlock fromLock;
+}
+thread transferBA {
+  lock toLock;
+  local amount = 5;
+  lock fromLock;               // to -> from: opposite order!
+  toBalance = toBalance - amount;
+  fromBalance = fromBalance + amount;
+  unlock fromLock;
+  unlock toLock;
+}
+main {
+  spawn transferAB;
+  spawn transferBA;
+  join transferAB;
+  join transferBA;
+  assert fromBalance + toBalance == 150;
+}
+)";
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options("Predict a lock-order deadlock, then replay it");
+  Options.addOption("seed", "recording schedule seed (clean run)", "1");
+  if (!Options.parse(Argc, Argv))
+    return 1;
+
+  // 1. One clean execution (the transfers happen not to overlap).
+  Trace T;
+  RunResult Run;
+  std::string Error;
+  RoundRobinScheduler Recorder(64);
+  if (!recordTrace(TransferProgram, T, Run, Error, &Recorder)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("recorded %llu events; deadlocked: %s\n",
+              static_cast<unsigned long long>(T.size()),
+              Run.Deadlocked ? "yes" : "no");
+
+  // 2. Predict.
+  DeadlockResult R = detectDeadlocks(T);
+  std::printf("predicted %zu potential deadlock(s)\n", R.Deadlocks.size());
+  for (const DeadlockReport &D : R.Deadlocks)
+    std::printf("  %s holds %s, wants %s (%s) <-> %s holds %s, wants %s "
+                "(%s)  witness=%s\n",
+                T.threadName(D.ThreadA).c_str(),
+                T.lockName(D.LockHeldByA).c_str(),
+                T.lockName(D.LockHeldByB).c_str(), D.LocRequestA.c_str(),
+                T.threadName(D.ThreadB).c_str(),
+                T.lockName(D.LockHeldByB).c_str(),
+                T.lockName(D.LockHeldByA).c_str(), D.LocRequestB.c_str(),
+                D.WitnessValid ? "valid" : "-");
+  if (R.Deadlocks.empty())
+    return 0;
+
+  // 3. Replay the witness prefix: both threads enter their outer
+  //    sections, then block on each other.
+  const DeadlockReport &D = R.Deadlocks[0];
+  size_t Cut = 0;
+  for (size_t I = 0; I < D.Witness.size(); ++I)
+    if (D.Witness[I] == D.RequestA || D.Witness[I] == D.RequestB)
+      Cut = I;
+  std::vector<ThreadId> Schedule;
+  for (size_t I = 0; I < Cut; ++I)
+    Schedule.push_back(T[D.Witness[I]].Tid);
+
+  Trace Replayed;
+  RunResult ReplayRun;
+  ReplayScheduler S(Schedule);
+  if (!recordTrace(TransferProgram, Replayed, ReplayRun, Error, &S)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("\nreplayed the witness prefix: the program %s\n",
+              ReplayRun.Deadlocked
+                  ? "DEADLOCKED, exactly as predicted"
+                  : "did not deadlock (schedule diverged)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+//===- examples/server_window.cpp - Windowed analysis of a long trace --------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Scales the analysis to a long execution: generates a server-like
+/// synthetic trace (defaults to the ftpserver workload of Table 1) and
+/// runs all four detectors with the windowing strategy of Section 4,
+/// reporting per-technique races, quick-check counts, and times.
+///
+///   $ server_window [--system=ftpserver] [--events=N] [--window=N]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "support/CommandLine.h"
+#include "workloads/Synthetic.h"
+
+#include <cstdio>
+
+using namespace rvp;
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options("Windowed detection on a synthetic server trace");
+  Options.addOption("system", "which Table 1 real-system workload",
+                    "ftpserver");
+  Options.addOption("events", "override the trace size", "");
+  Options.addOption("window", "window size (0 = whole trace)", "10000");
+  Options.addOption("budget", "per-COP solver budget in seconds", "10");
+  if (!Options.parse(Argc, Argv))
+    return 1;
+
+  SyntheticSpec Spec = realSystemSpec(Options.getString("system"));
+  if (Options.hasOption("events"))
+    Spec.TargetEvents = Options.getInt("events", Spec.TargetEvents);
+  std::printf("generating '%s': %llu events, %u workers...\n",
+              Spec.Name.c_str(),
+              static_cast<unsigned long long>(Spec.TargetEvents),
+              Spec.Workers);
+  Trace T = generateSynthetic(Spec);
+  TraceStats Stats = T.stats();
+  std::printf("trace: threads=%u events=%llu rw=%llu sync=%llu "
+              "branch=%llu\n\n",
+              Stats.Threads,
+              static_cast<unsigned long long>(Stats.Events),
+              static_cast<unsigned long long>(Stats.ReadsWrites),
+              static_cast<unsigned long long>(Stats.Syncs),
+              static_cast<unsigned long long>(Stats.Branches));
+
+  DetectorOptions Detect;
+  Detect.WindowSize = static_cast<uint32_t>(Options.getInt("window", 10000));
+  Detect.PerCopBudgetSeconds = Options.getDouble("budget", 10);
+
+  std::printf("%-6s %8s %8s %8s %10s %10s\n", "tech", "races", "QC",
+              "windows", "solves", "time(s)");
+  for (Technique Tech : {Technique::Hb, Technique::Cp, Technique::Said,
+                         Technique::Maximal}) {
+    DetectionResult R = detectRaces(T, Tech, Detect);
+    std::printf("%-6s %8zu %8llu %8llu %10llu %10.2f\n",
+                techniqueName(Tech), R.raceCount(),
+                static_cast<unsigned long long>(R.Stats.QcPassed),
+                static_cast<unsigned long long>(R.Stats.Windows),
+                static_cast<unsigned long long>(R.Stats.SolverCalls),
+                R.Stats.Seconds);
+  }
+  std::printf("\nexpected from the workload calibration: HB=%u CP=%u "
+              "Said=%u RV=%u QC=%u\n",
+              Spec.expectedHb(), Spec.expectedCp(), Spec.expectedSaid(),
+              Spec.expectedRv(), Spec.expectedQc());
+  return 0;
+}

@@ -1,0 +1,243 @@
+//===- detect/Atomicity.cpp - Maximal atomicity-violation detection ----------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Atomicity.h"
+
+#include "detect/Closure.h"
+#include "detect/Lockset.h"
+#include "detect/RaceEncoder.h"
+#include "detect/WitnessChecker.h"
+#include "smt/Solver.h"
+#include "support/Compiler.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace rvp;
+
+const char *rvp::atomicityPatternName(AtomicityPattern Pattern) {
+  switch (Pattern) {
+  case AtomicityPattern::ReadWriteRead:
+    return "r-W-r (unrepeatable read)";
+  case AtomicityPattern::WriteReadWrite:
+    return "w-R-w (dirty read)";
+  case AtomicityPattern::WriteWriteRead:
+    return "w-W-r (remote overwrite observed)";
+  case AtomicityPattern::ReadWriteWrite:
+    return "r-W-w (lost local update)";
+  }
+  RVP_UNREACHABLE("unknown atomicity pattern");
+}
+
+bool rvp::classifyAtomicity(const Event &First, const Event &Remote,
+                            const Event &Second, AtomicityPattern &Out) {
+  const bool F = First.isWrite();
+  const bool R = Remote.isWrite();
+  const bool S = Second.isWrite();
+  if (!F && R && !S) {
+    Out = AtomicityPattern::ReadWriteRead;
+    return true;
+  }
+  if (F && !R && S) {
+    Out = AtomicityPattern::WriteReadWrite;
+    return true;
+  }
+  if (F && R && !S) {
+    Out = AtomicityPattern::WriteWriteRead;
+    return true;
+  }
+  if (!F && R && S) {
+    Out = AtomicityPattern::ReadWriteWrite;
+    return true;
+  }
+  return false; // remote read between non-writes etc.: serializable
+}
+
+bool AtomicityResult::hasViolationAt(const std::string &First,
+                                     const std::string &Remote,
+                                     const std::string &Second) const {
+  for (const AtomicityReport &V : Violations)
+    if (V.LocFirst == First && V.LocRemote == Remote &&
+        V.LocSecond == Second)
+      return true;
+  return false;
+}
+
+namespace {
+
+/// Signature of a violation: the three static locations.
+uint64_t signatureOf(const Trace &T, EventId A1, EventId B, EventId A2) {
+  uint64_t H = 1469598103934665603ULL;
+  for (LocId Loc : {T[A1].Loc, T[B].Loc, T[A2].Loc}) {
+    H ^= Loc;
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+class AtomicityDriver {
+public:
+  AtomicityDriver(const Trace &T, const DetectorOptions &Options)
+      : T(T), Options(Options) {}
+
+  AtomicityResult run() {
+    Timer Clock;
+    Solver = createSolverByName(Options.SolverName);
+    if (!Solver)
+      Solver = createIdlSolver();
+    RunningValues.assign(T.numVars(), 0);
+    for (VarId Var = 0; Var < T.numVars(); ++Var)
+      RunningValues[Var] = T.initialValueOf(Var);
+
+    for (Span Window : splitWindows(T, Options.WindowSize)) {
+      ++Result.Stats.Windows;
+      processWindow(Window);
+      for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+        if (T[Id].isWrite())
+          RunningValues[T[Id].Target] = T[Id].Data;
+    }
+    Result.Stats.Seconds = Clock.seconds();
+    return std::move(Result);
+  }
+
+private:
+  void processWindow(Span Window) {
+    EventClosure Mhb(T, Window, ClosureConfig::mhb());
+    EncoderOptions EncOpts; // no substitution for the between-query
+    RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
+    LocksetIndex Locksets(T, Window);
+
+    for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
+      for (const LockPair &Region : T.lockPairsOf(Lock)) {
+        if (Region.AcquireId == InvalidEvent ||
+            Region.ReleaseId == InvalidEvent ||
+            !Window.contains(Region.AcquireId) ||
+            !Window.contains(Region.ReleaseId))
+          continue;
+        checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region);
+      }
+    }
+  }
+
+  void checkRegion(Span Window, const EventClosure &Mhb,
+                   const RaceEncoder &Encoder,
+                   const LocksetIndex &Locksets, LockId Lock,
+                   const LockPair &Region) {
+    // Local same-variable access pairs inside the region.
+    std::vector<EventId> Local;
+    for (EventId Id = Region.AcquireId + 1; Id < Region.ReleaseId; ++Id)
+      if (T[Id].Tid == Region.Tid && T[Id].isAccess() && !T[Id].Volatile)
+        Local.push_back(Id);
+
+    for (size_t I = 0; I < Local.size(); ++I) {
+      for (size_t J = I + 1; J < Local.size(); ++J) {
+        EventId A1 = Local[I];
+        EventId A2 = Local[J];
+        if (T[A1].Target != T[A2].Target)
+          continue;
+        // Candidate remote accesses on the same variable.
+        for (EventId B : T.accessesOf(T[A1].Target)) {
+          if (!Window.contains(B) || T[B].Tid == Region.Tid ||
+              T[B].Volatile)
+            continue;
+          AtomicityPattern Pattern;
+          if (!classifyAtomicity(T[A1], T[B], T[A2], Pattern))
+            continue;
+          ++Result.Stats.Cops;
+          if (SeenSignatures.count(signatureOf(T, A1, B, A2)))
+            continue;
+          // Quick filters: holding the region's lock, or an MHB order
+          // incompatible with "between", make the query unsatisfiable.
+          if (Options.UseQuickCheck) {
+            const std::vector<LockId> &Held = Locksets.heldAt(B);
+            if (std::find(Held.begin(), Held.end(), Lock) != Held.end())
+              continue;
+            if (Mhb.ordered(B, A1) || Mhb.ordered(A2, B))
+              continue;
+            ++Result.Stats.QcPassed;
+          }
+
+          solveCandidate(Window, Mhb, Encoder, Lock, Region, A1, B, A2,
+                         Pattern);
+        }
+      }
+    }
+  }
+
+  void solveCandidate(Span Window, const EventClosure &Mhb,
+                      const RaceEncoder &Encoder, LockId Lock,
+                      const LockPair &Region, EventId A1, EventId B,
+                      EventId A2, AtomicityPattern Pattern) {
+    FormulaBuilder FB;
+    NodeRef Root = Encoder.encodeBetween(FB, A1, B, A2);
+    OrderModel Model;
+    ++Result.Stats.SolverCalls;
+    SatResult Sat = Solver->solve(
+        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+        Options.CollectWitnesses ? &Model : nullptr);
+    if (Sat == SatResult::Unknown) {
+      ++Result.Stats.SolverTimeouts;
+      return;
+    }
+    if (Sat == SatResult::Unsat)
+      return;
+
+    AtomicityReport Report;
+    Report.RegionLock = Lock;
+    Report.RegionAcquire = Region.AcquireId;
+    Report.RegionRelease = Region.ReleaseId;
+    Report.First = A1;
+    Report.Remote = B;
+    Report.Second = A2;
+    Report.Pattern = Pattern;
+    Report.Variable = T.varName(T[A1].Target);
+    Report.LocFirst = T.locName(T[A1].Loc);
+    Report.LocRemote = T.locName(T[B].Loc);
+    Report.LocSecond = T.locName(T[A2].Loc);
+    if (Options.CollectWitnesses) {
+      Report.Witness = buildWitness(Window, Model);
+      Report.WitnessValid =
+          checkAtomicityWitness(T, Window, Report.Witness, A1, B, A2,
+                                Encoder, Mhb, RunningValues)
+              .Ok;
+    }
+    SeenSignatures.insert(signatureOf(T, A1, B, A2));
+    Result.Violations.push_back(std::move(Report));
+  }
+
+  std::vector<EventId> buildWitness(Span Window,
+                                    const OrderModel &Model) const {
+    std::vector<EventId> Order;
+    Order.reserve(Window.size());
+    for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+      Order.push_back(Id);
+    std::sort(Order.begin(), Order.end(), [&](EventId X, EventId Y) {
+      auto KeyOf = [&](EventId Id) -> std::pair<int64_t, int64_t> {
+        auto It = Model.find(Id);
+        return {It == Model.end() ? INT64_MAX : It->second,
+                static_cast<int64_t>(Id)};
+      };
+      return KeyOf(X) < KeyOf(Y);
+    });
+    return Order;
+  }
+
+  const Trace &T;
+  DetectorOptions Options;
+  AtomicityResult Result;
+  std::unique_ptr<SmtSolver> Solver;
+  std::vector<Value> RunningValues;
+  std::unordered_set<uint64_t> SeenSignatures;
+};
+
+} // namespace
+
+AtomicityResult
+rvp::detectAtomicityViolations(const Trace &T,
+                               const DetectorOptions &Options) {
+  return AtomicityDriver(T, Options).run();
+}

@@ -1,0 +1,87 @@
+//===- detect/Atomicity.h - Maximal atomicity-violation detection -*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension Section 2.5 of the paper sketches: "the same maximal
+/// causal model approach can be used to define other notions" of
+/// concurrency error. This module instantiates it for atomicity: critical
+/// sections are taken as intended-atomic regions, and a violation is a
+/// feasible reordering that places a conflicting remote access *between*
+/// two same-variable accesses of one region in a non-serializable pattern
+/// (Lu et al.'s classification):
+///
+///   read   - remote write - read    (unrepeatable read)
+///   write  - remote read  - write   (dirty read)
+///   write  - remote write - read    (lost remote update becomes visible)
+///   read   - remote write - write   (lost local update)
+///
+/// The encoding reuses the race encoder's feasibility machinery (MHB,
+/// locks, and the control-flow cf constraints for all three events); only
+/// the query changes: `O_a1 < O_b < O_a2` — two plain difference atoms, no
+/// substitution needed. Soundness carries over verbatim: a satisfying
+/// order is a feasible reordering witnessing the violation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_ATOMICITY_H
+#define RVP_DETECT_ATOMICITY_H
+
+#include "detect/Detect.h"
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+enum class AtomicityPattern : uint8_t {
+  ReadWriteRead,   ///< r .. remote w .. r
+  WriteReadWrite,  ///< w .. remote r .. w
+  WriteWriteRead,  ///< w .. remote w .. r
+  ReadWriteWrite,  ///< r .. remote w .. w
+};
+
+const char *atomicityPatternName(AtomicityPattern Pattern);
+
+/// Classifies the access triple; returns true iff it is one of the four
+/// non-serializable patterns.
+bool classifyAtomicity(const Event &First, const Event &Remote,
+                       const Event &Second, AtomicityPattern &Out);
+
+struct AtomicityReport {
+  /// The intended-atomic region (a critical section).
+  LockId RegionLock = 0;
+  EventId RegionAcquire = InvalidEvent;
+  EventId RegionRelease = InvalidEvent;
+  /// The two local accesses and the remote intruder.
+  EventId First = InvalidEvent;
+  EventId Remote = InvalidEvent;
+  EventId Second = InvalidEvent;
+  AtomicityPattern Pattern = AtomicityPattern::ReadWriteRead;
+  std::string Variable;
+  std::string LocFirst, LocRemote, LocSecond;
+  /// Witness order over the window, validated like race witnesses.
+  std::vector<EventId> Witness;
+  bool WitnessValid = false;
+};
+
+struct AtomicityResult {
+  std::vector<AtomicityReport> Violations;
+  DetectionStats Stats;
+
+  bool hasViolationAt(const std::string &First, const std::string &Remote,
+                      const std::string &Second) const;
+};
+
+/// Predicts atomicity violations of the critical sections of \p T, using
+/// the same windowing, budget, and solver options as race detection.
+AtomicityResult detectAtomicityViolations(const Trace &T,
+                                          const DetectorOptions &Options =
+                                              DetectorOptions());
+
+} // namespace rvp
+
+#endif // RVP_DETECT_ATOMICITY_H

@@ -1,0 +1,75 @@
+//===- detect/Closure.h - Happens-before style closures ----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector-clock closure over the events of one window, with configurable
+/// edge sets. One engine serves three consumers:
+///
+///  * MHB (must happen-before, Section 2.2/3.2): program order + fork/begin
+///    + end/join + the wait/notify ordering — the partial order every
+///    reordering must respect. Used by the constraint builder and the
+///    quick check.
+///  * HB (Lamport happens-before): MHB + release->later-acquire edges per
+///    lock + volatile write->access edges. The classic sound detector.
+///  * CP: MHB + volatile edges + an explicit set of *active* lock edges,
+///    recomputed per fixpoint round by the CP detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_CLOSURE_H
+#define RVP_DETECT_CLOSURE_H
+
+#include "detect/VectorClock.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rvp {
+
+struct ClosureConfig {
+  bool ForkJoin = true;     ///< fork->begin, end->join
+  bool WaitNotify = true;   ///< release(wait)->notify->acquire(wait)
+  bool LockSync = false;    ///< release->later acquire, same lock
+  bool VolatileSync = false; ///< volatile write->later access, same var
+
+  static ClosureConfig mhb() { return {true, true, false, false}; }
+  static ClosureConfig hb() { return {true, true, true, true}; }
+  /// CP base order: HB minus the lock edges (re-added selectively).
+  static ClosureConfig cpBase() { return {true, true, false, true}; }
+};
+
+/// An ordered edge between two events of the window, used to inject the
+/// CP detector's active lock edges.
+struct ExtraEdge {
+  EventId From = InvalidEvent;
+  EventId To = InvalidEvent;
+};
+
+class EventClosure {
+public:
+  /// Builds per-event clocks for \p S. \p Extra edges must point forward
+  /// in trace order (From < To), as all lock edges do.
+  EventClosure(const Trace &T, Span S, ClosureConfig Config,
+               const std::vector<ExtraEdge> &Extra = {});
+
+  /// True iff \p A happens before \p B in this closure (strict).
+  bool ordered(EventId A, EventId B) const;
+
+  const VectorClock &clockOf(EventId Id) const {
+    return Clocks[Id - Window.Begin];
+  }
+
+  Span span() const { return Window; }
+
+private:
+  const Trace &T;
+  Span Window;
+  std::vector<VectorClock> Clocks; ///< indexed by Id - Window.Begin
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_CLOSURE_H

@@ -1,0 +1,34 @@
+//===- detect/Cop.cpp - Conflicting operation pairs ------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Cop.h"
+
+using namespace rvp;
+
+std::vector<Cop> rvp::collectCops(const Trace &T, Span S) {
+  std::vector<Cop> Cops;
+  for (VarId Var = 0; Var < T.numVars(); ++Var) {
+    const std::vector<EventId> &Accesses = T.accessesOf(Var);
+    // Restrict to the window.
+    size_t Begin = 0;
+    while (Begin < Accesses.size() && Accesses[Begin] < S.Begin)
+      ++Begin;
+    size_t End = Begin;
+    while (End < Accesses.size() && Accesses[End] < S.End)
+      ++End;
+    for (size_t I = Begin; I < End; ++I) {
+      const Event &A = T[Accesses[I]];
+      if (A.Volatile)
+        continue;
+      for (size_t J = I + 1; J < End; ++J) {
+        const Event &B = T[Accesses[J]];
+        if (conflicting(A, B))
+          Cops.push_back({Accesses[I], Accesses[J]});
+      }
+    }
+  }
+  return Cops;
+}

@@ -1,0 +1,212 @@
+//===- detect/Deadlock.cpp - Predictive deadlock detection -------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Deadlock.h"
+
+#include "detect/Closure.h"
+#include "detect/RaceEncoder.h"
+#include "detect/WitnessChecker.h"
+#include "smt/Solver.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace rvp;
+
+namespace {
+
+/// A nested acquisition: \p Request acquires \p Inner while the section
+/// \p Outer (on \p OuterLock) is held by the same thread.
+struct LockDependency {
+  ThreadId Tid = 0;
+  LockId OuterLock = 0;
+  LockId InnerLock = 0;
+  EventId Request = InvalidEvent;
+  LockPair Outer;        ///< the enclosing critical section
+  LockPair RequestPair;  ///< the requested (inner) section
+};
+
+class DeadlockDriver {
+public:
+  DeadlockDriver(const Trace &T, const DetectorOptions &Options)
+      : T(T), Options(Options) {}
+
+  DeadlockResult run() {
+    Timer Clock;
+    Solver = createSolverByName(Options.SolverName);
+    if (!Solver)
+      Solver = createIdlSolver();
+    RunningValues.assign(T.numVars(), 0);
+    for (VarId Var = 0; Var < T.numVars(); ++Var)
+      RunningValues[Var] = T.initialValueOf(Var);
+
+    for (Span Window : splitWindows(T, Options.WindowSize)) {
+      ++Result.Stats.Windows;
+      processWindow(Window);
+      for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+        if (T[Id].isWrite())
+          RunningValues[T[Id].Target] = T[Id].Data;
+    }
+    Result.Stats.Seconds = Clock.seconds();
+    return std::move(Result);
+  }
+
+private:
+  std::vector<LockDependency> collectDependencies(Span Window) const {
+    // Group each thread's complete in-window sections, then match every
+    // acquire against the enclosing sections of the same thread.
+    struct ThreadPair {
+      LockId Lock;
+      LockPair Pair;
+    };
+    std::vector<std::vector<ThreadPair>> PerThread(T.numThreads());
+    for (LockId Lock = 0; Lock < T.numLocks(); ++Lock)
+      for (const LockPair &P : T.lockPairsOf(Lock))
+        if (P.AcquireId != InvalidEvent && Window.contains(P.AcquireId))
+          PerThread[P.Tid].push_back({Lock, P});
+
+    std::vector<LockDependency> Deps;
+    for (ThreadId Tid = 0; Tid < T.numThreads(); ++Tid) {
+      const std::vector<ThreadPair> &Pairs = PerThread[Tid];
+      for (const ThreadPair &Req : Pairs) {
+        for (const ThreadPair &Out : Pairs) {
+          if (Out.Lock == Req.Lock || Out.Pair.ReleaseId == InvalidEvent ||
+              !Window.contains(Out.Pair.ReleaseId))
+            continue;
+          if (Out.Pair.AcquireId < Req.Pair.AcquireId &&
+              Req.Pair.AcquireId < Out.Pair.ReleaseId) {
+            LockDependency Dep;
+            Dep.Tid = Tid;
+            Dep.OuterLock = Out.Lock;
+            Dep.InnerLock = Req.Lock;
+            Dep.Request = Req.Pair.AcquireId;
+            Dep.Outer = Out.Pair;
+            Dep.RequestPair = Req.Pair;
+            Deps.push_back(Dep);
+          }
+        }
+      }
+    }
+    return Deps;
+  }
+
+  static uint64_t signatureOf(const Trace &T, EventId ReqA, EventId ReqB) {
+    LocId A = T[ReqA].Loc;
+    LocId B = T[ReqB].Loc;
+    if (A > B)
+      std::swap(A, B);
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+
+  void processWindow(Span Window) {
+    std::vector<LockDependency> Deps = collectDependencies(Window);
+    if (Deps.empty())
+      return;
+    EventClosure Mhb(T, Window, ClosureConfig::mhb());
+    RaceEncoder Encoder(T, Window, Mhb, RunningValues);
+
+    for (size_t I = 0; I < Deps.size(); ++I) {
+      for (size_t J = I + 1; J < Deps.size(); ++J) {
+        const LockDependency &A = Deps[I];
+        const LockDependency &B = Deps[J];
+        // Opposite-order acquisition by different threads.
+        if (A.Tid == B.Tid || A.OuterLock != B.InnerLock ||
+            A.InnerLock != B.OuterLock)
+          continue;
+        ++Result.Stats.Cops;
+        if (SeenSignatures.count(signatureOf(T, A.Request, B.Request)))
+          continue;
+        // Cheap refutations: an MHB order between a request and the other
+        // side's section makes the hold state impossible.
+        if (Options.UseQuickCheck) {
+          if (Mhb.ordered(A.Request, B.Outer.AcquireId) ||
+              Mhb.ordered(B.Outer.ReleaseId, A.Request) ||
+              Mhb.ordered(B.Request, A.Outer.AcquireId) ||
+              Mhb.ordered(A.Outer.ReleaseId, B.Request))
+            continue;
+          ++Result.Stats.QcPassed;
+        }
+        solveCandidate(Window, Mhb, Encoder, A, B);
+      }
+    }
+  }
+
+  void solveCandidate(Span Window, const EventClosure &Mhb,
+                      const RaceEncoder &Encoder, const LockDependency &A,
+                      const LockDependency &B) {
+    FormulaBuilder FB;
+    NodeRef Root =
+        Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
+    OrderModel Model;
+    ++Result.Stats.SolverCalls;
+    SatResult Sat = Solver->solve(
+        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+        Options.CollectWitnesses ? &Model : nullptr);
+    if (Sat == SatResult::Unknown) {
+      ++Result.Stats.SolverTimeouts;
+      return;
+    }
+    if (Sat == SatResult::Unsat)
+      return;
+
+    DeadlockReport Report;
+    Report.ThreadA = A.Tid;
+    Report.ThreadB = B.Tid;
+    Report.LockHeldByA = A.OuterLock;
+    Report.LockHeldByB = B.OuterLock;
+    Report.RequestA = A.Request;
+    Report.RequestB = B.Request;
+    Report.LocRequestA = T.locName(T[A.Request].Loc);
+    Report.LocRequestB = T.locName(T[B.Request].Loc);
+    if (Options.CollectWitnesses) {
+      Report.Witness = buildWitness(Window, Model);
+      std::unordered_set<EventId> Skip = {A.Request, B.Request};
+      if (A.RequestPair.ReleaseId != InvalidEvent)
+        Skip.insert(A.RequestPair.ReleaseId);
+      if (B.RequestPair.ReleaseId != InvalidEvent)
+        Skip.insert(B.RequestPair.ReleaseId);
+      Report.WitnessValid =
+          checkDeadlockWitness(T, Window, Report.Witness, A.Request,
+                               B.Request, A.Outer, B.Outer, Skip, Encoder,
+                               Mhb, RunningValues)
+              .Ok;
+    }
+    SeenSignatures.insert(signatureOf(T, A.Request, B.Request));
+    Result.Deadlocks.push_back(std::move(Report));
+  }
+
+  std::vector<EventId> buildWitness(Span Window,
+                                    const OrderModel &Model) const {
+    std::vector<EventId> Order;
+    Order.reserve(Window.size());
+    for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+      Order.push_back(Id);
+    std::sort(Order.begin(), Order.end(), [&](EventId X, EventId Y) {
+      auto KeyOf = [&](EventId Id) -> std::pair<int64_t, int64_t> {
+        auto It = Model.find(Id);
+        return {It == Model.end() ? INT64_MAX : It->second,
+                static_cast<int64_t>(Id)};
+      };
+      return KeyOf(X) < KeyOf(Y);
+    });
+    return Order;
+  }
+
+  const Trace &T;
+  DetectorOptions Options;
+  DeadlockResult Result;
+  std::unique_ptr<SmtSolver> Solver;
+  std::vector<Value> RunningValues;
+  std::unordered_set<uint64_t> SeenSignatures;
+};
+
+} // namespace
+
+DeadlockResult rvp::detectDeadlocks(const Trace &T,
+                                    const DetectorOptions &Options) {
+  return DeadlockDriver(T, Options).run();
+}

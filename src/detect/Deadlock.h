@@ -1,0 +1,61 @@
+//===- detect/Deadlock.h - Predictive deadlock detection ---------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Another maximal-causal-model property (Section 2.5): predicting
+/// resource deadlocks from one — possibly deadlock-free — recorded
+/// execution. A candidate is a pair of *lock dependencies*: thread A
+/// acquires lock m while holding lock l, thread B acquires l while
+/// holding m. The deadlock is real iff a feasible reordering reaches the
+/// hold-and-wait state: each request falls inside the other thread's held
+/// section, with the usual MHB/lock/control-flow feasibility constraints
+/// and the requesting sections' own mutual-exclusion constraints dropped
+/// (in the deadlocked prefix they never start).
+///
+/// As with races, a satisfying order is a witness; its thread schedule can
+/// be replayed in the interpreter to drive the program into the actual
+/// deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_DEADLOCK_H
+#define RVP_DETECT_DEADLOCK_H
+
+#include "detect/Detect.h"
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+struct DeadlockReport {
+  ThreadId ThreadA = 0, ThreadB = 0;
+  LockId LockHeldByA = 0; ///< requested by B
+  LockId LockHeldByB = 0; ///< requested by A
+  EventId RequestA = InvalidEvent; ///< A's acquire of LockHeldByB
+  EventId RequestB = InvalidEvent; ///< B's acquire of LockHeldByA
+  std::string LocRequestA, LocRequestB;
+  /// Witness order over the window; truncating it at the requests gives a
+  /// schedule that drives the program into the deadlock.
+  std::vector<EventId> Witness;
+  bool WitnessValid = false;
+};
+
+struct DeadlockResult {
+  std::vector<DeadlockReport> Deadlocks;
+  DetectionStats Stats;
+};
+
+/// Predicts two-thread/two-lock deadlocks from \p T, using the shared
+/// windowing/budget/solver options.
+DeadlockResult detectDeadlocks(const Trace &T,
+                               const DetectorOptions &Options =
+                                   DetectorOptions());
+
+} // namespace rvp
+
+#endif // RVP_DETECT_DEADLOCK_H

@@ -1,0 +1,385 @@
+//===- detect/Detect.cpp - Predictive race detectors -------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+
+#include "detect/Closure.h"
+#include "detect/Lockset.h"
+#include "detect/RaceEncoder.h"
+#include "detect/WitnessChecker.h"
+#include "smt/Solver.h"
+#include "support/Compiler.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+using namespace rvp;
+
+const char *rvp::techniqueName(Technique Tech) {
+  switch (Tech) {
+  case Technique::Hb:
+    return "HB";
+  case Technique::Cp:
+    return "CP";
+  case Technique::Said:
+    return "Said";
+  case Technique::Maximal:
+    return "RV";
+  }
+  RVP_UNREACHABLE("unknown technique");
+}
+
+bool DetectionResult::hasRaceAt(const std::string &LocA,
+                                const std::string &LocB) const {
+  for (const RaceReport &R : Races) {
+    if ((R.LocFirst == LocA && R.LocSecond == LocB) ||
+        (R.LocFirst == LocB && R.LocSecond == LocA))
+      return true;
+  }
+  return false;
+}
+
+namespace {
+
+// ------------------------------------------------------------------ CP
+
+/// The causally-precedes relation of Smaragdakis et al. [35], computed per
+/// window at critical-section granularity. CP keeps the must-happen-before
+/// and volatile edges of HB but only those release->acquire edges that the
+/// rules justify:
+///
+///  (a) the two critical sections contain conflicting accesses, or
+///  (b) they contain CP-ordered events — decided through a fixpoint over
+///      the section graph, with HB composition on both sides implicit in
+///      the vector-clock closure.
+class CpOrder {
+public:
+  CpOrder(const Trace &T, Span S) : T(T), Window(S) {
+    collectSections();
+    seedConflictEdges();
+    // Fixpoint: recompute the closure with the active edges, then try to
+    // activate more candidate edges via rule (b).
+    for (;;) {
+      rebuildClosure();
+      if (!activateByRuleB())
+        break;
+    }
+  }
+
+  /// Final CP-order query (A before B in trace order).
+  bool ordered(EventId A, EventId B) const {
+    return Closure->ordered(A, B);
+  }
+
+private:
+  struct Section {
+    LockId Lock = 0;
+    ThreadId Tid = 0;
+    EventId Acq = InvalidEvent;   ///< InvalidEvent when before the window
+    EventId Rel = InvalidEvent;   ///< InvalidEvent when after the window
+    EventId FirstEv = InvalidEvent; ///< first in-window event of the CS
+    EventId LastEv = InvalidEvent;  ///< last in-window event of the CS
+    /// Accessed variables: bit0 = read, bit1 = write (non-volatile only).
+    std::unordered_map<VarId, uint8_t> Access;
+  };
+
+  void collectSections() {
+    for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
+      for (const LockPair &P : T.lockPairsOf(Lock)) {
+        Section Sec;
+        Sec.Lock = Lock;
+        Sec.Tid = P.Tid;
+        if (P.AcquireId != InvalidEvent && Window.contains(P.AcquireId))
+          Sec.Acq = P.AcquireId;
+        if (P.ReleaseId != InvalidEvent && Window.contains(P.ReleaseId))
+          Sec.Rel = P.ReleaseId;
+        if (Sec.Acq == InvalidEvent && Sec.Rel == InvalidEvent)
+          continue;
+        // Body range in trace positions (clipped to the window).
+        EventId Lo = Sec.Acq != InvalidEvent ? Sec.Acq : Window.Begin;
+        EventId Hi = Sec.Rel != InvalidEvent ? Sec.Rel : Window.End - 1;
+        Sec.FirstEv = Lo;
+        Sec.LastEv = Hi;
+        for (EventId Id = Lo; Id <= Hi && Id < Window.End; ++Id) {
+          const Event &E = T[Id];
+          if (E.Tid != Sec.Tid || !E.isAccess() || E.Volatile)
+            continue;
+          Sec.Access[E.Target] |= E.isWrite() ? 2 : 1;
+        }
+        Sections.push_back(std::move(Sec));
+      }
+    }
+    // Candidate edges: same lock, different threads, source has a release
+    // in window, target has an acquire in window, forward in trace order.
+    for (size_t I = 0; I < Sections.size(); ++I) {
+      for (size_t J = 0; J < Sections.size(); ++J) {
+        if (I == J)
+          continue;
+        const Section &P = Sections[I];
+        const Section &Q = Sections[J];
+        if (P.Lock != Q.Lock || P.Tid == Q.Tid)
+          continue;
+        if (P.Rel == InvalidEvent || Q.Acq == InvalidEvent)
+          continue;
+        if (P.Rel > Q.Acq)
+          continue;
+        Candidates.push_back({static_cast<uint32_t>(I),
+                              static_cast<uint32_t>(J)});
+      }
+    }
+    Active.assign(Candidates.size(), false);
+  }
+
+  static bool bodiesConflict(const Section &P, const Section &Q) {
+    const auto &Small = P.Access.size() <= Q.Access.size() ? P : Q;
+    const auto &Large = P.Access.size() <= Q.Access.size() ? Q : P;
+    for (const auto &[Var, Flags] : Small.Access) {
+      auto It = Large.Access.find(Var);
+      if (It == Large.Access.end())
+        continue;
+      if ((Flags & 2) || (It->second & 2))
+        return true;
+    }
+    return false;
+  }
+
+  void seedConflictEdges() {
+    for (size_t C = 0; C < Candidates.size(); ++C) {
+      auto [I, J] = Candidates[C];
+      if (bodiesConflict(Sections[I], Sections[J]))
+        Active[C] = true;
+    }
+  }
+
+  void rebuildClosure() {
+    std::vector<ExtraEdge> Edges;
+    for (size_t C = 0; C < Candidates.size(); ++C) {
+      if (!Active[C])
+        continue;
+      auto [I, J] = Candidates[C];
+      Edges.push_back({Sections[I].Rel, Sections[J].Acq});
+    }
+    Closure.emplace(T, Window, ClosureConfig::cpBase(), Edges);
+  }
+
+  bool orderedEq(EventId A, EventId B) const {
+    return A == B || Closure->ordered(A, B);
+  }
+
+  /// Rule (b): activate candidate (i,j) when some event of CS_i is
+  /// CP-before some event of CS_j through an already-active edge (m,n);
+  /// taking the earliest event of CS_i and the latest of CS_j gives the
+  /// exact existential check.
+  bool activateByRuleB() {
+    bool Any = false;
+    for (size_t C = 0; C < Candidates.size(); ++C) {
+      if (Active[C])
+        continue;
+      auto [I, J] = Candidates[C];
+      for (size_t C2 = 0; C2 < Candidates.size(); ++C2) {
+        if (!Active[C2])
+          continue;
+        auto [M, N] = Candidates[C2];
+        if (orderedEq(Sections[I].FirstEv, Sections[M].Rel) &&
+            orderedEq(Sections[N].Acq, Sections[J].LastEv)) {
+          Active[C] = true;
+          Any = true;
+          break;
+        }
+      }
+    }
+    return Any;
+  }
+
+  const Trace &T;
+  Span Window;
+  std::vector<Section> Sections;
+  std::vector<std::pair<uint32_t, uint32_t>> Candidates;
+  std::vector<bool> Active;
+  std::optional<EventClosure> Closure;
+};
+
+// -------------------------------------------------------------- driver
+
+class Driver {
+public:
+  Driver(const Trace &T, Technique Tech, const DetectorOptions &Options)
+      : T(T), Tech(Tech), Options(Options) {}
+
+  DetectionResult run() {
+    Timer Clock;
+    RunningValues.assign(T.numVars(), 0);
+    for (VarId Var = 0; Var < T.numVars(); ++Var)
+      RunningValues[Var] = T.initialValueOf(Var);
+
+    if (Tech == Technique::Said || Tech == Technique::Maximal) {
+      Solver = createSolverByName(Options.SolverName);
+      if (!Solver)
+        Solver = createIdlSolver();
+    }
+
+    for (Span Window : splitWindows(T, Options.WindowSize)) {
+      ++Result.Stats.Windows;
+      processWindow(Window);
+      advanceValues(Window);
+    }
+    Result.Stats.Seconds = Clock.seconds();
+    return std::move(Result);
+  }
+
+private:
+  void advanceValues(Span Window) {
+    for (EventId Id = Window.Begin; Id < Window.End; ++Id) {
+      const Event &E = T[Id];
+      if (E.isWrite())
+        RunningValues[E.Target] = E.Data;
+    }
+  }
+
+  void report(EventId A, EventId B, std::vector<EventId> Witness,
+              bool WitnessValid) {
+    RaceReport R;
+    R.Sig = RaceSignature::of(T, A, B);
+    R.First = A;
+    R.Second = B;
+    R.LocFirst = T.locName(T[A].Loc);
+    R.LocSecond = T.locName(T[B].Loc);
+    R.Variable = T.varName(T[A].Target);
+    R.Witness = std::move(Witness);
+    R.WitnessValid = WitnessValid;
+    RacySignatures.insert(R.Sig.key());
+    Result.Races.push_back(std::move(R));
+  }
+
+  void processWindow(Span Window) {
+    std::vector<Cop> Cops = collectCops(T, Window);
+    Result.Stats.Cops += Cops.size();
+    if (Cops.empty())
+      return;
+
+    EventClosure Mhb(T, Window, ClosureConfig::mhb());
+    QuickCheck Qc(T, Window, Mhb);
+    for (const Cop &C : Cops)
+      if (Qc.pass(C))
+        QcSignatures.insert(RaceSignature::of(T, C.First, C.Second).key());
+    Result.Stats.QcPassed = QcSignatures.size();
+
+    switch (Tech) {
+    case Technique::Hb: {
+      EventClosure Hb(T, Window, ClosureConfig::hb());
+      for (const Cop &C : Cops) {
+        if (RacySignatures.count(RaceSignature::of(T, C.First,
+                                                   C.Second).key()))
+          continue;
+        if (!Hb.ordered(C.First, C.Second) &&
+            !Hb.ordered(C.Second, C.First))
+          report(C.First, C.Second, {}, false);
+      }
+      return;
+    }
+    case Technique::Cp: {
+      CpOrder Cp(T, Window);
+      for (const Cop &C : Cops) {
+        if (RacySignatures.count(RaceSignature::of(T, C.First,
+                                                   C.Second).key()))
+          continue;
+        if (!Cp.ordered(C.First, C.Second) &&
+            !Cp.ordered(C.Second, C.First))
+          report(C.First, C.Second, {}, false);
+      }
+      return;
+    }
+    case Technique::Said:
+    case Technique::Maximal:
+      break;
+    }
+
+    // SMT-based techniques.
+    EncoderOptions EncOpts;
+    EncOpts.SubstituteRaceVars = Options.SubstituteRaceVars;
+    RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
+
+    for (const Cop &C : Cops) {
+      if (RacySignatures.count(
+              RaceSignature::of(T, C.First, C.Second).key()))
+        continue; // signature pruning (Section 4)
+      if (Options.UseQuickCheck && !Qc.pass(C))
+        continue;
+
+      FormulaBuilder FB;
+      NodeRef Root = Tech == Technique::Maximal
+                         ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
+                         : Encoder.encodeSaidRace(FB, C.First, C.Second);
+      OrderModel Model;
+      ++Result.Stats.SolverCalls;
+      SatResult Sat =
+          Solver->solve(FB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        Options.CollectWitnesses ? &Model : nullptr);
+      if (Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        continue;
+      }
+      if (Sat == SatResult::Unsat)
+        continue;
+
+      std::vector<EventId> Witness;
+      bool WitnessValid = false;
+      if (Options.CollectWitnesses && Tech == Technique::Maximal) {
+        Witness = buildWitness(Window, Model, C);
+        WitnessValid =
+            checkWitness(T, Window, Witness, C.First, C.Second, Encoder,
+                         Mhb, RunningValues)
+                .Ok;
+      }
+      report(C.First, C.Second, std::move(Witness), WitnessValid);
+    }
+  }
+
+  /// Sorts the window's events by their model positions; the substituted
+  /// race event shares its partner's position and is placed right before
+  /// it.
+  std::vector<EventId> buildWitness(Span Window, const OrderModel &Model,
+                                    const Cop &C) const {
+    std::vector<EventId> Order;
+    Order.reserve(Window.size());
+    for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+      Order.push_back(Id);
+    auto keyOf = [&](EventId Id) -> std::pair<int64_t, int64_t> {
+      EventId Var = Options.SubstituteRaceVars && Id == C.First ? C.Second
+                                                                : Id;
+      auto It = Model.find(Var);
+      // Events without constraints sort by trace position at the end.
+      int64_t Pos = It == Model.end() ? INT64_MAX : It->second;
+      // Tie-break: the first race event precedes the second; otherwise
+      // keep trace order.
+      int64_t Tie = Id == C.First ? -1 : static_cast<int64_t>(Id);
+      return {Pos, Tie};
+    };
+    std::sort(Order.begin(), Order.end(), [&](EventId A, EventId B) {
+      return keyOf(A) < keyOf(B);
+    });
+    return Order;
+  }
+
+  const Trace &T;
+  Technique Tech;
+  DetectorOptions Options;
+  DetectionResult Result;
+  std::unique_ptr<SmtSolver> Solver;
+  std::vector<Value> RunningValues;
+  std::unordered_set<uint64_t> RacySignatures;
+  std::unordered_set<uint64_t> QcSignatures;
+};
+
+} // namespace
+
+DetectionResult rvp::detectRaces(const Trace &T, Technique Tech,
+                                 const DetectorOptions &Options) {
+  return Driver(T, Tech, Options).run();
+}

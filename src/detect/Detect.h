@@ -1,0 +1,94 @@
+//===- detect/Detect.h - Predictive race detectors ---------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four detectors compared in the paper's evaluation, behind one entry
+/// point:
+///
+///  * Technique::Hb      — Lamport happens-before [22].
+///  * Technique::Cp      — causally-precedes (Smaragdakis et al.) [35].
+///  * Technique::Said    — SMT with whole-trace read-write consistency
+///                         (Said et al.) [30].
+///  * Technique::Maximal — this paper: control-flow abstraction + minimal
+///                         feasibility constraints; sound and maximal.
+///
+/// All techniques share the driver: fixed-size windows (Section 4), COP
+/// enumeration, the hybrid quick-check filter and race-signature pruning
+/// for the SMT-based ones, and per-COP solving budgets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_DETECT_H
+#define RVP_DETECT_DETECT_H
+
+#include "detect/Cop.h"
+#include "trace/Trace.h"
+#include "trace/Window.h"
+
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+enum class Technique : uint8_t { Hb, Cp, Said, Maximal };
+
+const char *techniqueName(Technique Tech);
+
+struct DetectorOptions {
+  uint32_t WindowSize = DefaultWindowSize;
+  /// Per-COP solver budget in seconds (Section 4 uses 60s).
+  double PerCopBudgetSeconds = 60.0;
+  /// Solver backend: "idl" (in-tree) or "z3".
+  std::string SolverName = "idl";
+  /// Run the hybrid lockset + weak-HB quick check before building
+  /// constraints (Section 4).
+  bool UseQuickCheck = true;
+  /// Use the `Oa := Ob` substitution instead of an explicit adjacency
+  /// encoding (ablation knob; Section 4).
+  bool SubstituteRaceVars = true;
+  /// Extract, validate, and keep a witness order per reported race.
+  bool CollectWitnesses = true;
+};
+
+/// One reported race (first COP found per signature).
+struct RaceReport {
+  RaceSignature Sig;
+  EventId First = InvalidEvent;
+  EventId Second = InvalidEvent;
+  std::string LocFirst, LocSecond, Variable; ///< resolved display names
+  /// Witness: the reordered window manifesting the race (Maximal only,
+  /// when CollectWitnesses is set).
+  std::vector<EventId> Witness;
+  bool WitnessValid = false;
+};
+
+struct DetectionStats {
+  uint64_t Windows = 0;
+  uint64_t Cops = 0;
+  /// Distinct signatures passing the quick check (Table 1's QC column).
+  uint64_t QcPassed = 0;
+  uint64_t SolverCalls = 0;
+  uint64_t SolverTimeouts = 0;
+  double Seconds = 0;
+};
+
+struct DetectionResult {
+  std::vector<RaceReport> Races;
+  DetectionStats Stats;
+
+  /// Distinct race signatures found (the paper's race counts).
+  size_t raceCount() const { return Races.size(); }
+  bool hasRaceAt(const std::string &LocA, const std::string &LocB) const;
+};
+
+/// Runs \p Tech over the whole trace.
+DetectionResult detectRaces(const Trace &T, Technique Tech,
+                            const DetectorOptions &Options =
+                                DetectorOptions());
+
+} // namespace rvp
+
+#endif // RVP_DETECT_DETECT_H

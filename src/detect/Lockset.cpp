@@ -1,0 +1,49 @@
+//===- detect/Lockset.cpp - Locksets and the hybrid quick check -------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Lockset.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace rvp;
+
+LocksetIndex::LocksetIndex(const Trace &T, Span S) : Window(S) {
+  Held.resize(S.size());
+  // Per-thread multiset of held locks; a window may start inside critical
+  // sections, in which case releases without acquires are ignored (the
+  // held-set is then an under-approximation, which only makes the filter
+  // pass more COPs — it stays a superset of the real races).
+  std::map<ThreadId, std::vector<LockId>> PerThread;
+  for (EventId Id = S.Begin; Id < S.End; ++Id) {
+    const Event &E = T[Id];
+    std::vector<LockId> &Locks = PerThread[E.Tid];
+    if (E.isAcquire())
+      Locks.push_back(E.Target);
+    else if (E.isRelease()) {
+      auto It = std::find(Locks.begin(), Locks.end(), E.Target);
+      if (It != Locks.end())
+        Locks.erase(It);
+    }
+    Held[Id - S.Begin] = Locks;
+    std::sort(Held[Id - S.Begin].begin(), Held[Id - S.Begin].end());
+  }
+}
+
+bool LocksetIndex::disjoint(EventId A, EventId B) const {
+  const std::vector<LockId> &La = heldAt(A);
+  const std::vector<LockId> &Lb = heldAt(B);
+  size_t I = 0, J = 0;
+  while (I < La.size() && J < Lb.size()) {
+    if (La[I] == Lb[J])
+      return false;
+    if (La[I] < Lb[J])
+      ++I;
+    else
+      ++J;
+  }
+  return true;
+}

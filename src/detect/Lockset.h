@@ -1,0 +1,70 @@
+//===- detect/Lockset.h - Locksets and the hybrid quick check ----*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eraser-style lockset computation plus the *quick check* of Section 4: a
+/// hybrid of lockset and a weak form of happens-before (MHB only — no lock
+/// edges, as in PECAN) that cheaply filters conflicting operation pairs
+/// before any constraints are built. The quick check is deliberately
+/// unsound (it over-approximates the set of real races); every COP that
+/// passes it still goes through the sound SMT-based analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_LOCKSET_H
+#define RVP_DETECT_LOCKSET_H
+
+#include "detect/Closure.h"
+#include "detect/Cop.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rvp {
+
+/// Computes, for every event in \p S, the set of locks held by its thread
+/// at that point (as a sorted vector of LockIds; reentrancy is already
+/// filtered by the recorder).
+class LocksetIndex {
+public:
+  LocksetIndex(const Trace &T, Span S);
+
+  /// Locks held at event \p Id (valid for access events).
+  const std::vector<LockId> &heldAt(EventId Id) const {
+    return Held[Id - Window.Begin];
+  }
+
+  /// True iff the two events share no lock.
+  bool disjoint(EventId A, EventId B) const;
+
+private:
+  Span Window;
+  std::vector<std::vector<LockId>> Held;
+};
+
+/// The hybrid lockset + weak-HB filter (Section 4). \p Mhb must be the
+/// MHB closure of the same window.
+class QuickCheck {
+public:
+  QuickCheck(const Trace &T, Span S, const EventClosure &Mhb)
+      : Locksets(T, S), Mhb(Mhb) {}
+
+  /// True iff \p C is a *potential* race: disjoint locksets and not
+  /// MHB-ordered.
+  bool pass(const Cop &C) const {
+    return Locksets.disjoint(C.First, C.Second) &&
+           !Mhb.ordered(C.First, C.Second) &&
+           !Mhb.ordered(C.Second, C.First);
+  }
+
+private:
+  LocksetIndex Locksets;
+  const EventClosure &Mhb;
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_LOCKSET_H

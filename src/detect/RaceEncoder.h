@@ -1,0 +1,151 @@
+//===- detect/RaceEncoder.h - Race constraint encoding -----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the first-order formulae of Section 3.2 for one trace window:
+///
+///   Φ = Φ_mhb ∧ Φ_lock ∧ Φ_race
+///
+/// over integer order variables O_e (one per event). Φ_race comes in two
+/// flavours:
+///
+///  * encodeMaximalRace — the paper's technique: the adjacency of the COP
+///    via the `Oa := Ob` substitution (Section 4) plus the control-flow
+///    feasibility Φ^cf of both events. cf(e) definitions are emitted as
+///    guarded boolean variables because their dependency graph (read →
+///    matched write → that thread's earlier reads → ...) may be cyclic.
+///
+///  * encodeSaidRace — the Said et al. baseline: no control flow; instead
+///    the *whole window* must stay read-write consistent (every read keeps
+///    its original value).
+///
+/// Windowing: events before the window are fixed context; their only
+/// influence is the initial value each variable has at window entry,
+/// supplied by the caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_RACEENCODER_H
+#define RVP_DETECT_RACEENCODER_H
+
+#include "detect/Closure.h"
+#include "smt/Formula.h"
+#include "trace/Trace.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace rvp {
+
+struct EncoderOptions {
+  /// Use the `Oa := Ob` substitution (Section 4). When false, adjacency is
+  /// encoded explicitly as `Oa < Ob` plus "no event between them", which
+  /// is the naive encoding the ablation bench compares against.
+  bool SubstituteRaceVars = true;
+};
+
+class RaceEncoder {
+public:
+  /// \p InitialValues gives each variable's value at window entry (index
+  /// by VarId; missing entries default to 0). \p Mhb must be the MHB
+  /// closure (ClosureConfig::mhb()) of the same window.
+  RaceEncoder(const Trace &T, Span S, const EventClosure &Mhb,
+              const std::vector<Value> &InitialValues,
+              EncoderOptions Options = EncoderOptions());
+
+  /// Φ for "COP (A,B) is a race" under the maximal technique.
+  NodeRef encodeMaximalRace(FormulaBuilder &FB, EventId A, EventId B) const;
+
+  /// Φ for "COP (A,B) is a race" under Said et al.'s whole-trace
+  /// read-write consistency.
+  NodeRef encodeSaidRace(FormulaBuilder &FB, EventId A, EventId B) const;
+
+  /// Φ for "\p B can execute strictly between \p A1 and \p A2" with all
+  /// three events control-flow feasible — the atomicity-violation query
+  /// (see detect/Atomicity.h). No substitution: the between condition is
+  /// the two atoms `O_A1 < O_B < O_A2`.
+  NodeRef encodeBetween(FormulaBuilder &FB, EventId A1, EventId B,
+                        EventId A2) const;
+
+  /// Φ for a hold-and-wait deadlock between two lock-dependency chains
+  /// (see detect/Deadlock.h): \p ReqA requests the lock of the section
+  /// [OutB.AcquireId, OutB.ReleaseId) while that section is active, and
+  /// symmetrically for \p ReqB and OutA. The critical sections of the two
+  /// requests themselves are excluded from the mutual-exclusion
+  /// constraints — in the deadlocked prefix they never start.
+  NodeRef encodeDeadlock(FormulaBuilder &FB, EventId ReqA, EventId ReqB,
+                         const LockPair &OutA, const LockPair &OutB) const;
+
+  /// Pieces exposed for the Figure 5 pretty-printer and tests. \p A/B of
+  /// InvalidEvent means "no substitution". \p ExcludedAcquires names
+  /// critical sections (by acquire event) left out of the mutual-exclusion
+  /// constraints (deadlock queries).
+  NodeRef encodeMhb(FormulaBuilder &FB, EventId A = InvalidEvent,
+                    EventId B = InvalidEvent) const;
+  NodeRef encodeLock(FormulaBuilder &FB, EventId A = InvalidEvent,
+                     EventId B = InvalidEvent,
+                     const std::vector<EventId> &ExcludedAcquires = {}) const;
+
+  /// The last branch event of each thread that must happen before \p E
+  /// (the set B_e of Section 3.2), in ascending order.
+  std::vector<EventId> guardingBranches(EventId E) const;
+
+private:
+  struct Subst {
+    EventId A = InvalidEvent;
+    EventId B = InvalidEvent;
+    OrderVar operator()(EventId E) const { return E == A ? B : E; }
+  };
+
+  /// Shared builder state for one encode call.
+  struct CfState {
+    FormulaBuilder &FB;
+    Subst S;
+    std::vector<NodeRef> Defs;
+    std::unordered_map<EventId, uint32_t> VarOf;
+    std::vector<EventId> Worklist;
+  };
+
+  NodeRef cfVar(CfState &St, EventId E) const;
+  void emitCfDefs(CfState &St) const;
+  /// Read-value consistency disjunction for read \p R; with \p Guarded the
+  /// matched write's own feasibility variable is included (maximal mode).
+  NodeRef readValueFormula(CfState &St, EventId R, bool Guarded) const;
+  NodeRef branchGuards(CfState &St, EventId E) const;
+  NodeRef adjacency(FormulaBuilder &FB, Subst S, EventId A, EventId B) const;
+
+  /// Writes in-window on \p Var, excluding those MHB-after \p R.
+  std::vector<EventId> interferingWrites(VarId Var, EventId R) const;
+
+  const Trace &T;
+  Span Window;
+  const EventClosure &Mhb;
+  EncoderOptions Options;
+  std::vector<Value> InitialValues; ///< per VarId at window entry
+
+  /// Per-thread event ids within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadEvents;
+  /// Per-thread branch events within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadBranches;
+  /// Per-thread read events within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadReads;
+  /// Per-variable write events within the window, ascending.
+  std::vector<std::vector<EventId>> VarWrites;
+  /// All read events within the window (for the Said encoding).
+  std::vector<EventId> AllReads;
+  /// Wait/notify triples present in the window: release, notify, acquire
+  /// (any of them InvalidEvent when outside the window).
+  struct WaitTriple {
+    EventId Release = InvalidEvent;
+    EventId Notify = InvalidEvent;
+    EventId Acquire = InvalidEvent;
+  };
+  std::vector<WaitTriple> WaitTriples;
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_RACEENCODER_H

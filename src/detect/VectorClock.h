@@ -1,0 +1,59 @@
+//===- detect/VectorClock.h - Vector clocks ----------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width vector clocks over the threads of one trace, used by the
+/// MHB closure, the HB detector, and the CP detector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_VECTORCLOCK_H
+#define RVP_DETECT_VECTORCLOCK_H
+
+#include "trace/Event.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace rvp {
+
+class VectorClock {
+public:
+  VectorClock() = default;
+  explicit VectorClock(uint32_t NumThreads) : Clock(NumThreads, 0) {}
+
+  uint32_t size() const { return static_cast<uint32_t>(Clock.size()); }
+
+  uint64_t get(ThreadId Tid) const { return Clock[Tid]; }
+  void set(ThreadId Tid, uint64_t Value) { Clock[Tid] = Value; }
+  void tick(ThreadId Tid) { ++Clock[Tid]; }
+
+  /// Pointwise maximum.
+  void join(const VectorClock &Other) {
+    for (uint32_t I = 0; I < Clock.size(); ++I)
+      Clock[I] = std::max(Clock[I], Other.Clock[I]);
+  }
+
+  /// True iff this <= Other pointwise (this happens-before-or-equals).
+  bool lessOrEqual(const VectorClock &Other) const {
+    for (uint32_t I = 0; I < Clock.size(); ++I)
+      if (Clock[I] > Other.Clock[I])
+        return false;
+    return true;
+  }
+
+  bool operator==(const VectorClock &Other) const {
+    return Clock == Other.Clock;
+  }
+
+private:
+  std::vector<uint64_t> Clock;
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_VECTORCLOCK_H

@@ -1,0 +1,259 @@
+//===- detect/WitnessChecker.cpp - Race witness validation ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/WitnessChecker.h"
+
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace rvp;
+
+namespace {
+
+/// Shared validation core: permutation, per-thread program order, MHB
+/// event rules, lock mutual exclusion, and the concrete-read closure
+/// seeded from the guarding branches of \p Seeds. Fills \p PosOut with
+/// the witness position of every event.
+WitnessCheckResult checkCore(const Trace &T, Span S,
+                             const std::vector<EventId> &Order,
+                             const std::vector<EventId> &Seeds,
+                             const RaceEncoder &Encoder,
+                             const std::vector<Value> &Initial,
+                             std::vector<uint32_t> &PosOut,
+                             const std::unordered_set<EventId>
+                                 &SkipLockEffects = {}) {
+  auto fail = [](std::string Msg) {
+    return WitnessCheckResult{false, std::move(Msg)};
+  };
+
+  // 1. Permutation of the window.
+  if (Order.size() != S.size())
+    return fail("witness does not cover the window");
+  std::vector<uint32_t> PosOf(S.size(), UINT32_MAX);
+  for (uint32_t Pos = 0; Pos < Order.size(); ++Pos) {
+    EventId Id = Order[Pos];
+    if (!S.contains(Id))
+      return fail("witness contains an event outside the window");
+    if (PosOf[Id - S.Begin] != UINT32_MAX)
+      return fail("witness repeats an event");
+    PosOf[Id - S.Begin] = Pos;
+  }
+  auto posOf = [&](EventId Id) { return PosOf[Id - S.Begin]; };
+
+  // 2. Program order per thread; fork/begin, end/join, wait/notify rules;
+  //    lock mutual exclusion.
+  std::unordered_map<ThreadId, EventId> LastOfThread;
+  std::unordered_map<LockId, ThreadId> Holder;
+  std::unordered_set<LockId> HeldAtStart;
+  std::unordered_map<uint32_t, uint32_t> NotifySeen; // match -> pos
+
+  // Sections active at window entry (release without acquire) hold their
+  // lock from the start.
+  for (LockId Lock = 0; Lock < T.numLocks(); ++Lock)
+    for (const LockPair &P : T.lockPairsOf(Lock))
+      if (P.ReleaseId != InvalidEvent && S.contains(P.ReleaseId) &&
+          (P.AcquireId == InvalidEvent || !S.contains(P.AcquireId))) {
+        Holder[Lock] = P.Tid;
+        HeldAtStart.insert(Lock);
+      }
+
+  for (uint32_t Pos = 0; Pos < Order.size(); ++Pos) {
+    const EventId Id = Order[Pos];
+    const Event &E = T[Id];
+
+    auto It = LastOfThread.find(E.Tid);
+    if (It != LastOfThread.end() && It->second > Id)
+      return fail(formatString("program order violated in thread %s",
+                               T.threadName(E.Tid).c_str()));
+    LastOfThread[E.Tid] = Id;
+
+    if (SkipLockEffects.count(Id)) {
+      // Deadlock queries: this event is a pending lock request (or the
+      // release of one); it has no lock-state effect in the witness.
+      continue;
+    }
+
+    switch (E.Kind) {
+    case EventKind::Begin: {
+      EventId Fork = T.forkOf(E.Tid);
+      if (Fork != InvalidEvent && S.contains(Fork) && posOf(Fork) > Pos)
+        return fail("begin before its fork");
+      break;
+    }
+    case EventKind::Join: {
+      EventId End = T.endOf(E.Target);
+      if (End != InvalidEvent && S.contains(End) && posOf(End) > Pos)
+        return fail("join before the joined thread's end");
+      break;
+    }
+    case EventKind::Acquire: {
+      auto HolderIt = Holder.find(E.Target);
+      if (HolderIt != Holder.end())
+        return fail(formatString("lock %s acquired while held",
+                                 T.lockName(E.Target).c_str()));
+      Holder[E.Target] = E.Tid;
+      if (E.Aux != 0) {
+        auto NotifyIt = NotifySeen.find(E.Aux);
+        EventId Notify = T.notifyOfMatch(E.Aux);
+        if (Notify != InvalidEvent && S.contains(Notify) &&
+            NotifyIt == NotifySeen.end())
+          return fail("wait resumed before its notify");
+      }
+      break;
+    }
+    case EventKind::Release: {
+      auto HolderIt = Holder.find(E.Target);
+      if (HolderIt == Holder.end() || HolderIt->second != E.Tid)
+        return fail(formatString("lock %s released by non-holder",
+                                 T.lockName(E.Target).c_str()));
+      Holder.erase(HolderIt);
+      break;
+    }
+    case EventKind::Notify:
+      if (E.Aux != 0)
+        NotifySeen[E.Aux] = Pos;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // 3. Concrete reads: every read that the query's control flow depends
+  //    on must observe its recorded value in the witness (the
+  //    construction from Theorem 3's proof). Seed with the guarding
+  //    branches of the query events, close over thread prefixes and
+  //    reads-from edges.
+  std::unordered_set<EventId> MustConcrete;
+  std::vector<EventId> Work;
+  auto need = [&](EventId Id) {
+    if (MustConcrete.insert(Id).second)
+      Work.push_back(Id);
+  };
+  for (EventId Seed : Seeds)
+    for (EventId Branch : Encoder.guardingBranches(Seed))
+      need(Branch);
+
+  // Precompute reads-from in witness order per read.
+  std::unordered_map<VarId, EventId> LastWrite;
+  std::unordered_map<EventId, EventId> ReadsFrom; // read -> write or Invalid
+  for (EventId Id : Order) {
+    const Event &E = T[Id];
+    if (E.isRead()) {
+      auto WIt = LastWrite.find(E.Target);
+      ReadsFrom[Id] = WIt == LastWrite.end() ? InvalidEvent : WIt->second;
+    } else if (E.isWrite()) {
+      LastWrite[E.Target] = Id;
+    }
+  }
+
+  while (!Work.empty()) {
+    EventId Id = Work.back();
+    Work.pop_back();
+    const Event &E = T[Id];
+    if (E.Kind == EventKind::Branch || E.isWrite()) {
+      // All earlier reads of the same thread must be concrete.
+      for (EventId Prev : T.threadEvents(E.Tid)) {
+        if (Prev >= Id)
+          break;
+        if (S.contains(Prev) && T[Prev].isRead())
+          need(Prev);
+      }
+      continue;
+    }
+    if (!E.isRead())
+      continue;
+    EventId From = ReadsFrom.at(Id);
+    if (From == InvalidEvent) {
+      Value Expect =
+          E.Target < Initial.size() ? Initial[E.Target] : 0;
+      if (E.Data != Expect)
+        return fail(formatString(
+            "concrete read %u observes the initial value %lld, expected "
+            "%lld",
+            Id, static_cast<long long>(Expect),
+            static_cast<long long>(E.Data)));
+      continue;
+    }
+    if (T[From].Data != E.Data)
+      return fail(formatString(
+          "concrete read %u observes %lld from write %u, expected %lld",
+          Id, static_cast<long long>(T[From].Data), From,
+          static_cast<long long>(E.Data)));
+    need(From); // the justifying write must itself be concrete
+  }
+
+  (void)HeldAtStart;
+  PosOut = std::move(PosOf);
+  return {};
+}
+
+} // namespace
+
+WitnessCheckResult rvp::checkWitness(const Trace &T, Span S,
+                                     const std::vector<EventId> &Order,
+                                     EventId A, EventId B,
+                                     const RaceEncoder &Encoder,
+                                     const EventClosure &Mhb,
+                                     const std::vector<Value> &Initial) {
+  (void)Mhb;
+  std::vector<uint32_t> Pos;
+  WitnessCheckResult Core =
+      checkCore(T, S, Order, {A, B}, Encoder, Initial, Pos);
+  if (!Core.Ok)
+    return Core;
+  // Adjacency of the race pair (either orientation, footnote 2).
+  uint32_t PosA = Pos[A - S.Begin];
+  uint32_t PosB = Pos[B - S.Begin];
+  if (PosA + 1 != PosB && PosB + 1 != PosA)
+    return WitnessCheckResult{false,
+                              "race events are not adjacent in the witness"};
+  return {};
+}
+
+WitnessCheckResult rvp::checkDeadlockWitness(
+    const Trace &T, Span S, const std::vector<EventId> &Order,
+    EventId ReqA, EventId ReqB, const LockPair &OutA, const LockPair &OutB,
+    const std::unordered_set<EventId> &SkipLockEffects,
+    const RaceEncoder &Encoder, const EventClosure &Mhb,
+    const std::vector<Value> &Initial) {
+  (void)Mhb;
+  std::vector<uint32_t> Pos;
+  WitnessCheckResult Core = checkCore(T, S, Order, {ReqA, ReqB}, Encoder,
+                                      Initial, Pos, SkipLockEffects);
+  if (!Core.Ok)
+    return Core;
+  auto posOf = [&](EventId Id) { return Pos[Id - S.Begin]; };
+  if (!(posOf(OutB.AcquireId) < posOf(ReqA) &&
+        posOf(ReqA) < posOf(OutB.ReleaseId)))
+    return WitnessCheckResult{
+        false, "request A does not fall inside the held section"};
+  if (!(posOf(OutA.AcquireId) < posOf(ReqB) &&
+        posOf(ReqB) < posOf(OutA.ReleaseId)))
+    return WitnessCheckResult{
+        false, "request B does not fall inside the held section"};
+  return {};
+}
+
+WitnessCheckResult rvp::checkAtomicityWitness(
+    const Trace &T, Span S, const std::vector<EventId> &Order,
+    EventId First, EventId Remote, EventId Second,
+    const RaceEncoder &Encoder, const EventClosure &Mhb,
+    const std::vector<Value> &Initial) {
+  (void)Mhb;
+  std::vector<uint32_t> Pos;
+  WitnessCheckResult Core =
+      checkCore(T, S, Order, {First, Remote, Second}, Encoder, Initial,
+                Pos);
+  if (!Core.Ok)
+    return Core;
+  if (!(Pos[First - S.Begin] < Pos[Remote - S.Begin] &&
+        Pos[Remote - S.Begin] < Pos[Second - S.Begin]))
+    return WitnessCheckResult{
+        false, "remote access is not between the atomic pair"};
+  return {};
+}

@@ -1,0 +1,290 @@
+//===- lang/Lexer.cpp - MiniRV lexer ---------------------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace rvp;
+
+const char *rvp::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::KwShared:
+    return "'shared'";
+  case TokenKind::KwVolatile:
+    return "'volatile'";
+  case TokenKind::KwLock:
+    return "'lock'";
+  case TokenKind::KwUnlock:
+    return "'unlock'";
+  case TokenKind::KwSync:
+    return "'sync'";
+  case TokenKind::KwThread:
+    return "'thread'";
+  case TokenKind::KwMain:
+    return "'main'";
+  case TokenKind::KwLocal:
+    return "'local'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwSpawn:
+    return "'spawn'";
+  case TokenKind::KwJoin:
+    return "'join'";
+  case TokenKind::KwWait:
+    return "'wait'";
+  case TokenKind::KwNotify:
+    return "'notify'";
+  case TokenKind::KwNotifyAll:
+    return "'notifyall'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::OrOr:
+    return "'||'";
+  case TokenKind::AndAnd:
+    return "'&&'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "?";
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::skipTrivia() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0')
+          return false; // unterminated block comment
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return true;
+  }
+}
+
+Token Lexer::make(TokenKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = TokenLine;
+  T.Column = TokenColumn;
+  return T;
+}
+
+Token Lexer::next() {
+  if (!skipTrivia()) {
+    TokenLine = Line;
+    TokenColumn = Column;
+    return make(TokenKind::Error, "unterminated block comment");
+  }
+  TokenLine = Line;
+  TokenColumn = Column;
+  char C = peek();
+  if (C == '\0')
+    return make(TokenKind::EndOfFile);
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text;
+    while (std::isalnum(static_cast<unsigned char>(peek())) ||
+           peek() == '_')
+      Text += advance();
+    static const std::unordered_map<std::string, TokenKind> Keywords = {
+        {"shared", TokenKind::KwShared},
+        {"volatile", TokenKind::KwVolatile},
+        {"lock", TokenKind::KwLock},
+        {"unlock", TokenKind::KwUnlock},
+        {"sync", TokenKind::KwSync},
+        {"thread", TokenKind::KwThread},
+        {"main", TokenKind::KwMain},
+        {"local", TokenKind::KwLocal},
+        {"if", TokenKind::KwIf},
+        {"else", TokenKind::KwElse},
+        {"while", TokenKind::KwWhile},
+        {"spawn", TokenKind::KwSpawn},
+        {"join", TokenKind::KwJoin},
+        {"wait", TokenKind::KwWait},
+        {"notify", TokenKind::KwNotify},
+        {"notifyall", TokenKind::KwNotifyAll},
+        {"assert", TokenKind::KwAssert},
+        {"skip", TokenKind::KwSkip},
+    };
+    auto It = Keywords.find(Text);
+    if (It != Keywords.end())
+      return make(It->second, std::move(Text));
+    return make(TokenKind::Identifier, std::move(Text));
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    std::string Text;
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      Text += advance();
+    Token T = make(TokenKind::Integer, Text);
+    if (!parseInt(Text, T.Value)) {
+      T.Kind = TokenKind::Error;
+      T.Text = "integer literal out of range";
+    }
+    return T;
+  }
+
+  advance();
+  switch (C) {
+  case '{':
+    return make(TokenKind::LBrace);
+  case '}':
+    return make(TokenKind::RBrace);
+  case '(':
+    return make(TokenKind::LParen);
+  case ')':
+    return make(TokenKind::RParen);
+  case '[':
+    return make(TokenKind::LBracket);
+  case ']':
+    return make(TokenKind::RBracket);
+  case ';':
+    return make(TokenKind::Semicolon);
+  case '+':
+    return make(TokenKind::Plus);
+  case '-':
+    return make(TokenKind::Minus);
+  case '*':
+    return make(TokenKind::Star);
+  case '/':
+    return make(TokenKind::Slash);
+  case '%':
+    return make(TokenKind::Percent);
+  case '=':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::EqEq);
+    }
+    return make(TokenKind::Assign);
+  case '!':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::NotEq);
+    }
+    return make(TokenKind::Not);
+  case '<':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::LessEq);
+    }
+    return make(TokenKind::Less);
+  case '>':
+    if (peek() == '=') {
+      advance();
+      return make(TokenKind::GreaterEq);
+    }
+    return make(TokenKind::Greater);
+  case '|':
+    if (peek() == '|') {
+      advance();
+      return make(TokenKind::OrOr);
+    }
+    return make(TokenKind::Error, "expected '||'");
+  case '&':
+    if (peek() == '&') {
+      advance();
+      return make(TokenKind::AndAnd);
+    }
+    return make(TokenKind::Error, "expected '&&'");
+  default:
+    return make(TokenKind::Error,
+                std::string("unexpected character '") + C + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize(std::string_view Source) {
+  Lexer L(Source);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Tokens.push_back(L.next());
+    if (Tokens.back().is(TokenKind::EndOfFile) ||
+        Tokens.back().is(TokenKind::Error))
+      return Tokens;
+  }
+}

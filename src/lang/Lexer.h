@@ -1,0 +1,52 @@
+//===- lang/Lexer.h - MiniRV lexer -------------------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniRV. Supports `//` line comments and
+/// `/* */` block comments; integers are 64-bit signed decimals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_LANG_LEXER_H
+#define RVP_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string_view>
+#include <vector>
+
+namespace rvp {
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Produces the next token; EndOfFile forever once exhausted. Malformed
+  /// input yields an Error token carrying a message in Text.
+  Token next();
+
+  /// Tokenizes the whole input (including the final EndOfFile).
+  static std::vector<Token> tokenize(std::string_view Source);
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool skipTrivia(); ///< whitespace and comments; false on bad comment
+  Token make(TokenKind Kind, std::string Text = "");
+
+  std::string_view Source;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+  uint32_t TokenLine = 1;
+  uint32_t TokenColumn = 1;
+};
+
+} // namespace rvp
+
+#endif // RVP_LANG_LEXER_H

@@ -1,0 +1,478 @@
+//===- lang/Parser.cpp - MiniRV parser -------------------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "lang/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <unordered_set>
+
+using namespace rvp;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Source) : Lex(Source) {
+    Current = Lex.next();
+  }
+
+  std::optional<Program> run(std::string &Error) {
+    Program P;
+    bool SawMain = false;
+    while (!Current.is(TokenKind::EndOfFile)) {
+      if (Failed)
+        break;
+      if (Current.is(TokenKind::KwShared)) {
+        parseSharedDecl(P);
+      } else if (Current.is(TokenKind::KwLock)) {
+        uint32_t Line = Current.Line;
+        consume();
+        std::string Name = expectIdent("lock name");
+        expect(TokenKind::Semicolon);
+        declareName(Name, "lock");
+        P.Locks.push_back({Name, Line});
+      } else if (Current.is(TokenKind::KwThread)) {
+        uint32_t Line = Current.Line;
+        consume();
+        ThreadDecl T;
+        T.Name = expectIdent("thread name");
+        T.Line = Line;
+        declareName(T.Name, "thread");
+        T.Body = parseBlock();
+        P.Threads.push_back(std::move(T));
+      } else if (Current.is(TokenKind::KwMain)) {
+        uint32_t Line = Current.Line;
+        consume();
+        if (SawMain)
+          fail(Line, 1, "duplicate 'main'");
+        SawMain = true;
+        ThreadDecl T;
+        T.Name = "main";
+        T.IsMain = true;
+        T.Line = Line;
+        T.Body = parseBlock();
+        // Main goes first so ThreadId 0 is always the root thread.
+        P.Threads.insert(P.Threads.begin(), std::move(T));
+      } else {
+        fail(Current.Line, Current.Column,
+             std::string("expected a declaration, found ") +
+                 tokenKindName(Current.Kind));
+      }
+    }
+    if (!Failed && !SawMain)
+      fail(1, 1, "program has no 'main'");
+    if (Failed) {
+      Error = ErrorMessage;
+      return std::nullopt;
+    }
+    return P;
+  }
+
+private:
+  // ------------------------------------------------------------ helpers
+  void consume() { Current = Lex.next(); }
+
+  void fail(uint32_t Line, uint32_t Column, const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMessage = formatString("%u:%u: %s", Line, Column, Message.c_str());
+  }
+
+  void expect(TokenKind Kind) {
+    if (Failed)
+      return;
+    if (Current.is(TokenKind::Error)) {
+      fail(Current.Line, Current.Column, Current.Text);
+      return;
+    }
+    if (!Current.is(Kind)) {
+      fail(Current.Line, Current.Column,
+           std::string("expected ") + tokenKindName(Kind) + ", found " +
+               tokenKindName(Current.Kind));
+      return;
+    }
+    consume();
+  }
+
+  std::string expectIdent(const char *What) {
+    if (Failed)
+      return "";
+    if (!Current.is(TokenKind::Identifier)) {
+      fail(Current.Line, Current.Column,
+           std::string("expected ") + What + ", found " +
+               tokenKindName(Current.Kind));
+      return "";
+    }
+    std::string Name = Current.Text;
+    consume();
+    return Name;
+  }
+
+  int64_t expectInteger() {
+    if (Failed)
+      return 0;
+    bool Negative = false;
+    if (Current.is(TokenKind::Minus)) {
+      Negative = true;
+      consume();
+    }
+    if (!Current.is(TokenKind::Integer)) {
+      fail(Current.Line, Current.Column,
+           std::string("expected integer, found ") +
+               tokenKindName(Current.Kind));
+      return 0;
+    }
+    int64_t Value = Current.Value;
+    consume();
+    return Negative ? -Value : Value;
+  }
+
+  void declareName(const std::string &Name, const char *What) {
+    if (Name.empty())
+      return;
+    if (!DeclaredNames.insert(Name).second)
+      fail(Current.Line, Current.Column,
+           "redefinition of '" + Name + "' as " + What);
+  }
+
+  // ------------------------------------------------------- declarations
+  void parseSharedDecl(Program &P) {
+    SharedDecl D;
+    D.Line = Current.Line;
+    consume(); // 'shared'
+    if (Current.is(TokenKind::KwVolatile)) {
+      D.Volatile = true;
+      consume();
+    }
+    D.Name = expectIdent("variable name");
+    declareName(D.Name, "shared variable");
+    if (Current.is(TokenKind::LBracket)) {
+      consume();
+      int64_t Size = expectInteger();
+      if (!Failed && (Size <= 0 || Size > (1 << 20)))
+        fail(D.Line, 1, "array size must be in [1, 2^20]");
+      D.ArraySize = static_cast<uint32_t>(Size);
+      expect(TokenKind::RBracket);
+      if (D.Volatile)
+        fail(D.Line, 1, "volatile arrays are not supported");
+    }
+    if (Current.is(TokenKind::Assign)) {
+      consume();
+      D.Init = expectInteger();
+    }
+    expect(TokenKind::Semicolon);
+    P.Shareds.push_back(std::move(D));
+  }
+
+  // ---------------------------------------------------------- statements
+  std::vector<StmtPtr> parseBlock() {
+    std::vector<StmtPtr> Body;
+    expect(TokenKind::LBrace);
+    while (!Failed && !Current.is(TokenKind::RBrace)) {
+      if (Current.is(TokenKind::EndOfFile)) {
+        fail(Current.Line, Current.Column, "unterminated block");
+        break;
+      }
+      StmtPtr S = parseStmt();
+      if (S)
+        Body.push_back(std::move(S));
+    }
+    expect(TokenKind::RBrace);
+    return Body;
+  }
+
+  StmtPtr makeStmt(Stmt::Kind K, uint32_t Line) {
+    auto S = std::make_unique<Stmt>();
+    S->K = K;
+    S->Line = Line;
+    return S;
+  }
+
+  StmtPtr parseStmt() {
+    uint32_t Line = Current.Line;
+    switch (Current.Kind) {
+    case TokenKind::KwLocal: {
+      consume();
+      StmtPtr S = makeStmt(Stmt::Kind::LocalDecl, Line);
+      S->Name = expectIdent("local variable name");
+      if (Current.is(TokenKind::Assign)) {
+        consume();
+        S->Value = parseExpr();
+      }
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    case TokenKind::Identifier: {
+      std::string Name = Current.Text;
+      consume();
+      if (Current.is(TokenKind::LBracket)) {
+        consume();
+        StmtPtr S = makeStmt(Stmt::Kind::ArrayAssign, Line);
+        S->Name = std::move(Name);
+        S->Index = parseExpr();
+        expect(TokenKind::RBracket);
+        expect(TokenKind::Assign);
+        S->Value = parseExpr();
+        expect(TokenKind::Semicolon);
+        return S;
+      }
+      StmtPtr S = makeStmt(Stmt::Kind::Assign, Line);
+      S->Name = std::move(Name);
+      expect(TokenKind::Assign);
+      S->Value = parseExpr();
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    case TokenKind::KwIf: {
+      consume();
+      StmtPtr S = makeStmt(Stmt::Kind::If, Line);
+      expect(TokenKind::LParen);
+      S->Cond = parseExpr();
+      expect(TokenKind::RParen);
+      S->Body = parseBlock();
+      if (Current.is(TokenKind::KwElse)) {
+        consume();
+        if (Current.is(TokenKind::KwIf)) {
+          // else-if chains nest as a single-statement else block.
+          StmtPtr Nested = parseStmt();
+          if (Nested)
+            S->ElseBody.push_back(std::move(Nested));
+        } else {
+          S->ElseBody = parseBlock();
+        }
+      }
+      return S;
+    }
+    case TokenKind::KwWhile: {
+      consume();
+      StmtPtr S = makeStmt(Stmt::Kind::While, Line);
+      expect(TokenKind::LParen);
+      S->Cond = parseExpr();
+      expect(TokenKind::RParen);
+      S->Body = parseBlock();
+      return S;
+    }
+    case TokenKind::KwLock:
+    case TokenKind::KwUnlock:
+    case TokenKind::KwSpawn:
+    case TokenKind::KwJoin:
+    case TokenKind::KwWait:
+    case TokenKind::KwNotify:
+    case TokenKind::KwNotifyAll: {
+      Stmt::Kind K;
+      switch (Current.Kind) {
+      case TokenKind::KwLock:
+        K = Stmt::Kind::Lock;
+        break;
+      case TokenKind::KwUnlock:
+        K = Stmt::Kind::Unlock;
+        break;
+      case TokenKind::KwSpawn:
+        K = Stmt::Kind::Spawn;
+        break;
+      case TokenKind::KwJoin:
+        K = Stmt::Kind::Join;
+        break;
+      case TokenKind::KwWait:
+        K = Stmt::Kind::Wait;
+        break;
+      case TokenKind::KwNotify:
+        K = Stmt::Kind::Notify;
+        break;
+      default:
+        K = Stmt::Kind::NotifyAll;
+        break;
+      }
+      consume();
+      StmtPtr S = makeStmt(K, Line);
+      S->Name = expectIdent("name");
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    case TokenKind::KwSync: {
+      consume();
+      StmtPtr S = makeStmt(Stmt::Kind::Sync, Line);
+      S->Name = expectIdent("lock name");
+      S->Body = parseBlock();
+      return S;
+    }
+    case TokenKind::KwAssert: {
+      consume();
+      StmtPtr S = makeStmt(Stmt::Kind::Assert, Line);
+      S->Value = parseExpr();
+      expect(TokenKind::Semicolon);
+      return S;
+    }
+    case TokenKind::KwSkip: {
+      consume();
+      expect(TokenKind::Semicolon);
+      return makeStmt(Stmt::Kind::Skip, Line);
+    }
+    case TokenKind::Error:
+      fail(Current.Line, Current.Column, Current.Text);
+      return nullptr;
+    default:
+      fail(Current.Line, Current.Column,
+           std::string("expected a statement, found ") +
+               tokenKindName(Current.Kind));
+      return nullptr;
+    }
+  }
+
+  // --------------------------------------------------------- expressions
+  ExprPtr makeExpr(Expr::Kind K, uint32_t Line) {
+    auto E = std::make_unique<Expr>();
+    E->K = K;
+    E->Line = Line;
+    return E;
+  }
+
+  ExprPtr parseExpr() { return parseBinary(0); }
+
+  /// Precedence climbing; level 0 is '||'.
+  ExprPtr parseBinary(int MinPrec) {
+    ExprPtr Lhs = parseUnary();
+    for (;;) {
+      int Prec;
+      BinOp Op;
+      switch (Current.Kind) {
+      case TokenKind::OrOr:
+        Prec = 0;
+        Op = BinOp::Or;
+        break;
+      case TokenKind::AndAnd:
+        Prec = 1;
+        Op = BinOp::And;
+        break;
+      case TokenKind::EqEq:
+        Prec = 2;
+        Op = BinOp::Eq;
+        break;
+      case TokenKind::NotEq:
+        Prec = 2;
+        Op = BinOp::Ne;
+        break;
+      case TokenKind::Less:
+        Prec = 3;
+        Op = BinOp::Lt;
+        break;
+      case TokenKind::LessEq:
+        Prec = 3;
+        Op = BinOp::Le;
+        break;
+      case TokenKind::Greater:
+        Prec = 3;
+        Op = BinOp::Gt;
+        break;
+      case TokenKind::GreaterEq:
+        Prec = 3;
+        Op = BinOp::Ge;
+        break;
+      case TokenKind::Plus:
+        Prec = 4;
+        Op = BinOp::Add;
+        break;
+      case TokenKind::Minus:
+        Prec = 4;
+        Op = BinOp::Sub;
+        break;
+      case TokenKind::Star:
+        Prec = 5;
+        Op = BinOp::Mul;
+        break;
+      case TokenKind::Slash:
+        Prec = 5;
+        Op = BinOp::Div;
+        break;
+      case TokenKind::Percent:
+        Prec = 5;
+        Op = BinOp::Mod;
+        break;
+      default:
+        return Lhs;
+      }
+      if (Prec < MinPrec)
+        return Lhs;
+      uint32_t Line = Current.Line;
+      consume();
+      ExprPtr Rhs = parseBinary(Prec + 1);
+      ExprPtr Node = makeExpr(Expr::Kind::Binary, Line);
+      Node->Op = Op;
+      Node->Lhs = std::move(Lhs);
+      Node->Rhs = std::move(Rhs);
+      Lhs = std::move(Node);
+    }
+  }
+
+  ExprPtr parseUnary() {
+    uint32_t Line = Current.Line;
+    if (Current.is(TokenKind::Minus) || Current.is(TokenKind::Not)) {
+      UnOp Op = Current.is(TokenKind::Minus) ? UnOp::Neg : UnOp::Not;
+      consume();
+      ExprPtr E = makeExpr(Expr::Kind::Unary, Line);
+      E->UOp = Op;
+      E->Lhs = parseUnary();
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    uint32_t Line = Current.Line;
+    if (Current.is(TokenKind::Integer)) {
+      ExprPtr E = makeExpr(Expr::Kind::IntLit, Line);
+      E->IntValue = Current.Value;
+      consume();
+      return E;
+    }
+    if (Current.is(TokenKind::Identifier)) {
+      std::string Name = Current.Text;
+      consume();
+      if (Current.is(TokenKind::LBracket)) {
+        consume();
+        ExprPtr E = makeExpr(Expr::Kind::Index, Line);
+        E->Name = std::move(Name);
+        E->Lhs = parseExpr();
+        expect(TokenKind::RBracket);
+        return E;
+      }
+      ExprPtr E = makeExpr(Expr::Kind::Name, Line);
+      E->Name = std::move(Name);
+      return E;
+    }
+    if (Current.is(TokenKind::LParen)) {
+      consume();
+      ExprPtr E = parseExpr();
+      expect(TokenKind::RParen);
+      return E;
+    }
+    if (Current.is(TokenKind::Error))
+      fail(Current.Line, Current.Column, Current.Text);
+    else
+      fail(Current.Line, Current.Column,
+           std::string("expected an expression, found ") +
+               tokenKindName(Current.Kind));
+    // Error recovery: produce a dummy literal so parsing can report the
+    // first error cleanly.
+    return makeExpr(Expr::Kind::IntLit, Line);
+  }
+
+  Lexer Lex;
+  Token Current;
+  bool Failed = false;
+  std::string ErrorMessage;
+  std::unordered_set<std::string> DeclaredNames;
+};
+
+} // namespace
+
+std::optional<Program> rvp::parseProgram(std::string_view Source,
+                                         std::string &Error) {
+  return Parser(Source).run(Error);
+}

@@ -1,0 +1,56 @@
+//===- lang/Parser.h - MiniRV parser -----------------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniRV.
+///
+/// Grammar (EBNF):
+///
+///   program   ::= decl*
+///   decl      ::= 'shared' ['volatile'] ident ['[' int ']'] ['=' int] ';'
+///               | 'lock' ident ';'
+///               | 'thread' ident block
+///               | 'main' block
+///   block     ::= '{' stmt* '}'
+///   stmt      ::= 'local' ident ['=' expr] ';'
+///               | ident '=' expr ';'
+///               | ident '[' expr ']' '=' expr ';'
+///               | 'if' '(' expr ')' block ['else' (block | if-stmt)]
+///               | 'while' '(' expr ')' block
+///               | 'lock' ident ';' | 'unlock' ident ';'
+///               | 'sync' ident block
+///               | 'spawn' ident ';' | 'join' ident ';'
+///               | 'wait' ident ';' | 'notify' ident ';'
+///               | 'notifyall' ident ';'
+///               | 'assert' expr ';'
+///               | 'skip' ';'
+///   expr      ::= or-expr, with C precedence for
+///                 || && (== !=) (< <= > >=) (+ -) (* / %) and unary - !
+///
+/// Exactly one 'main' is required; thread/lock/shared names share one
+/// global namespace and must be unique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_LANG_PARSER_H
+#define RVP_LANG_PARSER_H
+
+#include "lang/Ast.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rvp {
+
+/// Parses MiniRV source. On failure returns std::nullopt and fills
+/// \p Error with "line:col: message".
+std::optional<Program> parseProgram(std::string_view Source,
+                                    std::string &Error);
+
+} // namespace rvp
+
+#endif // RVP_LANG_PARSER_H

@@ -1,0 +1,89 @@
+//===- lang/Token.h - MiniRV tokens ------------------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token vocabulary of MiniRV, the small concurrent imperative language
+/// this project uses in place of instrumented Java programs. See
+/// lang/Parser.h for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_LANG_TOKEN_H
+#define RVP_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace rvp {
+
+enum class TokenKind : uint8_t {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+  // Keywords.
+  KwShared,
+  KwVolatile,
+  KwLock,     // both the declaration and the statement
+  KwUnlock,
+  KwSync,
+  KwThread,
+  KwMain,
+  KwLocal,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwSpawn,
+  KwJoin,
+  KwWait,
+  KwNotify,
+  KwNotifyAll,
+  KwAssert,
+  KwSkip,
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Assign, // =
+  // Operators.
+  OrOr,
+  AndAnd,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Not,
+  // Sentinels.
+  EndOfFile,
+  Error,
+};
+
+/// Returns a human-readable token kind name for diagnostics.
+const char *tokenKindName(TokenKind Kind);
+
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;  ///< identifier spelling or literal text
+  int64_t Value = 0; ///< integer literals
+  uint32_t Line = 0; ///< 1-based
+  uint32_t Column = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+} // namespace rvp
+
+#endif // RVP_LANG_TOKEN_H

@@ -1,0 +1,93 @@
+//===- runtime/Bytecode.h - Compiled MiniRV programs -------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat stack-machine representation of MiniRV programs, produced by
+/// runtime/Compile.h and executed by runtime/Interpreter.h. The encoding
+/// makes event emission explicit: EmitBranch instructions are placed by
+/// the compiler exactly where the paper's model requires branch events —
+/// after evaluating every `if`/`while`/`assert` condition and before every
+/// array access with a non-constant index (Section 4).
+///
+/// Logical && and || evaluate both operands (no short-circuit); this keeps
+/// a thread's read set independent of operand values, matching the
+/// abstract-model assumption that expression evaluation is local and
+/// deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_RUNTIME_BYTECODE_H
+#define RVP_RUNTIME_BYTECODE_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+enum class OpCode : uint8_t {
+  LoadConst,     ///< push A
+  LoadLocal,     ///< push locals[A]
+  StoreLocal,    ///< locals[A] = pop
+  ReadShared,    ///< push cells[A]; emits Read
+  WriteShared,   ///< cells[A] = pop; emits Write
+  ReadArray,     ///< idx = pop; push cells[A+idx]; emits Read (bounds-checked)
+  WriteArray,    ///< idx = pop, v = pop; cells[A+idx] = v; emits Write
+  Binary,        ///< rhs = pop, lhs = pop; push lhs (BinOp)A rhs
+  Unary,         ///< v = pop; push (UnOp)A v
+  Jump,          ///< pc = A
+  JumpIfZero,    ///< if pop == 0 then pc = A
+  EmitBranch,    ///< emits a Branch event
+  Acquire,       ///< lock A; blocks while held; reentrant pairs silent
+  Release,       ///< unlock A
+  SpawnThread,   ///< fork thread A; emits Fork
+  JoinThread,    ///< blocks until thread A ended; emits Join
+  WaitLock,      ///< wait on lock A (lowered Release .. Acquire)
+  NotifyLock,    ///< notify one waiter of lock A
+  NotifyAllLock, ///< notify every waiter of lock A
+  AssertTrue,    ///< v = pop; records a runtime error when v == 0
+  Halt,          ///< thread finished; emits End
+};
+
+struct Instr {
+  OpCode Op;
+  int64_t A = 0;     ///< immediate / slot / target / id (see OpCode)
+  uint32_t Line = 0; ///< source line, for event locations and errors
+};
+
+/// One compiled thread body.
+struct CompiledThread {
+  std::string Name;
+  std::vector<Instr> Code;
+  uint32_t NumLocals = 0;
+};
+
+/// A compiled program: flat shared-memory cells (arrays are expanded, so
+/// cell = variable in the trace model), locks, and thread bodies.
+/// Threads[0] is always main.
+struct CompiledProgram {
+  struct ArrayInfo {
+    uint32_t Base = 0; ///< first cell
+    uint32_t Size = 0;
+  };
+
+  std::vector<std::string> CellNames; ///< "x" or "a[3]"
+  std::vector<int64_t> CellInit;
+  std::vector<bool> CellVolatile;
+  std::vector<ArrayInfo> Arrays; ///< indexed by array id (Instr.A)
+  std::vector<std::string> Locks;
+  std::vector<CompiledThread> Threads;
+
+  uint32_t numCells() const {
+    return static_cast<uint32_t>(CellNames.size());
+  }
+};
+
+} // namespace rvp
+
+#endif // RVP_RUNTIME_BYTECODE_H

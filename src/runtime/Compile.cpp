@@ -1,0 +1,345 @@
+//===- runtime/Compile.cpp - MiniRV AST -> bytecode ------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Compile.h"
+
+#include "lang/Parser.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+
+using namespace rvp;
+
+namespace {
+
+class Compiler {
+public:
+  std::optional<CompiledProgram> run(const Program &P, std::string &Error) {
+    // Global name tables.
+    for (const SharedDecl &D : P.Shareds) {
+      if (D.ArraySize == 0) {
+        ScalarCell[D.Name] = Out.numCells();
+        addCell(D.Name, D.Init, D.Volatile);
+      } else {
+        uint32_t ArrayId = static_cast<uint32_t>(Out.Arrays.size());
+        ArrayIds[D.Name] = ArrayId;
+        Out.Arrays.push_back({Out.numCells(), D.ArraySize});
+        for (uint32_t I = 0; I < D.ArraySize; ++I)
+          addCell(formatString("%s[%u]", D.Name.c_str(), I), D.Init,
+                  /*IsVolatile=*/false);
+      }
+    }
+    for (const auto &[Name, Line] : P.Locks) {
+      (void)Line;
+      LockIds[Name] = static_cast<uint32_t>(Out.Locks.size());
+      Out.Locks.push_back(Name);
+    }
+    for (uint32_t I = 0; I < P.Threads.size(); ++I)
+      ThreadIds[P.Threads[I].Name] = I;
+
+    for (const ThreadDecl &T : P.Threads) {
+      CompiledThread CT;
+      CT.Name = T.Name;
+      Locals.clear();
+      Code = &CT.Code;
+      for (const StmtPtr &S : T.Body)
+        compileStmt(*S);
+      emit(OpCode::Halt, 0, 0);
+      CT.NumLocals = static_cast<uint32_t>(Locals.size());
+      Out.Threads.push_back(std::move(CT));
+      if (Failed)
+        break;
+    }
+
+    if (Failed) {
+      Error = ErrorMessage;
+      return std::nullopt;
+    }
+    return std::move(Out);
+  }
+
+private:
+  void addCell(const std::string &Name, int64_t Init, bool IsVolatile) {
+    Out.CellNames.push_back(Name);
+    Out.CellInit.push_back(Init);
+    Out.CellVolatile.push_back(IsVolatile);
+  }
+
+  void fail(uint32_t Line, const std::string &Message) {
+    if (Failed)
+      return;
+    Failed = true;
+    ErrorMessage = formatString("%u: %s", Line, Message.c_str());
+  }
+
+  size_t emit(OpCode Op, int64_t A, uint32_t Line) {
+    Code->push_back({Op, A, Line});
+    return Code->size() - 1;
+  }
+
+  void patchTarget(size_t InstrIndex) {
+    (*Code)[InstrIndex].A = static_cast<int64_t>(Code->size());
+  }
+
+  // ---------------------------------------------------------- expressions
+  /// Returns the constant value of \p E if it folds, for constant-index
+  /// array accesses.
+  std::optional<int64_t> constantOf(const Expr &E) {
+    if (E.K == Expr::Kind::IntLit)
+      return E.IntValue;
+    if (E.K == Expr::Kind::Unary && E.UOp == UnOp::Neg) {
+      if (auto V = constantOf(*E.Lhs))
+        return -*V;
+    }
+    return std::nullopt;
+  }
+
+  void compileExpr(const Expr &E) {
+    if (Failed)
+      return;
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      emit(OpCode::LoadConst, E.IntValue, E.Line);
+      return;
+    case Expr::Kind::Name: {
+      if (auto It = Locals.find(E.Name); It != Locals.end()) {
+        emit(OpCode::LoadLocal, It->second, E.Line);
+        return;
+      }
+      if (auto It = ScalarCell.find(E.Name); It != ScalarCell.end()) {
+        emit(OpCode::ReadShared, It->second, E.Line);
+        return;
+      }
+      if (ArrayIds.count(E.Name)) {
+        fail(E.Line, "array '" + E.Name + "' needs an index");
+        return;
+      }
+      fail(E.Line, "use of undeclared variable '" + E.Name + "'");
+      return;
+    }
+    case Expr::Kind::Index: {
+      auto It = ArrayIds.find(E.Name);
+      if (It == ArrayIds.end()) {
+        fail(E.Line, "'" + E.Name + "' is not a shared array");
+        return;
+      }
+      const CompiledProgram::ArrayInfo &Info = Out.Arrays[It->second];
+      if (auto Const = constantOf(*E.Lhs)) {
+        if (*Const < 0 || *Const >= Info.Size) {
+          fail(E.Line, "constant index out of bounds");
+          return;
+        }
+        // Constant index: plain scalar access, no branch event (§4).
+        emit(OpCode::ReadShared, Info.Base + *Const, E.Line);
+        return;
+      }
+      compileExpr(*E.Lhs);
+      // Non-constant index: the address depends on data, so the access is
+      // guarded by a branch event (§4's implicit data-flow points).
+      emit(OpCode::EmitBranch, 0, E.Line);
+      emit(OpCode::ReadArray, It->second, E.Line);
+      return;
+    }
+    case Expr::Kind::Unary:
+      compileExpr(*E.Lhs);
+      emit(OpCode::Unary, static_cast<int64_t>(E.UOp), E.Line);
+      return;
+    case Expr::Kind::Binary:
+      compileExpr(*E.Lhs);
+      compileExpr(*E.Rhs);
+      emit(OpCode::Binary, static_cast<int64_t>(E.Op), E.Line);
+      return;
+    }
+    RVP_UNREACHABLE("unknown expression kind");
+  }
+
+  // ----------------------------------------------------------- statements
+  uint32_t localSlot(const std::string &Name) {
+    auto [It, Inserted] =
+        Locals.try_emplace(Name, static_cast<uint32_t>(Locals.size()));
+    (void)Inserted;
+    return It->second;
+  }
+
+  uint32_t lookupLock(const std::string &Name, uint32_t Line) {
+    auto It = LockIds.find(Name);
+    if (It == LockIds.end()) {
+      fail(Line, "use of undeclared lock '" + Name + "'");
+      return 0;
+    }
+    return It->second;
+  }
+
+  uint32_t lookupThread(const std::string &Name, uint32_t Line) {
+    auto It = ThreadIds.find(Name);
+    if (It == ThreadIds.end()) {
+      fail(Line, "use of undeclared thread '" + Name + "'");
+      return 0;
+    }
+    if (It->second == 0) {
+      fail(Line, "'main' cannot be spawned or joined");
+      return 0;
+    }
+    return It->second;
+  }
+
+  void compileBlock(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body)
+      compileStmt(*S);
+  }
+
+  void compileStmt(const Stmt &S) {
+    if (Failed)
+      return;
+    switch (S.K) {
+    case Stmt::Kind::LocalDecl: {
+      if (Locals.count(S.Name)) {
+        fail(S.Line, "redefinition of local '" + S.Name + "'");
+        return;
+      }
+      if (ScalarCell.count(S.Name) || ArrayIds.count(S.Name) ||
+          LockIds.count(S.Name) || ThreadIds.count(S.Name)) {
+        fail(S.Line, "local '" + S.Name + "' shadows a global name");
+        return;
+      }
+      uint32_t Slot = localSlot(S.Name);
+      if (S.Value)
+        compileExpr(*S.Value);
+      else
+        emit(OpCode::LoadConst, 0, S.Line);
+      emit(OpCode::StoreLocal, Slot, S.Line);
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      if (auto It = Locals.find(S.Name); It != Locals.end()) {
+        compileExpr(*S.Value);
+        emit(OpCode::StoreLocal, It->second, S.Line);
+        return;
+      }
+      if (auto It = ScalarCell.find(S.Name); It != ScalarCell.end()) {
+        compileExpr(*S.Value);
+        emit(OpCode::WriteShared, It->second, S.Line);
+        return;
+      }
+      if (ArrayIds.count(S.Name)) {
+        fail(S.Line, "array '" + S.Name + "' needs an index");
+        return;
+      }
+      fail(S.Line, "assignment to undeclared variable '" + S.Name + "'");
+      return;
+    }
+    case Stmt::Kind::ArrayAssign: {
+      auto It = ArrayIds.find(S.Name);
+      if (It == ArrayIds.end()) {
+        fail(S.Line, "'" + S.Name + "' is not a shared array");
+        return;
+      }
+      const CompiledProgram::ArrayInfo &Info = Out.Arrays[It->second];
+      if (auto Const = constantOf(*S.Index)) {
+        if (*Const < 0 || *Const >= Info.Size) {
+          fail(S.Line, "constant index out of bounds");
+          return;
+        }
+        compileExpr(*S.Value);
+        emit(OpCode::WriteShared, Info.Base + *Const, S.Line);
+        return;
+      }
+      compileExpr(*S.Value);
+      compileExpr(*S.Index);
+      emit(OpCode::EmitBranch, 0, S.Line);
+      emit(OpCode::WriteArray, It->second, S.Line);
+      return;
+    }
+    case Stmt::Kind::If: {
+      compileExpr(*S.Cond);
+      emit(OpCode::EmitBranch, 0, S.Line);
+      size_t ToElse = emit(OpCode::JumpIfZero, 0, S.Line);
+      compileBlock(S.Body);
+      if (S.ElseBody.empty()) {
+        patchTarget(ToElse);
+      } else {
+        size_t ToEnd = emit(OpCode::Jump, 0, S.Line);
+        patchTarget(ToElse);
+        compileBlock(S.ElseBody);
+        patchTarget(ToEnd);
+      }
+      return;
+    }
+    case Stmt::Kind::While: {
+      size_t LoopHead = Code->size();
+      compileExpr(*S.Cond);
+      emit(OpCode::EmitBranch, 0, S.Line);
+      size_t ToEnd = emit(OpCode::JumpIfZero, 0, S.Line);
+      compileBlock(S.Body);
+      emit(OpCode::Jump, static_cast<int64_t>(LoopHead), S.Line);
+      patchTarget(ToEnd);
+      return;
+    }
+    case Stmt::Kind::Lock:
+      emit(OpCode::Acquire, lookupLock(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Unlock:
+      emit(OpCode::Release, lookupLock(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Sync: {
+      uint32_t Lock = lookupLock(S.Name, S.Line);
+      emit(OpCode::Acquire, Lock, S.Line);
+      compileBlock(S.Body);
+      emit(OpCode::Release, Lock, S.Line);
+      return;
+    }
+    case Stmt::Kind::Spawn:
+      emit(OpCode::SpawnThread, lookupThread(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Join:
+      emit(OpCode::JoinThread, lookupThread(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Wait:
+      emit(OpCode::WaitLock, lookupLock(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Notify:
+      emit(OpCode::NotifyLock, lookupLock(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::NotifyAll:
+      emit(OpCode::NotifyAllLock, lookupLock(S.Name, S.Line), S.Line);
+      return;
+    case Stmt::Kind::Assert:
+      compileExpr(*S.Value);
+      emit(OpCode::EmitBranch, 0, S.Line);
+      emit(OpCode::AssertTrue, 0, S.Line);
+      return;
+    case Stmt::Kind::Skip:
+      return;
+    }
+    RVP_UNREACHABLE("unknown statement kind");
+  }
+
+  CompiledProgram Out;
+  std::vector<Instr> *Code = nullptr;
+  std::unordered_map<std::string, uint32_t> ScalarCell;
+  std::unordered_map<std::string, uint32_t> ArrayIds;
+  std::unordered_map<std::string, uint32_t> LockIds;
+  std::unordered_map<std::string, uint32_t> ThreadIds;
+  std::unordered_map<std::string, uint32_t> Locals;
+  bool Failed = false;
+  std::string ErrorMessage;
+};
+
+} // namespace
+
+std::optional<CompiledProgram> rvp::compileProgram(const Program &P,
+                                                   std::string &Error) {
+  return Compiler().run(P, Error);
+}
+
+std::optional<CompiledProgram> rvp::compileSource(std::string_view Source,
+                                                  std::string &Error) {
+  std::optional<Program> P = parseProgram(Source, Error);
+  if (!P)
+    return std::nullopt;
+  return compileProgram(*P, Error);
+}

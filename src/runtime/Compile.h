@@ -1,0 +1,38 @@
+//===- runtime/Compile.h - MiniRV AST -> bytecode ----------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compiles a parsed MiniRV program into the stack-machine form of
+/// Bytecode.h, resolving names (shared cells, locks, threads, per-thread
+/// locals) and placing EmitBranch instructions at every control-flow
+/// abstraction point. Array accesses with *constant* indices fold to plain
+/// scalar accesses and get no branch event, exactly mirroring the
+/// instrumentation policy of Section 4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_RUNTIME_COMPILE_H
+#define RVP_RUNTIME_COMPILE_H
+
+#include "runtime/Bytecode.h"
+
+#include <optional>
+#include <string>
+
+namespace rvp {
+
+/// Compiles \p P. On failure returns std::nullopt and fills \p Error with
+/// "line: message".
+std::optional<CompiledProgram> compileProgram(const Program &P,
+                                              std::string &Error);
+
+/// Convenience: parse + compile in one step.
+std::optional<CompiledProgram> compileSource(std::string_view Source,
+                                             std::string &Error);
+
+} // namespace rvp
+
+#endif // RVP_RUNTIME_COMPILE_H

@@ -1,0 +1,60 @@
+//===- runtime/Scheduler.cpp - Thread schedulers ----------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rvp;
+
+Scheduler::~Scheduler() = default;
+
+ThreadId RoundRobinScheduler::pick(const std::vector<ThreadId> &Runnable) {
+  assert(!Runnable.empty() && "pick() requires a runnable thread");
+  bool CurrentRunnable =
+      std::find(Runnable.begin(), Runnable.end(), Current) != Runnable.end();
+  if (CurrentRunnable && Used < Quantum) {
+    ++Used;
+    return Current;
+  }
+  // Move to the next runnable thread after Current (wrapping).
+  ThreadId Chosen = Runnable.front();
+  for (ThreadId Tid : Runnable) {
+    if (Tid > Current) {
+      Chosen = Tid;
+      break;
+    }
+  }
+  Current = Chosen;
+  Used = 1;
+  return Chosen;
+}
+
+ThreadId RandomScheduler::pick(const std::vector<ThreadId> &Runnable) {
+  assert(!Runnable.empty() && "pick() requires a runnable thread");
+  bool CurrentRunnable =
+      std::find(Runnable.begin(), Runnable.end(), Current) != Runnable.end();
+  if (CurrentRunnable && R.chance(StickyPercent, 100))
+    return Current;
+  Current = Runnable[R.below(Runnable.size())];
+  return Current;
+}
+
+ThreadId ReplayScheduler::pick(const std::vector<ThreadId> &Runnable) {
+  assert(!Runnable.empty() && "pick() requires a runnable thread");
+  if (Next < Sequence.size()) {
+    ThreadId Wanted = Sequence[Next];
+    ++Next;
+    if (std::find(Runnable.begin(), Runnable.end(), Wanted) !=
+        Runnable.end())
+      return Wanted;
+    Diverged = true;
+    return Runnable.front();
+  }
+  Diverged = true;
+  return Runnable.front();
+}

@@ -1,0 +1,92 @@
+//===- runtime/Scheduler.h - Thread schedulers -------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling policies for the MiniRV interpreter. One scheduling decision
+/// is made per *event*: the interpreter runs the chosen thread until it
+/// emits one trace event (local computation is free). Three policies:
+///
+///  * RoundRobinScheduler — deterministic, quantum-based; the default for
+///    recording reproducible traces.
+///  * RandomScheduler — seeded uniform choice with a stickiness knob;
+///    used by the property-test fuzzer to diversify recorded traces.
+///  * ReplayScheduler — follows a fixed thread sequence; used to re-execute
+///    a predicted race witness and observe the race manifest for real.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_RUNTIME_SCHEDULER_H
+#define RVP_RUNTIME_SCHEDULER_H
+
+#include "support/Random.h"
+#include "trace/Event.h"
+
+#include <vector>
+
+namespace rvp {
+
+class Scheduler {
+public:
+  virtual ~Scheduler();
+
+  /// Chooses one of \p Runnable (non-empty, sorted ascending). Returns the
+  /// chosen ThreadId (must be an element of \p Runnable).
+  virtual ThreadId pick(const std::vector<ThreadId> &Runnable) = 0;
+};
+
+/// Deterministic: stays on the current thread for \p Quantum events, then
+/// moves to the next runnable thread in id order.
+class RoundRobinScheduler : public Scheduler {
+public:
+  explicit RoundRobinScheduler(uint32_t Quantum = 1)
+      : Quantum(Quantum ? Quantum : 1) {}
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override;
+
+private:
+  uint32_t Quantum;
+  ThreadId Current = 0;
+  uint32_t Used = 0;
+};
+
+/// Seeded random choice; with probability Sticky/100 stays on the current
+/// thread when it is still runnable.
+class RandomScheduler : public Scheduler {
+public:
+  explicit RandomScheduler(uint64_t Seed, uint32_t StickyPercent = 50)
+      : R(Seed), StickyPercent(StickyPercent) {}
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override;
+
+private:
+  Rng R;
+  uint32_t StickyPercent;
+  ThreadId Current = static_cast<ThreadId>(-1);
+};
+
+/// Follows a fixed thread sequence. If the scheduled thread is not
+/// runnable (the execution diverged from the prediction), falls back to
+/// the first runnable thread and sets diverged().
+class ReplayScheduler : public Scheduler {
+public:
+  explicit ReplayScheduler(std::vector<ThreadId> Sequence)
+      : Sequence(std::move(Sequence)) {}
+
+  ThreadId pick(const std::vector<ThreadId> &Runnable) override;
+
+  bool diverged() const { return Diverged; }
+  /// Events scheduled so far (index into the sequence).
+  size_t position() const { return Next; }
+
+private:
+  std::vector<ThreadId> Sequence;
+  size_t Next = 0;
+  bool Diverged = false;
+};
+
+} // namespace rvp
+
+#endif // RVP_RUNTIME_SCHEDULER_H

@@ -1,0 +1,209 @@
+//===- smt/DiffLogic.cpp - Strict-order difference theory ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/DiffLogic.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace rvp;
+
+uint32_t OrderGraph::ensureNode(uint32_t V) {
+  auto [It, Inserted] = NodeIndex.try_emplace(
+      V, static_cast<uint32_t>(Out.size()));
+  if (Inserted) {
+    Out.emplace_back();
+    In.emplace_back();
+    // Fresh nodes get the next key; insertion in ascending event order
+    // makes program-order edges free.
+    Ord.push_back(static_cast<uint32_t>(Ord.size()));
+    ParentOf.push_back(UINT32_MAX);
+    ParentEdge.push_back(Lit());
+    Visited.push_back(0);
+  }
+  return It->second;
+}
+
+bool OrderGraph::dfsForward(uint32_t Start, uint32_t Goal,
+                            uint32_t UpperBound,
+                            std::vector<uint32_t> &Found) {
+  // Iterative DFS from Start over out-edges, restricted to nodes with
+  // Ord <= UpperBound. Returns true (cycle) if Goal is reached.
+  std::vector<uint32_t> Stack = {Start};
+  Visited[Start] = 1;
+  Touched.push_back(Start);
+  ParentOf[Start] = UINT32_MAX;
+  while (!Stack.empty()) {
+    uint32_t Node = Stack.back();
+    Stack.pop_back();
+    Found.push_back(Node);
+    for (const HalfEdge &E : Out[Node]) {
+      uint32_t Next = E.Node;
+      if (Visited[Next] || Ord[Next] > UpperBound)
+        continue;
+      Visited[Next] = 1;
+      Touched.push_back(Next);
+      ParentOf[Next] = Node;
+      ParentEdge[Next] = E.Reason;
+      if (Next == Goal)
+        return true;
+      Stack.push_back(Next);
+    }
+  }
+  return false;
+}
+
+void OrderGraph::dfsBackward(uint32_t Start, uint32_t LowerBound,
+                             std::vector<uint32_t> &Found) {
+  std::vector<uint32_t> Stack = {Start};
+  Visited[Start] = 2;
+  Touched.push_back(Start);
+  while (!Stack.empty()) {
+    uint32_t Node = Stack.back();
+    Stack.pop_back();
+    Found.push_back(Node);
+    for (const HalfEdge &E : In[Node]) {
+      uint32_t Next = E.Node;
+      if (Visited[Next] || Ord[Next] < LowerBound)
+        continue;
+      Visited[Next] = 2;
+      Touched.push_back(Next);
+      Stack.push_back(Next);
+    }
+  }
+}
+
+void OrderGraph::reorder(const std::vector<uint32_t> &Forward,
+                         const std::vector<uint32_t> &Backward) {
+  // Pearce–Kelly: the affected region is Backward ∪ Forward; reassign
+  // their keys so every Backward node precedes every Forward node while
+  // both groups keep their relative order.
+  std::vector<uint32_t> SortedBackward = Backward;
+  std::vector<uint32_t> SortedForward = Forward;
+  auto ByOrd = [this](uint32_t A, uint32_t B) { return Ord[A] < Ord[B]; };
+  std::sort(SortedBackward.begin(), SortedBackward.end(), ByOrd);
+  std::sort(SortedForward.begin(), SortedForward.end(), ByOrd);
+
+  std::vector<uint32_t> Keys;
+  Keys.reserve(SortedBackward.size() + SortedForward.size());
+  for (uint32_t Node : SortedBackward)
+    Keys.push_back(Ord[Node]);
+  for (uint32_t Node : SortedForward)
+    Keys.push_back(Ord[Node]);
+  std::sort(Keys.begin(), Keys.end());
+
+  size_t K = 0;
+  for (uint32_t Node : SortedBackward)
+    Ord[Node] = Keys[K++];
+  for (uint32_t Node : SortedForward)
+    Ord[Node] = Keys[K++];
+}
+
+bool OrderGraph::addEdge(uint32_t From, uint32_t To, Lit Reason,
+                         std::vector<Lit> &CycleReasons) {
+  uint32_t F = ensureNode(From);
+  uint32_t T = ensureNode(To);
+  if (F == T) {
+    CycleReasons.push_back(Reason);
+    return false;
+  }
+
+  if (Ord[F] >= Ord[T]) {
+    // The new edge contradicts the current order; search the affected
+    // region for a path T -> F (cycle) and otherwise repair the order.
+    std::vector<uint32_t> Forward, Backward;
+    bool Cycle = dfsForward(T, F, Ord[F], Forward);
+    if (Cycle) {
+      // Collect the path T ..-> F via parent pointers, then close the
+      // cycle with the new edge.
+      CycleReasons.push_back(Reason);
+      for (uint32_t Node = F; Node != T; Node = ParentOf[Node]) {
+        assert(ParentOf[Node] != UINT32_MAX && "broken DFS parent chain");
+        CycleReasons.push_back(ParentEdge[Node]);
+      }
+      for (uint32_t Node : Touched)
+        Visited[Node] = 0;
+      Touched.clear();
+      return false;
+    }
+    dfsBackward(F, Ord[T], Backward);
+    reorder(Forward, Backward);
+    for (uint32_t Node : Touched)
+      Visited[Node] = 0;
+    Touched.clear();
+  }
+
+  Out[F].push_back({T, Reason});
+  In[T].push_back({F, Reason});
+  EdgeStack.push_back({F, T});
+  return true;
+}
+
+void OrderGraph::popEdge() {
+  assert(!EdgeStack.empty() && "popEdge on empty stack");
+  EdgeRecord E = EdgeStack.back();
+  EdgeStack.pop_back();
+  assert(!Out[E.From].empty() && Out[E.From].back().Node == E.To &&
+         "edge stack out of sync with adjacency");
+  Out[E.From].pop_back();
+  In[E.To].pop_back();
+}
+
+uint32_t OrderGraph::positionOf(uint32_t V) const {
+  auto It = NodeIndex.find(V);
+  return It == NodeIndex.end() ? UINT32_MAX : Ord[It->second];
+}
+
+bool OrderGraph::reaches(uint32_t From, uint32_t To) const {
+  auto FIt = NodeIndex.find(From);
+  auto TIt = NodeIndex.find(To);
+  if (FIt == NodeIndex.end() || TIt == NodeIndex.end())
+    return false;
+  uint32_t Goal = TIt->second;
+  // Ord is a topological order: no path can lead to a smaller key.
+  if (Ord[FIt->second] >= Ord[Goal])
+    return false;
+  std::vector<uint8_t> Mark(Out.size(), 0);
+  std::vector<uint32_t> Stack = {FIt->second};
+  Mark[FIt->second] = 1;
+  while (!Stack.empty()) {
+    uint32_t Node = Stack.back();
+    Stack.pop_back();
+    if (Node == Goal)
+      return true;
+    for (const HalfEdge &E : Out[Node]) {
+      if (!Mark[E.Node] && Ord[E.Node] <= Ord[Goal]) {
+        Mark[E.Node] = 1;
+        Stack.push_back(E.Node);
+      }
+    }
+  }
+  return false;
+}
+
+void DiffLogicTheory::bindLit(Lit L, OrderVar From, OrderVar To) {
+  EdgeOfLit[L.X] = {From, To};
+}
+
+bool DiffLogicTheory::assertLit(Lit L, std::vector<Lit> &Conflict) {
+  auto It = EdgeOfLit.find(L.X);
+  if (It == EdgeOfLit.end())
+    return true; // Tseitin gate or unrelated literal.
+  std::vector<Lit> CycleReasons;
+  if (Graph.addEdge(It->second.From, It->second.To, L, CycleReasons))
+    return true;
+  Conflict.clear();
+  for (Lit Reason : CycleReasons)
+    Conflict.push_back(~Reason);
+  return false;
+}
+
+void DiffLogicTheory::undoLit(Lit L) {
+  if (EdgeOfLit.count(L.X))
+    Graph.popEdge();
+}

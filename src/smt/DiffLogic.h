@@ -1,0 +1,112 @@
+//===- smt/DiffLogic.h - Strict-order difference theory ---------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The theory solver behind the paper's constraint encoding. After the
+/// `Oa := Ob` substitution (Section 4) every theory atom is a strict
+/// ordering `O_u < O_v` over integer order variables, so a conjunction of
+/// asserted atoms is satisfiable iff the corresponding digraph is acyclic.
+/// We therefore maintain an *online topological order* (Pearce–Kelly):
+/// edge insertion restores the order by reshuffling only the affected
+/// region, cycle detection yields the explanation clause, and deletion
+/// under backtracking is free (a topological order of a graph remains
+/// valid for any subgraph).
+///
+/// The final topological order is also the model: it gives the reordered
+/// trace (the race witness) directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SMT_DIFFLOGIC_H
+#define RVP_SMT_DIFFLOGIC_H
+
+#include "smt/Formula.h"
+#include "smt/Sat.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace rvp {
+
+/// Incremental strict-partial-order maintenance with explanations.
+class OrderGraph {
+public:
+  /// Ensures node \p V exists and returns its dense index.
+  uint32_t ensureNode(uint32_t V);
+
+  /// Adds edge \p From < \p To justified by \p Reason. Returns true on
+  /// success. On a cycle, returns false and fills \p CycleReasons with the
+  /// justifications of every edge on the cycle (including \p Reason);
+  /// the graph is left unchanged.
+  bool addEdge(uint32_t From, uint32_t To, Lit Reason,
+               std::vector<Lit> &CycleReasons);
+
+  /// Removes the most recently added edge (stack discipline).
+  void popEdge();
+
+  uint32_t numEdges() const { return static_cast<uint32_t>(EdgeStack.size()); }
+
+  /// Topological position of node \p V; nodes may share positions only if
+  /// unordered. Valid for building witness orders after solving.
+  uint32_t positionOf(uint32_t V) const;
+
+  /// True if \p From precedes \p To in the current asserted order
+  /// (conservative: checks reachability).
+  bool reaches(uint32_t From, uint32_t To) const;
+
+private:
+  struct HalfEdge {
+    uint32_t Node; ///< target (out-list) or source (in-list)
+    Lit Reason;
+  };
+
+  bool dfsForward(uint32_t Start, uint32_t Goal, uint32_t UpperBound,
+                  std::vector<uint32_t> &Found);
+  void dfsBackward(uint32_t Start, uint32_t LowerBound,
+                   std::vector<uint32_t> &Found);
+  void reorder(const std::vector<uint32_t> &Forward,
+               const std::vector<uint32_t> &Backward);
+
+  std::unordered_map<uint32_t, uint32_t> NodeIndex;
+  std::vector<std::vector<HalfEdge>> Out, In;
+  std::vector<uint32_t> Ord;       ///< node -> topological key
+  std::vector<uint32_t> ParentOf;  ///< DFS scratch: parent node
+  std::vector<Lit> ParentEdge;     ///< DFS scratch: edge justification
+  std::vector<uint8_t> Visited;    ///< DFS scratch
+  std::vector<uint32_t> Touched;   ///< DFS scratch cleanup list
+  struct EdgeRecord {
+    uint32_t From, To;
+  };
+  std::vector<EdgeRecord> EdgeStack;
+};
+
+/// Adapts OrderGraph to the SatSolver Theory interface. The Tseitin layer
+/// registers which boolean literals denote which ordering edges.
+class DiffLogicTheory : public Theory {
+public:
+  /// Declares that asserting \p L means "order variable From < To".
+  /// The complement literal ~L is implicitly the reversed edge only if
+  /// registered separately (the Tseitin layer registers both directions).
+  void bindLit(Lit L, OrderVar From, OrderVar To);
+
+  bool assertLit(Lit L, std::vector<Lit> &Conflict) override;
+  void undoLit(Lit L) override;
+
+  OrderGraph &graph() { return Graph; }
+  const OrderGraph &graph() const { return Graph; }
+
+private:
+  struct Edge {
+    OrderVar From, To;
+  };
+  std::unordered_map<uint32_t, Edge> EdgeOfLit; // key: Lit.X
+  OrderGraph Graph;
+};
+
+} // namespace rvp
+
+#endif // RVP_SMT_DIFFLOGIC_H

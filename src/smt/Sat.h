@@ -1,0 +1,174 @@
+//===- smt/Sat.h - CDCL SAT solver with theory hook -------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver: two-watched-literal
+/// propagation, VSIDS branching with phase saving, 1UIP clause learning,
+/// and Luby restarts. A Theory client can veto assignments (DPLL(T) with
+/// lazy explanation); the difference-logic theory in DiffLogic.h plugs in
+/// here to form the integer-difference-logic solver the paper's encoding
+/// needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SMT_SAT_H
+#define RVP_SMT_SAT_H
+
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rvp {
+
+using Var = uint32_t;
+
+/// A literal in MiniSat encoding: 2*var + (negated ? 1 : 0).
+struct Lit {
+  uint32_t X = UINT32_MAX;
+
+  static Lit pos(Var V) { return {2 * V}; }
+  static Lit neg(Var V) { return {2 * V + 1}; }
+  static Lit fromInt(uint32_t Raw) { return {Raw}; }
+
+  Var var() const { return X >> 1; }
+  bool sign() const { return X & 1; } ///< true iff negated
+  Lit operator~() const { return {X ^ 1}; }
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+  bool valid() const { return X != UINT32_MAX; }
+};
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+/// Theory client interface. The solver streams literal assignments in
+/// trail order; the theory may reject one by returning false and filling
+/// \p Conflict with a clause that is false under the current assignment
+/// (the negation of an inconsistent subset of asserted literals, including
+/// the literal being asserted).
+class Theory {
+public:
+  virtual ~Theory();
+
+  /// Called for every literal the solver assigns (in trail order).
+  /// Returning false signals a theory conflict.
+  virtual bool assertLit(Lit L, std::vector<Lit> &Conflict) = 0;
+
+  /// Called for every literal the solver unassigns, in reverse trail
+  /// order; exactly matches previous successful assertLit calls.
+  virtual void undoLit(Lit L) = 0;
+};
+
+/// The CDCL solver. Usage: newVar() / addClause() any number of times,
+/// then solve(). After a Sat answer the assignment (and the theory state
+/// behind it) stays live for model queries; call backtrackToRoot() before
+/// adding more clauses, or let the next solve() reset implicitly.
+class SatSolver {
+public:
+  explicit SatSolver(Theory *TheoryClient = nullptr)
+      : TheoryClient(TheoryClient) {}
+
+  Var newVar();
+  uint32_t numVars() const { return static_cast<uint32_t>(Assigns.size()); }
+
+  /// Adds a clause; returns false if the solver is already unsatisfiable.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Decides satisfiability; Deadline limits wall-clock time (Unknown on
+  /// expiry — the paper gives each COP a fixed budget, Section 4).
+  SatResult solve(Deadline Limit = Deadline());
+
+  /// Model access; only meaningful after solve() returned Sat.
+  bool modelValue(Var V) const { return Model[V]; }
+
+  /// Undoes all decisions (required before addClause() after a solve()).
+  void backtrackToRoot() { backtrack(0); }
+
+  // Statistics (reset by solve()).
+  uint64_t numConflicts() const { return Conflicts; }
+  uint64_t numDecisions() const { return Decisions; }
+  uint64_t numPropagations() const { return Propagations; }
+
+private:
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef NoReason = UINT32_MAX;
+  /// Sentinel reason for the "theory conflict clause" path.
+  static constexpr ClauseRef TheoryLocked = UINT32_MAX - 1;
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+    double Activity = 0;
+  };
+
+  struct Watcher {
+    ClauseRef Ref;
+    Lit Blocker;
+  };
+
+  // Assignment state. Value: 0 = false, 1 = true, 2 = unassigned.
+  static constexpr uint8_t ValueUnassigned = 2;
+  uint8_t litValue(Lit L) const {
+    uint8_t V = Assigns[L.var()];
+    return V == ValueUnassigned ? ValueUnassigned : V ^ (L.sign() ? 1 : 0);
+  }
+
+  bool enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef ConflictRef, const std::vector<Lit> &TheoryConflict,
+               std::vector<Lit> &Learned, uint32_t &BacktrackLevel);
+  void backtrack(uint32_t Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void bumpClause(Clause &C);
+  void decayActivities();
+  void reduceDb();
+  ClauseRef attachClause(std::vector<Lit> Lits, bool Learned);
+  uint32_t level(Var V) const { return Levels[V]; }
+  uint32_t currentLevel() const {
+    return static_cast<uint32_t>(TrailLimits.size());
+  }
+
+  // Heap operations for VSIDS.
+  void heapInsert(Var V);
+  void heapUp(uint32_t Pos);
+  void heapDown(uint32_t Pos);
+  Var heapPop();
+  bool heapEmpty() const { return Heap.empty(); }
+
+  Theory *TheoryClient;
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit.X
+  std::vector<uint8_t> Assigns;              // per var
+  std::vector<uint8_t> Phase;                // saved phases
+  std::vector<uint32_t> Levels;              // per var
+  std::vector<ClauseRef> Reasons;            // per var
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLimits;
+  uint32_t PropagateHead = 0;
+  uint32_t TheoryHead = 0; ///< trail prefix already pushed to the theory
+
+  std::vector<double> Activity;
+  std::vector<uint32_t> HeapPos; // UINT32_MAX if not in heap
+  std::vector<Var> Heap;
+  double VarInc = 1.0;
+  double ClauseInc = 1.0;
+
+  std::vector<bool> Model;
+  bool Unsatisfiable = false;
+
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+
+  // Scratch buffers for analyze().
+  std::vector<uint8_t> Seen;
+};
+
+} // namespace rvp
+
+#endif // RVP_SMT_SAT_H

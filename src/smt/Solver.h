@@ -1,0 +1,62 @@
+//===- smt/Solver.h - Solver interface for race queries ---------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver abstraction the detectors program against. Two backends:
+///
+///  * createIdlSolver() — the in-tree CDCL(T) solver (Sat.h + DiffLogic.h),
+///    always available; the default.
+///  * createZ3Solver()  — Z3 via its C++ API, mirroring the paper's use of
+///    Z3/Yices with Integer Difference Logic; available when the build
+///    found Z3 (returns nullptr otherwise). Used for cross-validation.
+///
+/// A successful solve returns a model assigning each order variable an
+/// integer position; sorting events by position yields the reordered trace
+/// that witnesses the race (Theorem 3's construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SMT_SOLVER_H
+#define RVP_SMT_SOLVER_H
+
+#include "smt/Formula.h"
+#include "smt/Sat.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace rvp {
+
+/// Maps order variables to integer positions; only variables occurring in
+/// the solved formula are present.
+using OrderModel = std::unordered_map<OrderVar, int64_t>;
+
+class SmtSolver {
+public:
+  virtual ~SmtSolver();
+
+  /// Decides satisfiability of \p Root (built in \p FB). On Sat, fills
+  /// \p ModelOut (if non-null). Returns Unknown when \p Limit expires
+  /// first — the per-COP budget of Section 4.
+  virtual SatResult solve(const FormulaBuilder &FB, NodeRef Root,
+                          Deadline Limit, OrderModel *ModelOut) = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// The in-tree CDCL + order-theory solver.
+std::unique_ptr<SmtSolver> createIdlSolver();
+
+/// The Z3 backend; nullptr when the build has no Z3.
+std::unique_ptr<SmtSolver> createZ3Solver();
+
+/// Names a backend: "idl" or "z3". Returns nullptr for unknown/unavailable.
+std::unique_ptr<SmtSolver> createSolverByName(const std::string &Name);
+
+} // namespace rvp
+
+#endif // RVP_SMT_SOLVER_H

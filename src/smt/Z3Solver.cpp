@@ -1,0 +1,141 @@
+//===- smt/Z3Solver.cpp - Z3 backend for order formulas -------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Mirrors the paper's implementation choice (Z3/Yices via Integer
+/// Difference Logic). Only built when the toolchain provides Z3; the
+/// factory returns nullptr otherwise. Used to cross-validate the in-tree
+/// CDCL(T) solver and as an alternative backend in the benches.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#ifdef RVP_HAVE_Z3
+
+#include "support/Compiler.h"
+
+#include <z3++.h>
+
+#include <optional>
+
+using namespace rvp;
+
+namespace {
+
+class Z3Solver : public SmtSolver {
+public:
+  SatResult solve(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
+                  OrderModel *ModelOut) override {
+    // Z3 reports failures via exceptions; contain them at this boundary.
+    try {
+      return solveImpl(FB, Root, Limit, ModelOut);
+    } catch (const z3::exception &) {
+      return SatResult::Unknown;
+    }
+  }
+
+  const char *name() const override { return "z3"; }
+
+private:
+  SatResult solveImpl(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
+                      OrderModel *ModelOut) {
+    z3::context Ctx;
+    z3::solver Solver(Ctx);
+    double Remaining = Limit.remainingSeconds();
+    if (Remaining >= 0) {
+      z3::params Params(Ctx);
+      Params.set("timeout",
+                 static_cast<unsigned>(Remaining * 1000.0 + 1));
+      Solver.set(Params);
+    }
+
+    std::vector<std::optional<z3::expr>> ExprOf(FB.numNodes());
+    std::vector<OrderVar> Vars = FB.collectVars(Root);
+    std::unordered_map<OrderVar, std::optional<z3::expr>> Consts;
+    for (OrderVar V : Vars)
+      Consts.emplace(
+          V, Ctx.int_const(("O" + std::to_string(V)).c_str()));
+
+    // Post-order iterative translation.
+    std::vector<std::pair<NodeRef, bool>> Work = {{Root, false}};
+    while (!Work.empty()) {
+      auto [Ref, ChildrenDone] = Work.back();
+      Work.pop_back();
+      if (ExprOf[Ref])
+        continue;
+      const FormulaNode &N = FB.node(Ref);
+      switch (N.Kind) {
+      case FormulaKind::True:
+        ExprOf[Ref] = Ctx.bool_val(true);
+        break;
+      case FormulaKind::False:
+        ExprOf[Ref] = Ctx.bool_val(false);
+        break;
+      case FormulaKind::Atom:
+        ExprOf[Ref] = *Consts.at(N.VarA) < *Consts.at(N.VarB);
+        break;
+      case FormulaKind::BoolVar: {
+        z3::expr B =
+            Ctx.bool_const(("b" + std::to_string(N.VarA)).c_str());
+        ExprOf[Ref] = N.VarB ? !B : B;
+        break;
+      }
+      case FormulaKind::And:
+      case FormulaKind::Or: {
+        if (!ChildrenDone) {
+          Work.push_back({Ref, true});
+          for (const NodeRef *C = FB.childBegin(Ref), *E = FB.childEnd(Ref);
+               C != E; ++C)
+            if (!ExprOf[*C])
+              Work.push_back({*C, false});
+          continue;
+        }
+        z3::expr_vector Kids(Ctx);
+        for (const NodeRef *C = FB.childBegin(Ref), *E = FB.childEnd(Ref);
+             C != E; ++C)
+          Kids.push_back(*ExprOf[*C]);
+        ExprOf[Ref] = N.Kind == FormulaKind::And ? z3::mk_and(Kids)
+                                                 : z3::mk_or(Kids);
+        break;
+      }
+      }
+    }
+
+    Solver.add(*ExprOf[Root]);
+    switch (Solver.check()) {
+    case z3::unsat:
+      return SatResult::Unsat;
+    case z3::unknown:
+      return SatResult::Unknown;
+    case z3::sat:
+      break;
+    }
+
+    if (ModelOut) {
+      ModelOut->clear();
+      z3::model Model = Solver.get_model();
+      for (OrderVar V : Vars) {
+        z3::expr Value = Model.eval(*Consts.at(V), /*model_completion=*/true);
+        int64_t Numeral = 0;
+        if (Value.is_numeral_i64(Numeral))
+          (*ModelOut)[V] = Numeral;
+      }
+    }
+    return SatResult::Sat;
+  }
+};
+
+} // namespace
+
+std::unique_ptr<SmtSolver> rvp::createZ3Solver() {
+  return std::make_unique<Z3Solver>();
+}
+
+#else // !RVP_HAVE_Z3
+
+std::unique_ptr<rvp::SmtSolver> rvp::createZ3Solver() { return nullptr; }
+
+#endif

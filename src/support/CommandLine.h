@@ -1,0 +1,69 @@
+//===- support/CommandLine.h - Tiny option parser ---------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small command-line option parser used by the example and
+/// benchmark executables. Supports `--name=value` and boolean `--flag`
+/// forms, prints usage on `--help`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_COMMANDLINE_H
+#define RVP_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// Collects option definitions, parses argv, and answers typed lookups.
+class OptionParser {
+public:
+  explicit OptionParser(std::string ProgramDescription)
+      : Description(std::move(ProgramDescription)) {}
+
+  /// Registers an option; \p Default is rendered in --help output.
+  void addOption(std::string Name, std::string Help,
+                 std::string Default = "");
+
+  /// Parses argv. On `--help` prints usage and returns false; on malformed
+  /// input prints an error and returns false.
+  bool parse(int Argc, const char **Argv);
+
+  /// True if the option was present on the command line.
+  bool hasOption(const std::string &Name) const;
+
+  std::string getString(const std::string &Name,
+                        const std::string &Default = "") const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+  bool getBool(const std::string &Name, bool Default = false) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+private:
+  struct Option {
+    std::string Name;
+    std::string Help;
+    std::string Default;
+    std::string Value;
+    bool Present = false;
+  };
+
+  Option *find(const std::string &Name);
+  const Option *find(const std::string &Name) const;
+  void printHelp(const char *Argv0) const;
+
+  std::string Description;
+  std::vector<Option> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace rvp
+
+#endif // RVP_SUPPORT_COMMANDLINE_H

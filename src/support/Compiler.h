@@ -1,0 +1,38 @@
+//===- support/Compiler.h - Compiler abstraction helpers --------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability and diagnostics macros shared by every library in the
+/// project. Nothing here depends on any other project header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_COMPILER_H
+#define RVP_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached. Prints the message
+/// and aborts in all build modes; control never returns.
+[[noreturn]] inline void rvpUnreachableInternal(const char *Msg,
+                                                const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+#define RVP_UNREACHABLE(msg) rvpUnreachableInternal(msg, __FILE__, __LINE__)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RVP_LIKELY(x) __builtin_expect(!!(x), 1)
+#define RVP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define RVP_LIKELY(x) (x)
+#define RVP_UNLIKELY(x) (x)
+#endif
+
+#endif // RVP_SUPPORT_COMPILER_H

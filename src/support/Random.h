@@ -1,0 +1,90 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via splitmix64).
+/// All randomized components of the project (schedulers, workload
+/// generators, fuzzers) use this generator so that every run is reproducible
+/// from a 64-bit seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_RANDOM_H
+#define RVP_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rvp {
+
+/// splitmix64 step; used to expand a user seed into xoshiro state.
+inline uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Deterministic xoshiro256** generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eed5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the generator from a 64-bit seed.
+  void reseed(uint64_t Seed) {
+    for (auto &Word : State)
+      Word = splitMix64(Seed);
+  }
+
+  /// Returns the next 64 uniformly random bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly random value in [0, Bound). \p Bound must be > 0.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "below() requires a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = -Bound % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniformly random value in [Lo, Hi] (inclusive).
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "range() requires Lo <= Hi");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den > 0 && Num <= Den && "chance() requires Num <= Den, Den > 0");
+    return below(Den) < Num;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace rvp
+
+#endif // RVP_SUPPORT_RANDOM_H

@@ -1,0 +1,45 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal string utilities shared by the trace serializer, the MiniRV
+/// lexer, and the command-line front ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_STRINGUTILS_H
+#define RVP_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rvp {
+
+/// Splits \p Text on \p Sep; empty fields are kept.
+std::vector<std::string_view> split(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+/// Parses a signed 64-bit decimal integer. Returns false on any malformed
+/// input (empty, overflow, trailing junk).
+bool parseInt(std::string_view Text, int64_t &Out);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace rvp
+
+#endif // RVP_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,72 @@
+//===- trace/Consistency.h - Sequential-consistency checking ----*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the trace consistency requirements of Section 2.2:
+///
+///  * Read consistency: every read returns the value of the most recent
+///    write to the same variable (variables start at 0).
+///  * Lock mutual exclusion: per lock, acquires and releases alternate and
+///    each pair shares a thread.
+///  * Must happen-before: begin is the first event of its thread and is
+///    preceded by its fork; end is the last; join follows the joined
+///    thread's end; a matched notify falls between the lowered
+///    release/acquire of its wait.
+///
+/// Two modes: Strict validates a complete execution; Fragment tolerates
+/// truncation artifacts (missing begin/fork, locks held at trace end, a
+/// join without the end in view), as produced by windowing or by witness
+/// prefixes, which Theorem 1 permits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_TRACE_CONSISTENCY_H
+#define RVP_TRACE_CONSISTENCY_H
+
+#include "trace/Trace.h"
+
+#include <string>
+
+namespace rvp {
+
+enum class ConsistencyMode {
+  Strict,   ///< Complete executions recorded from start.
+  Fragment, ///< Windows and reordered prefixes (incomplete traces).
+};
+
+/// Result of a consistency check; Ok is true iff the trace satisfies all
+/// serial specifications. On failure, Offender identifies the first
+/// violating event and Message explains the violation.
+struct ConsistencyResult {
+  bool Ok = true;
+  EventId Offender = InvalidEvent;
+  std::string Message;
+
+  static ConsistencyResult failure(EventId Id, std::string Msg) {
+    return {false, Id, std::move(Msg)};
+  }
+};
+
+/// Checks a sequence of events given by ids \p Order into \p T. The
+/// sequence need not be a permutation of the whole trace (prefixes and
+/// windows are sequences too).
+ConsistencyResult checkConsistency(const Trace &T,
+                                   const std::vector<EventId> &Order,
+                                   ConsistencyMode Mode);
+
+/// Checks the trace in its recorded order.
+ConsistencyResult checkConsistency(const Trace &T, ConsistencyMode Mode);
+
+/// Read consistency only, ignoring read values for events in
+/// \p DataAbstract (their values are allowed to differ, as in data-abstract
+/// equivalence, Section 2.3). Pass an empty set to check all reads.
+ConsistencyResult
+checkReadConsistency(const Trace &T, const std::vector<EventId> &Order,
+                     const std::vector<bool> &DataAbstract);
+
+} // namespace rvp
+
+#endif // RVP_TRACE_CONSISTENCY_H

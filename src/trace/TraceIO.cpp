@@ -1,0 +1,159 @@
+//===- trace/TraceIO.cpp - Trace text serialization ------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace rvp;
+
+std::string rvp::writeTraceText(const Trace &T, Span S) {
+  std::string Out = "# rvp-trace v1\n";
+  for (EventId Id = S.Begin; Id < S.End && Id < T.size(); ++Id) {
+    const Event &E = T[Id];
+    Out += eventKindName(E.Kind);
+    Out += ' ';
+    Out += T.threadName(E.Tid);
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write:
+      Out += ' ' + T.varName(E.Target) + ' ' + std::to_string(E.Data);
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+    case EventKind::Notify:
+      Out += ' ' + T.lockName(E.Target);
+      break;
+    case EventKind::Fork:
+    case EventKind::Join:
+      Out += ' ' + T.threadName(E.Target);
+      break;
+    case EventKind::Begin:
+    case EventKind::End:
+    case EventKind::Branch:
+      break;
+    case EventKind::Wait:
+      RVP_UNREACHABLE("unlowered wait event in trace");
+    }
+    if (E.Loc != UnknownLoc)
+      Out += " @" + T.locName(E.Loc);
+    if (E.Volatile)
+      Out += " volatile";
+    if (E.Aux != 0)
+      Out += " match=" + std::to_string(E.Aux);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string rvp::writeTraceText(const Trace &T) {
+  return writeTraceText(T, T.fullSpan());
+}
+
+namespace {
+
+struct LineParser {
+  Trace T;
+  std::string Error;
+
+  bool fail(size_t LineNo, const std::string &Msg) {
+    Error = formatString("line %zu: %s", LineNo, Msg.c_str());
+    return false;
+  }
+
+  bool parseLine(size_t LineNo, std::string_view Line) {
+    std::vector<std::string_view> Fields;
+    for (std::string_view Field : split(Line, ' '))
+      if (!Field.empty())
+        Fields.push_back(Field);
+    if (Fields.empty())
+      return true;
+
+    // Trailing modifiers: @loc, volatile, match=N.
+    Event E;
+    std::string Loc;
+    size_t NumCore = Fields.size();
+    while (NumCore > 0) {
+      std::string_view Last = Fields[NumCore - 1];
+      if (Last == "volatile") {
+        E.Volatile = true;
+      } else if (startsWith(Last, "@")) {
+        Loc = std::string(Last.substr(1));
+      } else if (startsWith(Last, "match=")) {
+        int64_t Match = 0;
+        if (!parseInt(Last.substr(6), Match) || Match < 0)
+          return fail(LineNo, "malformed match id");
+        E.Aux = static_cast<uint32_t>(Match);
+      } else {
+        break;
+      }
+      --NumCore;
+    }
+    if (NumCore < 2)
+      return fail(LineNo, "expected '<kind> <thread> ...'");
+
+    std::string Kind(Fields[0]);
+    E.Tid = T.internThread(std::string(Fields[1]));
+    E.Loc = Loc.empty() ? UnknownLoc : T.internLoc(Loc);
+
+    auto needFields = [&](size_t N) { return NumCore == N; };
+
+    if (Kind == "read" || Kind == "write") {
+      if (!needFields(4))
+        return fail(LineNo, "expected '" + Kind + " <thread> <var> <value>'");
+      E.Kind = Kind == "read" ? EventKind::Read : EventKind::Write;
+      E.Target = T.internVar(std::string(Fields[2]));
+      int64_t V = 0;
+      if (!parseInt(Fields[3], V))
+        return fail(LineNo, "malformed value");
+      E.Data = V;
+    } else if (Kind == "acquire" || Kind == "release" || Kind == "notify") {
+      if (!needFields(3))
+        return fail(LineNo, "expected '" + Kind + " <thread> <lock>'");
+      E.Kind = Kind == "acquire"  ? EventKind::Acquire
+               : Kind == "release" ? EventKind::Release
+                                   : EventKind::Notify;
+      E.Target = T.internLock(std::string(Fields[2]));
+    } else if (Kind == "fork" || Kind == "join") {
+      if (!needFields(3))
+        return fail(LineNo, "expected '" + Kind + " <thread> <child>'");
+      E.Kind = Kind == "fork" ? EventKind::Fork : EventKind::Join;
+      E.Target = T.internThread(std::string(Fields[2]));
+    } else if (Kind == "begin" || Kind == "end" || Kind == "branch") {
+      if (!needFields(2))
+        return fail(LineNo, "expected '" + Kind + " <thread>'");
+      E.Kind = Kind == "begin" ? EventKind::Begin
+               : Kind == "end" ? EventKind::End
+                               : EventKind::Branch;
+    } else {
+      return fail(LineNo, "unknown event kind '" + Kind + "'");
+    }
+
+    T.append(E);
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Trace> rvp::parseTraceText(std::string_view Text,
+                                         std::string &Error) {
+  LineParser P;
+  size_t LineNo = 0;
+  for (std::string_view Line : split(Text, '\n')) {
+    ++LineNo;
+    Line = trim(Line);
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    if (!P.parseLine(LineNo, Line)) {
+      Error = P.Error;
+      return std::nullopt;
+    }
+  }
+  P.T.finalize();
+  return std::move(P.T);
+}

@@ -1,0 +1,48 @@
+//===- trace/TraceIO.h - Trace text serialization ---------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for traces, used by the examples, the
+/// figure-reproduction harness, and golden tests. One event per line:
+///
+///   read    <thread> <var> <value> [@<loc>] [volatile]
+///   write   <thread> <var> <value> [@<loc>] [volatile]
+///   acquire <thread> <lock> [@<loc>] [match=<n>]
+///   release <thread> <lock> [@<loc>] [match=<n>]
+///   notify  <thread> <lock> [@<loc>] [match=<n>]
+///   fork    <thread> <child> [@<loc>]
+///   join    <thread> <child> [@<loc>]
+///   begin   <thread> [@<loc>]
+///   end     <thread> [@<loc>]
+///   branch  <thread> [@<loc>]
+///
+/// Blank lines and lines starting with '#' are ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_TRACE_TRACEIO_H
+#define RVP_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <optional>
+#include <string>
+
+namespace rvp {
+
+/// Serializes \p T (or the \p S sub-range) to the text format.
+std::string writeTraceText(const Trace &T, Span S);
+std::string writeTraceText(const Trace &T);
+
+/// Parses the text format. On success returns a finalized trace; on failure
+/// returns std::nullopt and stores a diagnostic in \p Error
+/// ("line N: message").
+std::optional<Trace> parseTraceText(std::string_view Text,
+                                    std::string &Error);
+
+} // namespace rvp
+
+#endif // RVP_TRACE_TRACEIO_H

@@ -1,0 +1,43 @@
+//===- trace/Window.h - Fixed-size trace windowing --------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a long trace into fixed-size windows (Section 4, "Handling long
+/// traces"). Each window is analyzed independently; races across window
+/// boundaries are not reported, which does not affect soundness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_TRACE_WINDOW_H
+#define RVP_TRACE_WINDOW_H
+
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace rvp {
+
+/// The paper's default window size.
+constexpr uint32_t DefaultWindowSize = 10000;
+
+/// Returns consecutive spans of at most \p Size events covering the trace.
+/// \p Size == 0 means a single window over the whole trace.
+inline std::vector<Span> splitWindows(const Trace &T, uint32_t Size) {
+  std::vector<Span> Windows;
+  EventId Total = static_cast<EventId>(T.size());
+  if (Size == 0) {
+    if (Total > 0)
+      Windows.push_back({0, Total});
+    return Windows;
+  }
+  for (EventId Begin = 0; Begin < Total; Begin += Size)
+    Windows.push_back({Begin, std::min<EventId>(Begin + Size, Total)});
+  return Windows;
+}
+
+} // namespace rvp
+
+#endif // RVP_TRACE_WINDOW_H

@@ -1,0 +1,81 @@
+//===- workloads/Catalog.cpp - Table 1 benchmark catalog --------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Catalog.h"
+
+#include "runtime/Interpreter.h"
+#include "workloads/Programs.h"
+
+using namespace rvp;
+
+std::vector<BenchmarkCase> rvp::table1Benchmarks() {
+  std::vector<BenchmarkCase> Cases;
+
+  auto addProgram = [&](const std::string &Name, const std::string &Group,
+                        std::string Source, uint64_t Seed) {
+    BenchmarkCase Case;
+    Case.Name = Name;
+    Case.Group = Group;
+    Case.CaseKind = BenchmarkCase::Kind::Program;
+    Case.Source = std::move(Source);
+    Case.ScheduleSeed = Seed;
+    Cases.push_back(std::move(Case));
+  };
+
+  // Row 1: the example of Figure 1.
+  addProgram("example", "example", figure1Program(), 7);
+
+  // IBM-Contest-style small benchmarks.
+  addProgram("critical", "contest", criticalProgram(), 11);
+  addProgram("account", "contest", accountProgram(), 12);
+  addProgram("airline", "contest", airlineProgram(5), 13);
+  addProgram("pingpong", "contest", pingpongProgram(3), 14);
+  addProgram("bbuffer", "contest", boundedBufferProgram(6), 15);
+  addProgram("bubblesort", "contest", bubblesortProgram(), 16);
+  addProgram("bufwriter", "contest", bufwriterProgram(4), 17);
+  addProgram("mergesort", "contest", mergesortProgram(), 18);
+
+  // Java-Grande-style kernels.
+  addProgram("moldyn", "grande", moldynProgram(8, 3), 21);
+  addProgram("montecarlo", "grande", montecarloProgram(8), 22);
+  addProgram("raytracer", "grande", raytracerProgram(8), 23);
+
+  // Synthetic real-system workloads.
+  for (const SyntheticSpec &Spec : realSystemSpecs()) {
+    BenchmarkCase Case;
+    Case.Name = Spec.Name;
+    Case.Group = "real";
+    Case.CaseKind = BenchmarkCase::Kind::Synthetic;
+    Case.Spec = Spec;
+    Cases.push_back(std::move(Case));
+  }
+
+  return Cases;
+}
+
+std::optional<BenchmarkCase> rvp::findBenchmark(const std::string &Name) {
+  for (BenchmarkCase &Case : table1Benchmarks())
+    if (Case.Name == Name)
+      return std::move(Case);
+  return std::nullopt;
+}
+
+bool rvp::benchmarkTrace(const BenchmarkCase &Case, Trace &T,
+                         std::string &Error) {
+  if (Case.CaseKind == BenchmarkCase::Kind::Synthetic) {
+    T = generateSynthetic(Case.Spec);
+    return true;
+  }
+  RandomScheduler Scheduler(Case.ScheduleSeed, /*StickyPercent=*/60);
+  RunResult Result;
+  if (!recordTrace(Case.Source, T, Result, Error, &Scheduler))
+    return false;
+  if (Result.Deadlocked) {
+    Error = "benchmark execution deadlocked";
+    return false;
+  }
+  return true;
+}

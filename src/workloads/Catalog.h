@@ -1,0 +1,50 @@
+//===- workloads/Catalog.h - Table 1 benchmark catalog -----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark rows of Table 1: the Figure 1 example, the
+/// IBM-Contest-style set, the Java-Grande-style set, and the seven
+/// synthetic real-system workloads, each resolvable to a recorded trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_WORKLOADS_CATALOG_H
+#define RVP_WORKLOADS_CATALOG_H
+
+#include "trace/Trace.h"
+#include "workloads/Synthetic.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+struct BenchmarkCase {
+  enum class Kind : uint8_t { Program, Synthetic };
+
+  std::string Name;
+  std::string Group; ///< "example", "contest", "grande", "real"
+  Kind CaseKind = Kind::Program;
+  std::string Source;         ///< MiniRV source (Kind::Program)
+  SyntheticSpec Spec;         ///< generator spec (Kind::Synthetic)
+  uint64_t ScheduleSeed = 7;  ///< recording schedule for programs
+};
+
+/// All rows of Table 1, in the paper's order.
+std::vector<BenchmarkCase> table1Benchmarks();
+
+/// Looks a row up by name; std::nullopt when unknown.
+std::optional<BenchmarkCase> findBenchmark(const std::string &Name);
+
+/// Produces the recorded trace for a row (runs the program under a seeded
+/// random scheduler, or invokes the synthetic generator). Returns false
+/// and fills \p Error if the program fails to compile or run.
+bool benchmarkTrace(const BenchmarkCase &Case, Trace &T, std::string &Error);
+
+} // namespace rvp
+
+#endif // RVP_WORKLOADS_CATALOG_H

@@ -1,0 +1,182 @@
+//===- workloads/Fuzzer.cpp - Random MiniRV program generator ---------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Fuzzer.h"
+
+#include "support/Random.h"
+#include "support/StringUtils.h"
+
+using namespace rvp;
+
+namespace {
+
+class ProgramFuzzer {
+public:
+  ProgramFuzzer(uint64_t Seed, const FuzzConfig &Config)
+      : R(Seed), Config(Config) {}
+
+  std::string run() {
+    NumThreads = 1 + static_cast<uint32_t>(R.below(Config.MaxThreads));
+    NumVars = 1 + static_cast<uint32_t>(R.below(Config.MaxVars));
+    NumArrays = static_cast<uint32_t>(R.below(Config.MaxArrays + 1));
+    NumLocks = static_cast<uint32_t>(R.below(Config.MaxLocks + 1));
+    bool Handshake = Config.UseWaitNotify && R.chance(1, 4);
+
+    std::string Out;
+    for (uint32_t I = 0; I < NumVars; ++I) {
+      bool Volatile = Config.UseVolatile && R.chance(1, 6);
+      Out += formatString("shared %sv%u;\n", Volatile ? "volatile " : "", I);
+    }
+    for (uint32_t I = 0; I < NumArrays; ++I)
+      Out += formatString("shared arr%u[4];\n", I);
+    for (uint32_t I = 0; I < NumLocks; ++I)
+      Out += formatString("lock m%u;\n", I);
+
+    for (uint32_t T = 0; T < NumThreads; ++T) {
+      Out += formatString("thread t%u {\n", T);
+      Out += body(2 + R.below(Config.MaxStmtsPerThread), 1);
+      Out += "}\n";
+    }
+
+    if (Handshake) {
+      // A deadlock-free wait/notify handshake: the waiter re-checks the
+      // flag under the lock, so a notify that arrives first is never
+      // lost. Exercises the lowered release-notify-acquire encoding.
+      Out += "shared hsFlag; lock hsLock;\n";
+      Out += "thread hsWaiter {\n"
+             "  sync hsLock { while (hsFlag == 0) { wait hsLock; } }\n"
+             "  v0 = v0 + 1;\n"
+             "}\n";
+      Out += "thread hsSignaler {\n";
+      Out += body(1 + R.below(3), 1);
+      Out += "  sync hsLock { hsFlag = 1; notifyall hsLock; }\n"
+             "}\n";
+    }
+
+    Out += "main {\n";
+    for (uint32_t T = 0; T < NumThreads; ++T)
+      Out += formatString("  spawn t%u;\n", T);
+    if (Handshake)
+      Out += "  spawn hsWaiter;\n  spawn hsSignaler;\n";
+    Out += body(1 + R.below(Config.MaxStmtsPerThread / 2), 1);
+    for (uint32_t T = 0; T < NumThreads; ++T)
+      Out += formatString("  join t%u;\n", T);
+    if (Handshake)
+      Out += "  join hsWaiter;\n  join hsSignaler;\n";
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  std::string indent(uint32_t Depth) { return std::string(2 * Depth, ' '); }
+
+  /// A random side-effect-free expression over shared state and constants.
+  std::string expr(uint32_t Depth) {
+    if (Depth == 0 || R.chance(1, 2)) {
+      switch (R.below(3)) {
+      case 0:
+        return std::to_string(R.below(4));
+      case 1:
+        return formatString("v%u", static_cast<uint32_t>(R.below(NumVars)));
+      default:
+        if (NumArrays > 0)
+          return formatString("arr%u[%u]",
+                              static_cast<uint32_t>(R.below(NumArrays)),
+                              static_cast<uint32_t>(R.below(4)));
+        return formatString("v%u", static_cast<uint32_t>(R.below(NumVars)));
+      }
+    }
+    static const char *Ops[] = {"+", "-", "*", "==", "!=", "<", "<="};
+    return formatString("(%s %s %s)", expr(Depth - 1).c_str(),
+                        Ops[R.below(7)], expr(Depth - 1).c_str());
+  }
+
+  std::string stmt(uint32_t Depth) {
+    std::string Pad = indent(Depth);
+    switch (R.below(10)) {
+    case 0:
+    case 1:
+    case 2: // shared scalar write
+      return Pad + formatString("v%u = %s;\n",
+                                static_cast<uint32_t>(R.below(NumVars)),
+                                expr(1).c_str());
+    case 3: // array write (index may be dynamic -> implicit branch)
+      if (NumArrays > 0)
+        return Pad +
+               formatString("arr%u[%s %% 4] = %s;\n",
+                            static_cast<uint32_t>(R.below(NumArrays)),
+                            expr(0).c_str(), expr(1).c_str());
+      return Pad + formatString("v%u = %s;\n",
+                                static_cast<uint32_t>(R.below(NumVars)),
+                                expr(1).c_str());
+    case 4: { // bounded loop over a fresh local
+      std::string Counter = formatString("i%u", LocalCounter++);
+      uint32_t Bound = 1 + static_cast<uint32_t>(R.below(Config.MaxLoopIters));
+      std::string Out =
+          Pad + formatString("local %s = 0;\n", Counter.c_str());
+      Out += Pad + formatString("while (%s < %u) {\n", Counter.c_str(),
+                                Bound);
+      Out += stmt(Depth + 1);
+      Out += indent(Depth + 1) +
+             formatString("%s = %s + 1;\n", Counter.c_str(),
+                          Counter.c_str());
+      Out += Pad + "}\n";
+      return Out;
+    }
+    case 5: { // conditional
+      std::string Out =
+          Pad + formatString("if (%s) {\n", expr(1).c_str());
+      Out += stmt(Depth + 1);
+      if (R.chance(1, 2)) {
+        Out += Pad + "} else {\n";
+        Out += stmt(Depth + 1);
+      }
+      Out += Pad + "}\n";
+      return Out;
+    }
+    case 6: // synchronized block
+      if (NumLocks > 0) {
+        std::string Out =
+            Pad + formatString("sync m%u {\n",
+                               static_cast<uint32_t>(R.below(NumLocks)));
+        Out += stmt(Depth + 1);
+        Out += Pad + "}\n";
+        return Out;
+      }
+      [[fallthrough]];
+    case 7: { // local snapshot of shared state
+      std::string Name = formatString("s%u", LocalCounter++);
+      return Pad + formatString("local %s = %s;\n", Name.c_str(),
+                                expr(1).c_str());
+    }
+    case 8: // read-and-increment
+      {
+        uint32_t V = static_cast<uint32_t>(R.below(NumVars));
+        return Pad + formatString("v%u = v%u + 1;\n", V, V);
+      }
+    default:
+      return Pad + "skip;\n";
+    }
+  }
+
+  std::string body(uint64_t Count, uint32_t Depth) {
+    std::string Out;
+    for (uint64_t I = 0; I < Count; ++I)
+      Out += stmt(Depth);
+    return Out;
+  }
+
+  Rng R;
+  FuzzConfig Config;
+  uint32_t NumThreads = 1, NumVars = 1, NumArrays = 0, NumLocks = 0;
+  uint32_t LocalCounter = 0;
+};
+
+} // namespace
+
+std::string rvp::fuzzProgram(uint64_t Seed, const FuzzConfig &Config) {
+  return ProgramFuzzer(Seed, Config).run();
+}

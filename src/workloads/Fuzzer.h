@@ -1,0 +1,43 @@
+//===- workloads/Fuzzer.h - Random MiniRV program generator ------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates random, always-terminating MiniRV programs for the property
+/// test suite: the detectors are run on traces of these programs and their
+/// containment invariants (HB ⊆ CP ⊆ RV, Said ⊆ RV), witness validity,
+/// and solver-backend agreement are asserted for every seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_WORKLOADS_FUZZER_H
+#define RVP_WORKLOADS_FUZZER_H
+
+#include <cstdint>
+#include <string>
+
+namespace rvp {
+
+struct FuzzConfig {
+  uint32_t MaxThreads = 3;   ///< worker threads besides main
+  uint32_t MaxVars = 3;      ///< shared scalars
+  uint32_t MaxArrays = 1;    ///< shared arrays (size 4)
+  uint32_t MaxLocks = 2;
+  uint32_t MaxStmtsPerThread = 8;
+  uint32_t MaxLoopIters = 3; ///< loops count up to this bound
+  bool UseVolatile = true;
+  /// Occasionally append a deadlock-free wait/notify handshake pair.
+  bool UseWaitNotify = true;
+};
+
+/// Produces the source of a random program for \p Seed. The program
+/// always terminates (loops are bounded by local counters) and never
+/// deadlocks (locks are only taken via `sync` blocks, one at a time).
+std::string fuzzProgram(uint64_t Seed,
+                        const FuzzConfig &Config = FuzzConfig());
+
+} // namespace rvp
+
+#endif // RVP_WORKLOADS_FUZZER_H

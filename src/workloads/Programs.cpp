@@ -1,0 +1,369 @@
+//===- workloads/Programs.cpp - MiniRV benchmark programs -------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Programs.h"
+
+#include "support/StringUtils.h"
+
+using namespace rvp;
+
+std::string rvp::figure1Program() {
+  return R"(
+// Figure 1 of the paper. The race is between `x = 1` (t1) and `r2 = x`
+// (t2); the authentication of z at the end depends on it.
+shared x; shared y; shared z;
+lock l;
+thread t2 {
+  local r1; local r2;
+  sync l { r1 = y; }
+  r2 = x;
+  if (r1 == r2) { z = 1; }
+}
+main {
+  spawn t2;
+  sync l { x = 1; y = 1; }
+  join t2;
+  local r3 = z;
+  assert r3 != 0;
+}
+)";
+}
+
+std::string rvp::criticalProgram() {
+  return R"(
+// IBM-Contest-style "critical": a lost update because t1 skips the lock.
+shared c; lock l;
+thread t1 { local tmp = c; c = tmp + 1; }
+thread t2 { sync l { local tmp = c; c = tmp + 1; } }
+main {
+  spawn t1; spawn t2;
+  join t1; join t2;
+  assert c >= 1;
+}
+)";
+}
+
+std::string rvp::accountProgram() {
+  return R"(
+// IBM-Contest-style "account": the deposit forgets the lock.
+shared balance = 100; lock l;
+thread depositor { local b = balance; balance = b + 50; }
+thread withdrawer { sync l { local b = balance; balance = b - 30; } }
+main {
+  spawn depositor; spawn withdrawer;
+  join depositor; join withdrawer;
+  assert balance >= 70;
+}
+)";
+}
+
+std::string rvp::airlineProgram(int Tickets) {
+  return formatString(R"(
+// IBM-Contest-style "airline": agents check availability outside the lock.
+shared tickets = %d; shared sold; lock l;
+thread agent1 {
+  local stop = 0;
+  while (stop == 0) {
+    local t = tickets;
+    if (t > 0) { sync l { tickets = tickets - 1; sold = sold + 1; } }
+    else { stop = 1; }
+  }
+}
+thread agent2 {
+  local stop = 0;
+  while (stop == 0) {
+    local t = tickets;
+    if (t > 0) { sync l { tickets = tickets - 1; sold = sold + 1; } }
+    else { stop = 1; }
+  }
+}
+main {
+  spawn agent1; spawn agent2;
+  join agent1; join agent2;
+  assert sold >= %d;
+}
+)",
+                      Tickets, Tickets);
+}
+
+std::string rvp::pingpongProgram(int Rounds) {
+  return formatString(R"(
+// IBM-Contest-style "pingpong": an unprotected shared counter.
+shared ball;
+thread ping {
+  local i = 0;
+  while (i < %d) { local b = ball; ball = b + 1; i = i + 1; }
+}
+thread pong {
+  local i = 0;
+  while (i < %d) { local b = ball; ball = b + 1; i = i + 1; }
+}
+main { spawn ping; spawn pong; join ping; join pong; }
+)",
+                      Rounds, Rounds);
+}
+
+std::string rvp::boundedBufferProgram(int Items) {
+  return formatString(R"(
+// IBM-Contest-style "boundedbuffer": a correct wait/notify circular
+// buffer, plus one racy progress peek in main.
+shared buf[4]; shared count; shared head; shared tail;
+shared produced; lock m;
+thread producer {
+  local i = 0;
+  while (i < %d) {
+    sync m {
+      while (count == 4) { wait m; }
+      buf[tail] = i;
+      tail = (tail + 1) %% 4;
+      count = count + 1;
+      notifyall m;
+    }
+    i = i + 1;
+  }
+  produced = 1;
+}
+thread consumer {
+  local j = 0; local v;
+  while (j < %d) {
+    sync m {
+      while (count == 0) { wait m; }
+      v = buf[head];
+      head = (head + 1) %% 4;
+      count = count - 1;
+      notifyall m;
+    }
+    j = j + 1;
+  }
+}
+main {
+  spawn producer; spawn consumer;
+  local peek = produced;
+  join producer; join consumer;
+  assert count == 0;
+}
+)",
+                      Items, Items);
+}
+
+std::string rvp::bubblesortProgram() {
+  return R"(
+// IBM-Contest-style "bubblesort": sorting passes over overlapping
+// segments; the overlap region races.
+shared a[6]; lock l;
+thread left {
+  local i = 0;
+  while (i < 3) {
+    local x = a[i]; local y = a[i + 1];
+    if (x > y) { a[i] = y; a[i + 1] = x; }
+    i = i + 1;
+  }
+}
+thread right {
+  local i = 2;
+  while (i < 5) {
+    local x = a[i]; local y = a[i + 1];
+    if (x > y) { a[i] = y; a[i + 1] = x; }
+    i = i + 1;
+  }
+}
+main {
+  a[0] = 5; a[1] = 4; a[2] = 3; a[3] = 2; a[4] = 1; a[5] = 0;
+  spawn left; spawn right;
+  join left; join right;
+}
+)";
+}
+
+std::string rvp::bufwriterProgram(int Writes) {
+  return formatString(R"(
+// IBM-Contest-style "bufwriter": appends are locked, but the flusher
+// peeks the length and the last element without the lock.
+shared data[8]; shared len; lock l;
+thread writer1 {
+  local i = 0;
+  while (i < %d) {
+    sync l { data[len] = i; len = len + 1; }
+    i = i + 1;
+  }
+}
+thread writer2 {
+  local i = 0;
+  while (i < %d) {
+    sync l { data[len] = i + 100; len = len + 1; }
+    i = i + 1;
+  }
+}
+thread flusher {
+  local n = len;
+  if (n > 0) { local last = data[n - 1]; assert last >= 0; }
+}
+main {
+  spawn writer1; spawn writer2; spawn flusher;
+  join writer1; join writer2; join flusher;
+  assert len >= 0;
+}
+)",
+                      Writes, Writes);
+}
+
+std::string rvp::mergesortProgram() {
+  return R"(
+// IBM-Contest-style "mergesort": disjoint halves + a fork/join-ordered
+// merge. Fully synchronized: no races.
+shared a[8]; shared b[8]; lock l;
+thread sortLeft {
+  local i = 0;
+  while (i < 3) {
+    local j = 0;
+    while (j < 3 - i) {
+      local x = a[j]; local y = a[j + 1];
+      if (x > y) { a[j] = y; a[j + 1] = x; }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+thread sortRight {
+  local i = 0;
+  while (i < 3) {
+    local j = 4;
+    while (j < 7 - i) {
+      local x = a[j]; local y = a[j + 1];
+      if (x > y) { a[j] = y; a[j + 1] = x; }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+}
+main {
+  a[0] = 7; a[1] = 3; a[2] = 5; a[3] = 1;
+  a[4] = 6; a[5] = 2; a[6] = 4; a[7] = 0;
+  spawn sortLeft; spawn sortRight;
+  join sortLeft; join sortRight;
+  local i = 0; local j = 4; local k = 0;
+  while (k < 8) {
+    local takeLeft = 0;
+    if (i < 4) {
+      if (j >= 8) { takeLeft = 1; }
+      else { if (a[i] <= a[j]) { takeLeft = 1; } }
+    }
+    if (takeLeft == 1) { b[k] = a[i]; i = i + 1; }
+    else { b[k] = a[j]; j = j + 1; }
+    k = k + 1;
+  }
+  assert b[0] <= b[7];
+}
+)";
+}
+
+std::string rvp::moldynProgram(int Particles, int Steps) {
+  return formatString(R"(
+// Java-Grande-style "moldyn": two workers update disjoint particle
+// ranges, accumulate energy under a lock, and bump a racy step counter.
+shared pos[%d]; shared vel[%d]; shared energy; shared steps; lock l;
+thread worker1 {
+  local s = 0;
+  while (s < %d) {
+    local i = 0;
+    while (i < %d) {
+      local p = pos[i]; local v = vel[i];
+      pos[i] = p + v; vel[i] = v + 1;
+      sync l { energy = energy + p * p; }
+      i = i + 1;
+    }
+    steps = steps + 1;
+    s = s + 1;
+  }
+}
+thread worker2 {
+  local s = 0;
+  while (s < %d) {
+    local i = %d;
+    while (i < %d) {
+      local p = pos[i]; local v = vel[i];
+      pos[i] = p + v; vel[i] = v + 1;
+      sync l { energy = energy + p * p; }
+      i = i + 1;
+    }
+    steps = steps + 1;
+    s = s + 1;
+  }
+}
+main {
+  spawn worker1; spawn worker2;
+  join worker1; join worker2;
+  assert steps >= 1;
+}
+)",
+                      Particles, Particles, Steps, Particles / 2, Steps,
+                      Particles / 2, Particles);
+}
+
+std::string rvp::montecarloProgram(int Tasks) {
+  return formatString(R"(
+// Java-Grande-style "montecarlo": disjoint result slots, racy aggregate.
+shared results[%d]; shared sum; shared doneCount; lock l;
+thread sim1 {
+  local t = 0;
+  while (t < %d) {
+    local r = (t * 7 + 3) %% 11;
+    results[t] = r;
+    sync l { sum = sum + r; }
+    t = t + 1;
+  }
+  doneCount = doneCount + 1;
+}
+thread sim2 {
+  local t = %d;
+  while (t < %d) {
+    local r = (t * 7 + 3) %% 11;
+    results[t] = r;
+    sync l { sum = sum + r; }
+    t = t + 1;
+  }
+  doneCount = doneCount + 1;
+}
+main {
+  spawn sim1; spawn sim2;
+  join sim1; join sim2;
+  assert doneCount >= 1;
+}
+)",
+                      Tasks, Tasks / 2, Tasks / 2, Tasks);
+}
+
+std::string rvp::raytracerProgram(int Rows) {
+  return formatString(R"(
+// Java-Grande-style "raytracer": row-partitioned rendering with the
+// classic unsynchronized checksum accumulation.
+shared image[%d]; shared checksum; lock l;
+thread render1 {
+  local y = 0;
+  while (y < %d) {
+    local c = y * 13 %% 7;
+    image[y] = c;
+    local k = checksum; checksum = k + c;
+    y = y + 1;
+  }
+}
+thread render2 {
+  local y = %d;
+  while (y < %d) {
+    local c = y * 13 %% 7;
+    image[y] = c;
+    local k = checksum; checksum = k + c;
+    y = y + 1;
+  }
+}
+main {
+  spawn render1; spawn render2;
+  join render1; join render2;
+  assert checksum >= 0;
+}
+)",
+                      Rows, Rows / 2, Rows / 2, Rows);
+}

@@ -1,0 +1,58 @@
+//===- workloads/Programs.h - MiniRV benchmark programs ----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MiniRV ports of the paper's small benchmarks: the Figure 1 example
+/// program, an IBM-Contest-style suite of classic concurrency-bug
+/// patterns, and Java-Grande-style compute kernels (parameterized so the
+/// bench harness can scale trace sizes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_WORKLOADS_PROGRAMS_H
+#define RVP_WORKLOADS_PROGRAMS_H
+
+#include <string>
+
+namespace rvp {
+
+/// Figure 1 of the paper: the race (3,10) that only the maximal technique
+/// detects among the sound ones.
+std::string figure1Program();
+
+// --- IBM-Contest-style small benchmarks --------------------------------
+
+/// Unprotected vs. protected counter increment (lost update).
+std::string criticalProgram();
+/// Bank account with an unsynchronized deposit.
+std::string accountProgram();
+/// Ticket agents checking availability outside the lock.
+std::string airlineProgram(int Tickets = 5);
+/// Two threads hammering one counter without a lock.
+std::string pingpongProgram(int Rounds = 3);
+/// Producer/consumer over a circular buffer with wait/notify; one racy
+/// progress peek.
+std::string boundedBufferProgram(int Items = 6);
+/// Concurrent bubble passes over overlapping array segments.
+std::string bubblesortProgram();
+/// Writers appending under a lock; a flusher peeking the length without.
+std::string bufwriterProgram(int Writes = 4);
+/// Fork/join mergesort; fully ordered, no races.
+std::string mergesortProgram();
+
+// --- Java-Grande-style kernels ------------------------------------------
+
+/// N-body-style force accumulation: partitioned updates plus a guarded
+/// global energy sum and one racy iteration counter.
+std::string moldynProgram(int Particles = 8, int Steps = 3);
+/// Per-task simulation into disjoint slots with a racy global aggregate.
+std::string montecarloProgram(int Tasks = 8);
+/// Row-partitioned rendering with the classic racy checksum.
+std::string raytracerProgram(int Rows = 8);
+
+} // namespace rvp
+
+#endif // RVP_WORKLOADS_PROGRAMS_H

@@ -1,0 +1,189 @@
+//===- tests/AtomicityTest.cpp - Atomicity-violation detector tests ----------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Atomicity.h"
+
+#include "runtime/Interpreter.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+namespace {
+
+/// t1's critical section reads and writes `balance`; t2 writes it without
+/// the lock. The remote write fits between the read and the write
+/// (lost-update pattern).
+Trace lostUpdateTrace() {
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "balance", 0, "a2");
+  B.write("t1", "balance", 50, "a3");
+  B.release("t1", "l", "a4");
+  B.write("t2", "balance", 7, "b1"); // unlocked remote write
+  return B.build();
+}
+
+} // namespace
+
+TEST(Atomicity, PatternClassification) {
+  Event R, W;
+  R.Kind = EventKind::Read;
+  W.Kind = EventKind::Write;
+  AtomicityPattern P;
+  EXPECT_TRUE(classifyAtomicity(R, W, R, P));
+  EXPECT_EQ(P, AtomicityPattern::ReadWriteRead);
+  EXPECT_TRUE(classifyAtomicity(W, R, W, P));
+  EXPECT_EQ(P, AtomicityPattern::WriteReadWrite);
+  EXPECT_TRUE(classifyAtomicity(W, W, R, P));
+  EXPECT_EQ(P, AtomicityPattern::WriteWriteRead);
+  EXPECT_TRUE(classifyAtomicity(R, W, W, P));
+  EXPECT_EQ(P, AtomicityPattern::ReadWriteWrite);
+  // Serializable shapes.
+  EXPECT_FALSE(classifyAtomicity(R, R, R, P));
+  EXPECT_FALSE(classifyAtomicity(R, R, W, P));
+  EXPECT_FALSE(classifyAtomicity(W, R, R, P)) << "w..r..r is serializable "
+                                                 "(remote read moves after)";
+  EXPECT_FALSE(classifyAtomicity(W, W, W, P));
+}
+
+TEST(Atomicity, DetectsLostUpdate) {
+  Trace T = lostUpdateTrace();
+  AtomicityResult R = detectAtomicityViolations(T);
+  ASSERT_EQ(R.Violations.size(), 1u);
+  const AtomicityReport &V = R.Violations[0];
+  EXPECT_EQ(V.Pattern, AtomicityPattern::ReadWriteWrite);
+  EXPECT_EQ(V.Variable, "balance");
+  EXPECT_TRUE(R.hasViolationAt("a2", "b1", "a3"));
+  EXPECT_TRUE(V.WitnessValid);
+  // The witness places the remote write strictly between the pair.
+  size_t PosA1 = 0, PosB = 0, PosA2 = 0;
+  for (size_t I = 0; I < V.Witness.size(); ++I) {
+    if (V.Witness[I] == V.First)
+      PosA1 = I;
+    if (V.Witness[I] == V.Remote)
+      PosB = I;
+    if (V.Witness[I] == V.Second)
+      PosA2 = I;
+  }
+  EXPECT_LT(PosA1, PosB);
+  EXPECT_LT(PosB, PosA2);
+}
+
+TEST(Atomicity, LockedRemoteAccessCannotIntrude) {
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "x", 0, "a2");
+  B.write("t1", "x", 1, "a3");
+  B.release("t1", "l", "a4");
+  B.acquire("t2", "l", "b0");
+  B.write("t2", "x", 7, "b1"); // holds the same lock
+  B.release("t2", "l", "b2");
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  EXPECT_TRUE(R.Violations.empty())
+      << "mutual exclusion protects the region";
+}
+
+TEST(Atomicity, ForkJoinOrderingPreventsIntrusion) {
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "x", 0, "a2");
+  B.write("t1", "x", 1, "a3");
+  B.release("t1", "l", "a4");
+  B.fork("t1", "t2", "f");
+  B.begin("t2");
+  B.write("t2", "x", 7, "b1"); // only exists after the region completes
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(Atomicity, SerializableRemoteReadNotReported) {
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "x", 0, "a2");
+  B.read("t1", "x", 0, "a3"); // read-read region
+  B.release("t1", "l", "a4");
+  B.read("t2", "x", 0, "b1"); // remote read: serializable
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(Atomicity, ControlFlowRefutesIntrusion) {
+  // The remote write is guarded by a branch whose read must see the
+  // region's *second* write — so it can only execute after the region,
+  // never inside it. Without branch events this would be a false alarm.
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "x", 0, "a2");
+  B.write("t1", "x", 1, "a3");
+  B.release("t1", "l", "a4");
+  B.read("t2", "x", 1, "b0"); // sees the value written at a3
+  B.branch("t2", "b0");
+  B.write("t2", "x", 7, "b1");
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  for (const AtomicityReport &V : R.Violations)
+    EXPECT_FALSE(V.LocRemote == "b1" && V.LocFirst == "a2" &&
+                 V.LocSecond == "a3")
+        << "the guarded write cannot interleave into the region";
+}
+
+TEST(Atomicity, UnguardedVariantIsReported) {
+  // Same trace minus the branch: the remote write is data-abstract and
+  // may interleave.
+  TraceBuilder B;
+  B.acquire("t1", "l", "a1");
+  B.read("t1", "x", 0, "a2");
+  B.write("t1", "x", 1, "a3");
+  B.release("t1", "l", "a4");
+  B.read("t2", "x", 1, "b0");
+  B.write("t2", "x", 7, "b1");
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  EXPECT_TRUE(R.hasViolationAt("a2", "b1", "a3"));
+}
+
+TEST(Atomicity, SignatureDeduplication) {
+  TraceBuilder B;
+  for (int Round = 0; Round < 3; ++Round) {
+    B.acquire("t1", "l", "a1");
+    B.read("t1", "x", Round == 0 ? 0 : 7, "a2");
+    B.write("t1", "x", 7, "a3");
+    B.release("t1", "l", "a4");
+  }
+  B.write("t2", "x", 7, "b1");
+  Trace T = B.build();
+  AtomicityResult R = detectAtomicityViolations(T);
+  EXPECT_EQ(R.Violations.size(), 1u)
+      << "three dynamic instances share one static signature";
+}
+
+TEST(Atomicity, MiniRvEndToEnd) {
+  const char *Source = R"(
+shared balance = 100; lock l;
+thread transfer {
+  sync l {
+    local b = balance;
+    balance = b + 50;
+  }
+}
+thread rogue { balance = 0; }
+main { spawn transfer; spawn rogue; join transfer; join rogue; }
+)";
+  Trace T;
+  RunResult Run;
+  std::string Error;
+  RandomScheduler S(5);
+  ASSERT_TRUE(recordTrace(Source, T, Run, Error, &S)) << Error;
+  AtomicityResult R = detectAtomicityViolations(T);
+  ASSERT_GE(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].Variable, "balance");
+  EXPECT_TRUE(R.Violations[0].WitnessValid);
+}

@@ -1,0 +1,336 @@
+//===- tests/DetectInternalsTest.cpp - COP/lockset/encoder internals ---------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Cop.h"
+#include "detect/Lockset.h"
+#include "detect/RaceEncoder.h"
+#include "detect/WitnessChecker.h"
+#include "smt/Solver.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+// ------------------------------------------------------------------ COPs
+
+TEST(Cop, EnumeratesConflictingPairs) {
+  TraceBuilder B;
+  B.write("t1", "x", 1); // 0
+  B.read("t2", "x", 1);  // 1
+  B.read("t3", "x", 1);  // 2
+  B.write("t1", "y", 1); // 3
+  Trace T = B.build();
+  std::vector<Cop> Cops = collectCops(T, T.fullSpan());
+  // (0,1), (0,2); the two reads do not conflict; y has one access.
+  ASSERT_EQ(Cops.size(), 2u);
+  EXPECT_EQ(Cops[0].First, 0u);
+  EXPECT_EQ(Cops[0].Second, 1u);
+  EXPECT_EQ(Cops[1].Second, 2u);
+}
+
+TEST(Cop, RespectsWindow) {
+  TraceBuilder B;
+  B.write("t1", "x", 1); // 0
+  B.write("t2", "x", 2); // 1
+  B.write("t1", "x", 3); // 2
+  Trace T = B.build();
+  // (0,1) and (1,2); (0,2) is same-thread and therefore not a COP.
+  EXPECT_EQ(collectCops(T, T.fullSpan()).size(), 2u);
+  EXPECT_EQ(collectCops(T, {0, 2}).size(), 1u);
+  EXPECT_EQ(collectCops(T, {1, 3}).size(), 1u);
+  EXPECT_EQ(collectCops(T, {2, 3}).size(), 0u);
+}
+
+TEST(Cop, SignatureIsUnordered) {
+  TraceBuilder B;
+  B.write("t1", "x", 1, "locA");
+  B.write("t2", "x", 2, "locB");
+  Trace T = B.build();
+  EXPECT_EQ(RaceSignature::of(T, 0, 1).key(),
+            RaceSignature::of(T, 1, 0).key());
+}
+
+// --------------------------------------------------------------- lockset
+
+TEST(Lockset, TracksHeldLocks) {
+  TraceBuilder B;
+  B.acquire("t1", "l1");  // 0
+  B.acquire("t1", "l2");  // 1
+  B.write("t1", "x", 1);  // 2: holds {l1,l2}
+  B.release("t1", "l2");  // 3
+  B.write("t1", "x", 2);  // 4: holds {l1}
+  B.release("t1", "l1");  // 5
+  B.write("t1", "x", 3);  // 6: holds {}
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_EQ(Ls.heldAt(2).size(), 2u);
+  EXPECT_EQ(Ls.heldAt(4).size(), 1u);
+  EXPECT_TRUE(Ls.heldAt(6).empty());
+}
+
+TEST(Lockset, DisjointnessBySharedLock) {
+  TraceBuilder B;
+  B.acquire("t1", "l");
+  B.write("t1", "x", 1); // 1
+  B.release("t1", "l");
+  B.acquire("t2", "l");
+  B.acquire("t2", "m");
+  B.write("t2", "x", 2); // 5
+  B.release("t2", "m");
+  B.release("t2", "l");
+  B.write("t3", "x", 3); // 8
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_FALSE(Ls.disjoint(1, 5)) << "both hold l";
+  EXPECT_TRUE(Ls.disjoint(1, 8));
+  EXPECT_TRUE(Ls.disjoint(5, 8));
+}
+
+TEST(Lockset, QuickCheckFiltersOrderedAndLocked) {
+  TraceBuilder B;
+  B.write("t1", "a", 1);  // 0: MHB-ordered with 4 via fork
+  B.fork("t1", "t2");     // 1
+  B.begin("t2");          // 2
+  B.write("t2", "a", 2);  // 3
+  B.write("t2", "b", 1);  // 4
+  B.write("t1", "b", 2);  // 5: concurrent with 4 -> passes
+  Trace T = B.build();
+  EventClosure Mhb(T, T.fullSpan(), ClosureConfig::mhb());
+  QuickCheck Qc(T, T.fullSpan(), Mhb);
+  EXPECT_FALSE(Qc.pass({0, 3})) << "fork orders the pair";
+  EXPECT_TRUE(Qc.pass({4, 5}));
+}
+
+// --------------------------------------------------------------- encoder
+
+namespace {
+
+struct EncoderFixture {
+  EncoderFixture(Trace Built)
+      : T(std::move(Built)), Mhb(T, T.fullSpan(), ClosureConfig::mhb()),
+        Encoder(T, T.fullSpan(), Mhb, T.initialValues()) {}
+
+  SatResult solveRace(EventId A, EventId B) {
+    FormulaBuilder FB;
+    NodeRef Root = Encoder.encodeMaximalRace(FB, A, B);
+    return createIdlSolver()->solve(FB, Root, Deadline(), nullptr);
+  }
+
+  Trace T;
+  EventClosure Mhb;
+  RaceEncoder Encoder;
+};
+
+} // namespace
+
+TEST(RaceEncoder, GuardingBranchesPerThread) {
+  TraceBuilder B;
+  B.branch("t1");        // 0
+  B.branch("t1");        // 1
+  B.write("t1", "x", 1); // 2
+  B.fork("t1", "t2");    // 3
+  B.begin("t2");         // 4
+  B.write("t2", "y", 1); // 5
+  B.branch("t1");        // 6: after the fork, does NOT guard t2
+  Trace T = B.build();
+  EventClosure Mhb(T, T.fullSpan(), ClosureConfig::mhb());
+  RaceEncoder Encoder(T, T.fullSpan(), Mhb, T.initialValues());
+
+  // For t1's write: only the last of its own preceding branches.
+  EXPECT_EQ(Encoder.guardingBranches(2), (std::vector<EventId>{1}));
+  // For t2's write: t1's branch 1 (before the fork) guards it via MHB.
+  EXPECT_EQ(Encoder.guardingBranches(5), (std::vector<EventId>{1}));
+}
+
+TEST(RaceEncoder, MhbOrderedPairIsUnsat) {
+  TraceBuilder B;
+  B.write("t1", "x", 1); // 0
+  B.fork("t1", "t2");    // 1
+  B.begin("t2");         // 2
+  B.write("t2", "x", 2); // 3
+  EncoderFixture F(B.build());
+  EXPECT_EQ(F.solveRace(0, 3), SatResult::Unsat);
+}
+
+TEST(RaceEncoder, ConcurrentPairIsSat) {
+  TraceBuilder B;
+  B.fork("t1", "t2");
+  B.begin("t2");
+  B.write("t1", "x", 1); // 2
+  B.write("t2", "x", 2); // 3
+  EncoderFixture F(B.build());
+  EXPECT_EQ(F.solveRace(2, 3), SatResult::Sat);
+}
+
+TEST(RaceEncoder, WindowInitialValueEnablesReads) {
+  // A read of value 7 is only justifiable if the window's initial value
+  // is 7 (set by a write in a previous window).
+  TraceBuilder B;
+  B.write("t1", "x", 7);  // 0: previous window
+  B.branch("t2");         // 1: window starts here
+  B.read("t2", "x", 7);   // 2
+  B.branch("t2");         // 3
+  B.write("t2", "y", 1);  // 4
+  B.write("t1", "y", 2);  // 5
+  Trace T = B.build();
+  Span Window = {1, 6};
+  EventClosure Mhb(T, Window, ClosureConfig::mhb());
+
+  // With the correct carried-in value, the race on y is feasible.
+  std::vector<Value> Carried(T.numVars(), 0);
+  Carried[T.internVar("x")] = 7;
+  RaceEncoder Good(T, Window, Mhb, Carried);
+  FormulaBuilder FB1;
+  EXPECT_EQ(createIdlSolver()->solve(
+                FB1, Good.encodeMaximalRace(FB1, 4, 5), Deadline(), nullptr),
+            SatResult::Sat);
+
+  // With a wrong initial value the guarded read can never be concrete.
+  RaceEncoder Bad(T, Window, Mhb, std::vector<Value>(T.numVars(), 0));
+  FormulaBuilder FB2;
+  EXPECT_EQ(createIdlSolver()->solve(
+                FB2, Bad.encodeMaximalRace(FB2, 4, 5), Deadline(), nullptr),
+            SatResult::Unsat);
+}
+
+TEST(RaceEncoder, InterferingWriteForcesOrdering) {
+  // b is guarded by a branch whose read saw value 1 from w1; a second
+  // write w2 of a different value must not land between w1 and the read.
+  TraceBuilder B;
+  B.write("t1", "v", 1);  // 0: w1
+  B.read("t2", "v", 1);   // 1: guarded read
+  B.branch("t2");         // 2
+  B.write("t2", "x", 1);  // 3: race event b
+  B.write("t1", "v", 9);  // 4: w2 (interferer)
+  B.write("t3", "x", 2);  // 5: race event a'
+  EncoderFixture F(B.build());
+  // The race (3,5) is feasible: order w1 < read < w2.
+  EXPECT_EQ(F.solveRace(3, 5), SatResult::Sat);
+}
+
+TEST(RaceEncoder, SaidRejectsValueChangingAdjacency) {
+  // Said: the read of x must keep value 0, so the write cannot be moved
+  // next to it.
+  TraceBuilder B;
+  B.read("t2", "x", 0);  // 0
+  B.write("t1", "x", 1); // 1
+  Trace T = B.build();
+  EventClosure Mhb(T, T.fullSpan(), ClosureConfig::mhb());
+  RaceEncoder Encoder(T, T.fullSpan(), Mhb, T.initialValues());
+  FormulaBuilder FB;
+  NodeRef Root = Encoder.encodeSaidRace(FB, 0, 1);
+  EXPECT_EQ(createIdlSolver()->solve(FB, Root, Deadline(), nullptr),
+            SatResult::Unsat);
+  // The maximal encoding has no such constraint (nothing branches on it).
+  FormulaBuilder FB2;
+  NodeRef Root2 = Encoder.encodeMaximalRace(FB2, 0, 1);
+  EXPECT_EQ(createIdlSolver()->solve(FB2, Root2, Deadline(), nullptr),
+            SatResult::Sat);
+}
+
+// -------------------------------------------------------- witness checker
+
+namespace {
+
+struct WitnessFixture {
+  WitnessFixture(Trace Built)
+      : T(std::move(Built)), Mhb(T, T.fullSpan(), ClosureConfig::mhb()),
+        Encoder(T, T.fullSpan(), Mhb, T.initialValues()) {}
+
+  WitnessCheckResult check(const std::vector<EventId> &Order, EventId A,
+                           EventId B) {
+    return checkWitness(T, T.fullSpan(), Order, A, B, Encoder, Mhb,
+                        T.initialValues());
+  }
+
+  Trace T;
+  EventClosure Mhb;
+  RaceEncoder Encoder;
+};
+
+Trace simpleRacyTrace() {
+  TraceBuilder B;
+  B.write("t1", "x", 1); // 0
+  B.write("t1", "y", 1); // 1
+  B.write("t2", "x", 2); // 2
+  return B.build();
+}
+
+} // namespace
+
+TEST(WitnessChecker, AcceptsValidAdjacency) {
+  WitnessFixture F(simpleRacyTrace());
+  EXPECT_TRUE(F.check({0, 2, 1}, 0, 2).Ok);
+  EXPECT_TRUE(F.check({2, 0, 1}, 0, 2).Ok) << "either orientation";
+}
+
+TEST(WitnessChecker, RejectsNonAdjacent) {
+  WitnessFixture F(simpleRacyTrace());
+  EXPECT_FALSE(F.check({0, 1, 2}, 0, 2).Ok)
+      << "event 1 sits between the racing pair";
+}
+
+TEST(WitnessChecker, RejectsProgramOrderViolation) {
+  WitnessFixture F(simpleRacyTrace());
+  WitnessCheckResult R = F.check({1, 0, 2}, 1, 0);
+  // Order {1,0,...} violates t1's program order check only if used as a
+  // witness; the pair (1,0) is same-thread and adjacent here, but PO is
+  // broken.
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(WitnessChecker, RejectsNonPermutation) {
+  WitnessFixture F(simpleRacyTrace());
+  EXPECT_FALSE(F.check({0, 2}, 0, 2).Ok);
+  EXPECT_FALSE(F.check({0, 2, 2}, 0, 2).Ok);
+}
+
+TEST(WitnessChecker, RejectsLockViolation) {
+  TraceBuilder B;
+  B.acquire("t1", "l");  // 0
+  B.write("t1", "x", 1); // 1
+  B.release("t1", "l");  // 2
+  B.acquire("t2", "l");  // 3
+  B.write("t2", "y", 2); // 4
+  B.release("t2", "l");  // 5
+  B.write("t2", "x", 9); // 6
+  Trace T = B.build();
+  WitnessFixture F(std::move(T));
+  // Interleaved critical sections: 0,3 both acquire before any release.
+  EXPECT_FALSE(F.check({0, 3, 1, 6, 4, 2, 5}, 1, 6).Ok);
+  // Proper nesting-free order is fine.
+  EXPECT_TRUE(F.check({3, 4, 5, 0, 1, 6, 2}, 1, 6).Ok);
+}
+
+TEST(WitnessChecker, RejectsStaleGuardedRead) {
+  // The branch guarding b requires the read to stay concrete (value 1);
+  // a witness where the read precedes the write is rejected.
+  TraceBuilder B;
+  B.write("t1", "v", 1); // 0
+  B.read("t2", "v", 1);  // 1
+  B.branch("t2");        // 2
+  B.write("t2", "x", 1); // 3  (race event b)
+  B.write("t3", "x", 2); // 4  (race event a)
+  Trace T = B.build();
+  WitnessFixture F(std::move(T));
+  EXPECT_TRUE(F.check({0, 1, 2, 4, 3}, 4, 3).Ok);
+  WitnessCheckResult Bad = F.check({1, 0, 2, 4, 3}, 4, 3);
+  EXPECT_FALSE(Bad.Ok) << "the guarded read observes 0, not 1";
+}
+
+TEST(WitnessChecker, UnguardedReadMayBeStale) {
+  // Without a branch, the read is data-abstract and may change value.
+  TraceBuilder B;
+  B.write("t1", "v", 1); // 0
+  B.read("t2", "v", 1);  // 1
+  B.write("t2", "x", 1); // 2  (race event b)
+  B.write("t3", "x", 2); // 3  (race event a)
+  Trace T = B.build();
+  WitnessFixture F(std::move(T));
+  EXPECT_TRUE(F.check({1, 0, 3, 2}, 3, 2).Ok);
+}

@@ -1,0 +1,263 @@
+//===- tests/DiffLogicTest.cpp - Order-graph theory tests ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/DiffLogic.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rvp;
+
+namespace {
+
+Lit reason(uint32_t N) { return Lit::pos(N); }
+
+} // namespace
+
+TEST(OrderGraph, AcceptsChain) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  EXPECT_TRUE(G.addEdge(1, 2, reason(0), Cycle));
+  EXPECT_TRUE(G.addEdge(2, 3, reason(1), Cycle));
+  EXPECT_TRUE(G.addEdge(3, 4, reason(2), Cycle));
+  EXPECT_LT(G.positionOf(1), G.positionOf(2));
+  EXPECT_LT(G.positionOf(2), G.positionOf(3));
+  EXPECT_LT(G.positionOf(3), G.positionOf(4));
+}
+
+TEST(OrderGraph, DetectsDirectCycle) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  EXPECT_TRUE(G.addEdge(1, 2, reason(0), Cycle));
+  EXPECT_FALSE(G.addEdge(2, 1, reason(1), Cycle));
+  // Explanation covers both edges.
+  std::set<uint32_t> Reasons;
+  for (Lit L : Cycle)
+    Reasons.insert(L.X);
+  EXPECT_TRUE(Reasons.count(reason(0).X));
+  EXPECT_TRUE(Reasons.count(reason(1).X));
+}
+
+TEST(OrderGraph, DetectsLongCycle) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  for (uint32_t I = 0; I < 9; ++I)
+    ASSERT_TRUE(G.addEdge(I, I + 1, reason(I), Cycle));
+  EXPECT_FALSE(G.addEdge(9, 0, reason(9), Cycle));
+  EXPECT_EQ(Cycle.size(), 10u) << "explanation should cover the whole cycle";
+}
+
+TEST(OrderGraph, SelfEdgeIsImmediateCycle) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  EXPECT_FALSE(G.addEdge(3, 3, reason(0), Cycle));
+  ASSERT_EQ(Cycle.size(), 1u);
+  EXPECT_EQ(Cycle[0].X, reason(0).X);
+}
+
+TEST(OrderGraph, GraphUnchangedAfterRejectedEdge) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  ASSERT_TRUE(G.addEdge(1, 2, reason(0), Cycle));
+  ASSERT_FALSE(G.addEdge(2, 1, reason(1), Cycle));
+  EXPECT_EQ(G.numEdges(), 1u);
+  // The graph still accepts consistent extensions.
+  EXPECT_TRUE(G.addEdge(2, 3, reason(2), Cycle));
+  EXPECT_TRUE(G.addEdge(1, 3, reason(3), Cycle));
+}
+
+TEST(OrderGraph, PopEdgeRestores) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  ASSERT_TRUE(G.addEdge(1, 2, reason(0), Cycle));
+  ASSERT_TRUE(G.addEdge(2, 3, reason(1), Cycle));
+  ASSERT_FALSE(G.addEdge(3, 1, reason(2), Cycle));
+  G.popEdge(); // removes 2->3
+  EXPECT_TRUE(G.addEdge(3, 1, reason(2), Cycle))
+      << "after removing 2->3 the edge 3->1 is consistent";
+}
+
+TEST(OrderGraph, ReorderAgainstInsertionOrder) {
+  // Insert nodes in one order, constrain them in the reverse order; the
+  // Pearce-Kelly reshuffle must fix all positions.
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  for (uint32_t I = 0; I < 10; ++I)
+    G.ensureNode(I);
+  for (uint32_t I = 10; I-- > 1;)
+    ASSERT_TRUE(G.addEdge(I, I - 1, reason(I), Cycle));
+  for (uint32_t I = 1; I < 10; ++I)
+    EXPECT_LT(G.positionOf(I), G.positionOf(I - 1));
+}
+
+TEST(OrderGraph, Reaches) {
+  OrderGraph G;
+  std::vector<Lit> Cycle;
+  G.addEdge(1, 2, reason(0), Cycle);
+  G.addEdge(2, 3, reason(1), Cycle);
+  G.addEdge(4, 5, reason(2), Cycle);
+  EXPECT_TRUE(G.reaches(1, 3));
+  EXPECT_FALSE(G.reaches(3, 1));
+  EXPECT_FALSE(G.reaches(1, 5));
+  EXPECT_FALSE(G.reaches(1, 99));
+}
+
+// Property sweep: random edge insertions; the graph must report a cycle
+// exactly when a cycle exists among accepted edges, and positions must be
+// a valid topological order of the accepted edges.
+class OrderGraphRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderGraphRandomTest, MatchesOfflineCycleCheck) {
+  Rng R(GetParam());
+  constexpr uint32_t NumNodes = 12;
+  OrderGraph G;
+  std::vector<std::pair<uint32_t, uint32_t>> Accepted;
+
+  auto offlineAcyclicWith =
+      [&](std::pair<uint32_t, uint32_t> Extra) {
+        std::vector<std::vector<uint32_t>> Adj(NumNodes);
+        for (auto [F, T] : Accepted)
+          Adj[F].push_back(T);
+        Adj[Extra.first].push_back(Extra.second);
+        // Kahn's algorithm.
+        std::vector<uint32_t> InDeg(NumNodes, 0);
+        for (uint32_t N = 0; N < NumNodes; ++N)
+          for (uint32_t M : Adj[N])
+            ++InDeg[M];
+        std::vector<uint32_t> Queue;
+        for (uint32_t N = 0; N < NumNodes; ++N)
+          if (InDeg[N] == 0)
+            Queue.push_back(N);
+        uint32_t Seen = 0;
+        while (!Queue.empty()) {
+          uint32_t N = Queue.back();
+          Queue.pop_back();
+          ++Seen;
+          for (uint32_t M : Adj[N])
+            if (--InDeg[M] == 0)
+              Queue.push_back(M);
+        }
+        return Seen == NumNodes;
+      };
+
+  std::vector<Lit> Cycle;
+  for (uint32_t Step = 0; Step < 60; ++Step) {
+    uint32_t F = static_cast<uint32_t>(R.below(NumNodes));
+    uint32_t T = static_cast<uint32_t>(R.below(NumNodes));
+    if (F == T)
+      continue;
+    bool ExpectOk = offlineAcyclicWith({F, T});
+    Cycle.clear();
+    bool GotOk = G.addEdge(F, T, reason(Step), Cycle);
+    ASSERT_EQ(GotOk, ExpectOk)
+        << "edge " << F << "->" << T << " step " << Step << " seed "
+        << GetParam();
+    if (GotOk)
+      Accepted.push_back({F, T});
+    else
+      EXPECT_GE(Cycle.size(), 2u);
+  }
+
+  // Positions form a topological order of all accepted edges.
+  for (auto [F, T] : Accepted)
+    EXPECT_LT(G.positionOf(F), G.positionOf(T));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrderGraphRandomTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+TEST(DiffLogicTheory, BindsAndAsserts) {
+  DiffLogicTheory Theory;
+  Theory.bindLit(Lit::pos(0), 10, 20);
+  Theory.bindLit(Lit::neg(0), 20, 10);
+  Theory.bindLit(Lit::pos(1), 20, 30);
+
+  std::vector<Lit> Conflict;
+  EXPECT_TRUE(Theory.assertLit(Lit::pos(0), Conflict));
+  EXPECT_TRUE(Theory.assertLit(Lit::pos(1), Conflict));
+  // Unbound literal (a Tseitin gate) is ignored.
+  EXPECT_TRUE(Theory.assertLit(Lit::pos(77), Conflict));
+
+  // Asserting 30<10 would close a cycle 10<20<30<10.
+  Theory.bindLit(Lit::pos(2), 30, 10);
+  EXPECT_FALSE(Theory.assertLit(Lit::pos(2), Conflict));
+  EXPECT_EQ(Conflict.size(), 3u);
+  for (Lit L : Conflict)
+    EXPECT_TRUE(L.sign()) << "conflict clause negates asserted literals";
+
+  // Undo 20<30, then 30<10 fits.
+  Theory.undoLit(Lit::pos(1));
+  Conflict.clear();
+  EXPECT_TRUE(Theory.assertLit(Lit::pos(2), Conflict));
+}
+
+// Property sweep: random interleavings of edge additions and pops; the
+// graph must agree with an offline cycle check over the live edge set at
+// every step, and positions must stay topological.
+class OrderGraphUndoTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderGraphUndoTest, AddPopInterleavingStaysConsistent) {
+  Rng R(GetParam());
+  constexpr uint32_t NumNodes = 10;
+  OrderGraph G;
+  std::vector<std::pair<uint32_t, uint32_t>> Live;
+
+  auto offlineAcyclicWith = [&](std::pair<uint32_t, uint32_t> Extra) {
+    std::vector<std::vector<uint32_t>> Adj(NumNodes);
+    for (auto [F, T] : Live)
+      Adj[F].push_back(T);
+    Adj[Extra.first].push_back(Extra.second);
+    std::vector<uint32_t> InDeg(NumNodes, 0);
+    for (uint32_t N = 0; N < NumNodes; ++N)
+      for (uint32_t M : Adj[N])
+        ++InDeg[M];
+    std::vector<uint32_t> Queue;
+    for (uint32_t N = 0; N < NumNodes; ++N)
+      if (InDeg[N] == 0)
+        Queue.push_back(N);
+    uint32_t Seen = 0;
+    while (!Queue.empty()) {
+      uint32_t N = Queue.back();
+      Queue.pop_back();
+      ++Seen;
+      for (uint32_t M : Adj[N])
+        if (--InDeg[M] == 0)
+          Queue.push_back(M);
+    }
+    return Seen == NumNodes;
+  };
+
+  std::vector<Lit> Cycle;
+  for (uint32_t Step = 0; Step < 120; ++Step) {
+    if (!Live.empty() && R.chance(2, 5)) {
+      G.popEdge();
+      Live.pop_back();
+      continue;
+    }
+    uint32_t F = static_cast<uint32_t>(R.below(NumNodes));
+    uint32_t T = static_cast<uint32_t>(R.below(NumNodes));
+    if (F == T)
+      continue;
+    bool ExpectOk = offlineAcyclicWith({F, T});
+    Cycle.clear();
+    bool GotOk = G.addEdge(F, T, Lit::pos(Step), Cycle);
+    ASSERT_EQ(GotOk, ExpectOk)
+        << "edge " << F << "->" << T << " step " << Step << " seed "
+        << GetParam();
+    if (GotOk)
+      Live.push_back({F, T});
+    // Positions remain a topological order of the live edges.
+    for (auto [X, Y] : Live)
+      ASSERT_LT(G.positionOf(X), G.positionOf(Y))
+          << "step " << Step << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OrderGraphUndoTest,
+                         ::testing::Range<uint64_t>(100, 130));

@@ -1,0 +1,105 @@
+//===- tests/FormulaTest.cpp - Formula builder tests -----------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Formula.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(Formula, ConstantsAreFixedRefs) {
+  FormulaBuilder FB;
+  EXPECT_EQ(FB.node(FB.mkTrue()).Kind, FormulaKind::True);
+  EXPECT_EQ(FB.node(FB.mkFalse()).Kind, FormulaKind::False);
+}
+
+TEST(Formula, AtomsHashConsed) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef B = FB.mkAtom(1, 2);
+  NodeRef C = FB.mkAtom(2, 1);
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+}
+
+TEST(Formula, AndSimplifications) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef B = FB.mkAtom(3, 4);
+  EXPECT_EQ(FB.mkAnd({}), FB.mkTrue());
+  EXPECT_EQ(FB.mkAnd({A}), A);
+  EXPECT_EQ(FB.mkAnd({A, FB.mkTrue()}), A);
+  EXPECT_EQ(FB.mkAnd({A, FB.mkFalse()}), FB.mkFalse());
+  EXPECT_EQ(FB.mkAnd({A, A}), A);
+  EXPECT_EQ(FB.mkAnd({A, B}), FB.mkAnd({B, A})) << "children canonicalized";
+}
+
+TEST(Formula, OrSimplifications) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  EXPECT_EQ(FB.mkOr({}), FB.mkFalse());
+  EXPECT_EQ(FB.mkOr({A}), A);
+  EXPECT_EQ(FB.mkOr({A, FB.mkFalse()}), A);
+  EXPECT_EQ(FB.mkOr({A, FB.mkTrue()}), FB.mkTrue());
+}
+
+TEST(Formula, ComplementDetection) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef NotA = FB.mkAtom(2, 1);
+  EXPECT_EQ(FB.mkAnd({A, NotA}), FB.mkFalse())
+      << "a<b and b<a cannot both hold";
+  EXPECT_EQ(FB.mkOr({A, NotA}), FB.mkTrue())
+      << "distinct positions are totally ordered";
+}
+
+TEST(Formula, NestedFlattening) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef B = FB.mkAtom(3, 4);
+  NodeRef C = FB.mkAtom(5, 6);
+  NodeRef Nested = FB.mkAnd({A, FB.mkAnd({B, C})});
+  NodeRef Flat = FB.mkAnd({A, B, C});
+  EXPECT_EQ(Nested, Flat);
+}
+
+TEST(Formula, MixedAndOrNotFlattened) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef B = FB.mkAtom(3, 4);
+  NodeRef Or = FB.mkOr({A, B});
+  NodeRef And = FB.mkAnd({A, Or});
+  EXPECT_EQ(FB.node(And).Kind, FormulaKind::And);
+  EXPECT_EQ(FB.node(And).numChildren(), 2u);
+}
+
+TEST(Formula, CollectVars) {
+  FormulaBuilder FB;
+  NodeRef F = FB.mkOr(
+      {FB.mkAnd({FB.mkAtom(5, 2), FB.mkAtom(2, 9)}), FB.mkAtom(7, 5)});
+  std::vector<OrderVar> Vars = FB.collectVars(F);
+  EXPECT_EQ(Vars, (std::vector<OrderVar>{2, 5, 7, 9}));
+}
+
+TEST(Formula, ToStringRendering) {
+  FormulaBuilder FB;
+  NodeRef F = FB.mkAnd({FB.mkAtom(1, 2), FB.mkAtom(3, 4)});
+  std::string S = FB.toString(F);
+  EXPECT_NE(S.find("O1 < O2"), std::string::npos);
+  EXPECT_NE(S.find(" & "), std::string::npos);
+  EXPECT_EQ(FB.toString(FB.mkTrue()), "true");
+}
+
+TEST(Formula, HashConsingSharesNaryNodes) {
+  FormulaBuilder FB;
+  NodeRef A = FB.mkAtom(1, 2);
+  NodeRef B = FB.mkAtom(3, 4);
+  size_t Before = FB.numNodes();
+  NodeRef First = FB.mkAnd({A, B});
+  NodeRef Second = FB.mkAnd({A, B});
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(FB.numNodes(), Before + 1);
+}

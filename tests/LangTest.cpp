@@ -1,0 +1,216 @@
+//===- tests/LangTest.cpp - MiniRV lexer/parser tests ----------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(Lexer, Punctuation) {
+  auto Tokens = Lexer::tokenize("{ } ( ) [ ] ; = == != < <= > >= + - * / %");
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::LBrace,   TokenKind::RBrace,    TokenKind::LParen,
+      TokenKind::RParen,   TokenKind::LBracket,  TokenKind::RBracket,
+      TokenKind::Semicolon, TokenKind::Assign,   TokenKind::EqEq,
+      TokenKind::NotEq,    TokenKind::Less,      TokenKind::LessEq,
+      TokenKind::Greater,  TokenKind::GreaterEq, TokenKind::Plus,
+      TokenKind::Minus,    TokenKind::Star,      TokenKind::Slash,
+      TokenKind::Percent,  TokenKind::EndOfFile};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  auto Tokens = Lexer::tokenize("shared sharedx if iffy while");
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::KwShared);
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[1].Text, "sharedx");
+  EXPECT_EQ(Tokens[2].Kind, TokenKind::KwIf);
+  EXPECT_EQ(Tokens[3].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Tokens[4].Kind, TokenKind::KwWhile);
+}
+
+TEST(Lexer, IntegersAndLines) {
+  auto Tokens = Lexer::tokenize("1\n 23\n456");
+  EXPECT_EQ(Tokens[0].Value, 1);
+  EXPECT_EQ(Tokens[0].Line, 1u);
+  EXPECT_EQ(Tokens[1].Value, 23);
+  EXPECT_EQ(Tokens[1].Line, 2u);
+  EXPECT_EQ(Tokens[1].Column, 2u);
+  EXPECT_EQ(Tokens[2].Value, 456);
+  EXPECT_EQ(Tokens[2].Line, 3u);
+}
+
+TEST(Lexer, Comments) {
+  auto Tokens = Lexer::tokenize("a // comment\n b /* block\n */ c");
+  ASSERT_EQ(Tokens.size(), 4u); // a b c eof
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  auto Tokens = Lexer::tokenize("a /* never ends");
+  EXPECT_EQ(Tokens.back().Kind, TokenKind::Error);
+}
+
+TEST(Lexer, BadCharacterIsError) {
+  auto Tokens = Lexer::tokenize("a $ b");
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Error);
+}
+
+TEST(Lexer, SingleAmpOrPipeIsError) {
+  EXPECT_EQ(Lexer::tokenize("a & b")[1].Kind, TokenKind::Error);
+  EXPECT_EQ(Lexer::tokenize("a | b")[1].Kind, TokenKind::Error);
+  EXPECT_EQ(Lexer::tokenize("a && b")[1].Kind, TokenKind::AndAnd);
+  EXPECT_EQ(Lexer::tokenize("a || b")[1].Kind, TokenKind::OrOr);
+}
+
+namespace {
+
+Program parseOk(const std::string &Source) {
+  std::string Error;
+  auto P = parseProgram(Source, Error);
+  EXPECT_TRUE(P.has_value()) << Error;
+  return P ? std::move(*P) : Program{};
+}
+
+std::string parseErr(const std::string &Source) {
+  std::string Error;
+  auto P = parseProgram(Source, Error);
+  EXPECT_FALSE(P.has_value()) << "parse unexpectedly succeeded";
+  return Error;
+}
+
+} // namespace
+
+TEST(Parser, MinimalProgram) {
+  Program P = parseOk("main { skip; }");
+  ASSERT_EQ(P.Threads.size(), 1u);
+  EXPECT_TRUE(P.Threads[0].IsMain);
+  EXPECT_EQ(P.Threads[0].Body.size(), 1u);
+}
+
+TEST(Parser, MainIsAlwaysThreadZero) {
+  Program P = parseOk("thread a { skip; } main { skip; } thread b { skip; }");
+  ASSERT_EQ(P.Threads.size(), 3u);
+  EXPECT_EQ(P.Threads[0].Name, "main");
+  EXPECT_EQ(P.Threads[1].Name, "a");
+  EXPECT_EQ(P.Threads[2].Name, "b");
+}
+
+TEST(Parser, Declarations) {
+  Program P = parseOk("shared x = 3; shared volatile v; shared a[10];\n"
+                      "lock m; main { skip; }");
+  ASSERT_EQ(P.Shareds.size(), 3u);
+  EXPECT_EQ(P.Shareds[0].Name, "x");
+  EXPECT_EQ(P.Shareds[0].Init, 3);
+  EXPECT_TRUE(P.Shareds[1].Volatile);
+  EXPECT_EQ(P.Shareds[2].ArraySize, 10u);
+  ASSERT_EQ(P.Locks.size(), 1u);
+  EXPECT_EQ(P.Locks[0].first, "m");
+}
+
+TEST(Parser, NegativeInitializer) {
+  Program P = parseOk("shared x = -5; main { skip; }");
+  EXPECT_EQ(P.Shareds[0].Init, -5);
+}
+
+TEST(Parser, StatementsRoundTrip) {
+  Program P = parseOk(R"(
+shared x; shared a[4]; lock l;
+thread t { x = 1; }
+main {
+  local r = 1;
+  x = r + 1;
+  a[r] = 2;
+  if (x == 2) { skip; } else if (x == 3) { skip; } else { skip; }
+  while (x < 10) { x = x + 1; }
+  lock l; unlock l;
+  sync l { x = 0; }
+  spawn t; join t;
+  wait l; notify l; notifyall l;
+  assert x >= 0;
+}
+)");
+  const ThreadDecl &Main = P.Threads[0];
+  ASSERT_GE(Main.Body.size(), 13u);
+  EXPECT_EQ(Main.Body[0]->K, Stmt::Kind::LocalDecl);
+  EXPECT_EQ(Main.Body[1]->K, Stmt::Kind::Assign);
+  EXPECT_EQ(Main.Body[2]->K, Stmt::Kind::ArrayAssign);
+  EXPECT_EQ(Main.Body[3]->K, Stmt::Kind::If);
+  ASSERT_EQ(Main.Body[3]->ElseBody.size(), 1u);
+  EXPECT_EQ(Main.Body[3]->ElseBody[0]->K, Stmt::Kind::If)
+      << "else-if chains nest";
+  EXPECT_EQ(Main.Body[4]->K, Stmt::Kind::While);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  Program P = parseOk("shared x; main { x = 1 + 2 * 3; }");
+  const Expr &E = *P.Threads[0].Body[0]->Value;
+  ASSERT_EQ(E.K, Expr::Kind::Binary);
+  EXPECT_EQ(E.Op, BinOp::Add);
+  EXPECT_EQ(E.Rhs->Op, BinOp::Mul);
+}
+
+TEST(Parser, ComparisonBindsTighterThanAnd) {
+  Program P = parseOk("shared x; main { x = 1 < 2 && 3 == 3; }");
+  const Expr &E = *P.Threads[0].Body[0]->Value;
+  EXPECT_EQ(E.Op, BinOp::And);
+  EXPECT_EQ(E.Lhs->Op, BinOp::Lt);
+  EXPECT_EQ(E.Rhs->Op, BinOp::Eq);
+}
+
+TEST(Parser, UnaryAndParens) {
+  Program P = parseOk("shared x; main { x = -(1 + 2) * !0; }");
+  const Expr &E = *P.Threads[0].Body[0]->Value;
+  EXPECT_EQ(E.Op, BinOp::Mul);
+  EXPECT_EQ(E.Lhs->K, Expr::Kind::Unary);
+}
+
+TEST(Parser, ErrorNoMain) {
+  std::string E = parseErr("thread t { skip; }");
+  EXPECT_NE(E.find("no 'main'"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateMain) {
+  std::string E = parseErr("main { skip; } main { skip; }");
+  EXPECT_NE(E.find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, ErrorDuplicateName) {
+  std::string E = parseErr("shared x; lock x; main { skip; }");
+  EXPECT_NE(E.find("redefinition"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingSemicolon) {
+  std::string E = parseErr("shared x main { skip; }");
+  EXPECT_NE(E.find("expected ';'"), std::string::npos);
+}
+
+TEST(Parser, ErrorVolatileArray) {
+  std::string E = parseErr("shared volatile a[3]; main { skip; }");
+  EXPECT_NE(E.find("volatile arrays"), std::string::npos);
+}
+
+TEST(Parser, ErrorBadArraySize) {
+  parseErr("shared a[0]; main { skip; }");
+  parseErr("shared a[-1]; main { skip; }");
+}
+
+TEST(Parser, ErrorGarbageStatement) {
+  std::string E = parseErr("main { 42; }");
+  EXPECT_NE(E.find("expected a statement"), std::string::npos);
+}
+
+TEST(Parser, ErrorPositionsReported) {
+  std::string E = parseErr("main {\n  x = ;\n}");
+  EXPECT_EQ(E.substr(0, 2), "2:");
+}

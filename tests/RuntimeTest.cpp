@@ -1,0 +1,407 @@
+//===- tests/RuntimeTest.cpp - Interpreter/recorder tests ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Compile.h"
+#include "runtime/Interpreter.h"
+
+#include "trace/Consistency.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+namespace {
+
+struct Recorded {
+  Trace T;
+  RunResult R;
+};
+
+Recorded record(const std::string &Source, Scheduler *S = nullptr,
+                RunLimits Limits = RunLimits()) {
+  Recorded Out;
+  std::string Error;
+  bool Compiled = recordTrace(Source, Out.T, Out.R, Error, S, Limits);
+  EXPECT_TRUE(Compiled) << Error;
+  return Out;
+}
+
+size_t countKind(const Trace &T, EventKind K) {
+  size_t N = 0;
+  for (const Event &E : T.events())
+    N += E.Kind == K;
+  return N;
+}
+
+} // namespace
+
+TEST(Compile, ErrorUndeclaredVariable) {
+  std::string Error;
+  EXPECT_FALSE(compileSource("main { x = 1; }", Error).has_value());
+  EXPECT_NE(Error.find("undeclared"), std::string::npos);
+}
+
+TEST(Compile, ErrorArrayWithoutIndex) {
+  std::string Error;
+  EXPECT_FALSE(
+      compileSource("shared a[2]; main { a = 1; }", Error).has_value());
+}
+
+TEST(Compile, ErrorConstantIndexOutOfBounds) {
+  std::string Error;
+  EXPECT_FALSE(
+      compileSource("shared a[2]; main { a[2] = 1; }", Error).has_value());
+}
+
+TEST(Compile, ErrorSpawnMain) {
+  std::string Error;
+  EXPECT_FALSE(compileSource("main { spawn main; }", Error).has_value());
+}
+
+TEST(Compile, ErrorLocalShadowsGlobal) {
+  std::string Error;
+  EXPECT_FALSE(
+      compileSource("shared x; main { local x; }", Error).has_value());
+}
+
+TEST(Compile, ErrorUndeclaredLockAndThread) {
+  std::string Error;
+  EXPECT_FALSE(compileSource("main { lock nope; }", Error).has_value());
+  EXPECT_FALSE(compileSource("main { spawn ghost; }", Error).has_value());
+}
+
+TEST(Runtime, StraightLineComputation) {
+  Recorded R = record("shared x; main { x = 2 + 3 * 4; }");
+  EXPECT_TRUE(R.R.ok());
+  EXPECT_EQ(R.R.FinalCells.at("x"), 14);
+  // begin, write, end
+  EXPECT_EQ(R.T.size(), 3u);
+}
+
+TEST(Runtime, LocalsInvisibleInTrace) {
+  Recorded R = record("shared x; main { local a = 5; local b = a + 1; "
+                      "x = b; }");
+  EXPECT_EQ(R.R.FinalCells.at("x"), 6);
+  EXPECT_EQ(countKind(R.T, EventKind::Read), 0u);
+  EXPECT_EQ(countKind(R.T, EventKind::Write), 1u);
+}
+
+TEST(Runtime, IfEmitsBranchAndReads) {
+  Recorded R = record("shared x = 1; shared y; main { "
+                      "if (x == 1) { y = 7; } }");
+  EXPECT_EQ(R.R.FinalCells.at("y"), 7);
+  EXPECT_EQ(countKind(R.T, EventKind::Branch), 1u);
+  EXPECT_EQ(countKind(R.T, EventKind::Read), 1u);
+}
+
+TEST(Runtime, WhileLoopEmitsBranchPerIteration) {
+  Recorded R = record("shared x; main { while (x < 3) { x = x + 1; } }");
+  EXPECT_EQ(R.R.FinalCells.at("x"), 3);
+  // 4 condition evaluations -> 4 branches; reads: 4 (cond) + 3 (body).
+  EXPECT_EQ(countKind(R.T, EventKind::Branch), 4u);
+  EXPECT_EQ(countKind(R.T, EventKind::Read), 7u);
+  EXPECT_EQ(countKind(R.T, EventKind::Write), 3u);
+}
+
+TEST(Runtime, ConstantArrayIndexHasNoBranch) {
+  Recorded R = record("shared a[3]; main { a[1] = 5; a[1] = a[1] + 1; }");
+  EXPECT_EQ(R.R.FinalCells.at("a[1]"), 6);
+  EXPECT_EQ(countKind(R.T, EventKind::Branch), 0u)
+      << "constant indices need no branch events (Section 4)";
+}
+
+TEST(Runtime, DynamicArrayIndexEmitsBranch) {
+  Recorded R = record("shared a[3]; shared i = 2; main { a[i] = 9; }");
+  EXPECT_EQ(R.R.FinalCells.at("a[2]"), 9);
+  EXPECT_EQ(countKind(R.T, EventKind::Branch), 1u);
+}
+
+TEST(Runtime, ArrayCellsAreDistinctTraceVariables) {
+  Recorded R = record("shared a[2]; main { a[0] = 1; a[1] = 2; }");
+  VarId V0 = R.T.internVar("a[0]");
+  VarId V1 = R.T.internVar("a[1]");
+  EXPECT_NE(V0, V1);
+  EXPECT_EQ(R.T.accessesOf(V0).size(), 1u);
+  EXPECT_EQ(R.T.accessesOf(V1).size(), 1u);
+}
+
+TEST(Runtime, OutOfBoundsIndexIsRuntimeError) {
+  Recorded R = record("shared a[2]; shared i = 5; main { a[i] = 1; }");
+  ASSERT_EQ(R.R.Errors.size(), 1u);
+  EXPECT_NE(R.R.Errors[0].Message.find("out of bounds"), std::string::npos);
+}
+
+TEST(Runtime, DivisionByZeroIsRuntimeError) {
+  Recorded R = record("shared x = 1; shared y; main { y = x / (x - 1); }");
+  ASSERT_EQ(R.R.Errors.size(), 1u);
+  EXPECT_NE(R.R.Errors[0].Message.find("division"), std::string::npos);
+}
+
+TEST(Runtime, AssertFailureRecorded) {
+  Recorded R = record("shared x; main { assert x == 1; }");
+  ASSERT_EQ(R.R.Errors.size(), 1u);
+  EXPECT_NE(R.R.Errors[0].Message.find("assertion"), std::string::npos);
+}
+
+TEST(Runtime, ForkJoinOrder) {
+  Recorded R = record("shared x; thread t { x = 1; } "
+                      "main { spawn t; join t; assert x == 1; }");
+  EXPECT_TRUE(R.R.ok()) << (R.R.Errors.empty()
+                                ? "?"
+                                : R.R.Errors[0].Message);
+  EXPECT_EQ(countKind(R.T, EventKind::Fork), 1u);
+  EXPECT_EQ(countKind(R.T, EventKind::Join), 1u);
+  EXPECT_EQ(countKind(R.T, EventKind::Begin), 2u);
+  EXPECT_EQ(countKind(R.T, EventKind::End), 2u);
+  EXPECT_TRUE(checkConsistency(R.T, ConsistencyMode::Strict).Ok);
+}
+
+TEST(Runtime, LockMutualExclusionInTrace) {
+  Recorded R = record(R"(
+shared x; lock l;
+thread t { sync l { x = x + 1; } }
+main { spawn t; sync l { x = x + 1; } join t; assert x == 2; }
+)");
+  EXPECT_TRUE(R.R.ok());
+  ConsistencyResult C = checkConsistency(R.T, ConsistencyMode::Strict);
+  EXPECT_TRUE(C.Ok) << C.Message;
+}
+
+TEST(Runtime, ReentrantLockPairsFiltered) {
+  Recorded R = record("shared x; lock l; main { "
+                      "sync l { sync l { x = 1; } } }");
+  EXPECT_TRUE(R.R.ok());
+  EXPECT_EQ(countKind(R.T, EventKind::Acquire), 1u)
+      << "inner reentrant pair must be silent (Section 4)";
+  EXPECT_EQ(countKind(R.T, EventKind::Release), 1u);
+}
+
+TEST(Runtime, UnlockWithoutLockIsError) {
+  Recorded R = record("lock l; main { unlock l; }");
+  ASSERT_EQ(R.R.Errors.size(), 1u);
+}
+
+TEST(Runtime, DeadlockDetected) {
+  Recorded R = record(R"(
+lock a; lock b; shared x;
+thread t { lock b; x = x + 0; lock a; unlock a; unlock b; }
+main { spawn t; lock a; x = x + 0; lock b; unlock b; unlock a; }
+)");
+  EXPECT_TRUE(R.R.Deadlocked);
+}
+
+TEST(Runtime, EventLimitStopsRunawayLoop) {
+  RunLimits Limits;
+  Limits.MaxEvents = 100;
+  Recorded R = record("shared x; main { while (1 == 1) { x = 1; } }",
+                      nullptr, Limits);
+  EXPECT_TRUE(R.R.HitEventLimit);
+  EXPECT_LE(R.T.size(), 101u);
+}
+
+TEST(Runtime, VolatileAccessesFlagged) {
+  Recorded R = record("shared volatile v; main { v = 1; }");
+  bool FoundVolatileWrite = false;
+  for (const Event &E : R.T.events())
+    if (E.isWrite())
+      FoundVolatileWrite = E.Volatile;
+  EXPECT_TRUE(FoundVolatileWrite);
+}
+
+TEST(Runtime, WaitNotifyRoundTrip) {
+  Recorded R = record(R"(
+shared flag; lock l;
+thread consumer {
+  sync l {
+    while (flag == 0) { wait l; }
+  }
+}
+main {
+  spawn consumer;
+  sync l { flag = 1; notify l; }
+  join consumer;
+}
+)");
+  EXPECT_TRUE(R.R.ok()) << (R.R.Errors.empty() ? (R.R.Deadlocked ? "deadlock"
+                                                                 : "?")
+                                               : R.R.Errors[0].Message);
+  EXPECT_EQ(countKind(R.T, EventKind::Notify), 1u);
+  ConsistencyResult C = checkConsistency(R.T, ConsistencyMode::Strict);
+  EXPECT_TRUE(C.Ok) << C.Message;
+}
+
+TEST(Runtime, NotifyAllWakesEveryone) {
+  Recorded R = record(R"(
+shared flag; shared done; lock l;
+thread w1 { sync l { while (flag == 0) { wait l; } } done = done + 1; }
+thread w2 { sync l { while (flag == 0) { wait l; } } done = done + 1; }
+main {
+  spawn w1; spawn w2;
+  sync l { skip; }
+  sync l { flag = 1; notifyall l; }
+  join w1; join w2;
+}
+)");
+  // The main thread may notify before both waiters suspended; accept
+  // either full success or the run not deadlocking with done == 2.
+  EXPECT_FALSE(R.R.Deadlocked);
+  EXPECT_EQ(R.R.FinalCells.at("done"), 2);
+}
+
+TEST(Runtime, NotifyWithNoWaiterHasAuxZero) {
+  Recorded R = record("lock l; main { sync l { notify l; } }");
+  for (const Event &E : R.T.events()) {
+    if (E.Kind == EventKind::Notify) {
+      EXPECT_EQ(E.Aux, 0u);
+    }
+  }
+}
+
+TEST(Runtime, RecordedTracesAlwaysConsistent) {
+  // Random schedules over a contended program still record consistent
+  // traces (the recorder logs what actually happened).
+  const char *Source = R"(
+shared x; shared y; shared a[4]; lock l;
+thread t1 { sync l { x = x + 1; } y = 2; a[x] = y; }
+thread t2 { sync l { x = x + 2; } y = 3; a[1] = x; }
+main { spawn t1; spawn t2; join t1; join t2; }
+)";
+  for (uint64_t Seed = 0; Seed < 30; ++Seed) {
+    RandomScheduler S(Seed);
+    Trace T;
+    RunResult R;
+    std::string Error;
+    ASSERT_TRUE(recordTrace(Source, T, R, Error, &S));
+    EXPECT_FALSE(R.Deadlocked);
+    ConsistencyResult C = checkConsistency(T, ConsistencyMode::Strict);
+    EXPECT_TRUE(C.Ok) << "seed " << Seed << ": " << C.Message;
+  }
+}
+
+TEST(Runtime, ReplaySchedulerFollowsSequence) {
+  const char *Source = R"(
+shared x;
+thread t { x = 2; }
+main { spawn t; x = 1; join t; }
+)";
+  // main: begin, fork, write, join, end = tids 0,0,0,0,0
+  // t: begin, write, end = 1,1,1
+  // Interleave: main begin+fork, then all of t, then rest of main.
+  ReplayScheduler S({0, 0, 1, 1, 1, 0, 0, 0});
+  Trace T;
+  RunResult R;
+  std::string Error;
+  ASSERT_TRUE(recordTrace(Source, T, R, Error, &S));
+  EXPECT_FALSE(S.diverged());
+  ASSERT_EQ(T.size(), 8u);
+  EXPECT_EQ(T[2].Kind, EventKind::Begin);
+  EXPECT_EQ(T[2].Tid, 1u);
+  EXPECT_EQ(T[3].Kind, EventKind::Write);
+  EXPECT_EQ(T[3].Data, 2);
+  EXPECT_EQ(T[5].Kind, EventKind::Write);
+  EXPECT_EQ(T[5].Data, 1);
+  EXPECT_EQ(R.FinalCells.at("x"), 1);
+}
+
+TEST(Runtime, ReplayDivergenceDetected) {
+  const char *Source = "shared x; main { x = 1; }";
+  ReplayScheduler S({5, 5, 5}); // thread 5 never exists
+  Trace T;
+  RunResult R;
+  std::string Error;
+  ASSERT_TRUE(recordTrace(Source, T, R, Error, &S));
+  EXPECT_TRUE(S.diverged());
+}
+
+TEST(Runtime, RoundRobinQuantumInterleaves) {
+  const char *Source = R"(
+shared x;
+thread t { x = 2; x = 3; }
+main { spawn t; x = 1; x = 4; join t; }
+)";
+  RoundRobinScheduler S(2);
+  Trace T;
+  RunResult R;
+  std::string Error;
+  ASSERT_TRUE(recordTrace(Source, T, R, Error, &S));
+  EXPECT_TRUE(R.ok());
+  EXPECT_EQ(countKind(T, EventKind::Write), 4u);
+  EXPECT_TRUE(checkConsistency(T, ConsistencyMode::Strict).Ok);
+}
+
+TEST(Runtime, Figure1ProgramRecordsExpectedTrace) {
+  // The paper's Figure 1 program, scheduled to follow the paper's order.
+  const char *Source = R"(
+shared x; shared y; shared z; lock l;
+thread t2 {
+  local r1; local r2;
+  sync l { r1 = y; }
+  r2 = x;
+  if (r1 == r2) { z = 1; }
+}
+main {
+  spawn t2;
+  sync l { x = 1; y = 1; }
+  join t2;
+  local r3 = z;
+  assert r3 != 0;
+}
+)";
+  // main: begin fork acq w(x) w(y) rel | t2: begin acq r(y) rel r(x)
+  // branch w(z) end | main: join r(z) branch end
+  ReplayScheduler S({0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0});
+  Trace T;
+  RunResult R;
+  std::string Error;
+  ASSERT_TRUE(recordTrace(Source, T, R, Error, &S));
+  EXPECT_FALSE(S.diverged());
+  EXPECT_TRUE(R.Errors.empty()) << "z==1 so the assert passes";
+  EXPECT_TRUE(checkConsistency(T, ConsistencyMode::Strict).Ok);
+  TraceStats Stats = T.stats();
+  EXPECT_EQ(Stats.Threads, 2u);
+  EXPECT_EQ(Stats.Branches, 2u); // t2's if + main's assert
+  EXPECT_EQ(Stats.ReadsWrites, 6u);
+}
+
+TEST(Scheduler, RoundRobinIsDeterministic) {
+  RoundRobinScheduler A(2), B(2);
+  std::vector<ThreadId> Runnable = {0, 1, 2};
+  for (int I = 0; I < 20; ++I)
+    EXPECT_EQ(A.pick(Runnable), B.pick(Runnable));
+}
+
+TEST(Scheduler, RoundRobinHonorsQuantum) {
+  RoundRobinScheduler S(3);
+  std::vector<ThreadId> Runnable = {0, 1};
+  std::vector<ThreadId> Picks;
+  for (int I = 0; I < 6; ++I)
+    Picks.push_back(S.pick(Runnable));
+  EXPECT_EQ(Picks, (std::vector<ThreadId>{0, 0, 0, 1, 1, 1}));
+}
+
+TEST(Scheduler, RoundRobinSkipsUnrunnable) {
+  RoundRobinScheduler S(1);
+  EXPECT_EQ(S.pick({2}), 2u);
+  EXPECT_EQ(S.pick({1, 3}), 3u) << "wraps to the next id after 2";
+}
+
+TEST(Scheduler, RandomIsSeedDeterministic) {
+  RandomScheduler A(9), B(9);
+  std::vector<ThreadId> Runnable = {0, 1, 2, 3};
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(A.pick(Runnable), B.pick(Runnable));
+}
+
+TEST(Scheduler, ReplayReportsPositionAndDivergence) {
+  ReplayScheduler S({1, 0, 1});
+  EXPECT_EQ(S.pick({0, 1}), 1u);
+  EXPECT_EQ(S.position(), 1u);
+  EXPECT_EQ(S.pick({0, 1}), 0u);
+  EXPECT_FALSE(S.diverged());
+  EXPECT_EQ(S.pick({0}), 0u) << "wanted 1, must fall back";
+  EXPECT_TRUE(S.diverged());
+  EXPECT_EQ(S.pick({0}), 0u) << "past the sequence end";
+}

@@ -1,0 +1,234 @@
+//===- tests/SatTest.cpp - CDCL SAT solver tests ---------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+namespace {
+
+/// Brute-force satisfiability for cross-checking (up to ~20 vars).
+bool bruteForceSat(uint32_t NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask < (1ULL << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const auto &Clause : Clauses) {
+      bool ClauseSat = false;
+      for (Lit L : Clause) {
+        bool Value = (Mask >> L.var()) & 1;
+        if (Value != L.sign()) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(Sat, EmptyProblemIsSat) {
+  SatSolver S;
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(Sat, SingleUnit) {
+  SatSolver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(V)}));
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(V));
+}
+
+TEST(Sat, ContradictoryUnitsUnsat) {
+  SatSolver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(V)}));
+  EXPECT_FALSE(S.addClause({Lit::neg(V)}));
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, TautologyIgnored) {
+  SatSolver S;
+  Var V = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(V), Lit::neg(V)}));
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(Sat, SimpleImplicationChain) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  // A, A->B, B->C, so C must be true.
+  S.addClause({Lit::pos(A)});
+  S.addClause({Lit::neg(A), Lit::pos(B)});
+  S.addClause({Lit::neg(B), Lit::pos(C)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(Sat, XorChainSat) {
+  // (a xor b) and (b xor c): satisfiable.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({Lit::pos(A), Lit::pos(B)});
+  S.addClause({Lit::neg(A), Lit::neg(B)});
+  S.addClause({Lit::pos(B), Lit::pos(C)});
+  S.addClause({Lit::neg(B), Lit::neg(C)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_NE(S.modelValue(A), S.modelValue(B));
+  EXPECT_NE(S.modelValue(B), S.modelValue(C));
+}
+
+TEST(Sat, PigeonHole3Into2Unsat) {
+  // 3 pigeons, 2 holes: var p*2+h means pigeon p in hole h.
+  SatSolver S;
+  Var V[3][2];
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  for (int P = 0; P < 3; ++P)
+    S.addClause({Lit::pos(V[P][0]), Lit::pos(V[P][1])});
+  for (int H = 0; H < 2; ++H)
+    for (int P1 = 0; P1 < 3; ++P1)
+      for (int P2 = P1 + 1; P2 < 3; ++P2)
+        S.addClause({Lit::neg(V[P1][H]), Lit::neg(V[P2][H])});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, PigeonHole5Into4Unsat) {
+  SatSolver S;
+  constexpr int P = 5, H = 4;
+  Var V[P][H];
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> Clause;
+    for (int J = 0; J < H; ++J)
+      Clause.push_back(Lit::pos(V[I][J]));
+    S.addClause(Clause);
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I1 = 0; I1 < P; ++I1)
+      for (int I2 = I1 + 1; I2 < P; ++I2)
+        S.addClause({Lit::neg(V[I1][J]), Lit::neg(V[I2][J])});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, ModelSatisfiesAllClauses) {
+  Rng R(42);
+  SatSolver S;
+  constexpr uint32_t NumVars = 30;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    S.newVar();
+  std::vector<std::vector<Lit>> Clauses;
+  for (int I = 0; I < 80; ++I) {
+    std::vector<Lit> Clause;
+    for (int K = 0; K < 3; ++K) {
+      Var V = static_cast<Var>(R.below(NumVars));
+      Clause.push_back(R.chance(1, 2) ? Lit::pos(V) : Lit::neg(V));
+    }
+    Clauses.push_back(Clause);
+    S.addClause(Clause);
+  }
+  if (S.solve() != SatResult::Sat)
+    GTEST_SKIP() << "random instance unsat; model check not applicable";
+  for (const auto &Clause : Clauses) {
+    bool Satisfied = false;
+    for (Lit L : Clause)
+      Satisfied |= S.modelValue(L.var()) != L.sign();
+    EXPECT_TRUE(Satisfied);
+  }
+}
+
+TEST(Sat, DeadlineReturnsUnknown) {
+  // A hard pigeonhole instance with a ~zero budget must time out cleanly.
+  SatSolver S;
+  constexpr int P = 9, H = 8;
+  std::vector<std::vector<Var>> V(P, std::vector<Var>(H));
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> Clause;
+    for (int J = 0; J < H; ++J)
+      Clause.push_back(Lit::pos(V[I][J]));
+    S.addClause(Clause);
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I1 = 0; I1 < P; ++I1)
+      for (int I2 = I1 + 1; I2 < P; ++I2)
+        S.addClause({Lit::neg(V[I1][J]), Lit::neg(V[I2][J])});
+  EXPECT_EQ(S.solve(Deadline::after(1e-6)), SatResult::Unknown);
+  // The solver remains usable afterwards with a real budget.
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, ResolveAfterSatKeepsWorking) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause({Lit::pos(A), Lit::pos(B)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  // Adding a clause after a Sat answer requires returning to the root.
+  S.backtrackToRoot();
+  S.addClause({Lit::neg(A)});
+  ASSERT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  S.backtrackToRoot();
+  S.addClause({Lit::neg(B)});
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+// Property sweep: random 3-SAT instances cross-checked against brute force.
+class SatRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  Rng R(GetParam());
+  uint32_t NumVars = 6 + static_cast<uint32_t>(R.below(7)); // 6..12
+  uint32_t NumClauses = NumVars * 3 + static_cast<uint32_t>(R.below(20));
+  std::vector<std::vector<Lit>> Clauses;
+  SatSolver S;
+  for (uint32_t I = 0; I < NumVars; ++I)
+    S.newVar();
+  bool AddedOk = true;
+  for (uint32_t I = 0; I < NumClauses; ++I) {
+    std::vector<Lit> Clause;
+    uint32_t Width = 1 + static_cast<uint32_t>(R.below(3));
+    for (uint32_t K = 0; K < Width; ++K) {
+      Var V = static_cast<Var>(R.below(NumVars));
+      Clause.push_back(R.chance(1, 2) ? Lit::pos(V) : Lit::neg(V));
+    }
+    Clauses.push_back(Clause);
+    AddedOk = S.addClause(Clause) && AddedOk;
+  }
+  bool Expected = bruteForceSat(NumVars, Clauses);
+  SatResult Got = AddedOk ? S.solve() : SatResult::Unsat;
+  EXPECT_EQ(Got == SatResult::Sat, Expected) << "seed " << GetParam();
+  if (Got == SatResult::Sat) {
+    for (const auto &Clause : Clauses) {
+      bool Satisfied = false;
+      for (Lit L : Clause)
+        Satisfied |= S.modelValue(L.var()) != L.sign();
+      EXPECT_TRUE(Satisfied) << "model violates a clause, seed "
+                             << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SatRandomTest,
+                         ::testing::Range<uint64_t>(0, 60));

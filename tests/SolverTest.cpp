@@ -1,0 +1,189 @@
+//===- tests/SolverTest.cpp - IDL solver + Z3 cross-validation -------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+namespace {
+
+/// Evaluates a formula under an order model (atoms become integer
+/// comparisons). Missing variables make the atom false.
+bool evaluate(const FormulaBuilder &FB, NodeRef Root,
+              const OrderModel &Model) {
+  const FormulaNode &N = FB.node(Root);
+  switch (N.Kind) {
+  case FormulaKind::True:
+    return true;
+  case FormulaKind::False:
+    return false;
+  case FormulaKind::Atom: {
+    auto A = Model.find(N.VarA);
+    auto B = Model.find(N.VarB);
+    if (A == Model.end() || B == Model.end())
+      return false;
+    return A->second < B->second;
+  }
+  case FormulaKind::BoolVar:
+    // Order models carry no boolean assignments; these tests do not build
+    // boolean variables.
+    return false;
+  case FormulaKind::And:
+    for (const NodeRef *C = FB.childBegin(Root), *E = FB.childEnd(Root);
+         C != E; ++C)
+      if (!evaluate(FB, *C, Model))
+        return false;
+    return true;
+  case FormulaKind::Or:
+    for (const NodeRef *C = FB.childBegin(Root), *E = FB.childEnd(Root);
+         C != E; ++C)
+      if (evaluate(FB, *C, Model))
+        return true;
+    return false;
+  }
+  return false;
+}
+
+/// Builds a random order formula over \p NumVars variables.
+NodeRef randomFormula(FormulaBuilder &FB, Rng &R, uint32_t NumVars,
+                      uint32_t Depth) {
+  if (Depth == 0 || R.chance(1, 3)) {
+    OrderVar A = static_cast<OrderVar>(R.below(NumVars));
+    OrderVar B = static_cast<OrderVar>(R.below(NumVars));
+    if (A == B)
+      B = (B + 1) % NumVars;
+    return FB.mkAtom(A, B);
+  }
+  uint32_t Width = 2 + static_cast<uint32_t>(R.below(3));
+  std::vector<NodeRef> Kids;
+  for (uint32_t I = 0; I < Width; ++I)
+    Kids.push_back(randomFormula(FB, R, NumVars, Depth - 1));
+  return R.chance(1, 2) ? FB.mkAnd(std::move(Kids))
+                        : FB.mkOr(std::move(Kids));
+}
+
+} // namespace
+
+TEST(IdlSolver, TrivialConstants) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  EXPECT_EQ(S->solve(FB, FB.mkTrue(), Deadline(), nullptr), SatResult::Sat);
+  EXPECT_EQ(S->solve(FB, FB.mkFalse(), Deadline(), nullptr),
+            SatResult::Unsat);
+}
+
+TEST(IdlSolver, SingleAtomSat) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  OrderModel Model;
+  NodeRef F = FB.mkAtom(1, 2);
+  ASSERT_EQ(S->solve(FB, F, Deadline(), &Model), SatResult::Sat);
+  EXPECT_LT(Model.at(1), Model.at(2));
+}
+
+TEST(IdlSolver, CycleUnsat) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  NodeRef F = FB.mkAnd({FB.mkAtom(1, 2), FB.mkAtom(2, 3), FB.mkAtom(3, 1)});
+  EXPECT_EQ(S->solve(FB, F, Deadline(), nullptr), SatResult::Unsat);
+}
+
+TEST(IdlSolver, DisjunctionPicksConsistentBranch) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  // 1<2 & 2<3 & (3<1 | 1<3): only the second disjunct works.
+  NodeRef F = FB.mkAnd({FB.mkAtom(1, 2), FB.mkAtom(2, 3),
+                        FB.mkOr({FB.mkAtom(3, 1), FB.mkAtom(1, 3)})});
+  OrderModel Model;
+  ASSERT_EQ(S->solve(FB, F, Deadline(), &Model), SatResult::Sat);
+  EXPECT_TRUE(evaluate(FB, F, Model));
+}
+
+TEST(IdlSolver, LockStyleDisjunctionBothOrders) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  // Classic lock constraint shape: (r1<a2 | r2<a1).
+  NodeRef F = FB.mkOr({FB.mkAtom(2, 3), FB.mkAtom(4, 1)});
+  OrderModel Model;
+  ASSERT_EQ(S->solve(FB, F, Deadline(), &Model), SatResult::Sat);
+  EXPECT_TRUE(evaluate(FB, F, Model));
+}
+
+TEST(IdlSolver, DeepConjunctionChain) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  std::vector<NodeRef> Atoms;
+  for (OrderVar I = 0; I < 500; ++I)
+    Atoms.push_back(FB.mkAtom(I, I + 1));
+  OrderModel Model;
+  ASSERT_EQ(S->solve(FB, FB.mkAnd(Atoms), Deadline(), &Model),
+            SatResult::Sat);
+  for (OrderVar I = 0; I < 500; ++I)
+    EXPECT_LT(Model.at(I), Model.at(I + 1));
+}
+
+TEST(IdlSolver, ChainPlusBackEdgeUnsat) {
+  FormulaBuilder FB;
+  auto S = createIdlSolver();
+  std::vector<NodeRef> Atoms;
+  for (OrderVar I = 0; I < 200; ++I)
+    Atoms.push_back(FB.mkAtom(I, I + 1));
+  Atoms.push_back(FB.mkAtom(200, 0));
+  EXPECT_EQ(S->solve(FB, FB.mkAnd(Atoms), Deadline(), nullptr),
+            SatResult::Unsat);
+}
+
+TEST(IdlSolver, ModelSatisfiesFormula) {
+  Rng R(2024);
+  for (int Round = 0; Round < 20; ++Round) {
+    FormulaBuilder FB;
+    NodeRef F = randomFormula(FB, R, 8, 3);
+    auto S = createIdlSolver();
+    OrderModel Model;
+    SatResult Result = S->solve(FB, F, Deadline(), &Model);
+    if (Result == SatResult::Sat && FB.node(F).Kind != FormulaKind::True) {
+      EXPECT_TRUE(evaluate(FB, F, Model)) << FB.toString(F);
+    }
+  }
+}
+
+// Cross-validation sweep: the in-tree CDCL(T) solver and Z3 must agree on
+// satisfiability of random order formulas.
+class SolverCrossTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverCrossTest, IdlAgreesWithZ3) {
+  auto Z3 = createZ3Solver();
+  if (!Z3)
+    GTEST_SKIP() << "Z3 backend not built";
+  Rng R(GetParam());
+  FormulaBuilder FB;
+  NodeRef F = randomFormula(FB, R, 6 + R.below(6), 3);
+  auto Idl = createIdlSolver();
+  OrderModel IdlModel, Z3Model;
+  SatResult IdlResult = Idl->solve(FB, F, Deadline(), &IdlModel);
+  SatResult Z3Result = Z3->solve(FB, F, Deadline(), &Z3Model);
+  ASSERT_NE(IdlResult, SatResult::Unknown);
+  ASSERT_NE(Z3Result, SatResult::Unknown);
+  EXPECT_EQ(IdlResult, Z3Result) << "seed " << GetParam() << "\n"
+                                 << FB.toString(F);
+  if (IdlResult == SatResult::Sat && FB.node(F).Kind != FormulaKind::True) {
+    EXPECT_TRUE(evaluate(FB, F, IdlModel));
+    EXPECT_TRUE(evaluate(FB, F, Z3Model));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SolverCrossTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+TEST(SolverFactory, ByName) {
+  EXPECT_NE(createSolverByName("idl"), nullptr);
+  EXPECT_NE(createSolverByName(""), nullptr);
+  EXPECT_EQ(createSolverByName("nonsense"), nullptr);
+}

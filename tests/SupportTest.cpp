@@ -1,0 +1,165 @@
+//===- tests/SupportTest.cpp - Unit tests for src/support ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Random.h"
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace rvp;
+
+TEST(StringUtils, SplitKeepsEmptyFields) {
+  auto Fields = split("a,,b,", ',');
+  ASSERT_EQ(Fields.size(), 4u);
+  EXPECT_EQ(Fields[0], "a");
+  EXPECT_EQ(Fields[1], "");
+  EXPECT_EQ(Fields[2], "b");
+  EXPECT_EQ(Fields[3], "");
+}
+
+TEST(StringUtils, SplitSingleField) {
+  auto Fields = split("abc", ',');
+  ASSERT_EQ(Fields.size(), 1u);
+  EXPECT_EQ(Fields[0], "abc");
+}
+
+TEST(StringUtils, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(StringUtils, ParseIntValid) {
+  int64_t V = 0;
+  EXPECT_TRUE(parseInt("42", V));
+  EXPECT_EQ(V, 42);
+  EXPECT_TRUE(parseInt("-7", V));
+  EXPECT_EQ(V, -7);
+  EXPECT_TRUE(parseInt(" 10 ", V));
+  EXPECT_EQ(V, 10);
+  EXPECT_TRUE(parseInt("9223372036854775807", V));
+  EXPECT_EQ(V, INT64_MAX);
+  EXPECT_TRUE(parseInt("-9223372036854775808", V));
+  EXPECT_EQ(V, INT64_MIN);
+}
+
+TEST(StringUtils, ParseIntInvalid) {
+  int64_t V = 0;
+  EXPECT_FALSE(parseInt("", V));
+  EXPECT_FALSE(parseInt("x", V));
+  EXPECT_FALSE(parseInt("1 2", V));
+  EXPECT_FALSE(parseInt("12a", V));
+  EXPECT_FALSE(parseInt("9223372036854775808", V)); // overflow
+  EXPECT_FALSE(parseInt("-9223372036854775809", V));
+  EXPECT_FALSE(parseInt("-", V));
+}
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(Random, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  bool AnyDifferent = false;
+  for (int I = 0; I < 10; ++I)
+    AnyDifferent |= A.next() != B.next();
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(Random, BelowInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.below(13), 13u);
+}
+
+TEST(Random, RangeInclusive) {
+  Rng R(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.range(-2, 2);
+    EXPECT_GE(V, -2);
+    EXPECT_LE(V, 2);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 5u) << "all values of a small range should appear";
+}
+
+TEST(Random, ChanceExtremes) {
+  Rng R(11);
+  for (int I = 0; I < 50; ++I) {
+    EXPECT_TRUE(R.chance(1, 1));
+    EXPECT_FALSE(R.chance(0, 1));
+  }
+}
+
+TEST(Timer, DeadlineNeverExpiresByDefault) {
+  Deadline D;
+  EXPECT_FALSE(D.expired());
+  EXPECT_LT(D.remainingSeconds(), 0);
+}
+
+TEST(Timer, DeadlineExpires) {
+  Deadline D = Deadline::after(0.0001);
+  Timer T;
+  while (!D.expired() && T.seconds() < 1.0) {
+  }
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remainingSeconds(), 0.0);
+}
+
+TEST(CommandLine, ParsesForms) {
+  OptionParser P("test");
+  P.addOption("alpha", "help");
+  P.addOption("beta", "help");
+  P.addOption("flag", "help");
+  const char *Argv[] = {"prog", "--alpha=3", "--beta=4", "--flag", "pos"};
+  ASSERT_TRUE(P.parse(5, Argv));
+  EXPECT_EQ(P.getInt("alpha", 0), 3);
+  EXPECT_EQ(P.getInt("beta", 0), 4);
+  EXPECT_TRUE(P.getBool("flag"));
+  ASSERT_EQ(P.positional().size(), 1u);
+  EXPECT_EQ(P.positional()[0], "pos");
+}
+
+TEST(CommandLine, UnknownOptionRejected) {
+  OptionParser P("test");
+  const char *Argv[] = {"prog", "--nope"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(CommandLine, DefaultsWhenAbsent) {
+  OptionParser P("test");
+  P.addOption("x", "help");
+  const char *Argv[] = {"prog"};
+  ASSERT_TRUE(P.parse(1, Argv));
+  EXPECT_FALSE(P.hasOption("x"));
+  EXPECT_EQ(P.getInt("x", 99), 99);
+  EXPECT_EQ(P.getString("x", "d"), "d");
+  EXPECT_DOUBLE_EQ(P.getDouble("x", 1.5), 1.5);
+}

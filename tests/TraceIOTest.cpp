@@ -1,0 +1,102 @@
+//===- tests/TraceIOTest.cpp - Trace text format tests ---------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(TraceIO, RoundTrip) {
+  TraceBuilder B;
+  B.fork("t1", "t2", "L1");
+  B.begin("t2", "L2");
+  B.write("t2", "x", 3, "L3");
+  B.acquire("t1", "lock", "L4");
+  B.read("t1", "x", 3, "L5", /*IsVolatile=*/true);
+  B.release("t1", "lock", "L6");
+  B.branch("t1", "L7");
+  B.end("t2", "L8");
+  B.join("t1", "t2", "L9");
+  Trace T = B.build();
+
+  std::string Text = writeTraceText(T);
+  std::string Error;
+  auto Parsed = parseTraceText(Text, Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  ASSERT_EQ(Parsed->size(), T.size());
+  for (EventId Id = 0; Id < T.size(); ++Id) {
+    const Event &A = T[Id];
+    const Event &B2 = (*Parsed)[Id];
+    EXPECT_EQ(A.Kind, B2.Kind) << "event " << Id;
+    EXPECT_EQ(A.Data, B2.Data) << "event " << Id;
+    EXPECT_EQ(A.Volatile, B2.Volatile) << "event " << Id;
+    EXPECT_EQ(T.threadName(A.Tid), Parsed->threadName(B2.Tid));
+    EXPECT_EQ(T.locName(A.Loc), Parsed->locName(B2.Loc));
+  }
+}
+
+TEST(TraceIO, RoundTripWaitNotify) {
+  TraceBuilder B;
+  B.acquire("t1", "l");
+  B.waitSuspend("t1", "l", 5);
+  B.acquire("t2", "l");
+  B.notify("t2", "l", 5);
+  B.release("t2", "l");
+  B.waitResume("t1", "l", 5);
+  B.release("t1", "l");
+  Trace T = B.build();
+  std::string Error;
+  auto Parsed = parseTraceText(writeTraceText(T), Error);
+  ASSERT_TRUE(Parsed.has_value()) << Error;
+  EXPECT_EQ((*Parsed)[1].Aux, 5u);
+  EXPECT_EQ((*Parsed)[3].Aux, 5u);
+  EXPECT_EQ(Parsed->notifyOfMatch(5), 3u);
+}
+
+TEST(TraceIO, ParsesCommentsAndBlankLines) {
+  std::string Error;
+  auto T = parseTraceText("# header\n\nwrite t1 x 1\n  \nread t2 x 1\n",
+                          Error);
+  ASSERT_TRUE(T.has_value()) << Error;
+  EXPECT_EQ(T->size(), 2u);
+}
+
+TEST(TraceIO, RejectsUnknownKind) {
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("frobnicate t1 x", Error).has_value());
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceIO, RejectsArityErrors) {
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("write t1 x", Error).has_value());
+  EXPECT_FALSE(parseTraceText("read t1 x 1 2", Error).has_value());
+  EXPECT_FALSE(parseTraceText("branch", Error).has_value());
+  EXPECT_FALSE(parseTraceText("acquire t1", Error).has_value());
+}
+
+TEST(TraceIO, RejectsMalformedValue) {
+  std::string Error;
+  EXPECT_FALSE(parseTraceText("write t1 x abc", Error).has_value());
+  EXPECT_FALSE(parseTraceText("write t1 x 1 match=zz", Error).has_value());
+}
+
+TEST(TraceIO, SpanSerialization) {
+  TraceBuilder B;
+  B.write("t1", "x", 1);
+  B.write("t1", "x", 2);
+  B.write("t1", "x", 3);
+  Trace T = B.build();
+  std::string Text = writeTraceText(T, {1, 2});
+  std::string Error;
+  auto Parsed = parseTraceText(Text, Error);
+  ASSERT_TRUE(Parsed.has_value());
+  ASSERT_EQ(Parsed->size(), 1u);
+  EXPECT_EQ((*Parsed)[0].Data, 2);
+}

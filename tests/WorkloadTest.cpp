@@ -1,0 +1,231 @@
+//===- tests/WorkloadTest.cpp - Workload generator tests --------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Catalog.h"
+#include "workloads/Fuzzer.h"
+#include "workloads/Programs.h"
+#include "workloads/Synthetic.h"
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "detect/Detect.h"
+#include "runtime/Compile.h"
+#include "runtime/Interpreter.h"
+#include "trace/Consistency.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(Programs, AllCompile) {
+  for (const std::string &Source :
+       {figure1Program(), criticalProgram(), accountProgram(),
+        airlineProgram(), pingpongProgram(), boundedBufferProgram(),
+        bubblesortProgram(), bufwriterProgram(), mergesortProgram(),
+        moldynProgram(), montecarloProgram(), raytracerProgram()}) {
+    std::string Error;
+    EXPECT_TRUE(compileSource(Source, Error).has_value()) << Error;
+  }
+}
+
+TEST(Programs, AllRunCleanlyAndRecordConsistentTraces) {
+  for (const BenchmarkCase &Case : table1Benchmarks()) {
+    if (Case.CaseKind != BenchmarkCase::Kind::Program)
+      continue;
+    Trace T;
+    std::string Error;
+    ASSERT_TRUE(benchmarkTrace(Case, T, Error)) << Case.Name << ": "
+                                                << Error;
+    ConsistencyResult C = checkConsistency(T, ConsistencyMode::Strict);
+    EXPECT_TRUE(C.Ok) << Case.Name << ": " << C.Message;
+    EXPECT_GT(T.size(), 10u) << Case.Name;
+  }
+}
+
+TEST(Programs, MergesortHasNoRaces) {
+  auto Case = findBenchmark("mergesort");
+  ASSERT_TRUE(Case.has_value());
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(benchmarkTrace(*Case, T, Error)) << Error;
+  DetectionResult R = detectRaces(T, Technique::Maximal);
+  EXPECT_EQ(R.raceCount(), 0u) << "mergesort is fully fork/join ordered";
+}
+
+TEST(Programs, ExampleReproducesFigure1Race) {
+  auto Case = findBenchmark("example");
+  ASSERT_TRUE(Case.has_value());
+  Trace T;
+  std::string Error;
+  ASSERT_TRUE(benchmarkTrace(*Case, T, Error)) << Error;
+  DetectionResult Rv = detectRaces(T, Technique::Maximal);
+  EXPECT_EQ(Rv.raceCount(), 1u);
+  EXPECT_EQ(detectRaces(T, Technique::Hb).raceCount(), 0u);
+  EXPECT_EQ(detectRaces(T, Technique::Cp).raceCount(), 0u);
+  EXPECT_EQ(detectRaces(T, Technique::Said).raceCount(), 0u);
+}
+
+TEST(Programs, RacyContestBenchmarksHaveRaces) {
+  for (const char *Name : {"critical", "account", "pingpong", "airline"}) {
+    auto Case = findBenchmark(Name);
+    ASSERT_TRUE(Case.has_value()) << Name;
+    Trace T;
+    std::string Error;
+    ASSERT_TRUE(benchmarkTrace(*Case, T, Error)) << Name << ": " << Error;
+    DetectionResult R = detectRaces(T, Technique::Maximal);
+    EXPECT_GT(R.raceCount(), 0u) << Name;
+  }
+}
+
+TEST(Synthetic, SmallSpecProducesExactCounts) {
+  SyntheticSpec Spec;
+  Spec.Name = "unit";
+  Spec.Workers = 4;
+  Spec.TargetEvents = 1500;
+  Spec.PlainRaces = 2;
+  Spec.CpOnlyRaces = 2;
+  Spec.SaidOnlyRaces = 2;
+  Spec.HbNotSaidRaces = 2;
+  Spec.RvOnlyRaces = 2;
+  Spec.QcOnlyPairs = 2;
+  Spec.OrderedPairs = 2;
+  Spec.Seed = 42;
+  Trace T = generateSynthetic(Spec);
+
+  ConsistencyResult C = checkConsistency(T, ConsistencyMode::Strict);
+  ASSERT_TRUE(C.Ok) << C.Message;
+
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  EXPECT_EQ(detectRaces(T, Technique::Hb, Options).raceCount(),
+            Spec.expectedHb());
+  EXPECT_EQ(detectRaces(T, Technique::Cp, Options).raceCount(),
+            Spec.expectedCp());
+  EXPECT_EQ(detectRaces(T, Technique::Said, Options).raceCount(),
+            Spec.expectedSaid());
+  DetectionResult Rv = detectRaces(T, Technique::Maximal, Options);
+  EXPECT_EQ(Rv.raceCount(), Spec.expectedRv());
+  EXPECT_EQ(Rv.Stats.QcPassed, Spec.expectedQc());
+  for (const RaceReport &Race : Rv.Races)
+    EXPECT_TRUE(Race.WitnessValid) << Race.LocFirst << "," << Race.LocSecond;
+}
+
+TEST(Synthetic, ExtensionPatternsProduceExactCounts) {
+  SyntheticSpec Spec;
+  Spec.Name = "ext-unit";
+  Spec.Workers = 6;
+  Spec.TargetEvents = 2000;
+  Spec.AtomicityPairs = 3;
+  Spec.DeadlockCycles = 2;
+  Spec.PlainRaces = 1;
+  Spec.Seed = 77;
+  Trace T = generateSynthetic(Spec);
+  ASSERT_TRUE(checkConsistency(T, ConsistencyMode::Strict).Ok);
+
+  AtomicityResult Atom = detectAtomicityViolations(T);
+  EXPECT_EQ(Atom.Violations.size(), Spec.expectedAtomicity());
+  for (const AtomicityReport &V : Atom.Violations)
+    EXPECT_TRUE(V.WitnessValid);
+
+  DeadlockResult Dl = detectDeadlocks(T);
+  EXPECT_EQ(Dl.Deadlocks.size(), Spec.expectedDeadlocks());
+  for (const DeadlockReport &D : Dl.Deadlocks)
+    EXPECT_TRUE(D.WitnessValid);
+
+  // The atomicity pairs also contribute their two race signatures each.
+  DetectionResult Races = detectRaces(T, Technique::Maximal);
+  EXPECT_EQ(Races.raceCount(), Spec.expectedRv());
+}
+
+TEST(Synthetic, SeedChangesInterleavingNotCounts) {
+  SyntheticSpec Spec;
+  Spec.Workers = 3;
+  Spec.TargetEvents = 800;
+  Spec.PlainRaces = 1;
+  Spec.RvOnlyRaces = 1;
+  for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+    Spec.Seed = Seed;
+    Trace T = generateSynthetic(Spec);
+    ASSERT_TRUE(checkConsistency(T, ConsistencyMode::Strict).Ok)
+        << "seed " << Seed;
+    DetectionResult R = detectRaces(T, Technique::Maximal);
+    EXPECT_EQ(R.raceCount(), Spec.expectedRv()) << "seed " << Seed;
+  }
+}
+
+TEST(Synthetic, TargetSizeRoughlyHonored) {
+  SyntheticSpec Spec;
+  Spec.TargetEvents = 5000;
+  Spec.PlainRaces = 1;
+  Trace T = generateSynthetic(Spec);
+  EXPECT_GE(T.size(), 4800u);
+  EXPECT_LE(T.size(), 6000u);
+}
+
+TEST(Synthetic, RealSystemSpecsAreConsistent) {
+  for (const SyntheticSpec &Spec : realSystemSpecs()) {
+    SyntheticSpec Small = Spec;
+    Small.TargetEvents = 3000; // downscaled structural check
+    Trace T = generateSynthetic(Small);
+    ConsistencyResult C = checkConsistency(T, ConsistencyMode::Strict);
+    EXPECT_TRUE(C.Ok) << Spec.Name << ": " << C.Message;
+    TraceStats Stats = T.stats();
+    EXPECT_EQ(Stats.Threads, Spec.Workers + 1) << Spec.Name;
+    EXPECT_GT(Stats.Branches, 0u) << Spec.Name;
+    EXPECT_GT(Stats.Syncs, 0u) << Spec.Name;
+  }
+}
+
+TEST(Synthetic, PaperCalibration) {
+  // The per-technique totals across the seven real-system rows keep the
+  // paper's shape: HB < CP << Said << RV, with RV = 299 exactly.
+  uint32_t Hb = 0, Cp = 0, Said = 0, Rv = 0;
+  for (const SyntheticSpec &Spec : realSystemSpecs()) {
+    Hb += Spec.expectedHb();
+    Cp += Spec.expectedCp();
+    Said += Spec.expectedSaid();
+    Rv += Spec.expectedRv();
+  }
+  EXPECT_EQ(Hb, 68u);
+  EXPECT_EQ(Cp, 76u);
+  EXPECT_EQ(Rv, 299u);
+  EXPECT_GT(Said, Cp);
+  EXPECT_LT(Said, Rv);
+  // The ftpserver inversion: Said far below HB.
+  SyntheticSpec Ftp = realSystemSpec("ftpserver");
+  EXPECT_LT(Ftp.expectedSaid(), Ftp.expectedHb());
+  // Derby shows the largest RV gap.
+  SyntheticSpec Derby = realSystemSpec("derby");
+  EXPECT_GT(Derby.expectedRv(),
+            static_cast<uint32_t>(5) * Derby.expectedSaid());
+}
+
+TEST(Catalog, AllRowsResolve) {
+  std::vector<BenchmarkCase> Cases = table1Benchmarks();
+  EXPECT_EQ(Cases.size(), 19u);
+  EXPECT_FALSE(findBenchmark("nonexistent").has_value());
+  EXPECT_TRUE(findBenchmark("derby").has_value());
+}
+
+TEST(Fuzzer, GeneratedProgramsCompileAndTerminate) {
+  for (uint64_t Seed = 0; Seed < 25; ++Seed) {
+    std::string Source = fuzzProgram(Seed);
+    std::string Error;
+    auto Compiled = compileSource(Source, Error);
+    ASSERT_TRUE(Compiled.has_value())
+        << "seed " << Seed << ": " << Error << "\n" << Source;
+    Trace T;
+    RunResult Result;
+    RandomScheduler S(Seed);
+    RunLimits Limits;
+    Limits.MaxEvents = 50000;
+    ASSERT_TRUE(recordTrace(Source, T, Result, Error, &S, Limits));
+    EXPECT_FALSE(Result.Deadlocked) << "seed " << Seed << "\n" << Source;
+    EXPECT_FALSE(Result.HitEventLimit) << "seed " << Seed << "\n" << Source;
+    ConsistencyResult C = checkConsistency(T, ConsistencyMode::Strict);
+    EXPECT_TRUE(C.Ok) << "seed " << Seed << ": " << C.Message;
+  }
+}

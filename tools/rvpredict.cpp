@@ -1,0 +1,292 @@
+//===- tools/rvpredict.cpp - Command-line driver ------------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The end-user tool: record MiniRV executions, predict races from traces,
+/// and replay witnesses.
+///
+///   rvpredict record  <prog.rv> [--seed=N] [--schedule=rr|random]
+///                     [--out=trace.txt]
+///   rvpredict detect  <trace.txt|prog.rv> [--technique=rv|said|cp|hb]
+///                     [--property=race|atomicity|deadlock] [--window=N]
+///                     [--solver=idl|z3] [--budget=S] [--witness] [--stats]
+///   rvpredict replay  <prog.rv> --trace=trace.txt
+///                     (re-runs the program following the trace's schedule)
+///   rvpredict fuzz    [--seed=N]   (prints a random program)
+///
+/// Inputs ending in `.rv` are treated as MiniRV programs (recorded on the
+/// fly); anything else is parsed as a trace in the text format.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "detect/Detect.h"
+#include "runtime/Interpreter.h"
+#include "support/CommandLine.h"
+#include "trace/Consistency.h"
+#include "trace/TraceIO.h"
+#include "workloads/Fuzzer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace rvp;
+
+namespace {
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+bool endsWith(const std::string &S, const std::string &Suffix) {
+  return S.size() >= Suffix.size() &&
+         S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
+}
+
+/// Loads a trace from a program (recording it) or a trace file.
+bool loadTrace(const std::string &Path, const OptionParser &Options,
+               Trace &T) {
+  std::string Content;
+  if (!readFile(Path, Content)) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  if (endsWith(Path, ".rv")) {
+    RunResult Run;
+    std::string Error;
+    uint64_t Seed = Options.getInt("seed", 1);
+    RoundRobinScheduler RoundRobin(3);
+    RandomScheduler Random(Seed);
+    Scheduler *S = Options.getString("schedule", "random") == "rr"
+                       ? static_cast<Scheduler *>(&RoundRobin)
+                       : &Random;
+    if (!recordTrace(Content, T, Run, Error, S)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return false;
+    }
+    if (Run.Deadlocked)
+      std::fprintf(stderr, "warning: the recorded execution deadlocked\n");
+    return true;
+  }
+  std::string Error;
+  auto Parsed = parseTraceText(Content, Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    return false;
+  }
+  T = std::move(*Parsed);
+  return true;
+}
+
+int cmdRecord(const OptionParser &Options) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "usage: rvpredict record <prog.rv>\n");
+    return 1;
+  }
+  Trace T;
+  if (!loadTrace(Options.positional()[1], Options, T))
+    return 1;
+  std::string Text = writeTraceText(T);
+  std::string Out = Options.getString("out", "");
+  if (Out.empty()) {
+    std::fputs(Text.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Out);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+    return 1;
+  }
+  File << Text;
+  std::printf("wrote %llu events to %s\n",
+              static_cast<unsigned long long>(T.size()), Out.c_str());
+  return 0;
+}
+
+Technique parseTechnique(const std::string &Name) {
+  if (Name == "hb")
+    return Technique::Hb;
+  if (Name == "cp")
+    return Technique::Cp;
+  if (Name == "said")
+    return Technique::Said;
+  return Technique::Maximal;
+}
+
+int cmdDetect(const OptionParser &Options) {
+  if (Options.positional().size() < 2) {
+    std::fprintf(stderr, "usage: rvpredict detect <trace.txt|prog.rv>\n");
+    return 1;
+  }
+  Trace T;
+  if (!loadTrace(Options.positional()[1], Options, T))
+    return 1;
+
+  ConsistencyResult C = checkConsistency(T, ConsistencyMode::Fragment);
+  if (!C.Ok) {
+    std::fprintf(stderr, "error: inconsistent input trace: %s\n",
+                 C.Message.c_str());
+    return 1;
+  }
+
+  DetectorOptions Detect;
+  Detect.WindowSize = static_cast<uint32_t>(Options.getInt("window", 10000));
+  Detect.PerCopBudgetSeconds = Options.getDouble("budget", 60);
+  Detect.SolverName = Options.getString("solver", "idl");
+  Detect.CollectWitnesses = Options.getBool("witness", true);
+  Technique Tech = parseTechnique(Options.getString("technique", "rv"));
+
+  if (Options.getString("property", "race") == "deadlock") {
+    DeadlockResult R = detectDeadlocks(T, Detect);
+    std::printf("deadlock: %zu potential deadlock(s) in %.2fs\n",
+                R.Deadlocks.size(), R.Stats.Seconds);
+    for (const DeadlockReport &D : R.Deadlocks)
+      std::printf("  %s holds %s and requests %s at %s; %s holds %s and "
+                  "requests %s at %s  [witness %s]\n",
+                  T.threadName(D.ThreadA).c_str(),
+                  T.lockName(D.LockHeldByA).c_str(),
+                  T.lockName(D.LockHeldByB).c_str(),
+                  D.LocRequestA.c_str(), T.threadName(D.ThreadB).c_str(),
+                  T.lockName(D.LockHeldByB).c_str(),
+                  T.lockName(D.LockHeldByA).c_str(),
+                  D.LocRequestB.c_str(),
+                  D.WitnessValid ? "validated" : "UNVALIDATED");
+    return 0;
+  }
+
+  if (Options.getString("property", "race") == "atomicity") {
+    AtomicityResult R = detectAtomicityViolations(T, Detect);
+    std::printf("atomicity: %zu violation(s) in %.2fs\n",
+                R.Violations.size(), R.Stats.Seconds);
+    for (const AtomicityReport &V : R.Violations)
+      std::printf("  %-10s %s: %s .. [%s] .. %s  [witness %s]\n",
+                  V.Variable.c_str(), atomicityPatternName(V.Pattern),
+                  V.LocFirst.c_str(), V.LocRemote.c_str(),
+                  V.LocSecond.c_str(),
+                  V.WitnessValid ? "validated" : "UNVALIDATED");
+    return 0;
+  }
+
+  DetectionResult R = detectRaces(T, Tech, Detect);
+  std::printf("%s: %zu race(s) in %.2fs\n", techniqueName(Tech),
+              R.raceCount(), R.Stats.Seconds);
+  for (const RaceReport &Race : R.Races) {
+    std::printf("  race on %-12s %s <-> %s", Race.Variable.c_str(),
+                Race.LocFirst.c_str(), Race.LocSecond.c_str());
+    if (Tech == Technique::Maximal && Detect.CollectWitnesses)
+      std::printf("  [witness %s]",
+                  Race.WitnessValid ? "validated" : "UNVALIDATED");
+    std::printf("\n");
+    if (Options.getBool("witness") && !Race.Witness.empty()) {
+      for (EventId Id : Race.Witness) {
+        const char *Mark =
+            Id == Race.First || Id == Race.Second ? " <== race" : "";
+        std::printf("      %s%s\n", toString(T[Id]).c_str(), Mark);
+      }
+    }
+  }
+  if (Options.getBool("stats")) {
+    std::printf("windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu\n",
+                static_cast<unsigned long long>(R.Stats.Windows),
+                static_cast<unsigned long long>(R.Stats.Cops),
+                static_cast<unsigned long long>(R.Stats.QcPassed),
+                static_cast<unsigned long long>(R.Stats.SolverCalls),
+                static_cast<unsigned long long>(R.Stats.SolverTimeouts));
+  }
+  return 0;
+}
+
+int cmdReplay(const OptionParser &Options) {
+  if (Options.positional().size() < 2 || !Options.hasOption("trace")) {
+    std::fprintf(stderr,
+                 "usage: rvpredict replay <prog.rv> --trace=trace.txt\n");
+    return 1;
+  }
+  std::string Source;
+  if (!readFile(Options.positional()[1], Source)) {
+    std::fprintf(stderr, "error: cannot open program\n");
+    return 1;
+  }
+  std::string TraceText;
+  if (!readFile(Options.getString("trace"), TraceText)) {
+    std::fprintf(stderr, "error: cannot open trace\n");
+    return 1;
+  }
+  std::string Error;
+  auto Recorded = parseTraceText(TraceText, Error);
+  if (!Recorded) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::vector<ThreadId> Schedule;
+  for (const Event &E : Recorded->events())
+    Schedule.push_back(E.Tid);
+
+  Trace Replayed;
+  RunResult Run;
+  ReplayScheduler S(std::move(Schedule));
+  if (!recordTrace(Source, Replayed, Run, Error, &S)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  std::printf("replayed %llu events; schedule %s\n",
+              static_cast<unsigned long long>(Replayed.size()),
+              S.diverged() ? "DIVERGED" : "followed exactly");
+  for (const RuntimeError &E : Run.Errors)
+    std::printf("runtime error at line %u: %s\n", E.Line,
+                E.Message.c_str());
+  std::fputs(writeTraceText(Replayed).c_str(), stdout);
+  return 0;
+}
+
+int cmdFuzz(const OptionParser &Options) {
+  std::fputs(fuzzProgram(Options.getInt("seed", 1)).c_str(), stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options(
+      "rvpredict: maximal sound predictive race detection\n"
+      "subcommands: record, detect, replay, fuzz");
+  Options.addOption("seed", "schedule / fuzz seed", "1");
+  Options.addOption("schedule", "rr or random", "random");
+  Options.addOption("out", "output file for record", "");
+  Options.addOption("technique", "rv, said, cp, or hb", "rv");
+  Options.addOption("property", "race, atomicity, or deadlock", "race");
+  Options.addOption("window", "window size in events", "10000");
+  Options.addOption("solver", "idl or z3", "idl");
+  Options.addOption("budget", "per-COP solver budget (s)", "60");
+  Options.addOption("witness", "print witness reorderings", "false");
+  Options.addOption("stats", "print detection statistics", "false");
+  Options.addOption("trace", "trace file for replay", "");
+  if (!Options.parse(Argc, Argv))
+    return 1;
+  if (Options.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: rvpredict <record|detect|replay|fuzz> ...\n");
+    return 1;
+  }
+  const std::string &Cmd = Options.positional()[0];
+  if (Cmd == "record")
+    return cmdRecord(Options);
+  if (Cmd == "detect")
+    return cmdDetect(Options);
+  if (Cmd == "replay")
+    return cmdReplay(Options);
+  if (Cmd == "fuzz")
+    return cmdFuzz(Options);
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd.c_str());
+  return 1;
+}

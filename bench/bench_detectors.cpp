@@ -19,6 +19,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <string>
+
 using namespace rvp;
 
 namespace {
@@ -50,14 +54,19 @@ void runDetector(benchmark::State &State, Technique Tech,
   Options.CollectWitnesses = false;
   size_t Races = 0;
   uint64_t SolverCalls = 0;
+  DetectionStats Stats;
   for (auto _ : State) {
     DetectionResult R = detectRaces(T, Tech, Options);
     Races = R.raceCount();
     SolverCalls = R.Stats.SolverCalls;
+    Stats = R.Stats;
     benchmark::DoNotOptimize(R);
   }
   State.counters["races"] = static_cast<double>(Races);
   State.counters["solves"] = static_cast<double>(SolverCalls);
+  State.counters["windows"] = static_cast<double>(Stats.Windows);
+  State.counters["qc"] = static_cast<double>(Stats.QcPassed);
+  State.counters["timeouts"] = static_cast<double>(Stats.SolverTimeouts);
   State.counters["events/s"] = benchmark::Counter(
       static_cast<double>(T.size()), benchmark::Counter::kIsIterationInvariantRate);
 }
@@ -115,4 +124,72 @@ BENCHMARK(BM_MaximalNoQuickCheck)
 BENCHMARK(BM_Atomicity)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Deadlock)->Arg(2000)->Arg(8000)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// One instrumented run per technique on the mid-size workload, written as
+/// {"techniques":{"rv":{...},...}}. Complements the timing loop above: the
+/// benchmark numbers say how fast, this says where the time and the
+/// constraints went.
+int dumpStatsJson(const std::string &Path) {
+  Telemetry::setEnabled(true);
+  Trace T = makeTrace(8000);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+
+  JsonObject Techs;
+  const std::pair<Technique, const char *> Runs[] = {
+      {Technique::Maximal, "rv"},
+      {Technique::Said, "said"},
+      {Technique::Cp, "cp"},
+      {Technique::Hb, "hb"},
+  };
+  for (const auto &[Tech, Key] : Runs) {
+    Telemetry::instance().reset();
+    DetectionResult R = detectRaces(T, Tech, Options);
+    Techs.raw(Key, statsToJson(R.Stats, techniqueName(Tech)));
+  }
+  Telemetry::setEnabled(false);
+
+  JsonObject Out;
+  Out.field("workload", "synthetic-8000").raw("techniques", Techs.str());
+  std::string Json = Out.str() + "\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}
+
+} // namespace
+
+// Custom main: peel off --stats-json=<path> (google-benchmark rejects
+// unknown flags), run the benchmarks, then do the one-shot stats dump.
+int main(int Argc, char **Argv) {
+  std::string StatsJsonPath;
+  int Kept = 1;
+  for (int I = 1; I < Argc; ++I) {
+    constexpr const char *Flag = "--stats-json=";
+    if (std::strncmp(Argv[I], Flag, std::strlen(Flag)) == 0)
+      StatsJsonPath = Argv[I] + std::strlen(Flag);
+    else
+      Argv[Kept++] = Argv[I];
+  }
+  Argc = Kept;
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!StatsJsonPath.empty())
+    return dumpStatsJson(StatsJsonPath);
+  return 0;
+}

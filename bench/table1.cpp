@@ -11,6 +11,7 @@
 ///
 ///   $ table1 [--window=10000] [--budget=10] [--solver=idl]
 ///            [--group=all|example|contest|grande|real] [--bench=name]
+///            [--stats-json=out.json]
 ///
 /// Absolute numbers differ from the paper (the real systems are replaced
 /// by calibrated synthetic workloads; see DESIGN.md), but the shape —
@@ -25,6 +26,7 @@
 #include "workloads/Catalog.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace rvp;
 
@@ -35,8 +37,17 @@ int main(int Argc, const char **Argv) {
   Options.addOption("solver", "SMT backend: idl or z3", "idl");
   Options.addOption("group", "row group filter", "all");
   Options.addOption("bench", "single benchmark name", "");
+  Options.addOption("stats-json",
+                    "write per-benchmark per-technique stats JSON "
+                    "('-' for stdout)",
+                    "");
   if (!Options.parse(Argc, Argv))
     return 1;
+
+  std::string StatsJsonPath = Options.getString("stats-json", "");
+  if (!StatsJsonPath.empty())
+    Telemetry::setEnabled(true);
+  std::string JsonRows;
 
   DetectorOptions Detect;
   Detect.WindowSize = static_cast<uint32_t>(Options.getInt("window", 10000));
@@ -68,10 +79,17 @@ int main(int Argc, const char **Argv) {
     }
     TraceStats Stats = T.stats();
 
-    DetectionResult Rv = detectRaces(T, Technique::Maximal, Detect);
-    DetectionResult Said = detectRaces(T, Technique::Said, Detect);
-    DetectionResult Cp = detectRaces(T, Technique::Cp, Detect);
-    DetectionResult Hb = detectRaces(T, Technique::Hb, Detect);
+    // One telemetry run per technique: each snapshot covers exactly one
+    // detectRaces call.
+    auto runTechnique = [&](Technique Tech) {
+      if (Telemetry::enabled())
+        Telemetry::instance().reset();
+      return detectRaces(T, Tech, Detect);
+    };
+    DetectionResult Rv = runTechnique(Technique::Maximal);
+    DetectionResult Said = runTechnique(Technique::Said);
+    DetectionResult Cp = runTechnique(Technique::Cp);
+    DetectionResult Hb = runTechnique(Technique::Hb);
 
     std::printf("%-11s %6u %8llu %8llu %7llu %7llu | %4llu %4zu %5zu %4zu "
                 "%4zu | %8.2f %8.2f %8.2f %8.2f\n",
@@ -90,6 +108,32 @@ int main(int Argc, const char **Argv) {
       TotalCp += Cp.raceCount();
       TotalHb += Hb.raceCount();
     }
+    if (!StatsJsonPath.empty()) {
+      auto techJson = [](const DetectionResult &R, const char *Name) {
+        JsonObject O;
+        O.field("races", static_cast<uint64_t>(R.raceCount()))
+            .raw("stats", statsToJson(R.Stats, Name));
+        return O.str();
+      };
+      JsonObject Techs;
+      Techs.raw("rv", techJson(Rv, "RV"))
+          .raw("said", techJson(Said, "Said"))
+          .raw("cp", techJson(Cp, "CP"))
+          .raw("hb", techJson(Hb, "HB"));
+      JsonObject Row;
+      Row.field("name", Case.Name)
+          .field("group", Case.Group)
+          .field("threads", static_cast<uint64_t>(Stats.Threads))
+          .field("events", static_cast<uint64_t>(Stats.Events))
+          .field("reads_writes", static_cast<uint64_t>(Stats.ReadsWrites))
+          .field("syncs", static_cast<uint64_t>(Stats.Syncs))
+          .field("branches", static_cast<uint64_t>(Stats.Branches))
+          .field("qc_passed", Rv.Stats.QcPassed)
+          .raw("techniques", Techs.str());
+      if (!JsonRows.empty())
+        JsonRows += ",";
+      JsonRows += Row.str();
+    }
   }
   if (Group == "all" || Group == "real")
     std::printf("%-11s %6s %8s %8s %7s %7s | %4s %4llu %5llu %4llu %4llu "
@@ -99,5 +143,19 @@ int main(int Argc, const char **Argv) {
                 static_cast<unsigned long long>(TotalSaid),
                 static_cast<unsigned long long>(TotalCp),
                 static_cast<unsigned long long>(TotalHb));
+  if (!StatsJsonPath.empty()) {
+    std::string Json = "{\"benchmarks\":[" + JsonRows + "]}\n";
+    if (StatsJsonPath == "-") {
+      std::fputs(Json.c_str(), stdout);
+    } else {
+      std::ofstream File(StatsJsonPath);
+      if (!File) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     StatsJsonPath.c_str());
+        return 1;
+      }
+      File << Json;
+    }
+  }
   return 0;
 }

@@ -44,14 +44,19 @@ public:
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
 
-    for (Span Window : splitWindows(T, Options.WindowSize)) {
-      ++Result.Stats.Windows;
-      processWindow(Window);
-      for (EventId Id = Window.Begin; Id < Window.End; ++Id)
-        if (T[Id].isWrite())
-          RunningValues[T[Id].Target] = T[Id].Data;
+    {
+      ScopedPhaseTimer DetectPhase("deadlock");
+      for (Span Window : splitWindows(T, Options.WindowSize)) {
+        ++Result.Stats.Windows;
+        processWindow(Window);
+        for (EventId Id = Window.Begin; Id < Window.End; ++Id)
+          if (T[Id].isWrite())
+            RunningValues[T[Id].Target] = T[Id].Data;
+      }
     }
     Result.Stats.Seconds = Clock.seconds();
+    if (Telemetry::enabled())
+      Result.Stats.Telemetry = Telemetry::instance().snapshot();
     return std::move(Result);
   }
 

@@ -12,6 +12,7 @@
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
 #include "support/Compiler.h"
+#include "support/StringUtils.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -32,6 +33,42 @@ const char *rvp::techniqueName(Technique Tech) {
     return "RV";
   }
   RVP_UNREACHABLE("unknown technique");
+}
+
+std::string rvp::renderStatsTable(const DetectionStats &Stats,
+                                  const char *What) {
+  std::string Out = formatString(
+      "windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu\n",
+      static_cast<unsigned long long>(Stats.Windows),
+      static_cast<unsigned long long>(Stats.Cops),
+      static_cast<unsigned long long>(Stats.QcPassed),
+      static_cast<unsigned long long>(Stats.SolverCalls),
+      static_cast<unsigned long long>(Stats.SolverTimeouts));
+  if (!Stats.Telemetry.Captured)
+    return Out;
+  Out += formatString("phases (%s, wall seconds):\n", What);
+  Stats.Telemetry.Phases.renderInto(Out);
+  if (!Stats.Telemetry.Metrics.empty()) {
+    Out += "metrics:\n";
+    Out += Stats.Telemetry.Metrics.renderTable();
+  }
+  return Out;
+}
+
+std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
+  JsonObject O;
+  O.field("technique", What)
+      .field("seconds", Stats.Seconds)
+      .field("windows", Stats.Windows)
+      .field("cops", Stats.Cops)
+      .field("qc_passed", Stats.QcPassed)
+      .field("solver_calls", Stats.SolverCalls)
+      .field("solver_timeouts", Stats.SolverTimeouts);
+  if (Stats.Telemetry.Captured) {
+    O.raw("metrics", metricsToJson(Stats.Telemetry.Metrics));
+    O.raw("phases", Stats.Telemetry.Phases.toJson());
+  }
+  return O.str();
 }
 
 bool DetectionResult::hasRaceAt(const std::string &LocA,
@@ -223,12 +260,19 @@ public:
         Solver = createIdlSolver();
     }
 
-    for (Span Window : splitWindows(T, Options.WindowSize)) {
-      ++Result.Stats.Windows;
-      processWindow(Window);
-      advanceValues(Window);
+    {
+      ScopedPhaseTimer DetectPhase("detect");
+      for (Span Window : splitWindows(T, Options.WindowSize)) {
+        ++Result.Stats.Windows;
+        processWindow(Window);
+        advanceValues(Window);
+      }
     }
     Result.Stats.Seconds = Clock.seconds();
+    if (Telemetry::enabled()) {
+      flushTelemetryCounters();
+      Result.Stats.Telemetry = Telemetry::instance().snapshot();
+    }
     return std::move(Result);
   }
 
@@ -257,16 +301,41 @@ private:
   }
 
   void processWindow(Span Window) {
-    std::vector<Cop> Cops = collectCops(T, Window);
+    ScopedPhaseTimer WindowPhase("window");
+    Timer WindowClock;
+    size_t CopsInWindow = processWindowImpl(Window);
+    emitWindowEvent(Window, CopsInWindow, WindowClock.seconds());
+  }
+
+  size_t processWindowImpl(Span Window) {
+    std::vector<Cop> Cops;
+    {
+      ScopedPhaseTimer CopPhase("cop-enum");
+      Cops = collectCops(T, Window);
+    }
     Result.Stats.Cops += Cops.size();
     if (Cops.empty())
-      return;
+      return 0;
 
-    EventClosure Mhb(T, Window, ClosureConfig::mhb());
+    std::optional<EventClosure> MhbStorage;
+    {
+      ScopedPhaseTimer ClosurePhase("closure");
+      MhbStorage.emplace(T, Window, ClosureConfig::mhb());
+    }
+    EventClosure &Mhb = *MhbStorage;
     QuickCheck Qc(T, Window, Mhb);
-    for (const Cop &C : Cops)
-      if (Qc.pass(C))
-        QcSignatures.insert(RaceSignature::of(T, C.First, C.Second).key());
+    {
+      ScopedPhaseTimer QcPhase("quick-check");
+      for (const Cop &C : Cops) {
+        if (Qc.pass(C)) {
+          ++QcHits;
+          QcSignatures.insert(
+              RaceSignature::of(T, C.First, C.Second).key());
+        } else {
+          ++QcMisses;
+        }
+      }
+    }
     Result.Stats.QcPassed = QcSignatures.size();
 
     switch (Tech) {
@@ -274,25 +343,33 @@ private:
       EventClosure Hb(T, Window, ClosureConfig::hb());
       for (const Cop &C : Cops) {
         if (RacySignatures.count(RaceSignature::of(T, C.First,
-                                                   C.Second).key()))
+                                                   C.Second).key())) {
+          ++SigPruned;
           continue;
-        if (!Hb.ordered(C.First, C.Second) &&
-            !Hb.ordered(C.Second, C.First))
+        }
+        bool Racy = !Hb.ordered(C.First, C.Second) &&
+                    !Hb.ordered(C.Second, C.First);
+        if (Racy)
           report(C.First, C.Second, {}, false);
+        emitCopEvent(Window, C, Racy ? "race" : "ordered", nullptr, 0, 0);
       }
-      return;
+      return Cops.size();
     }
     case Technique::Cp: {
       CpOrder Cp(T, Window);
       for (const Cop &C : Cops) {
         if (RacySignatures.count(RaceSignature::of(T, C.First,
-                                                   C.Second).key()))
+                                                   C.Second).key())) {
+          ++SigPruned;
           continue;
-        if (!Cp.ordered(C.First, C.Second) &&
-            !Cp.ordered(C.Second, C.First))
+        }
+        bool Racy = !Cp.ordered(C.First, C.Second) &&
+                    !Cp.ordered(C.Second, C.First);
+        if (Racy)
           report(C.First, C.Second, {}, false);
+        emitCopEvent(Window, C, Racy ? "race" : "ordered", nullptr, 0, 0);
       }
-      return;
+      return Cops.size();
     }
     case Technique::Said:
     case Technique::Maximal:
@@ -306,39 +383,169 @@ private:
 
     for (const Cop &C : Cops) {
       if (RacySignatures.count(
-              RaceSignature::of(T, C.First, C.Second).key()))
-        continue; // signature pruning (Section 4)
-      if (Options.UseQuickCheck && !Qc.pass(C))
-        continue;
-
-      FormulaBuilder FB;
-      NodeRef Root = Tech == Technique::Maximal
-                         ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
-                         : Encoder.encodeSaidRace(FB, C.First, C.Second);
-      OrderModel Model;
-      ++Result.Stats.SolverCalls;
-      SatResult Sat =
-          Solver->solve(FB, Root,
-                        Deadline::after(Options.PerCopBudgetSeconds),
-                        Options.CollectWitnesses ? &Model : nullptr);
-      if (Sat == SatResult::Unknown) {
-        ++Result.Stats.SolverTimeouts;
+              RaceSignature::of(T, C.First, C.Second).key())) {
+        ++SigPruned; // signature pruning (Section 4)
+        emitCopEvent(Window, C, "pruned", nullptr, 0, 0);
         continue;
       }
-      if (Sat == SatResult::Unsat)
+      if (Options.UseQuickCheck && !Qc.pass(C)) {
+        emitCopEvent(Window, C, "qc-fail", nullptr, 0, 0);
         continue;
+      }
+
+      FormulaBuilder FB;
+      NodeRef Root;
+      {
+        ScopedPhaseTimer EncodePhase("encode");
+        Root = Tech == Technique::Maximal
+                   ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
+                   : Encoder.encodeSaidRace(FB, C.First, C.Second);
+      }
+      if (Telemetry::enabled())
+        recordFormulaMetrics(FB, Root);
+      OrderModel Model;
+      ++Result.Stats.SolverCalls;
+      SatResult Sat;
+      double SolveSeconds = 0;
+      {
+        ScopedPhaseTimer SolvePhase("solve");
+        Timer SolveClock;
+        Sat = Solver->solve(FB, Root,
+                            Deadline::after(Options.PerCopBudgetSeconds),
+                            Options.CollectWitnesses ? &Model : nullptr);
+        SolveSeconds = SolveClock.seconds();
+      }
+      if (Telemetry::enabled())
+        MetricsRegistry::global()
+            .histogram("solver.latency_seconds")
+            .record(SolveSeconds);
+      const char *Outcome = Sat == SatResult::Sat     ? "sat"
+                            : Sat == SatResult::Unsat ? "unsat"
+                                                      : "timeout";
+      emitSolveEvent(Window, C, Outcome, SolveSeconds);
+      if (Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
+        continue;
+      }
+      if (Sat == SatResult::Unsat) {
+        emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
+        continue;
+      }
 
       std::vector<EventId> Witness;
       bool WitnessValid = false;
       if (Options.CollectWitnesses && Tech == Technique::Maximal) {
+        ScopedPhaseTimer WitnessPhase("witness");
         Witness = buildWitness(Window, Model, C);
         WitnessValid =
             checkWitness(T, Window, Witness, C.First, C.Second, Encoder,
                          Mhb, RunningValues)
                 .Ok;
       }
+      emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
       report(C.First, C.Second, std::move(Witness), WitnessValid);
     }
+    return Cops.size();
+  }
+
+  // ------------------------------------------------------- telemetry
+
+  void flushTelemetryCounters() {
+    MetricsRegistry &Reg = MetricsRegistry::global();
+    Reg.counter("detect.windows").add(Result.Stats.Windows);
+    Reg.counter("detect.cops").add(Result.Stats.Cops);
+    Reg.counter("detect.qc_hits").add(QcHits);
+    Reg.counter("detect.qc_misses").add(QcMisses);
+    Reg.counter("detect.qc_passed_signatures").add(Result.Stats.QcPassed);
+    Reg.counter("detect.signature_pruned").add(SigPruned);
+    Reg.counter("detect.races").add(Result.Races.size());
+    Reg.counter("solver.calls").add(Result.Stats.SolverCalls);
+    Reg.counter("solver.timeouts").add(Result.Stats.SolverTimeouts);
+  }
+
+  /// Formula-size accounting after one encode: total nodes, difference
+  /// atoms, distinct cf boolean variables, and order variables reachable
+  /// from the root.
+  void recordFormulaMetrics(const FormulaBuilder &FB, NodeRef Root) {
+    uint64_t Atoms = 0;
+    std::unordered_set<uint32_t> BoolIds;
+    for (NodeRef I = 0; I < FB.numNodes(); ++I) {
+      const FormulaNode &N = FB.node(I);
+      if (N.Kind == FormulaKind::Atom)
+        ++Atoms;
+      else if (N.Kind == FormulaKind::BoolVar)
+        BoolIds.insert(N.VarA);
+    }
+    MetricsRegistry &Reg = MetricsRegistry::global();
+    Reg.counter("encoder.formulas").inc();
+    Reg.counter("encoder.nodes").add(FB.numNodes());
+    Reg.counter("encoder.difference_atoms").add(Atoms);
+    Reg.counter("encoder.bool_vars").add(BoolIds.size());
+    Reg.counter("encoder.order_vars").add(FB.collectVars(Root).size());
+  }
+
+  TraceEventSink *activeSink() const {
+    return Telemetry::enabled() ? Telemetry::instance().sink() : nullptr;
+  }
+
+  void emitWindowEvent(Span Window, size_t Cops, double Seconds) {
+    TraceEventSink *Sink = activeSink();
+    if (!Sink)
+      return;
+    JsonObject O;
+    O.field("type", "window")
+        .field("index", Result.Stats.Windows - 1)
+        .field("begin", static_cast<uint64_t>(Window.Begin))
+        .field("end", static_cast<uint64_t>(Window.End))
+        .field("cops", static_cast<uint64_t>(Cops))
+        .field("seconds", Seconds);
+    Sink->write(O);
+  }
+
+  void emitCopEvent(Span, const Cop &C, const char *Outcome,
+                    const FormulaBuilder *FB, NodeRef Root,
+                    double SolveSeconds) {
+    TraceEventSink *Sink = activeSink();
+    if (!Sink)
+      return;
+    JsonObject O;
+    O.field("type", "cop")
+        .field("window", Result.Stats.Windows - 1)
+        .field("first", static_cast<uint64_t>(C.First))
+        .field("second", static_cast<uint64_t>(C.Second))
+        .field("loc_first", T.locName(T[C.First].Loc))
+        .field("loc_second", T.locName(T[C.Second].Loc))
+        .field("variable", T.varName(T[C.First].Target))
+        .field("outcome", Outcome);
+    if (FB) {
+      uint64_t Atoms = 0;
+      for (NodeRef I = 0; I < FB->numNodes(); ++I)
+        if (FB->node(I).Kind == FormulaKind::Atom)
+          ++Atoms;
+      O.field("formula_nodes", static_cast<uint64_t>(FB->numNodes()))
+          .field("difference_atoms", Atoms)
+          .field("order_vars",
+                 static_cast<uint64_t>(FB->collectVars(Root).size()))
+          .field("solve_seconds", SolveSeconds);
+    }
+    Sink->write(O);
+  }
+
+  void emitSolveEvent(Span, const Cop &C, const char *Outcome,
+                      double Seconds) {
+    TraceEventSink *Sink = activeSink();
+    if (!Sink)
+      return;
+    JsonObject O;
+    O.field("type", "solve")
+        .field("window", Result.Stats.Windows - 1)
+        .field("first", static_cast<uint64_t>(C.First))
+        .field("second", static_cast<uint64_t>(C.Second))
+        .field("solver", Solver ? Solver->name() : "none")
+        .field("outcome", Outcome)
+        .field("seconds", Seconds);
+    Sink->write(O);
   }
 
   /// Sorts the window's events by their model positions; the substituted
@@ -375,6 +582,11 @@ private:
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> RacySignatures;
   std::unordered_set<uint64_t> QcSignatures;
+  /// Plain tallies on the hot path, flushed into the registry once per run
+  /// (flushTelemetryCounters) so disabled telemetry costs nothing.
+  uint64_t QcHits = 0;
+  uint64_t QcMisses = 0;
+  uint64_t SigPruned = 0;
 };
 
 } // namespace

@@ -25,6 +25,7 @@
 #define RVP_DETECT_DETECT_H
 
 #include "detect/Cop.h"
+#include "support/Telemetry.h"
 #include "trace/Trace.h"
 #include "trace/Window.h"
 
@@ -73,7 +74,23 @@ struct DetectionStats {
   uint64_t SolverCalls = 0;
   uint64_t SolverTimeouts = 0;
   double Seconds = 0;
+  /// Registry + phase-tree snapshot, captured at the end of the run when
+  /// telemetry is enabled (Telemetry::setEnabled); empty otherwise. See
+  /// docs/OBSERVABILITY.md for the metric names and phase hierarchy.
+  TelemetrySnapshot Telemetry;
 };
+
+/// Human-readable statistics: the classic one-line summary, followed (when
+/// a telemetry snapshot was captured) by the phase tree, the counters, and
+/// the latency histograms. \p What names the analysis ("RV", "Said",
+/// "atomicity", ...).
+std::string renderStatsTable(const DetectionStats &Stats, const char *What);
+
+/// The same data as machine-readable JSON: one object with the Table-1
+/// fields (windows, cops, qc_passed, solver_calls, solver_timeouts,
+/// seconds) plus, when captured, "counters"/"gauges"/"histograms" and the
+/// hierarchical "phases" tree. Schema in docs/OBSERVABILITY.md.
+std::string statsToJson(const DetectionStats &Stats, const char *What);
 
 struct DetectionResult {
   std::vector<RaceReport> Races;

@@ -7,6 +7,7 @@
 #include "detect/RaceEncoder.h"
 
 #include "support/Compiler.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <unordered_map>
@@ -234,6 +235,13 @@ NodeRef RaceEncoder::branchGuards(CfState &St, EventId E) const {
   std::vector<NodeRef> Conj;
   for (EventId Branch : guardingBranches(E))
     Conj.push_back(cfVar(St, Branch));
+  if (Telemetry::enabled()) {
+    // References into the registry stay valid across reset(), so the
+    // lookup cost is paid once per process, not per constraint.
+    static Counter &BranchConstraints =
+        MetricsRegistry::global().counter("encoder.branch_constraints");
+    BranchConstraints.add(Conj.size());
+  }
   return St.FB.mkAnd(std::move(Conj));
 }
 
@@ -318,6 +326,11 @@ NodeRef RaceEncoder::readValueFormula(CfState &St, EventId R,
     }
   }
 
+  if (Telemetry::enabled()) {
+    static Counter &ReadConsistency = MetricsRegistry::global().counter(
+        "encoder.read_consistency_constraints");
+    ReadConsistency.inc();
+  }
   return FB.mkOr(std::move(Disjuncts));
 }
 
@@ -344,6 +357,11 @@ void RaceEncoder::emitCfDefs(CfState &St) const {
       RVP_UNREACHABLE("cf variable for a non-branch/read/write event");
     }
     St.Defs.push_back(St.FB.mkGuardedDef(St.VarOf.at(E), Def));
+    if (Telemetry::enabled()) {
+      static Counter &CfDefs =
+          MetricsRegistry::global().counter("encoder.cf_defs");
+      CfDefs.inc();
+    }
   }
 }
 

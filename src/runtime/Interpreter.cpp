@@ -9,8 +9,10 @@
 #include "runtime/Compile.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
+#include <array>
 #include <deque>
 
 using namespace rvp;
@@ -31,6 +33,7 @@ public:
         break;
       }
       ThreadId Tid = S.pick(Runnable);
+      ++SchedulerSteps;
       stepThread(Tid);
     }
     if (Result.EventCount >= Limits.MaxEvents)
@@ -38,6 +41,7 @@ public:
     for (uint32_t Cell = 0; Cell < P.numCells(); ++Cell)
       Result.FinalCells[P.CellNames[Cell]] = Cells[Cell];
     T.finalize();
+    flushTelemetry();
     return std::move(Result);
   }
 
@@ -153,6 +157,23 @@ private:
     E.Aux = Aux;
     T.append(E);
     ++Result.EventCount;
+    ++EventsByKind[static_cast<size_t>(Kind)];
+  }
+
+  /// One registry write per run; the per-event cost is a plain array
+  /// increment whether telemetry is on or off.
+  void flushTelemetry() {
+    if (!Telemetry::enabled())
+      return;
+    MetricsRegistry &Reg = MetricsRegistry::global();
+    Reg.counter("runtime.scheduler_steps").add(SchedulerSteps);
+    for (size_t K = 0; K < EventsByKind.size(); ++K) {
+      if (EventsByKind[K] == 0)
+        continue;
+      Reg.counter(std::string("runtime.events.") +
+                  eventKindName(static_cast<EventKind>(K)))
+          .add(EventsByKind[K]);
+    }
   }
 
   void error(ThreadId Tid, uint32_t Line, std::string Message) {
@@ -464,6 +485,9 @@ private:
   std::vector<LockRt> Locks;
   std::vector<ThreadRt> Threads;
   uint32_t NextWaitMatch = 1;
+  uint64_t SchedulerSteps = 0;
+  std::array<uint64_t, static_cast<size_t>(EventKind::Notify) + 1>
+      EventsByKind{};
 };
 
 } // namespace

@@ -15,6 +15,7 @@
 #include "smt/Solver.h"
 
 #include "support/Compiler.h"
+#include "support/Telemetry.h"
 
 #include <map>
 
@@ -23,6 +24,17 @@ using namespace rvp;
 SmtSolver::~SmtSolver() = default;
 
 namespace {
+
+/// Flushes the per-call search statistics into the global registry
+/// (telemetry-enabled runs only).
+void recordSolveTelemetry(const SatSolver &Sat, double Seconds) {
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  Reg.counter("sat.decisions").add(Sat.numDecisions());
+  Reg.counter("sat.propagations").add(Sat.numPropagations());
+  Reg.counter("sat.conflicts").add(Sat.numConflicts());
+  Reg.counter("sat.restarts").add(Sat.numRestarts());
+  Reg.histogram("solver.idl.latency_seconds").record(Seconds);
+}
 
 class IdlSolver : public SmtSolver {
 public:
@@ -34,6 +46,7 @@ public:
     if (RootNode.Kind == FormulaKind::False)
       return SatResult::Unsat;
 
+    Timer Clock;
     DiffLogicTheory Theory;
     SatSolver Sat(&Theory);
     std::vector<Lit> LitOf(FB.numNodes(), Lit());
@@ -108,10 +121,15 @@ public:
       }
     }
 
-    if (!Sat.addClause({LitOf[Root]}))
+    if (!Sat.addClause({LitOf[Root]})) {
+      if (Telemetry::enabled())
+        recordSolveTelemetry(Sat, Clock.seconds());
       return SatResult::Unsat;
+    }
 
     SatResult Result = Sat.solve(Limit);
+    if (Telemetry::enabled())
+      recordSolveTelemetry(Sat, Clock.seconds());
     if (Result == SatResult::Sat && ModelOut) {
       ModelOut->clear();
       for (const auto &[Pair, V] : AtomVars) {

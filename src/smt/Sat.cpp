@@ -395,9 +395,8 @@ SatResult SatSolver::solve(Deadline Limit) {
   // backs the model); start the new search from the root.
   backtrack(0);
 
-  Conflicts = Decisions = Propagations = 0;
-  uint64_t RestartCount = 0;
-  uint64_t ConflictBudget = 64 * luby(RestartCount);
+  Conflicts = Decisions = Propagations = Restarts = 0;
+  uint64_t ConflictBudget = 64 * luby(Restarts);
   uint64_t ConflictsSinceRestart = 0;
   uint64_t LearnedSinceReduce = 0;
   std::vector<Lit> TheoryConflict;
@@ -461,7 +460,7 @@ SatResult SatSolver::solve(Deadline Limit) {
     if (ConflictsSinceRestart >= ConflictBudget) {
       backtrack(0);
       ConflictsSinceRestart = 0;
-      ConflictBudget = 64 * luby(++RestartCount);
+      ConflictBudget = 64 * luby(++Restarts);
       continue;
     }
 

@@ -91,6 +91,7 @@ public:
   uint64_t numConflicts() const { return Conflicts; }
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
+  uint64_t numRestarts() const { return Restarts; }
 
 private:
   using ClauseRef = uint32_t;
@@ -164,6 +165,7 @@ private:
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
 
   // Scratch buffers for analyze().
   std::vector<uint8_t> Seen;

@@ -16,6 +16,7 @@
 #ifdef RVP_HAVE_Z3
 
 #include "support/Compiler.h"
+#include "support/Telemetry.h"
 
 #include <z3++.h>
 
@@ -29,12 +30,20 @@ class Z3Solver : public SmtSolver {
 public:
   SatResult solve(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
                   OrderModel *ModelOut) override {
+    Timer Clock;
     // Z3 reports failures via exceptions; contain them at this boundary.
+    SatResult Result;
     try {
-      return solveImpl(FB, Root, Limit, ModelOut);
+      Result = solveImpl(FB, Root, Limit, ModelOut);
     } catch (const z3::exception &) {
-      return SatResult::Unknown;
+      Result = SatResult::Unknown;
     }
+    if (Telemetry::enabled()) {
+      MetricsRegistry &Reg = MetricsRegistry::global();
+      Reg.counter("solver.z3.calls").inc();
+      Reg.histogram("solver.z3.latency_seconds").record(Clock.seconds());
+    }
+    return Result;
   }
 
   const char *name() const override { return "z3"; }
@@ -44,8 +53,11 @@ private:
                       OrderModel *ModelOut) {
     z3::context Ctx;
     z3::solver Solver(Ctx);
-    double Remaining = Limit.remainingSeconds();
-    if (Remaining >= 0) {
+    // Budget accounting is explicit about "no limit": only a real deadline
+    // is turned into a Z3 timeout (remainingSeconds() is a sentinel
+    // otherwise).
+    if (Limit.hasLimit()) {
+      double Remaining = Limit.remainingSeconds();
       z3::params Params(Ctx);
       Params.set("timeout",
                  static_cast<unsigned>(Remaining * 1000.0 + 1));

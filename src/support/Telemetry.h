@@ -1,0 +1,173 @@
+//===- support/Telemetry.h - Phase tracing and trace events ------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability layer threaded through the detection pipeline (see
+/// docs/OBSERVABILITY.md):
+///
+///  * ScopedPhaseTimer — RAII timers that build a hierarchical phase tree
+///    (detect → window → cop-enum / quick-check / encode / solve / ...),
+///    so the --stats table and --stats-json output can show where wall
+///    time goes, per phase, with nesting.
+///  * TraceEventSink — a structured JSONL sink (one JSON object per line;
+///    one event per window / COP / solver call) written behind
+///    `rvpredict detect --trace-events=<path>`.
+///  * Telemetry — the process-wide switchboard tying the registry
+///    (support/Stats.h), the phase tree, and the sink together.
+///
+/// Telemetry is opt-in and off by default; every instrumentation site
+/// guards on Telemetry::enabled(), a single boolean load, so the
+/// uninstrumented pipeline pays no measurable cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_TELEMETRY_H
+#define RVP_SUPPORT_TELEMETRY_H
+
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// Point-in-time copy of one phase-tree node (value type, copyable).
+struct PhaseSnapshot {
+  std::string Name;
+  double Seconds = 0;
+  uint64_t Count = 0; ///< completed enters of this phase
+  std::vector<PhaseSnapshot> Children;
+
+  /// Total seconds across direct children (≤ Seconds up to timer noise).
+  double childSeconds() const;
+
+  /// Depth-first search by name; nullptr when absent.
+  const PhaseSnapshot *find(std::string_view PhaseName) const;
+
+  /// {"name":..,"seconds":..,"count":..,"children":[...]}
+  std::string toJson() const;
+
+  /// Indented human rendering appended to \p Out.
+  void renderInto(std::string &Out, unsigned Indent = 2) const;
+};
+
+/// Accumulating tree of named phases. enter()/exit() must nest; phases
+/// re-entered under the same parent accumulate seconds and counts into the
+/// same node.
+class PhaseTree {
+public:
+  PhaseTree() { reset(); }
+
+  void enter(const char *Name);
+  void exit(double Seconds);
+  bool atRoot() const { return Stack.size() == 1; }
+
+  /// Snapshot rooted at a synthetic "total" node whose seconds are the sum
+  /// over top-level phases.
+  PhaseSnapshot snapshot() const;
+
+  void reset();
+
+private:
+  struct Node {
+    std::string Name;
+    double Seconds = 0;
+    uint64_t Count = 0;
+    std::vector<std::unique_ptr<Node>> Children;
+  };
+
+  static void snapshotInto(const Node &N, PhaseSnapshot &Out);
+
+  std::unique_ptr<Node> Root;
+  std::vector<Node *> Stack; ///< Stack.front() == Root.get()
+};
+
+/// Structured JSONL event sink: one JSON object per line. Callers build
+/// events with JsonObject and hand them to write().
+class TraceEventSink {
+public:
+  TraceEventSink() = default;
+  ~TraceEventSink() { close(); }
+  TraceEventSink(const TraceEventSink &) = delete;
+  TraceEventSink &operator=(const TraceEventSink &) = delete;
+
+  /// Opens \p Path for writing; "-" means stdout.
+  bool open(const std::string &Path, std::string &Error);
+  bool isOpen() const { return File != nullptr; }
+  void write(const JsonObject &Event);
+  void close();
+
+  uint64_t eventsWritten() const { return Written; }
+
+private:
+  std::FILE *File = nullptr;
+  bool OwnsFile = false;
+  uint64_t Written = 0;
+};
+
+/// Everything the pipeline observed during one run; carried out of the
+/// detectors inside DetectionStats.
+struct TelemetrySnapshot {
+  bool Captured = false;
+  MetricsSnapshot Metrics;
+  PhaseSnapshot Phases;
+};
+
+/// The process-wide telemetry switchboard. The registry itself is
+/// MetricsRegistry::global(); this adds the enable flag, the phase tree,
+/// and the optional event sink. Runs are delimited by the caller: reset()
+/// zeroes the registry and clears the phase tree, snapshot() copies both.
+class Telemetry {
+public:
+  static Telemetry &instance();
+
+  /// Single-load fast path used by every instrumentation site.
+  static bool enabled() { return EnabledFlag; }
+  static void setEnabled(bool On) { EnabledFlag = On; }
+
+  PhaseTree &phases() { return Phases; }
+
+  TraceEventSink *sink() { return Sink; }
+  void setSink(TraceEventSink *S) { Sink = S; }
+
+  TelemetrySnapshot snapshot() const;
+  void reset();
+
+private:
+  static bool EnabledFlag;
+  PhaseTree Phases;
+  TraceEventSink *Sink = nullptr;
+};
+
+/// RAII phase timer: enters \p Name on construction, records elapsed wall
+/// time on destruction. A no-op (one boolean load) when telemetry is off.
+class ScopedPhaseTimer {
+public:
+  explicit ScopedPhaseTimer(const char *Name) {
+    if (!Telemetry::enabled())
+      return;
+    Telemetry::instance().phases().enter(Name);
+    Active = true;
+    Clock.reset();
+  }
+  ~ScopedPhaseTimer() {
+    if (Active)
+      Telemetry::instance().phases().exit(Clock.seconds());
+  }
+  ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+  ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+private:
+  Timer Clock;
+  bool Active = false;
+};
+
+} // namespace rvp
+
+#endif // RVP_SUPPORT_TELEMETRY_H

@@ -58,7 +58,13 @@ public:
 
   bool expired() const { return HasLimit && Clock::now() >= Expiry; }
 
-  /// Seconds until expiry; negative when no limit, 0 when already expired.
+  /// True when the deadline actually limits anything. Check this before
+  /// doing arithmetic with remainingSeconds(): the -1.0 "no limit"
+  /// sentinel silently poisons budget computations otherwise.
+  bool hasLimit() const { return HasLimit; }
+
+  /// Seconds until expiry; negative when no limit (see hasLimit()),
+  /// 0 when already expired.
   double remainingSeconds() const {
     if (!HasLimit)
       return -1.0;

@@ -1,0 +1,64 @@
+# Golden-file check for `rvpredict detect --stats-json`: runs the fixed
+# workload, then asserts the output parses as JSON and carries the Table-1
+# fields. Invoked by CTest as
+#   cmake -DRVPREDICT=<tool> -DWORKLOAD=<trace.rv> -P StatsJsonGolden.cmake
+
+if(NOT DEFINED RVPREDICT OR NOT DEFINED WORKLOAD)
+  message(FATAL_ERROR "usage: cmake -DRVPREDICT=... -DWORKLOAD=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+set(OUT "${CMAKE_CURRENT_BINARY_DIR}/stats_golden.json")
+
+execute_process(
+  COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
+          --seed=1 --stats-json=${OUT}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "rvpredict detect failed (${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+
+file(READ "${OUT}" JSON_TEXT)
+
+# string(JSON) needs CMake >= 3.19; older hosts fall back to substring
+# checks so the test still guards the field set.
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  foreach(FIELD windows cops qc_passed solver_calls solver_timeouts seconds
+          technique)
+    string(JSON VALUE ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" ${FIELD})
+    if(JSON_ERR)
+      message(FATAL_ERROR "missing or unparsable field '${FIELD}': ${JSON_ERR}\n${JSON_TEXT}")
+    endif()
+  endforeach()
+  # Parse-validates the nested structures and pins the phase hierarchy.
+  string(JSON PHASE_NAME ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" phases name)
+  if(JSON_ERR OR NOT PHASE_NAME STREQUAL "total")
+    message(FATAL_ERROR "phases.name != total: ${JSON_ERR} '${PHASE_NAME}'")
+  endif()
+  string(JSON DETECT_NAME ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" phases
+         children 0 name)
+  if(JSON_ERR OR NOT DETECT_NAME STREQUAL "detect")
+    message(FATAL_ERROR "first phase != detect: ${JSON_ERR} '${DETECT_NAME}'")
+  endif()
+  string(JSON NCOUNTERS ERROR_VARIABLE JSON_ERR LENGTH "${JSON_TEXT}" metrics
+         counters)
+  if(JSON_ERR OR NCOUNTERS LESS 1)
+    message(FATAL_ERROR "no counters in metrics: ${JSON_ERR}\n${JSON_TEXT}")
+  endif()
+  # The fixed workload must actually exercise the pipeline.
+  string(JSON WINDOWS GET "${JSON_TEXT}" windows)
+  string(JSON COPS GET "${JSON_TEXT}" cops)
+  string(JSON SOLVES GET "${JSON_TEXT}" solver_calls)
+  if(WINDOWS LESS 1 OR COPS LESS 1 OR SOLVES LESS 1)
+    message(FATAL_ERROR "degenerate run: windows=${WINDOWS} cops=${COPS} solves=${SOLVES}")
+  endif()
+else()
+  foreach(FIELD windows cops qc_passed solver_calls solver_timeouts)
+    if(NOT JSON_TEXT MATCHES "\"${FIELD}\":")
+      message(FATAL_ERROR "missing field '${FIELD}':\n${JSON_TEXT}")
+    endif()
+  endforeach()
+endif()
+
+message(STATUS "stats-json golden check passed: ${OUT}")

@@ -121,7 +121,16 @@ TEST(Random, ChanceExtremes) {
 TEST(Timer, DeadlineNeverExpiresByDefault) {
   Deadline D;
   EXPECT_FALSE(D.expired());
+  EXPECT_FALSE(D.hasLimit());
   EXPECT_LT(D.remainingSeconds(), 0);
+}
+
+TEST(Timer, DeadlineHasLimit) {
+  EXPECT_TRUE(Deadline::after(10.0).hasLimit());
+  // Non-positive budgets mean "no limit" (matches after()'s contract).
+  EXPECT_FALSE(Deadline::after(0.0).hasLimit());
+  EXPECT_FALSE(Deadline::after(-1.0).hasLimit());
+  EXPECT_FALSE(Deadline().hasLimit());
 }
 
 TEST(Timer, DeadlineExpires) {

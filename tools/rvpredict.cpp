@@ -12,6 +12,7 @@
 ///   rvpredict detect  <trace.txt|prog.rv> [--technique=rv|said|cp|hb]
 ///                     [--property=race|atomicity|deadlock] [--window=N]
 ///                     [--solver=idl|z3] [--budget=S] [--witness] [--stats]
+///                     [--stats-json=out.json] [--trace-events=events.jsonl]
 ///   rvpredict replay  <prog.rv> --trace=trace.txt
 ///                     (re-runs the program following the trace's schedule)
 ///   rvpredict fuzz    [--seed=N]   (prints a random program)
@@ -67,9 +68,19 @@ bool loadTrace(const std::string &Path, const OptionParser &Options,
     uint64_t Seed = Options.getInt("seed", 1);
     RoundRobinScheduler RoundRobin(3);
     RandomScheduler Random(Seed);
-    Scheduler *S = Options.getString("schedule", "random") == "rr"
-                       ? static_cast<Scheduler *>(&RoundRobin)
-                       : &Random;
+    std::string Schedule = Options.getString("schedule", "random");
+    Scheduler *S = nullptr;
+    if (Schedule == "rr")
+      S = &RoundRobin;
+    else if (Schedule == "random")
+      S = &Random;
+    else {
+      std::fprintf(stderr,
+                   "error: unknown --schedule value '%s' "
+                   "(valid values: rr, random)\n",
+                   Schedule.c_str());
+      return false;
+    }
     if (!recordTrace(Content, T, Run, Error, S)) {
       std::fprintf(stderr, "error: %s\n", Error.c_str());
       return false;
@@ -123,11 +134,47 @@ Technique parseTechnique(const std::string &Name) {
   return Technique::Maximal;
 }
 
+/// Writes \p Json (plus a trailing newline) to \p Path; "-" means stdout.
+bool writeJsonOutput(const std::string &Path, const std::string &Json) {
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  File << Json << '\n';
+  return true;
+}
+
 int cmdDetect(const OptionParser &Options) {
   if (Options.positional().size() < 2) {
     std::fprintf(stderr, "usage: rvpredict detect <trace.txt|prog.rv>\n");
     return 1;
   }
+
+  std::string StatsJsonPath = Options.getString("stats-json", "");
+  std::string TraceEventsPath = Options.getString("trace-events", "");
+  // Telemetry must be on before loadTrace so interpreter counters from an
+  // on-the-fly recording land in the same snapshot.
+  TraceEventSink Sink;
+  if (Options.getBool("stats") || !StatsJsonPath.empty() ||
+      !TraceEventsPath.empty()) {
+    Telemetry::setEnabled(true);
+    Telemetry::instance().reset();
+    if (!TraceEventsPath.empty()) {
+      std::string Error;
+      if (!Sink.open(TraceEventsPath, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 1;
+      }
+      Telemetry::instance().setSink(&Sink);
+    }
+  }
+
   Trace T;
   if (!loadTrace(Options.positional()[1], Options, T))
     return 1;
@@ -146,6 +193,16 @@ int cmdDetect(const OptionParser &Options) {
   Detect.CollectWitnesses = Options.getBool("witness", true);
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
 
+  // Both renderings draw from the same DetectionStats + telemetry snapshot;
+  // returns false only on stats-json write failure.
+  auto emitStats = [&](const DetectionStats &Stats, const char *What) {
+    if (Options.getBool("stats"))
+      std::fputs(renderStatsTable(Stats, What).c_str(), stdout);
+    if (StatsJsonPath.empty())
+      return true;
+    return writeJsonOutput(StatsJsonPath, statsToJson(Stats, What));
+  };
+
   if (Options.getString("property", "race") == "deadlock") {
     DeadlockResult R = detectDeadlocks(T, Detect);
     std::printf("deadlock: %zu potential deadlock(s) in %.2fs\n",
@@ -161,7 +218,7 @@ int cmdDetect(const OptionParser &Options) {
                   T.lockName(D.LockHeldByA).c_str(),
                   D.LocRequestB.c_str(),
                   D.WitnessValid ? "validated" : "UNVALIDATED");
-    return 0;
+    return emitStats(R.Stats, "deadlock") ? 0 : 1;
   }
 
   if (Options.getString("property", "race") == "atomicity") {
@@ -174,7 +231,7 @@ int cmdDetect(const OptionParser &Options) {
                   V.LocFirst.c_str(), V.LocRemote.c_str(),
                   V.LocSecond.c_str(),
                   V.WitnessValid ? "validated" : "UNVALIDATED");
-    return 0;
+    return emitStats(R.Stats, "atomicity") ? 0 : 1;
   }
 
   DetectionResult R = detectRaces(T, Tech, Detect);
@@ -195,15 +252,7 @@ int cmdDetect(const OptionParser &Options) {
       }
     }
   }
-  if (Options.getBool("stats")) {
-    std::printf("windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu\n",
-                static_cast<unsigned long long>(R.Stats.Windows),
-                static_cast<unsigned long long>(R.Stats.Cops),
-                static_cast<unsigned long long>(R.Stats.QcPassed),
-                static_cast<unsigned long long>(R.Stats.SolverCalls),
-                static_cast<unsigned long long>(R.Stats.SolverTimeouts));
-  }
-  return 0;
+  return emitStats(R.Stats, techniqueName(Tech)) ? 0 : 1;
 }
 
 int cmdReplay(const OptionParser &Options) {
@@ -270,6 +319,11 @@ int main(int Argc, const char **Argv) {
   Options.addOption("budget", "per-COP solver budget (s)", "60");
   Options.addOption("witness", "print witness reorderings", "false");
   Options.addOption("stats", "print detection statistics", "false");
+  Options.addOption("stats-json", "write stats as JSON ('-' for stdout)", "");
+  Options.addOption("trace-events",
+                    "write per-window/COP/solve JSONL events "
+                    "('-' for stdout)",
+                    "");
   Options.addOption("trace", "trace file for replay", "");
   if (!Options.parse(Argc, Argv))
     return 1;

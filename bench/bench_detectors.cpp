@@ -19,6 +19,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -26,6 +27,10 @@
 using namespace rvp;
 
 namespace {
+
+/// --jobs=N (default 0 = one worker per hardware thread), peeled off in
+/// main() like --stats-json.
+uint32_t JobsFlag = 0;
 
 Trace makeTrace(uint64_t Events) {
   SyntheticSpec Spec;
@@ -52,6 +57,7 @@ void runDetector(benchmark::State &State, Technique Tech,
   Options.PerCopBudgetSeconds = 30;
   Options.UseQuickCheck = UseQuickCheck;
   Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
   size_t Races = 0;
   uint64_t SolverCalls = 0;
   DetectionStats Stats;
@@ -88,6 +94,7 @@ void BM_Atomicity(benchmark::State &State) {
   DetectorOptions Options;
   Options.PerCopBudgetSeconds = 30;
   Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
   size_t Found = 0;
   for (auto _ : State) {
     AtomicityResult R = detectAtomicityViolations(T, Options);
@@ -102,6 +109,7 @@ void BM_Deadlock(benchmark::State &State) {
   DetectorOptions Options;
   Options.PerCopBudgetSeconds = 30;
   Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
   size_t Found = 0;
   for (auto _ : State) {
     DeadlockResult R = detectDeadlocks(T, Options);
@@ -136,6 +144,7 @@ int dumpStatsJson(const std::string &Path) {
   DetectorOptions Options;
   Options.PerCopBudgetSeconds = 30;
   Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
 
   JsonObject Techs;
   const std::pair<Technique, const char *> Runs[] = {
@@ -169,15 +178,20 @@ int dumpStatsJson(const std::string &Path) {
 
 } // namespace
 
-// Custom main: peel off --stats-json=<path> (google-benchmark rejects
-// unknown flags), run the benchmarks, then do the one-shot stats dump.
+// Custom main: peel off --stats-json=<path> and --jobs=<n>
+// (google-benchmark rejects unknown flags), run the benchmarks, then do
+// the one-shot stats dump.
 int main(int Argc, char **Argv) {
   std::string StatsJsonPath;
   int Kept = 1;
   for (int I = 1; I < Argc; ++I) {
     constexpr const char *Flag = "--stats-json=";
+    constexpr const char *Jobs = "--jobs=";
     if (std::strncmp(Argv[I], Flag, std::strlen(Flag)) == 0)
       StatsJsonPath = Argv[I] + std::strlen(Flag);
+    else if (std::strncmp(Argv[I], Jobs, std::strlen(Jobs)) == 0)
+      JobsFlag = static_cast<uint32_t>(
+          std::strtoul(Argv[I] + std::strlen(Jobs), nullptr, 10));
     else
       Argv[Kept++] = Argv[I];
   }

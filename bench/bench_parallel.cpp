@@ -1,0 +1,145 @@
+//===- bench/bench_parallel.cpp - Parallel solving scaling curve --------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Scaling curve for the parallel per-COP solving path: one Maximal run
+/// per jobs value (1, 2, 4, 8 by default) on a 40k-event synthetic
+/// workload, reported as JSON with per-run wall time, speedup over the
+/// sequential run, and the full detection stats. The race counts must be
+/// identical across rows — the parallel path is deterministic — so the
+/// harness also fails loudly if they diverge.
+///
+/// Usage: bench_parallel [--events=N] [--out=PATH] [--jobs=1,2,4,8]
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+#include "workloads/Synthetic.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace rvp;
+
+namespace {
+
+Trace makeTrace(uint64_t Events) {
+  SyntheticSpec Spec;
+  Spec.Name = "bench-parallel";
+  Spec.Workers = 8;
+  Spec.TargetEvents = Events;
+  Spec.PlainRaces = 4;
+  Spec.CpOnlyRaces = 2;
+  Spec.SaidOnlyRaces = 2;
+  Spec.HbNotSaidRaces = 2;
+  Spec.RvOnlyRaces = 2;
+  Spec.QcOnlyPairs = 4;
+  Spec.OrderedPairs = 8;
+  Spec.AtomicityPairs = 4;
+  Spec.DeadlockCycles = 4;
+  Spec.Seed = 5;
+  return generateSynthetic(Spec);
+}
+
+std::vector<uint32_t> parseJobsList(const char *Text) {
+  std::vector<uint32_t> Jobs;
+  for (const char *P = Text; *P;) {
+    char *End = nullptr;
+    unsigned long V = std::strtoul(P, &End, 10);
+    if (End == P)
+      break;
+    Jobs.push_back(static_cast<uint32_t>(V));
+    P = *End == ',' ? End + 1 : End;
+  }
+  return Jobs;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t Events = 40000;
+  std::string OutPath;
+  std::vector<uint32_t> JobsList = {1, 2, 4, 8};
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--events=", 9) == 0)
+      Events = std::strtoull(Arg + 9, nullptr, 10);
+    else if (std::strncmp(Arg, "--out=", 6) == 0)
+      OutPath = Arg + 6;
+    else if (std::strncmp(Arg, "--jobs=", 7) == 0)
+      JobsList = parseJobsList(Arg + 7);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--events=N] [--out=PATH] [--jobs=1,2,4,8]\n",
+                   Argv[0]);
+      return 1;
+    }
+  }
+
+  Trace T = makeTrace(Events);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+
+  std::string Rows;
+  double BaselineSeconds = 0;
+  size_t BaselineRaces = 0;
+  bool First = true;
+  for (uint32_t Jobs : JobsList) {
+    Options.Jobs = Jobs;
+    Timer Clock;
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    double Seconds = Clock.seconds();
+    if (First) {
+      BaselineSeconds = Seconds;
+      BaselineRaces = R.raceCount();
+    } else if (R.raceCount() != BaselineRaces) {
+      std::fprintf(stderr,
+                   "error: jobs=%u found %zu races, jobs=%u found %zu — "
+                   "parallel path is not deterministic\n",
+                   JobsList.front(), BaselineRaces, Jobs, R.raceCount());
+      return 1;
+    }
+    double Speedup = Seconds > 0 ? BaselineSeconds / Seconds : 0;
+    std::printf("jobs=%u  races=%zu  %.3fs  speedup=%.2fx\n", Jobs,
+                R.raceCount(), Seconds, Speedup);
+    JsonObject Row;
+    Row.field("jobs", static_cast<uint64_t>(Jobs))
+        .field("races", static_cast<uint64_t>(R.raceCount()))
+        .field("seconds", Seconds)
+        .field("speedup", Speedup)
+        .raw("stats", statsToJson(R.Stats, "rv"));
+    if (!First)
+      Rows += ",";
+    Rows += Row.str();
+    First = false;
+  }
+
+  JsonObject Out;
+  Out.field("workload", "synthetic-" + std::to_string(Events))
+      .field("events", static_cast<uint64_t>(T.size()))
+      .field("hardware_concurrency",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .raw("runs", "[" + Rows + "]");
+  std::string Json = Out.str() + "\n";
+  if (OutPath.empty() || OutPath == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(OutPath);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}

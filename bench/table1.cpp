@@ -35,6 +35,9 @@ int main(int Argc, const char **Argv) {
   Options.addOption("window", "window size in events", "10000");
   Options.addOption("budget", "per-COP solver budget in seconds", "10");
   Options.addOption("solver", "SMT backend: idl or z3", "idl");
+  Options.addOption("jobs",
+                    "solver worker threads (0 = one per hardware thread)",
+                    "0");
   Options.addOption("group", "row group filter", "all");
   Options.addOption("bench", "single benchmark name", "");
   Options.addOption("stats-json",
@@ -53,6 +56,7 @@ int main(int Argc, const char **Argv) {
   Detect.WindowSize = static_cast<uint32_t>(Options.getInt("window", 10000));
   Detect.PerCopBudgetSeconds = Options.getDouble("budget", 10);
   Detect.SolverName = Options.getString("solver", "idl");
+  Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Detect.CollectWitnesses = false; // match the paper's timing setup
 
   std::string Group = Options.getString("group", "all");

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Builds the thread-sanitized preset (-DRV_SANITIZE=thread) and runs the
+# concurrency-sensitive tests under it: the thread-pool and stats unit
+# tests, the parallel-vs-sequential detector comparisons, and the
+# byte-identical-output determinism check. Any data race the pool or the
+# shared per-window encoding introduces fails this script.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DRV_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
+  --target rvp_tests rvpredict
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -R 'ThreadPool|ParallelDetect|Stats\.Concurrent|DetectDeterminism'
+
+echo "check_tsan: all thread-sanitized checks passed"

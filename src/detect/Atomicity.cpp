@@ -12,9 +12,11 @@
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
 #include "support/Compiler.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 using namespace rvp;
@@ -79,6 +81,30 @@ uint64_t signatureOf(const Trace &T, EventId A1, EventId B, EventId A2) {
   return H;
 }
 
+/// One enumerated candidate plus every fact the parallel pre-filter phase
+/// derives for it. Enumeration order matches the sequential nested loops,
+/// so the sequential collection phase reproduces the exact sequential
+/// SeenSignatures evolution and statistics.
+struct AtomCandidate {
+  LockId Lock = 0;
+  LockPair Region;
+  EventId A1 = InvalidEvent;
+  EventId B = InvalidEvent;
+  EventId A2 = InvalidEvent;
+  AtomicityPattern Pattern = AtomicityPattern::ReadWriteRead;
+  uint64_t Sig = 0;
+  /// Rejected by the lockset / MHB quick check (signature-independent, so
+  /// it is safe to precompute before the solving phase).
+  bool QcRejected = false;
+};
+
+/// What a parallel solve task produced for one candidate.
+struct AtomTaskResult {
+  bool Solved = false;
+  SatResult Sat = SatResult::Unknown;
+  AtomicityReport Report;
+};
+
 class AtomicityDriver {
 public:
   AtomicityDriver(const Trace &T, const DetectorOptions &Options)
@@ -89,6 +115,11 @@ public:
     Solver = createSolverByName(Options.SolverName);
     if (!Solver)
       Solver = createIdlSolver();
+    Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
+                             : Options.Jobs;
+    if (Jobs > 1)
+      Pool = std::make_unique<ThreadPool>(Jobs);
+    Result.Stats.Jobs = Jobs;
     RunningValues.assign(T.numVars(), 0);
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
@@ -104,8 +135,13 @@ public:
       }
     }
     Result.Stats.Seconds = Clock.seconds();
-    if (Telemetry::enabled())
+    if (Telemetry::enabled()) {
+      if (SpeculativeSolves)
+        MetricsRegistry::global()
+            .counter("detect.speculative_solves")
+            .add(SpeculativeSolves);
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
+    }
     return std::move(Result);
   }
 
@@ -116,6 +152,11 @@ private:
     RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
     LocksetIndex Locksets(T, Window);
 
+    if (Pool) {
+      processWindowParallel(Window, Mhb, Encoder, Locksets);
+      return;
+    }
+
     for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
       for (const LockPair &Region : T.lockPairsOf(Lock)) {
         if (Region.AcquireId == InvalidEvent ||
@@ -125,6 +166,149 @@ private:
           continue;
         checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region);
       }
+    }
+  }
+
+  /// Phase A of the parallel path: enumerate candidates in the exact
+  /// sequential nested-loop order, counting Stats.Cops and precomputing
+  /// the signature and the (signature-independent) quick-check verdict.
+  std::vector<AtomCandidate>
+  enumerateCandidates(Span Window, const EventClosure &Mhb,
+                      const LocksetIndex &Locksets) {
+    std::vector<AtomCandidate> Candidates;
+    for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
+      for (const LockPair &Region : T.lockPairsOf(Lock)) {
+        if (Region.AcquireId == InvalidEvent ||
+            Region.ReleaseId == InvalidEvent ||
+            !Window.contains(Region.AcquireId) ||
+            !Window.contains(Region.ReleaseId))
+          continue;
+        std::vector<EventId> Local;
+        for (EventId Id = Region.AcquireId + 1; Id < Region.ReleaseId;
+             ++Id)
+          if (T[Id].Tid == Region.Tid && T[Id].isAccess() &&
+              !T[Id].Volatile)
+            Local.push_back(Id);
+        for (size_t I = 0; I < Local.size(); ++I) {
+          for (size_t J = I + 1; J < Local.size(); ++J) {
+            EventId A1 = Local[I];
+            EventId A2 = Local[J];
+            if (T[A1].Target != T[A2].Target)
+              continue;
+            for (EventId B : T.accessesOf(T[A1].Target)) {
+              if (!Window.contains(B) || T[B].Tid == Region.Tid ||
+                  T[B].Volatile)
+                continue;
+              AtomicityPattern Pattern;
+              if (!classifyAtomicity(T[A1], T[B], T[A2], Pattern))
+                continue;
+              ++Result.Stats.Cops;
+              AtomCandidate C;
+              C.Lock = Lock;
+              C.Region = Region;
+              C.A1 = A1;
+              C.B = B;
+              C.A2 = A2;
+              C.Pattern = Pattern;
+              C.Sig = signatureOf(T, A1, B, A2);
+              if (Options.UseQuickCheck) {
+                const std::vector<LockId> &Held = Locksets.heldAt(B);
+                C.QcRejected =
+                    std::find(Held.begin(), Held.end(), Lock) !=
+                        Held.end() ||
+                    Mhb.ordered(B, A1) || Mhb.ordered(A2, B);
+              }
+              Candidates.push_back(C);
+            }
+          }
+        }
+      }
+    }
+    return Candidates;
+  }
+
+  /// Parallel window: enumerate sequentially (A), encode+solve every
+  /// quick-check survivor concurrently (B), then replay the results in
+  /// candidate order against the live signature set (C) so reports and
+  /// summary statistics match the sequential path exactly. Solves whose
+  /// signature turns out to be already seen are speculative and are
+  /// discarded in phase C.
+  void processWindowParallel(Span Window, const EventClosure &Mhb,
+                             const RaceEncoder &Encoder,
+                             const LocksetIndex &Locksets) {
+    std::vector<AtomCandidate> Candidates =
+        enumerateCandidates(Window, Mhb, Locksets);
+    std::vector<AtomTaskResult> Results(Candidates.size());
+
+    Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
+      const AtomCandidate &C = Candidates[Index];
+      if (C.QcRejected)
+        return;
+      solveCandidateTask(Window, Mhb, Encoder, C, Results[Index]);
+    });
+
+    for (size_t Index = 0; Index < Candidates.size(); ++Index) {
+      const AtomCandidate &C = Candidates[Index];
+      AtomTaskResult &R = Results[Index];
+      if (SeenSignatures.count(C.Sig)) {
+        if (R.Solved)
+          ++SpeculativeSolves;
+        continue;
+      }
+      if (C.QcRejected)
+        continue;
+      if (Options.UseQuickCheck)
+        ++Result.Stats.QcPassed;
+      ++Result.Stats.SolverCalls;
+      if (R.Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        continue;
+      }
+      if (R.Sat == SatResult::Unsat)
+        continue;
+      SeenSignatures.insert(C.Sig);
+      Result.Violations.push_back(std::move(R.Report));
+    }
+  }
+
+  /// Phase B worker body: encode and solve one candidate with a private
+  /// solver instance, building the full report (witness included) so the
+  /// collection phase only has to accept or discard it.
+  void solveCandidateTask(Span Window, const EventClosure &Mhb,
+                          const RaceEncoder &Encoder,
+                          const AtomCandidate &C, AtomTaskResult &Out) {
+    FormulaBuilder FB;
+    NodeRef Root = Encoder.encodeBetween(FB, C.A1, C.B, C.A2);
+    OrderModel Model;
+    std::unique_ptr<SmtSolver> TaskSolver =
+        createSolverByName(Options.SolverName);
+    if (!TaskSolver)
+      TaskSolver = createIdlSolver();
+    Out.Sat = TaskSolver->solve(
+        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+        Options.CollectWitnesses ? &Model : nullptr);
+    Out.Solved = true;
+    if (Out.Sat != SatResult::Sat)
+      return;
+
+    AtomicityReport &Report = Out.Report;
+    Report.RegionLock = C.Lock;
+    Report.RegionAcquire = C.Region.AcquireId;
+    Report.RegionRelease = C.Region.ReleaseId;
+    Report.First = C.A1;
+    Report.Remote = C.B;
+    Report.Second = C.A2;
+    Report.Pattern = C.Pattern;
+    Report.Variable = T.varName(T[C.A1].Target);
+    Report.LocFirst = T.locName(T[C.A1].Loc);
+    Report.LocRemote = T.locName(T[C.B].Loc);
+    Report.LocSecond = T.locName(T[C.A2].Loc);
+    if (Options.CollectWitnesses) {
+      Report.Witness = buildWitness(Window, Model);
+      Report.WitnessValid =
+          checkAtomicityWitness(T, Window, Report.Witness, C.A1, C.B,
+                                C.A2, Encoder, Mhb, RunningValues)
+              .Ok;
     }
   }
 
@@ -235,6 +419,9 @@ private:
   DetectorOptions Options;
   AtomicityResult Result;
   std::unique_ptr<SmtSolver> Solver;
+  std::unique_ptr<ThreadPool> Pool;
+  uint32_t Jobs = 1;
+  uint64_t SpeculativeSolves = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;
 };

@@ -10,9 +10,11 @@
 #include "detect/RaceEncoder.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
 using namespace rvp;
@@ -40,6 +42,11 @@ public:
     Solver = createSolverByName(Options.SolverName);
     if (!Solver)
       Solver = createIdlSolver();
+    Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
+                             : Options.Jobs;
+    if (Jobs > 1)
+      Pool = std::make_unique<ThreadPool>(Jobs);
+    Result.Stats.Jobs = Jobs;
     RunningValues.assign(T.numVars(), 0);
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
@@ -55,8 +62,13 @@ public:
       }
     }
     Result.Stats.Seconds = Clock.seconds();
-    if (Telemetry::enabled())
+    if (Telemetry::enabled()) {
+      if (SpeculativeSolves)
+        MetricsRegistry::global()
+            .counter("detect.speculative_solves")
+            .add(SpeculativeSolves);
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
+    }
     return std::move(Result);
   }
 
@@ -107,12 +119,33 @@ private:
     return (static_cast<uint64_t>(A) << 32) | B;
   }
 
+  /// One opposite-order dependency pair plus the facts the parallel
+  /// pre-filter derives for it; enumeration order matches the sequential
+  /// nested loops.
+  struct DeadlockCandidate {
+    LockDependency A, B;
+    uint64_t Sig = 0;
+    /// Refuted by the MHB quick check (signature-independent).
+    bool QcRejected = false;
+  };
+
+  struct DeadlockTaskResult {
+    bool Solved = false;
+    SatResult Sat = SatResult::Unknown;
+    DeadlockReport Report;
+  };
+
   void processWindow(Span Window) {
     std::vector<LockDependency> Deps = collectDependencies(Window);
     if (Deps.empty())
       return;
     EventClosure Mhb(T, Window, ClosureConfig::mhb());
     RaceEncoder Encoder(T, Window, Mhb, RunningValues);
+
+    if (Pool) {
+      processWindowParallel(Window, Mhb, Encoder, Deps);
+      return;
+    }
 
     for (size_t I = 0; I < Deps.size(); ++I) {
       for (size_t J = I + 1; J < Deps.size(); ++J) {
@@ -137,6 +170,114 @@ private:
         }
         solveCandidate(Window, Mhb, Encoder, A, B);
       }
+    }
+  }
+
+  /// Parallel window: enumerate pairs sequentially (phase A), encode+solve
+  /// the quick-check survivors concurrently (B), then replay in pair order
+  /// against the live signature set (C). Mirrors the race and atomicity
+  /// parallel paths; see docs/OBSERVABILITY.md.
+  void processWindowParallel(Span Window, const EventClosure &Mhb,
+                             const RaceEncoder &Encoder,
+                             const std::vector<LockDependency> &Deps) {
+    std::vector<DeadlockCandidate> Candidates;
+    for (size_t I = 0; I < Deps.size(); ++I) {
+      for (size_t J = I + 1; J < Deps.size(); ++J) {
+        const LockDependency &A = Deps[I];
+        const LockDependency &B = Deps[J];
+        if (A.Tid == B.Tid || A.OuterLock != B.InnerLock ||
+            A.InnerLock != B.OuterLock)
+          continue;
+        ++Result.Stats.Cops;
+        DeadlockCandidate C;
+        C.A = A;
+        C.B = B;
+        C.Sig = signatureOf(T, A.Request, B.Request);
+        if (Options.UseQuickCheck)
+          C.QcRejected = Mhb.ordered(A.Request, B.Outer.AcquireId) ||
+                         Mhb.ordered(B.Outer.ReleaseId, A.Request) ||
+                         Mhb.ordered(B.Request, A.Outer.AcquireId) ||
+                         Mhb.ordered(A.Outer.ReleaseId, B.Request);
+        Candidates.push_back(C);
+      }
+    }
+
+    std::vector<DeadlockTaskResult> Results(Candidates.size());
+    Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
+      const DeadlockCandidate &C = Candidates[Index];
+      if (C.QcRejected)
+        return;
+      solveCandidateTask(Window, Mhb, Encoder, C, Results[Index]);
+    });
+
+    for (size_t Index = 0; Index < Candidates.size(); ++Index) {
+      const DeadlockCandidate &C = Candidates[Index];
+      DeadlockTaskResult &R = Results[Index];
+      if (SeenSignatures.count(C.Sig)) {
+        if (R.Solved)
+          ++SpeculativeSolves;
+        continue;
+      }
+      if (C.QcRejected)
+        continue;
+      if (Options.UseQuickCheck)
+        ++Result.Stats.QcPassed;
+      ++Result.Stats.SolverCalls;
+      if (R.Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        continue;
+      }
+      if (R.Sat == SatResult::Unsat)
+        continue;
+      SeenSignatures.insert(C.Sig);
+      Result.Deadlocks.push_back(std::move(R.Report));
+    }
+  }
+
+  /// Phase B worker body: solve one pair with a private solver instance
+  /// and build the complete report, witness included.
+  void solveCandidateTask(Span Window, const EventClosure &Mhb,
+                          const RaceEncoder &Encoder,
+                          const DeadlockCandidate &C,
+                          DeadlockTaskResult &Out) {
+    const LockDependency &A = C.A;
+    const LockDependency &B = C.B;
+    FormulaBuilder FB;
+    NodeRef Root =
+        Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
+    OrderModel Model;
+    std::unique_ptr<SmtSolver> TaskSolver =
+        createSolverByName(Options.SolverName);
+    if (!TaskSolver)
+      TaskSolver = createIdlSolver();
+    Out.Sat = TaskSolver->solve(
+        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+        Options.CollectWitnesses ? &Model : nullptr);
+    Out.Solved = true;
+    if (Out.Sat != SatResult::Sat)
+      return;
+
+    DeadlockReport &Report = Out.Report;
+    Report.ThreadA = A.Tid;
+    Report.ThreadB = B.Tid;
+    Report.LockHeldByA = A.OuterLock;
+    Report.LockHeldByB = B.OuterLock;
+    Report.RequestA = A.Request;
+    Report.RequestB = B.Request;
+    Report.LocRequestA = T.locName(T[A.Request].Loc);
+    Report.LocRequestB = T.locName(T[B.Request].Loc);
+    if (Options.CollectWitnesses) {
+      Report.Witness = buildWitness(Window, Model);
+      std::unordered_set<EventId> Skip = {A.Request, B.Request};
+      if (A.RequestPair.ReleaseId != InvalidEvent)
+        Skip.insert(A.RequestPair.ReleaseId);
+      if (B.RequestPair.ReleaseId != InvalidEvent)
+        Skip.insert(B.RequestPair.ReleaseId);
+      Report.WitnessValid =
+          checkDeadlockWitness(T, Window, Report.Witness, A.Request,
+                               B.Request, A.Outer, B.Outer, Skip, Encoder,
+                               Mhb, RunningValues)
+              .Ok;
     }
   }
 
@@ -205,6 +346,9 @@ private:
   DetectorOptions Options;
   DeadlockResult Result;
   std::unique_ptr<SmtSolver> Solver;
+  std::unique_ptr<ThreadPool> Pool;
+  uint32_t Jobs = 1;
+  uint64_t SpeculativeSolves = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;
 };

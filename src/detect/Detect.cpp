@@ -9,13 +9,16 @@
 #include "detect/Closure.h"
 #include "detect/Lockset.h"
 #include "detect/RaceEncoder.h"
+#include "detect/WindowEncoding.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_set>
 
@@ -38,12 +41,13 @@ const char *rvp::techniqueName(Technique Tech) {
 std::string rvp::renderStatsTable(const DetectionStats &Stats,
                                   const char *What) {
   std::string Out = formatString(
-      "windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu\n",
+      "windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu jobs=%u\n",
       static_cast<unsigned long long>(Stats.Windows),
       static_cast<unsigned long long>(Stats.Cops),
       static_cast<unsigned long long>(Stats.QcPassed),
       static_cast<unsigned long long>(Stats.SolverCalls),
-      static_cast<unsigned long long>(Stats.SolverTimeouts));
+      static_cast<unsigned long long>(Stats.SolverTimeouts),
+      static_cast<unsigned>(Stats.Jobs));
   if (!Stats.Telemetry.Captured)
     return Out;
   Out += formatString("phases (%s, wall seconds):\n", What);
@@ -63,7 +67,8 @@ std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
       .field("cops", Stats.Cops)
       .field("qc_passed", Stats.QcPassed)
       .field("solver_calls", Stats.SolverCalls)
-      .field("solver_timeouts", Stats.SolverTimeouts);
+      .field("solver_timeouts", Stats.SolverTimeouts)
+      .field("jobs", static_cast<uint64_t>(Stats.Jobs));
   if (Stats.Telemetry.Captured) {
     O.raw("metrics", metricsToJson(Stats.Telemetry.Metrics));
     O.raw("phases", Stats.Telemetry.Phases.toJson());
@@ -258,6 +263,11 @@ public:
       Solver = createSolverByName(Options.SolverName);
       if (!Solver)
         Solver = createIdlSolver();
+      Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
+                               : Options.Jobs;
+      if (Jobs > 1)
+        Pool = std::make_unique<ThreadPool>(Jobs);
+      Result.Stats.Jobs = Jobs;
     }
 
     {
@@ -376,10 +386,20 @@ private:
       break;
     }
 
-    // SMT-based techniques.
+    // SMT-based techniques. The COP-invariant encoding state is built
+    // once per window and shared read-only by every encode+solve — the
+    // sequential loop and the parallel workers alike.
     EncoderOptions EncOpts;
     EncOpts.SubstituteRaceVars = Options.SubstituteRaceVars;
-    RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
+    RaceEncoder Encoder(
+        std::make_shared<const WindowEncoding>(T, Window, Mhb,
+                                               RunningValues),
+        EncOpts);
+
+    if (Pool) {
+      processCopsParallel(Window, Cops, Qc, Mhb, Encoder);
+      return Cops.size();
+    }
 
     for (const Cop &C : Cops) {
       if (RacySignatures.count(
@@ -449,6 +469,168 @@ private:
     return Cops.size();
   }
 
+  // -------------------------------------------------- parallel solving
+
+  /// Outcome of one COP, decided in phase A (pre-filters) or phase B
+  /// (solve task) and consumed in COP order by phase C.
+  struct CopTaskResult {
+    uint64_t SigKey = 0;
+    bool PreFiltered = false; ///< signature racy at window start
+    bool QcFail = false;
+    bool Solved = false;
+    SatResult Sat = SatResult::Unknown;
+    double SolveSeconds = 0;
+    uint64_t FormulaNodes = 0;
+    uint64_t DifferenceAtoms = 0;
+    uint64_t OrderVars = 0;
+    std::vector<EventId> Witness;
+    bool WitnessValid = false;
+  };
+
+  /// The jobs>1 replacement for the sequential COP loop. Three phases keep
+  /// the output deterministic and equal to --jobs 1:
+  ///
+  ///  A (sequential) — per-COP pre-filters whose inputs are fixed at
+  ///    window start: signatures racy from *earlier* windows and the
+  ///    quick check.
+  ///  B (parallel)   — encode+solve of every surviving COP as independent
+  ///    tasks: own FormulaBuilder, own solver instance, read-only shared
+  ///    WindowEncoding. No cross-task state.
+  ///  C (sequential, ascending COP index) — replays the sequential loop's
+  ///    accounting: a COP whose signature became racy earlier in this
+  ///    window is pruned exactly as the sequential run would have pruned
+  ///    it (its speculative solve is discarded and tallied separately),
+  ///    so reports, stats, and trace events match byte for byte.
+  ///
+  /// One caveat: a COP near the per-COP budget can tip from sat/unsat to
+  /// timeout under contention (wall-clock budgets are the one
+  /// scheduling-dependent input).
+  void processCopsParallel(Span Window, const std::vector<Cop> &Cops,
+                           const QuickCheck &Qc, const EventClosure &Mhb,
+                           const RaceEncoder &Encoder) {
+    std::vector<CopTaskResult> Results(Cops.size());
+    for (size_t I = 0; I < Cops.size(); ++I) {
+      CopTaskResult &R = Results[I];
+      R.SigKey = RaceSignature::of(T, Cops[I].First, Cops[I].Second).key();
+      R.PreFiltered = RacySignatures.count(R.SigKey) != 0;
+      if (R.PreFiltered)
+        continue;
+      R.QcFail = Options.UseQuickCheck && !Qc.pass(Cops[I]);
+    }
+
+    const bool Observing = Telemetry::enabled();
+    const bool WantEventMetrics = activeSink() != nullptr;
+    std::vector<PhaseTree> WorkerTrees(Observing ? Pool->numWorkers() : 0);
+    Pool->parallelFor(0, Cops.size(), [&](size_t I) {
+      CopTaskResult &R = Results[I];
+      if (R.PreFiltered || R.QcFail)
+        return;
+      std::optional<ThreadPhaseScope> PhaseScope;
+      if (Observing) {
+        int W = Pool->currentWorkerIndex();
+        if (W >= 0)
+          PhaseScope.emplace(&WorkerTrees[W]);
+      }
+      solveCopTask(Cops[I], Encoder, Mhb, Window, WantEventMetrics, R);
+    });
+    if (Observing) {
+      // The main thread is inside the "window" phase here, so the merge
+      // nests each worker's encode/solve/witness times under it.
+      PhaseTree &Main = Telemetry::instance().phases();
+      for (const PhaseTree &WT : WorkerTrees)
+        Main.absorb(WT);
+    }
+
+    for (size_t I = 0; I < Cops.size(); ++I) {
+      const Cop &C = Cops[I];
+      CopTaskResult &R = Results[I];
+      if (RacySignatures.count(R.SigKey)) {
+        ++SigPruned; // signature pruning (Section 4)
+        if (R.Solved)
+          ++SpeculativeSolves;
+        emitCopEvent(Window, C, "pruned", nullptr, 0, 0);
+        continue;
+      }
+      if (R.QcFail) {
+        emitCopEvent(Window, C, "qc-fail", nullptr, 0, 0);
+        continue;
+      }
+      ++Result.Stats.SolverCalls;
+      const char *Outcome = R.Sat == SatResult::Sat     ? "sat"
+                            : R.Sat == SatResult::Unsat ? "unsat"
+                                                        : "timeout";
+      emitSolveEvent(Window, C, Outcome, R.SolveSeconds);
+      if (R.Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        emitCopEventFields(C, Outcome, true, R.FormulaNodes,
+                           R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
+        continue;
+      }
+      if (R.Sat == SatResult::Unsat) {
+        emitCopEventFields(C, Outcome, true, R.FormulaNodes,
+                           R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
+        continue;
+      }
+      emitCopEventFields(C, Outcome, true, R.FormulaNodes,
+                         R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
+      report(C.First, C.Second, std::move(R.Witness), R.WitnessValid);
+    }
+  }
+
+  /// Phase-B body: fully independent of every other COP. Runs on a pool
+  /// worker (or inline); may only touch immutable window state, the
+  /// registry (atomic), and its own CopTaskResult slot.
+  void solveCopTask(const Cop &C, const RaceEncoder &Encoder,
+                    const EventClosure &Mhb, Span Window,
+                    bool WantEventMetrics, CopTaskResult &R) {
+    FormulaBuilder FB;
+    NodeRef Root;
+    {
+      ScopedPhaseTimer EncodePhase("encode");
+      Root = Tech == Technique::Maximal
+                 ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
+                 : Encoder.encodeSaidRace(FB, C.First, C.Second);
+    }
+    if (Telemetry::enabled())
+      recordFormulaMetrics(FB, Root);
+    if (WantEventMetrics) {
+      R.FormulaNodes = FB.numNodes();
+      for (NodeRef I = 0; I < FB.numNodes(); ++I)
+        if (FB.node(I).Kind == FormulaKind::Atom)
+          ++R.DifferenceAtoms;
+      R.OrderVars = FB.collectVars(Root).size();
+    }
+    // One solver instance per task: all solver state is per-solve, and
+    // instantiation is cheap next to the solve itself.
+    std::unique_ptr<SmtSolver> TaskSolver =
+        createSolverByName(Options.SolverName);
+    if (!TaskSolver)
+      TaskSolver = createIdlSolver();
+    OrderModel Model;
+    R.Solved = true;
+    {
+      ScopedPhaseTimer SolvePhase("solve");
+      Timer SolveClock;
+      R.Sat =
+          TaskSolver->solve(FB, Root,
+                            Deadline::after(Options.PerCopBudgetSeconds),
+                            Options.CollectWitnesses ? &Model : nullptr);
+      R.SolveSeconds = SolveClock.seconds();
+    }
+    if (Telemetry::enabled())
+      MetricsRegistry::global()
+          .histogram("solver.latency_seconds")
+          .record(R.SolveSeconds);
+    if (R.Sat == SatResult::Sat && Options.CollectWitnesses &&
+        Tech == Technique::Maximal) {
+      ScopedPhaseTimer WitnessPhase("witness");
+      R.Witness = buildWitness(Window, Model, C);
+      R.WitnessValid = checkWitness(T, Window, R.Witness, C.First, C.Second,
+                                    Encoder, Mhb, RunningValues)
+                           .Ok;
+    }
+  }
+
   // ------------------------------------------------------- telemetry
 
   void flushTelemetryCounters() {
@@ -462,6 +644,8 @@ private:
     Reg.counter("detect.races").add(Result.Races.size());
     Reg.counter("solver.calls").add(Result.Stats.SolverCalls);
     Reg.counter("solver.timeouts").add(Result.Stats.SolverTimeouts);
+    Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
+    Reg.gauge("detect.jobs").set(Result.Stats.Jobs);
   }
 
   /// Formula-size accounting after one encode: total nodes, difference
@@ -506,6 +690,25 @@ private:
   void emitCopEvent(Span, const Cop &C, const char *Outcome,
                     const FormulaBuilder *FB, NodeRef Root,
                     double SolveSeconds) {
+    if (!activeSink())
+      return;
+    if (!FB) {
+      emitCopEventFields(C, Outcome, false, 0, 0, 0, 0);
+      return;
+    }
+    uint64_t Atoms = 0;
+    for (NodeRef I = 0; I < FB->numNodes(); ++I)
+      if (FB->node(I).Kind == FormulaKind::Atom)
+        ++Atoms;
+    emitCopEventFields(C, Outcome, true, FB->numNodes(), Atoms,
+                       FB->collectVars(Root).size(), SolveSeconds);
+  }
+
+  /// Same event from precomputed numbers — the parallel path measures
+  /// formula sizes inside the task and emits in COP order afterwards.
+  void emitCopEventFields(const Cop &C, const char *Outcome,
+                          bool HasFormula, uint64_t Nodes, uint64_t Atoms,
+                          uint64_t OrderVars, double SolveSeconds) {
     TraceEventSink *Sink = activeSink();
     if (!Sink)
       return;
@@ -518,17 +721,11 @@ private:
         .field("loc_second", T.locName(T[C.Second].Loc))
         .field("variable", T.varName(T[C.First].Target))
         .field("outcome", Outcome);
-    if (FB) {
-      uint64_t Atoms = 0;
-      for (NodeRef I = 0; I < FB->numNodes(); ++I)
-        if (FB->node(I).Kind == FormulaKind::Atom)
-          ++Atoms;
-      O.field("formula_nodes", static_cast<uint64_t>(FB->numNodes()))
+    if (HasFormula)
+      O.field("formula_nodes", Nodes)
           .field("difference_atoms", Atoms)
-          .field("order_vars",
-                 static_cast<uint64_t>(FB->collectVars(Root).size()))
+          .field("order_vars", OrderVars)
           .field("solve_seconds", SolveSeconds);
-    }
     Sink->write(O);
   }
 
@@ -579,6 +776,10 @@ private:
   DetectorOptions Options;
   DetectionResult Result;
   std::unique_ptr<SmtSolver> Solver;
+  /// Worker pool for the per-COP solve loop; null when Jobs <= 1 (the
+  /// sequential code path) or the technique has no solver loop.
+  std::unique_ptr<ThreadPool> Pool;
+  uint32_t Jobs = 1;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> RacySignatures;
   std::unordered_set<uint64_t> QcSignatures;
@@ -587,6 +788,10 @@ private:
   uint64_t QcHits = 0;
   uint64_t QcMisses = 0;
   uint64_t SigPruned = 0;
+  /// Parallel-only: solves whose COP turned out signature-pruned once an
+  /// earlier COP of the same window reported; their results are discarded
+  /// so stats match the sequential run.
+  uint64_t SpeculativeSolves = 0;
 };
 
 } // namespace

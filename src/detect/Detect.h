@@ -52,6 +52,13 @@ struct DetectorOptions {
   bool SubstituteRaceVars = true;
   /// Extract, validate, and keep a witness order per reported race.
   bool CollectWitnesses = true;
+  /// Worker threads for the per-COP encode+solve loop of the SMT
+  /// techniques. 1 (the default) runs the exact sequential code path; 0
+  /// means one worker per hardware thread. Race reports are identical for
+  /// every value — parallel windows pre-filter sequentially, solve
+  /// independently, then collect results in COP order (see
+  /// docs/OBSERVABILITY.md).
+  uint32_t Jobs = 1;
 };
 
 /// One reported race (first COP found per signature).
@@ -73,6 +80,9 @@ struct DetectionStats {
   uint64_t QcPassed = 0;
   uint64_t SolverCalls = 0;
   uint64_t SolverTimeouts = 0;
+  /// Effective worker count used for per-COP solving (1 when the
+  /// technique has no solver loop or the run was sequential).
+  uint32_t Jobs = 1;
   double Seconds = 0;
   /// Registry + phase-tree snapshot, captured at the end of the run when
   /// telemetry is enabled (Telemetry::setEnabled); empty otherwise. See
@@ -88,8 +98,8 @@ std::string renderStatsTable(const DetectionStats &Stats, const char *What);
 
 /// The same data as machine-readable JSON: one object with the Table-1
 /// fields (windows, cops, qc_passed, solver_calls, solver_timeouts,
-/// seconds) plus, when captured, "counters"/"gauges"/"histograms" and the
-/// hierarchical "phases" tree. Schema in docs/OBSERVABILITY.md.
+/// jobs, seconds) plus, when captured, "counters"/"gauges"/"histograms"
+/// and the hierarchical "phases" tree. Schema in docs/OBSERVABILITY.md.
 std::string statsToJson(const DetectionStats &Stats, const char *What);
 
 struct DetectionResult {

@@ -10,68 +10,19 @@
 #include "support/Telemetry.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 using namespace rvp;
-
-namespace {
-
-/// Synthetic order variable placed before every window event; it gives
-/// every event at least one atom so that models are total over the window
-/// (needed when assembling witness orders).
-constexpr OrderVar RootVar = UINT32_MAX - 7;
-
-} // namespace
 
 RaceEncoder::RaceEncoder(const Trace &T, Span S, const EventClosure &Mhb,
                          const std::vector<Value> &Initial,
                          EncoderOptions Options)
-    : T(T), Window(S), Mhb(Mhb), Options(Options) {
-  InitialValues.assign(T.numVars(), 0);
-  for (size_t I = 0; I < Initial.size() && I < InitialValues.size(); ++I)
-    InitialValues[I] = Initial[I];
+    : RaceEncoder(std::make_shared<const WindowEncoding>(T, S, Mhb, Initial),
+                  Options) {}
 
-  ThreadEvents.resize(T.numThreads());
-  ThreadBranches.resize(T.numThreads());
-  ThreadReads.resize(T.numThreads());
-  VarWrites.resize(T.numVars());
-
-  std::unordered_map<uint32_t, WaitTriple> TriplesByMatch;
-  for (EventId Id = S.Begin; Id < S.End; ++Id) {
-    const Event &E = T[Id];
-    ThreadEvents[E.Tid].push_back(Id);
-    switch (E.Kind) {
-    case EventKind::Branch:
-      ThreadBranches[E.Tid].push_back(Id);
-      break;
-    case EventKind::Read:
-      ThreadReads[E.Tid].push_back(Id);
-      AllReads.push_back(Id);
-      break;
-    case EventKind::Write:
-      VarWrites[E.Target].push_back(Id);
-      break;
-    case EventKind::Release:
-      if (E.Aux != 0)
-        TriplesByMatch[E.Aux].Release = Id;
-      break;
-    case EventKind::Acquire:
-      if (E.Aux != 0)
-        TriplesByMatch[E.Aux].Acquire = Id;
-      break;
-    case EventKind::Notify:
-      if (E.Aux != 0)
-        TriplesByMatch[E.Aux].Notify = Id;
-      break;
-    default:
-      break;
-    }
-  }
-  for (auto &[Match, Triple] : TriplesByMatch) {
-    (void)Match;
-    WaitTriples.push_back(Triple);
-  }
-}
+RaceEncoder::RaceEncoder(std::shared_ptr<const WindowEncoding> Encoding,
+                         EncoderOptions Options)
+    : Enc(std::move(Encoding)), T(Enc->T), Window(Enc->Window), Mhb(Enc->Mhb),
+      Options(Options) {}
 
 // --------------------------------------------------------------- helpers
 
@@ -89,41 +40,12 @@ NodeRef RaceEncoder::encodeMhb(FormulaBuilder &FB, EventId A,
                                EventId B) const {
   Subst S{A, B};
   std::vector<NodeRef> Conj;
-
-  for (const std::vector<EventId> &Events : ThreadEvents) {
-    if (Events.empty())
-      continue;
-    // Anchor each thread under the synthetic root...
-    Conj.push_back(mkAtomS(FB, RootVar, S(Events.front())));
-    // ...and chain program order.
-    for (size_t I = 0; I + 1 < Events.size(); ++I)
-      Conj.push_back(mkAtomS(FB, S(Events[I]), S(Events[I + 1])));
-  }
-
-  // fork -> begin, end -> join (when both ends are inside the window).
-  for (ThreadId Tid = 0; Tid < T.numThreads(); ++Tid) {
-    EventId Fork = T.forkOf(Tid);
-    EventId Begin = T.beginOf(Tid);
-    if (Fork != InvalidEvent && Begin != InvalidEvent &&
-        Window.contains(Fork) && Window.contains(Begin))
-      Conj.push_back(mkAtomS(FB, S(Fork), S(Begin)));
-    EventId End = T.endOf(Tid);
-    EventId Join = T.joinOf(Tid);
-    if (End != InvalidEvent && Join != InvalidEvent &&
-        Window.contains(End) && Window.contains(Join))
-      Conj.push_back(mkAtomS(FB, S(End), S(Join)));
-  }
-
-  // wait/notify: release(wait) < notify < acquire(wait) (Section 4).
-  for (const WaitTriple &W : WaitTriples) {
-    if (W.Notify == InvalidEvent)
-      continue;
-    if (W.Release != InvalidEvent)
-      Conj.push_back(mkAtomS(FB, S(W.Release), S(W.Notify)));
-    if (W.Acquire != InvalidEvent)
-      Conj.push_back(mkAtomS(FB, S(W.Notify), S(W.Acquire)));
-  }
-
+  Conj.reserve(Enc->MhbEdges.size());
+  // The precomputed list carries the anchor under the synthetic root,
+  // program-order chains, fork/join, and wait/notify atoms in emission
+  // order; the substitution never touches RootVar.
+  for (const auto &[From, To] : Enc->MhbEdges)
+    Conj.push_back(mkAtomS(FB, S(From), S(To)));
   return FB.mkAnd(std::move(Conj));
 }
 
@@ -131,70 +53,21 @@ NodeRef RaceEncoder::encodeLock(
     FormulaBuilder &FB, EventId A, EventId B,
     const std::vector<EventId> &ExcludedAcquires) const {
   Subst S{A, B};
-  std::vector<NodeRef> Conj;
-
-  struct SpanPair {
-    EventId Acq = InvalidEvent; ///< InvalidEvent when outside the window
-    EventId Rel = InvalidEvent;
-    ThreadId Tid = 0;
+  auto Excluded = [&](EventId SectionAcq) {
+    return SectionAcq != InvalidEvent &&
+           std::find(ExcludedAcquires.begin(), ExcludedAcquires.end(),
+                     SectionAcq) != ExcludedAcquires.end();
   };
-
-  for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
-    std::vector<SpanPair> Pairs;
-    for (const LockPair &P : T.lockPairsOf(Lock)) {
-      SpanPair SP;
-      SP.Tid = P.Tid;
-      if (P.AcquireId != InvalidEvent &&
-          std::find(ExcludedAcquires.begin(), ExcludedAcquires.end(),
-                    P.AcquireId) != ExcludedAcquires.end())
-        continue;
-      if (P.AcquireId != InvalidEvent && Window.contains(P.AcquireId))
-        SP.Acq = P.AcquireId;
-      if (P.ReleaseId != InvalidEvent && Window.contains(P.ReleaseId))
-        SP.Rel = P.ReleaseId;
-      if (SP.Acq != InvalidEvent || SP.Rel != InvalidEvent)
-        Pairs.push_back(SP);
-    }
-    for (size_t I = 0; I < Pairs.size(); ++I) {
-      for (size_t J = I + 1; J < Pairs.size(); ++J) {
-        const SpanPair &P = Pairs[I];
-        const SpanPair &Q = Pairs[J];
-        // Same-thread critical sections are already program-ordered.
-        if (P.Tid == Q.Tid)
-          continue;
-        bool PComplete = P.Acq != InvalidEvent && P.Rel != InvalidEvent;
-        bool QComplete = Q.Acq != InvalidEvent && Q.Rel != InvalidEvent;
-        if (PComplete && QComplete) {
-          Conj.push_back(FB.mkOr2(mkAtomS(FB, S(P.Rel), S(Q.Acq)),
-                                  mkAtomS(FB, S(Q.Rel), S(P.Acq))));
-          continue;
-        }
-        // A section missing its release holds the lock to the window end:
-        // every other section must come first. A section missing its
-        // acquire held the lock from the window start: it must come first.
-        if (P.Rel == InvalidEvent && Q.Rel == InvalidEvent)
-          continue; // cannot both hold to the end; unreachable on recorded
-                    // traces, and no finite constraint expresses it
-        if (P.Rel == InvalidEvent) {
-          if (Q.Rel != InvalidEvent && P.Acq != InvalidEvent)
-            Conj.push_back(mkAtomS(FB, S(Q.Rel), S(P.Acq)));
-          continue;
-        }
-        if (Q.Rel == InvalidEvent) {
-          if (Q.Acq != InvalidEvent)
-            Conj.push_back(mkAtomS(FB, S(P.Rel), S(Q.Acq)));
-          continue;
-        }
-        // P or Q started before the window (release without acquire):
-        // that section must be first.
-        if (P.Acq == InvalidEvent) {
-          Conj.push_back(mkAtomS(FB, S(P.Rel), S(Q.Acq)));
-          continue;
-        }
-        if (Q.Acq == InvalidEvent)
-          Conj.push_back(mkAtomS(FB, S(Q.Rel), S(P.Acq)));
-      }
-    }
+  std::vector<NodeRef> Conj;
+  for (const WindowEncoding::LockConstraint &LC : Enc->LockConstraints) {
+    if (!ExcludedAcquires.empty() &&
+        (Excluded(LC.SectionAcqP) || Excluded(LC.SectionAcqQ)))
+      continue;
+    if (LC.Mutex)
+      Conj.push_back(FB.mkOr2(mkAtomS(FB, S(LC.RelP), S(LC.AcqQ)),
+                              mkAtomS(FB, S(LC.RelQ), S(LC.AcqP))));
+    else
+      Conj.push_back(mkAtomS(FB, S(LC.RelP), S(LC.AcqQ)));
   }
   return FB.mkAnd(std::move(Conj));
 }
@@ -202,7 +75,7 @@ NodeRef RaceEncoder::encodeLock(
 std::vector<EventId> RaceEncoder::guardingBranches(EventId E) const {
   std::vector<EventId> Guards;
   for (ThreadId Tid = 0; Tid < T.numThreads(); ++Tid) {
-    const std::vector<EventId> &Branches = ThreadBranches[Tid];
+    const std::vector<EventId> &Branches = Enc->ThreadBranches[Tid];
     // ordered(br, E) is monotone along a thread's branches: if a later
     // branch must happen before E, so must every earlier one. Binary
     // search for the last branch with br ≼ E.
@@ -245,45 +118,15 @@ NodeRef RaceEncoder::branchGuards(CfState &St, EventId E) const {
   return St.FB.mkAnd(std::move(Conj));
 }
 
-std::vector<EventId> RaceEncoder::interferingWrites(VarId Var,
-                                                    EventId R) const {
-  std::vector<EventId> Writes;
-  for (EventId W : VarWrites[Var]) {
-    // A write that must happen after the read can never interfere
-    // (its order variable always exceeds the read's).
-    if (W == R || Mhb.ordered(R, W))
-      continue;
-    Writes.push_back(W);
-  }
-  return Writes;
-}
-
 NodeRef RaceEncoder::readValueFormula(CfState &St, EventId R,
                                       bool Guarded) const {
   FormulaBuilder &FB = St.FB;
   const Subst &S = St.S;
-  const Event &Read = T[R];
-  VarId Var = Read.Target;
-  Value Wanted = Read.Data;
-
-  std::vector<EventId> Writes = interferingWrites(Var, R);
+  const WindowEncoding::ReadInfo &Info = Enc->readInfo(R);
 
   std::vector<NodeRef> Disjuncts;
-  for (EventId W : Writes) {
-    if (T[W].Data != Wanted)
-      continue;
-    // Paper pruning: skip candidate w1 when some other write w2 satisfies
-    // w1 ≼ w2 ≼ r — the read can never observe w1.
-    bool Shadowed = false;
-    for (EventId W2 : Writes) {
-      if (W2 != W && Mhb.ordered(W, W2) && Mhb.ordered(W2, R)) {
-        Shadowed = true;
-        break;
-      }
-    }
-    if (Shadowed)
-      continue;
-
+  for (const WindowEncoding::ReadCandidate &Cand : Info.Candidates) {
+    EventId W = Cand.Write;
     if (S(W) == S(R)) {
       // The candidate is the race write merged with this read (the COP
       // itself): the read sits immediately after the write, so it reads
@@ -296,34 +139,19 @@ NodeRef RaceEncoder::readValueFormula(CfState &St, EventId R,
     if (Guarded)
       Conj.push_back(cfVar(St, W));
     Conj.push_back(mkAtomS(FB, S(W), S(R)));
-    for (EventId W2 : Writes) {
-      if (W2 == W)
-        continue;
-      // w2 ≼ w never interferes: it is always before w.
-      if (Mhb.ordered(W2, W))
-        continue;
+    for (EventId W2 : Cand.Others)
       Conj.push_back(FB.mkOr2(mkAtomS(FB, S(W2), S(W)),
                               mkAtomS(FB, S(R), S(W2))));
-    }
     Disjuncts.push_back(FB.mkAnd(std::move(Conj)));
   }
 
   // Initial-value disjunct: the read observes the value the variable had
   // at window entry, i.e. every in-window write is moved after it.
-  if (Wanted == InitialValues[Var]) {
-    bool SomeWriteMustPrecede = false;
-    for (EventId W : Writes) {
-      if (Mhb.ordered(W, R)) {
-        SomeWriteMustPrecede = true;
-        break;
-      }
-    }
-    if (!SomeWriteMustPrecede) {
-      std::vector<NodeRef> Conj;
-      for (EventId W : Writes)
-        Conj.push_back(mkAtomS(FB, S(R), S(W)));
-      Disjuncts.push_back(FB.mkAnd(std::move(Conj)));
-    }
+  if (Info.InitialOk) {
+    std::vector<NodeRef> Conj;
+    for (EventId W : Info.Interfering)
+      Conj.push_back(mkAtomS(FB, S(R), S(W)));
+    Disjuncts.push_back(FB.mkAnd(std::move(Conj)));
   }
 
   if (Telemetry::enabled()) {
@@ -344,7 +172,7 @@ void RaceEncoder::emitCfDefs(CfState &St) const {
       // Local branch/write determinism: feasible iff the whole read
       // history of the thread stays concrete (Section 3.2).
       std::vector<NodeRef> Conj;
-      const std::vector<EventId> &Reads = ThreadReads[Ev.Tid];
+      const std::vector<EventId> &Reads = Enc->ThreadReads[Ev.Tid];
       for (EventId R : Reads) {
         if (R >= E)
           break;
@@ -450,7 +278,7 @@ NodeRef RaceEncoder::encodeSaidRace(FormulaBuilder &FB, EventId A,
   if (!Options.SubstituteRaceVars)
     Conj.push_back(adjacency(FB, S, A, B));
   // Whole-window read-write consistency: every read keeps its value.
-  for (EventId R : AllReads)
+  for (EventId R : Enc->AllReads)
     Conj.push_back(readValueFormula(St, R, /*Guarded=*/false));
   assert(St.Worklist.empty() && "unguarded encoding queued cf definitions");
   return FB.mkAnd(std::move(Conj));

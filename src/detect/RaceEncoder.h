@@ -26,15 +26,24 @@
 /// influence is the initial value each variable has at window entry,
 /// supplied by the caller.
 ///
+/// The COP-invariant state (indices, Φ_mhb atoms, Φ_lock descriptors,
+/// read-consistency skeletons) lives in a WindowEncoding built once per
+/// window; every encode call only applies the per-COP substitution and
+/// control-flow guards. A const RaceEncoder is safe to share across the
+/// parallel solve workers — encode calls touch nothing but the immutable
+/// WindowEncoding and the caller's FormulaBuilder.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef RVP_DETECT_RACEENCODER_H
 #define RVP_DETECT_RACEENCODER_H
 
 #include "detect/Closure.h"
+#include "detect/WindowEncoding.h"
 #include "smt/Formula.h"
 #include "trace/Trace.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -49,12 +58,23 @@ struct EncoderOptions {
 
 class RaceEncoder {
 public:
-  /// \p InitialValues gives each variable's value at window entry (index
-  /// by VarId; missing entries default to 0). \p Mhb must be the MHB
-  /// closure (ClosureConfig::mhb()) of the same window.
+  /// Builds a fresh WindowEncoding for the window. \p InitialValues gives
+  /// each variable's value at window entry (index by VarId; missing
+  /// entries default to 0). \p Mhb must be the MHB closure
+  /// (ClosureConfig::mhb()) of the same window.
   RaceEncoder(const Trace &T, Span S, const EventClosure &Mhb,
               const std::vector<Value> &InitialValues,
               EncoderOptions Options = EncoderOptions());
+
+  /// Shares an existing WindowEncoding (one per window, many encoders or
+  /// many concurrent encode calls).
+  explicit RaceEncoder(std::shared_ptr<const WindowEncoding> Encoding,
+                       EncoderOptions Options = EncoderOptions());
+
+  const WindowEncoding &windowEncoding() const { return *Enc; }
+  std::shared_ptr<const WindowEncoding> sharedWindowEncoding() const {
+    return Enc;
+  }
 
   /// Φ for "COP (A,B) is a race" under the maximal technique.
   NodeRef encodeMaximalRace(FormulaBuilder &FB, EventId A, EventId B) const;
@@ -117,33 +137,11 @@ private:
   NodeRef branchGuards(CfState &St, EventId E) const;
   NodeRef adjacency(FormulaBuilder &FB, Subst S, EventId A, EventId B) const;
 
-  /// Writes in-window on \p Var, excluding those MHB-after \p R.
-  std::vector<EventId> interferingWrites(VarId Var, EventId R) const;
-
+  std::shared_ptr<const WindowEncoding> Enc;
   const Trace &T;
   Span Window;
   const EventClosure &Mhb;
   EncoderOptions Options;
-  std::vector<Value> InitialValues; ///< per VarId at window entry
-
-  /// Per-thread event ids within the window, ascending.
-  std::vector<std::vector<EventId>> ThreadEvents;
-  /// Per-thread branch events within the window, ascending.
-  std::vector<std::vector<EventId>> ThreadBranches;
-  /// Per-thread read events within the window, ascending.
-  std::vector<std::vector<EventId>> ThreadReads;
-  /// Per-variable write events within the window, ascending.
-  std::vector<std::vector<EventId>> VarWrites;
-  /// All read events within the window (for the Said encoding).
-  std::vector<EventId> AllReads;
-  /// Wait/notify triples present in the window: release, notify, acquire
-  /// (any of them InvalidEvent when outside the window).
-  struct WaitTriple {
-    EventId Release = InvalidEvent;
-    EventId Notify = InvalidEvent;
-    EventId Acquire = InvalidEvent;
-  };
-  std::vector<WaitTriple> WaitTriples;
 };
 
 } // namespace rvp

@@ -1,0 +1,239 @@
+//===- detect/WindowEncoding.cpp - Shared per-window encoding state ---------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/WindowEncoding.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace rvp;
+
+WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
+                               const std::vector<Value> &Initial)
+    : T(T), Window(S), Mhb(Mhb) {
+  InitialValues.assign(T.numVars(), 0);
+  for (size_t I = 0; I < Initial.size() && I < InitialValues.size(); ++I)
+    InitialValues[I] = Initial[I];
+
+  ThreadEvents.resize(T.numThreads());
+  ThreadBranches.resize(T.numThreads());
+  ThreadReads.resize(T.numThreads());
+  VarWrites.resize(T.numVars());
+
+  struct WaitTriple {
+    EventId Release = InvalidEvent;
+    EventId Notify = InvalidEvent;
+    EventId Acquire = InvalidEvent;
+  };
+  std::unordered_map<uint32_t, WaitTriple> TriplesByMatch;
+  for (EventId Id = S.Begin; Id < S.End; ++Id) {
+    const Event &E = T[Id];
+    ThreadEvents[E.Tid].push_back(Id);
+    switch (E.Kind) {
+    case EventKind::Branch:
+      ThreadBranches[E.Tid].push_back(Id);
+      break;
+    case EventKind::Read:
+      ThreadReads[E.Tid].push_back(Id);
+      AllReads.push_back(Id);
+      break;
+    case EventKind::Write:
+      VarWrites[E.Target].push_back(Id);
+      break;
+    case EventKind::Release:
+      if (E.Aux != 0)
+        TriplesByMatch[E.Aux].Release = Id;
+      break;
+    case EventKind::Acquire:
+      if (E.Aux != 0)
+        TriplesByMatch[E.Aux].Acquire = Id;
+      break;
+    case EventKind::Notify:
+      if (E.Aux != 0)
+        TriplesByMatch[E.Aux].Notify = Id;
+      break;
+    default:
+      break;
+    }
+  }
+
+  // Φ_mhb atoms, in encodeMhb's emission order: per-thread root anchor and
+  // program-order chain, then fork/join, then wait/notify triples.
+  for (const std::vector<EventId> &Events : ThreadEvents) {
+    if (Events.empty())
+      continue;
+    MhbEdges.emplace_back(RootVar, Events.front());
+    for (size_t I = 0; I + 1 < Events.size(); ++I)
+      MhbEdges.emplace_back(Events[I], Events[I + 1]);
+  }
+  for (ThreadId Tid = 0; Tid < T.numThreads(); ++Tid) {
+    EventId Fork = T.forkOf(Tid);
+    EventId Begin = T.beginOf(Tid);
+    if (Fork != InvalidEvent && Begin != InvalidEvent &&
+        Window.contains(Fork) && Window.contains(Begin))
+      MhbEdges.emplace_back(Fork, Begin);
+    EventId End = T.endOf(Tid);
+    EventId Join = T.joinOf(Tid);
+    if (End != InvalidEvent && Join != InvalidEvent &&
+        Window.contains(End) && Window.contains(Join))
+      MhbEdges.emplace_back(End, Join);
+  }
+  // wait/notify: release(wait) < notify < acquire(wait) (Section 4).
+  for (const auto &[Match, W] : TriplesByMatch) {
+    (void)Match;
+    if (W.Notify == InvalidEvent)
+      continue;
+    if (W.Release != InvalidEvent)
+      MhbEdges.emplace_back(W.Release, W.Notify);
+    if (W.Acquire != InvalidEvent)
+      MhbEdges.emplace_back(W.Notify, W.Acquire);
+  }
+
+  // Φ_lock descriptors, in encodeLock's emission order. Exclusions are
+  // applied at emission time via the section acquire tags, so the list
+  // carries every cross-thread section pair.
+  struct SpanPair {
+    EventId Acq = InvalidEvent; ///< InvalidEvent when outside the window
+    EventId Rel = InvalidEvent;
+    EventId SectionAcq = InvalidEvent; ///< trace-level acquire id
+    ThreadId Tid = 0;
+  };
+  for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
+    std::vector<SpanPair> Pairs;
+    for (const LockPair &P : T.lockPairsOf(Lock)) {
+      SpanPair SP;
+      SP.Tid = P.Tid;
+      SP.SectionAcq = P.AcquireId;
+      if (P.AcquireId != InvalidEvent && Window.contains(P.AcquireId))
+        SP.Acq = P.AcquireId;
+      if (P.ReleaseId != InvalidEvent && Window.contains(P.ReleaseId))
+        SP.Rel = P.ReleaseId;
+      if (SP.Acq != InvalidEvent || SP.Rel != InvalidEvent)
+        Pairs.push_back(SP);
+    }
+    for (size_t I = 0; I < Pairs.size(); ++I) {
+      for (size_t J = I + 1; J < Pairs.size(); ++J) {
+        const SpanPair &P = Pairs[I];
+        const SpanPair &Q = Pairs[J];
+        // Same-thread critical sections are already program-ordered.
+        if (P.Tid == Q.Tid)
+          continue;
+        LockConstraint LC;
+        LC.SectionAcqP = P.SectionAcq;
+        LC.SectionAcqQ = Q.SectionAcq;
+        bool PComplete = P.Acq != InvalidEvent && P.Rel != InvalidEvent;
+        bool QComplete = Q.Acq != InvalidEvent && Q.Rel != InvalidEvent;
+        if (PComplete && QComplete) {
+          LC.Mutex = true;
+          LC.RelP = P.Rel;
+          LC.AcqQ = Q.Acq;
+          LC.RelQ = Q.Rel;
+          LC.AcqP = P.Acq;
+          LockConstraints.push_back(LC);
+          continue;
+        }
+        // A section missing its release holds the lock to the window end:
+        // every other section must come first. A section missing its
+        // acquire held the lock from the window start: it must come first.
+        if (P.Rel == InvalidEvent && Q.Rel == InvalidEvent)
+          continue; // cannot both hold to the end; unreachable on recorded
+                    // traces, and no finite constraint expresses it
+        if (P.Rel == InvalidEvent) {
+          if (Q.Rel != InvalidEvent && P.Acq != InvalidEvent) {
+            LC.RelP = Q.Rel;
+            LC.AcqQ = P.Acq;
+            LockConstraints.push_back(LC);
+          }
+          continue;
+        }
+        if (Q.Rel == InvalidEvent) {
+          if (Q.Acq != InvalidEvent) {
+            LC.RelP = P.Rel;
+            LC.AcqQ = Q.Acq;
+            LockConstraints.push_back(LC);
+          }
+          continue;
+        }
+        // P or Q started before the window (release without acquire):
+        // that section must be first.
+        if (P.Acq == InvalidEvent) {
+          LC.RelP = P.Rel;
+          LC.AcqQ = Q.Acq;
+          LockConstraints.push_back(LC);
+          continue;
+        }
+        if (Q.Acq == InvalidEvent) {
+          LC.RelP = Q.Rel;
+          LC.AcqQ = P.Acq;
+          LockConstraints.push_back(LC);
+        }
+      }
+    }
+  }
+
+  // Read-consistency skeletons (the COP-invariant part of the Φ_value
+  // disjunction readValueFormula emits).
+  for (EventId R : AllReads) {
+    const Event &Read = T[R];
+    VarId Var = Read.Target;
+    Value Wanted = Read.Data;
+    ReadInfo Info;
+
+    for (EventId W : VarWrites[Var]) {
+      // A write that must happen after the read can never interfere
+      // (its order variable always exceeds the read's).
+      if (W == R || Mhb.ordered(R, W))
+        continue;
+      Info.Interfering.push_back(W);
+    }
+
+    for (EventId W : Info.Interfering) {
+      if (T[W].Data != Wanted)
+        continue;
+      // Paper pruning: skip candidate w1 when some other write w2
+      // satisfies w1 ≼ w2 ≼ r — the read can never observe w1.
+      bool Shadowed = false;
+      for (EventId W2 : Info.Interfering) {
+        if (W2 != W && Mhb.ordered(W, W2) && Mhb.ordered(W2, R)) {
+          Shadowed = true;
+          break;
+        }
+      }
+      if (Shadowed)
+        continue;
+      ReadCandidate Cand;
+      Cand.Write = W;
+      for (EventId W2 : Info.Interfering) {
+        if (W2 == W)
+          continue;
+        // w2 ≼ w never interferes: it is always before w.
+        if (Mhb.ordered(W2, W))
+          continue;
+        Cand.Others.push_back(W2);
+      }
+      Info.Candidates.push_back(std::move(Cand));
+    }
+
+    if (Wanted == InitialValues[Var]) {
+      bool SomeWriteMustPrecede = false;
+      for (EventId W : Info.Interfering) {
+        if (Mhb.ordered(W, R)) {
+          SomeWriteMustPrecede = true;
+          break;
+        }
+      }
+      Info.InitialOk = !SomeWriteMustPrecede;
+    }
+
+    Reads.emplace(R, std::move(Info));
+  }
+}
+
+const WindowEncoding::ReadInfo &WindowEncoding::readInfo(EventId R) const {
+  auto It = Reads.find(R);
+  assert(It != Reads.end() && "read-consistency query outside the window");
+  return It->second;
+}

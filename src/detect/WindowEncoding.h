@@ -1,0 +1,121 @@
+//===- detect/WindowEncoding.h - Shared per-window encoding state -*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The COP-invariant half of the race encoding (detect/RaceEncoder.h),
+/// factored out so it is computed once per analysis window instead of once
+/// per encode call, and so the parallel per-COP solve loop
+/// (detect/Detect.cpp) can share it read-only across worker tasks:
+///
+///  * per-thread event/branch/read indices and per-variable write indices,
+///  * the Φ_mhb atom list (program order, fork/join, wait/notify) in the
+///    exact order encodeMhb emits it,
+///  * the Φ_lock constraint descriptors (mutual exclusion of critical-
+///    section pairs, window-clipped), tagged with the sections' acquire
+///    events so deadlock queries can exclude sections after the fact,
+///  * the read-consistency skeleton per in-window read: interfering
+///    writes, value-matched unshadowed candidate writes, and whether the
+///    initial-value disjunct applies.
+///
+/// Only the substitution `Oa := Ob` and the control-flow guards differ per
+/// COP; RaceEncoder applies those at emission time. A WindowEncoding is
+/// immutable after construction: concurrent readers need no
+/// synchronization. The referenced Trace and EventClosure must outlive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_WINDOWENCODING_H
+#define RVP_DETECT_WINDOWENCODING_H
+
+#include "detect/Closure.h"
+#include "smt/Formula.h"
+#include "trace/Trace.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rvp {
+
+class WindowEncoding {
+public:
+  /// Synthetic order variable placed before every window event; it gives
+  /// every event at least one atom so that models are total over the
+  /// window (needed when assembling witness orders).
+  static constexpr OrderVar RootVar = UINT32_MAX - 7;
+
+  /// \p InitialValues gives each variable's value at window entry (index
+  /// by VarId; missing entries default to 0). \p Mhb must be the MHB
+  /// closure (ClosureConfig::mhb()) of the same window.
+  WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
+                 const std::vector<Value> &InitialValues);
+
+  WindowEncoding(const WindowEncoding &) = delete;
+  WindowEncoding &operator=(const WindowEncoding &) = delete;
+
+  const Trace &T;
+  const Span Window;
+  const EventClosure &Mhb;
+  std::vector<Value> InitialValues; ///< per VarId at window entry
+
+  /// Per-thread event ids within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadEvents;
+  /// Per-thread branch events within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadBranches;
+  /// Per-thread read events within the window, ascending.
+  std::vector<std::vector<EventId>> ThreadReads;
+  /// Per-variable write events within the window, ascending.
+  std::vector<std::vector<EventId>> VarWrites;
+  /// All read events within the window (for the Said encoding).
+  std::vector<EventId> AllReads;
+
+  /// Φ_mhb as ordered (from, to) atom operands; `from` may be RootVar.
+  std::vector<std::pair<OrderVar, OrderVar>> MhbEdges;
+
+  /// One Φ_lock conjunct: Or(RelP < AcqQ, RelQ < AcqP) when Mutex, the
+  /// single atom RelP < AcqQ otherwise (one-sided sections clipped by the
+  /// window). SectionAcqP/Q are the two sections' trace-level acquire
+  /// events, used to drop constraints for sections a deadlock query
+  /// excludes.
+  struct LockConstraint {
+    EventId RelP = InvalidEvent;
+    EventId AcqQ = InvalidEvent;
+    EventId RelQ = InvalidEvent;
+    EventId AcqP = InvalidEvent;
+    bool Mutex = false;
+    EventId SectionAcqP = InvalidEvent;
+    EventId SectionAcqQ = InvalidEvent;
+  };
+  std::vector<LockConstraint> LockConstraints;
+
+  /// Read-consistency skeleton for one read (Section 3.2's Φ_value, minus
+  /// the per-COP substitution).
+  struct ReadCandidate {
+    EventId Write = InvalidEvent;
+    /// Interfering writes needing an ordering disjunction around the
+    /// candidate, in interference order.
+    std::vector<EventId> Others;
+  };
+  struct ReadInfo {
+    /// In-window writes to the read's variable not MHB-after the read.
+    std::vector<EventId> Interfering;
+    /// Value-matched, unshadowed candidate writes, in interference order.
+    std::vector<ReadCandidate> Candidates;
+    /// The initial-value disjunct applies: the read's value equals the
+    /// window-entry value and no interfering write must precede the read.
+    bool InitialOk = false;
+  };
+
+  /// The skeleton for in-window read \p R.
+  const ReadInfo &readInfo(EventId R) const;
+
+private:
+  std::unordered_map<EventId, ReadInfo> Reads;
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_WINDOWENCODING_H

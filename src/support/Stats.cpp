@@ -54,6 +54,7 @@ double Histogram::bucketUpperBound(size_t I) { return bounds().Upper[I]; }
 void Histogram::record(double Value) {
   if (!std::isfinite(Value) || Value < 0)
     Value = 0;
+  std::lock_guard<std::mutex> Guard(Mutex);
   if (Total == 0) {
     MinV = MaxV = Value;
   } else {
@@ -66,6 +67,11 @@ void Histogram::record(double Value) {
 }
 
 double Histogram::percentile(double Q) const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return percentileLocked(Q);
+}
+
+double Histogram::percentileLocked(double Q) const {
   if (Total == 0)
     return 0;
   Q = std::clamp(Q, 0.0, 1.0);
@@ -92,18 +98,20 @@ double Histogram::percentile(double Q) const {
 }
 
 HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
   HistogramSnapshot S;
   S.Count = Total;
   S.Sum = Sum;
   S.Min = Total ? MinV : 0;
   S.Max = Total ? MaxV : 0;
-  S.P50 = percentile(0.50);
-  S.P90 = percentile(0.90);
-  S.P99 = percentile(0.99);
+  S.P50 = percentileLocked(0.50);
+  S.P90 = percentileLocked(0.90);
+  S.P99 = percentileLocked(0.99);
   return S;
 }
 
 void Histogram::reset() {
+  std::lock_guard<std::mutex> Guard(Mutex);
   Buckets.fill(0);
   Total = 0;
   Sum = 0;
@@ -137,6 +145,7 @@ std::string MetricsSnapshot::renderTable(unsigned Indent) const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
   MetricsSnapshot S;
   S.Counters.reserve(Counters.size());
   for (const auto &[Name, C] : Counters)
@@ -151,6 +160,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Guard(Mutex);
   for (auto &[Name, C] : Counters)
     C.reset();
   for (auto &[Name, G] : Gauges)

@@ -11,11 +11,14 @@
 /// DetectionStats carries a snapshot out to the --stats table and the
 /// --stats-json machine form.
 ///
-/// The registry is intentionally simple: the pipeline is single-threaded
-/// (the interpreter *simulates* threads), so plain integers suffice.
-/// References returned by counter()/gauge()/histogram() stay valid for the
-/// registry's lifetime — reset() zeroes values but keeps registrations, so
-/// hot paths may cache them.
+/// The registry is thread-safe: detector workers (support/ThreadPool.h)
+/// record from the parallel per-COP solve loop, so counters and gauges are
+/// relaxed atomics, histograms take a per-histogram mutex, and the name →
+/// metric maps are guarded by a registry mutex. References returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime —
+/// reset() zeroes values but keeps registrations, so hot paths may cache
+/// them (function-local statics are fine: magic-static init is
+/// thread-safe).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,8 +26,10 @@
 #define RVP_SUPPORT_STATS_H
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -32,27 +37,28 @@
 
 namespace rvp {
 
-/// A monotonically increasing event count.
+/// A monotonically increasing event count. Increments are relaxed atomics:
+/// concurrent workers never lose counts, and nothing orders through them.
 class Counter {
 public:
-  void inc() { V += 1; }
-  void add(uint64_t N) { V += N; }
-  uint64_t value() const { return V; }
-  void reset() { V = 0; }
+  void inc() { V.fetch_add(1, std::memory_order_relaxed); }
+  void add(uint64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
 private:
-  uint64_t V = 0;
+  std::atomic<uint64_t> V{0};
 };
 
-/// A point-in-time value (last write wins).
+/// A point-in-time value (last write wins, atomically).
 class Gauge {
 public:
-  void set(double Value) { V = Value; }
-  double value() const { return V; }
-  void reset() { V = 0; }
+  void set(double Value) { V.store(Value, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
 
 private:
-  double V = 0;
+  std::atomic<double> V{0};
 };
 
 /// Aggregates of one histogram, with percentile estimates.
@@ -72,7 +78,9 @@ struct HistogramSnapshot {
 /// Buckets are log-spaced: bucket i covers (Base*Growth^(i-1), Base*Growth^i]
 /// with Base = 1e-6 s and Growth = 1.3, so the range 1µs .. ~8e5s is covered
 /// with ≤ 30% relative bucket width; percentile() interpolates linearly
-/// within a bucket and clamps to the observed [min, max].
+/// within a bucket and clamps to the observed [min, max]. All operations
+/// take a per-histogram mutex so concurrent record() calls keep the
+/// bucket/total/sum invariants consistent.
 class Histogram {
 public:
   static constexpr size_t NumBuckets = 96;
@@ -83,8 +91,14 @@ public:
 
   void record(double Value);
 
-  uint64_t count() const { return Total; }
-  double sum() const { return Sum; }
+  uint64_t count() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Total;
+  }
+  double sum() const {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Sum;
+  }
 
   /// Percentile estimate for \p Q in [0, 1]; 0 when empty.
   double percentile(double Q) const;
@@ -93,6 +107,9 @@ public:
   void reset();
 
 private:
+  double percentileLocked(double Q) const;
+
+  mutable std::mutex Mutex;
   std::array<uint64_t, NumBuckets> Buckets{};
   uint64_t Total = 0;
   double Sum = 0;
@@ -122,9 +139,18 @@ struct MetricsSnapshot {
 /// hot paths.
 class MetricsRegistry {
 public:
-  Counter &counter(const std::string &Name) { return Counters[Name]; }
-  Gauge &gauge(const std::string &Name) { return Gauges[Name]; }
-  Histogram &histogram(const std::string &Name) { return Histograms[Name]; }
+  Counter &counter(const std::string &Name) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Counters[Name];
+  }
+  Gauge &gauge(const std::string &Name) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Gauges[Name];
+  }
+  Histogram &histogram(const std::string &Name) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    return Histograms[Name];
+  }
 
   MetricsSnapshot snapshot() const;
 
@@ -136,7 +162,9 @@ public:
   static MetricsRegistry &global();
 
 private:
-  // std::map: node-based, so metric references are stable across inserts.
+  // std::map: node-based, so metric references are stable across inserts
+  // and remain usable without the registry mutex once handed out.
+  mutable std::mutex Mutex;
   std::map<std::string, Counter> Counters;
   std::map<std::string, Gauge> Gauges;
   std::map<std::string, Histogram> Histograms;

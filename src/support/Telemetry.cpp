@@ -97,6 +97,30 @@ PhaseSnapshot PhaseTree::snapshot() const {
   return S;
 }
 
+void PhaseTree::absorbInto(Node &Dst, const Node &Src) {
+  for (const std::unique_ptr<Node> &C : Src.Children) {
+    Node *Match = nullptr;
+    for (const std::unique_ptr<Node> &D : Dst.Children) {
+      if (D->Name == C->Name) {
+        Match = D.get();
+        break;
+      }
+    }
+    if (!Match) {
+      Dst.Children.push_back(std::make_unique<Node>());
+      Match = Dst.Children.back().get();
+      Match->Name = C->Name;
+    }
+    Match->Seconds += C->Seconds;
+    Match->Count += C->Count;
+    absorbInto(*Match, *C);
+  }
+}
+
+void PhaseTree::absorb(const PhaseTree &Other) {
+  absorbInto(*Stack.back(), *Other.Root);
+}
+
 void PhaseTree::reset() {
   Root = std::make_unique<Node>();
   Root->Name = "total";
@@ -140,6 +164,7 @@ void TraceEventSink::close() {
 // -------------------------------------------------------------- Telemetry
 
 bool Telemetry::EnabledFlag = false;
+thread_local PhaseTree *Telemetry::ThreadPhases = nullptr;
 
 Telemetry &Telemetry::instance() {
   static Telemetry T;

@@ -59,7 +59,9 @@ struct PhaseSnapshot {
 
 /// Accumulating tree of named phases. enter()/exit() must nest; phases
 /// re-entered under the same parent accumulate seconds and counts into the
-/// same node.
+/// same node. A PhaseTree is single-threaded; parallel sections give each
+/// worker its own tree (Telemetry::setThreadPhaseTree) and merge them with
+/// absorb() at the barrier.
 class PhaseTree {
 public:
   PhaseTree() { reset(); }
@@ -72,6 +74,13 @@ public:
   /// over top-level phases.
   PhaseSnapshot snapshot() const;
 
+  /// Merges \p Other's phases (the children of its root, recursively) into
+  /// the node currently on top of this tree's stack, matching nodes by
+  /// name and summing seconds/counts. Used at a parallel-section barrier
+  /// to fold per-worker trees under the enclosing phase; summed worker
+  /// seconds may exceed the enclosing phase's wall time.
+  void absorb(const PhaseTree &Other);
+
   void reset();
 
 private:
@@ -83,6 +92,7 @@ private:
   };
 
   static void snapshotInto(const Node &N, PhaseSnapshot &Out);
+  static void absorbInto(Node &Dst, const Node &Src);
 
   std::unique_ptr<Node> Root;
   std::vector<Node *> Stack; ///< Stack.front() == Root.get()
@@ -131,7 +141,17 @@ public:
   static bool enabled() { return EnabledFlag; }
   static void setEnabled(bool On) { EnabledFlag = On; }
 
-  PhaseTree &phases() { return Phases; }
+  /// The calling thread's phase tree: the thread-local override when one
+  /// is installed (pool workers during a parallel section), otherwise the
+  /// process-wide tree.
+  PhaseTree &phases() {
+    return ThreadPhases ? *ThreadPhases : Phases;
+  }
+
+  /// Installs \p Tree as the calling thread's phase tree (nullptr
+  /// restores the process-wide tree). Prefer ThreadPhaseScope.
+  static void setThreadPhaseTree(PhaseTree *Tree) { ThreadPhases = Tree; }
+  static PhaseTree *threadPhaseTree() { return ThreadPhases; }
 
   TraceEventSink *sink() { return Sink; }
   void setSink(TraceEventSink *S) { Sink = S; }
@@ -141,8 +161,26 @@ public:
 
 private:
   static bool EnabledFlag;
+  static thread_local PhaseTree *ThreadPhases;
   PhaseTree Phases;
   TraceEventSink *Sink = nullptr;
+};
+
+/// RAII thread-local phase-tree override: scoped to one pool task so its
+/// ScopedPhaseTimers record into a per-worker tree instead of racing on
+/// the shared one.
+class ThreadPhaseScope {
+public:
+  explicit ThreadPhaseScope(PhaseTree *Tree)
+      : Prev(Telemetry::threadPhaseTree()) {
+    Telemetry::setThreadPhaseTree(Tree);
+  }
+  ~ThreadPhaseScope() { Telemetry::setThreadPhaseTree(Prev); }
+  ThreadPhaseScope(const ThreadPhaseScope &) = delete;
+  ThreadPhaseScope &operator=(const ThreadPhaseScope &) = delete;
+
+private:
+  PhaseTree *Prev;
 };
 
 /// RAII phase timer: enters \p Name on construction, records elapsed wall

@@ -1,0 +1,46 @@
+# Parallel-determinism check: `rvpredict detect --jobs=4` must print
+# byte-identical output to `--jobs=1` (reports, witnesses, and summary
+# counts; only wall-clock timing is normalized away) on the fixed workload
+# under three schedules. Invoked by CTest as
+#   cmake -DRVPREDICT=<tool> -DWORKLOAD=<trace.rv> -P DeterminismGolden.cmake
+
+if(NOT DEFINED RVPREDICT OR NOT DEFINED WORKLOAD)
+  message(FATAL_ERROR "usage: cmake -DRVPREDICT=... -DWORKLOAD=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+function(run_detect SCHEDULE SEED JOBS OUT_VAR)
+  execute_process(
+    COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv
+            --schedule=${SCHEDULE} --seed=${SEED} --witness=true
+            --jobs=${JOBS}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "rvpredict detect --jobs=${JOBS} failed (${RC}):\n${STDOUT}\n${STDERR}")
+  endif()
+  # Strip the one timing-dependent piece: "... in 1.23s".
+  string(REGEX REPLACE " in [0-9.]+s" "" STDOUT "${STDOUT}")
+  set(${OUT_VAR} "${STDOUT}" PARENT_SCOPE)
+endfunction()
+
+foreach(CONFIG "rr;1" "random;1" "random;2")
+  list(GET CONFIG 0 SCHEDULE)
+  list(GET CONFIG 1 SEED)
+  run_detect(${SCHEDULE} ${SEED} 1 SEQUENTIAL)
+  run_detect(${SCHEDULE} ${SEED} 4 PARALLEL)
+  if(NOT SEQUENTIAL STREQUAL PARALLEL)
+    message(FATAL_ERROR "jobs=4 output differs from jobs=1 for "
+            "schedule=${SCHEDULE} seed=${SEED}:\n"
+            "--- jobs=1 ---\n${SEQUENTIAL}\n--- jobs=4 ---\n${PARALLEL}")
+  endif()
+  # Guard against the vacuous pass: the workload must report races.
+  if(NOT SEQUENTIAL MATCHES "race\\(s\\)")
+    message(FATAL_ERROR "unexpected detect output:\n${SEQUENTIAL}")
+  endif()
+  if(SEQUENTIAL MATCHES "^RV: 0 race")
+    message(FATAL_ERROR "workload found no races; determinism check is vacuous:\n${SEQUENTIAL}")
+  endif()
+endforeach()
+
+message(STATUS "parallel determinism check passed (3 schedules, jobs 1 vs 4)")

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 using namespace rvp;
 
@@ -101,6 +103,38 @@ TEST(Stats, HistogramEmptyIsAllZero) {
   EXPECT_EQ(S.Count, 0u);
   EXPECT_DOUBLE_EQ(S.P50, 0.0);
   EXPECT_DOUBLE_EQ(H.percentile(0.99), 0.0);
+}
+
+TEST(Stats, ConcurrentIncrementsAreExact) {
+  // Counters, gauges, and histograms are shared across solver workers;
+  // concurrent updates and registry lookups must neither lose increments
+  // nor tear. 4 threads x 10k operations each.
+  MetricsRegistry Reg;
+  Counter &C = Reg.counter("par.count");
+  Histogram &H = Reg.histogram("par.hist");
+  constexpr int Threads = 4;
+  constexpr int PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      for (int I = 0; I < PerThread; ++I) {
+        C.inc();
+        Reg.counter("par.count2").add(2);
+        H.record((I % 100 + 1) / 100.0);
+        Reg.gauge("par.gauge").set(static_cast<double>(W));
+        if (I % 1000 == 0)
+          (void)Reg.snapshot(); // concurrent readers are safe too
+      }
+    });
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  EXPECT_EQ(C.value(), static_cast<uint64_t>(Threads) * PerThread);
+  EXPECT_EQ(Reg.counter("par.count2").value(),
+            static_cast<uint64_t>(Threads) * PerThread * 2);
+  EXPECT_EQ(H.count(), static_cast<uint64_t>(Threads) * PerThread);
+  double G = Reg.gauge("par.gauge").value();
+  EXPECT_GE(G, 0.0);
+  EXPECT_LT(G, Threads);
 }
 
 TEST(Stats, BucketBoundsAreMonotone) {

@@ -1,0 +1,289 @@
+//===- tests/ThreadPoolTest.cpp - Work-stealing pool + parallel solving ----===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The pool itself (submit futures, parallelFor coverage, exception
+/// propagation, shutdown draining), concurrent use of independent solver
+/// instances, and end-to-end determinism: every detector must produce the
+/// same reports and summary statistics with Jobs=4 as with the sequential
+/// Jobs=1 path.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "detect/Detect.h"
+#include "smt/Solver.h"
+#include "workloads/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace rvp;
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numWorkers(), 4u);
+  std::vector<std::future<int>> Futures;
+  for (int I = 0; I < 100; ++I)
+    Futures.push_back(Pool.submit([I] { return I * I; }));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I * I);
+}
+
+TEST(ThreadPool, SubmitRunsOnPoolThreads) {
+  ThreadPool Pool(2);
+  const std::thread::id Caller = std::this_thread::get_id();
+  auto Tid = Pool.submit([] { return std::this_thread::get_id(); }).get();
+  EXPECT_NE(Tid, Caller);
+}
+
+TEST(ThreadPool, WorkerIndexInsideTask) {
+  ThreadPool Pool(3);
+  EXPECT_EQ(Pool.currentWorkerIndex(), -1);
+  int Index = Pool.submit([&Pool] { return Pool.currentWorkerIndex(); })
+                  .get();
+  EXPECT_GE(Index, 0);
+  EXPECT_LT(Index, 3);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 1000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(0, N, [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingleRange) {
+  ThreadPool Pool(2);
+  std::atomic<int> Calls{0};
+  Pool.parallelFor(5, 5, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls.load(), 0);
+  Pool.parallelFor(7, 8, [&](size_t I) {
+    EXPECT_EQ(I, 7u);
+    ++Calls;
+  });
+  EXPECT_EQ(Calls.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool Pool(2);
+  std::future<int> F = Pool.submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(F.get(), std::runtime_error);
+  // The pool stays usable after a throwing task.
+  EXPECT_EQ(Pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ParallelForRethrowsAndCompletes) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 64;
+  std::vector<std::atomic<int>> Hits(N);
+  EXPECT_THROW(Pool.parallelFor(0, N,
+                                [&](size_t I) {
+                                  Hits[I].fetch_add(1);
+                                  if (I == 13)
+                                    throw std::runtime_error("body failed");
+                                }),
+               std::runtime_error);
+  // The barrier still waited for every index.
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ShutdownDrainsQueue) {
+  std::vector<std::future<int>> Futures;
+  {
+    ThreadPool Pool(1);
+    for (int I = 0; I < 50; ++I)
+      Futures.push_back(Pool.submit([I] { return I; }));
+    // Destructor must run every queued task before joining.
+  }
+  for (int I = 0; I < 50; ++I) {
+    ASSERT_EQ(Futures[static_cast<size_t>(I)].wait_for(
+                  std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(Futures[static_cast<size_t>(I)].get(), I);
+  }
+}
+
+TEST(ThreadPool, StealingKeepsAllWorkersFed) {
+  // Submissions from the main thread round-robin across queues; a tiny
+  // pool with many more tasks than workers exercises the steal path. The
+  // invariant checked is completion, not placement.
+  ThreadPool Pool(4);
+  std::atomic<int> Done{0};
+  std::set<int> Indices;
+  std::mutex M;
+  Pool.parallelFor(0, 256, [&](size_t) {
+    int Index = Pool.currentWorkerIndex();
+    {
+      std::lock_guard<std::mutex> G(M);
+      Indices.insert(Index);
+    }
+    Done.fetch_add(1);
+  });
+  EXPECT_EQ(Done.load(), 256);
+  for (int Index : Indices) {
+    EXPECT_GE(Index, 0);
+    EXPECT_LT(Index, 4);
+  }
+}
+
+// Satellite: two solver instances used from different threads at once must
+// not interfere (no shared static scratch state in Sat/IdlSolver).
+TEST(ThreadPool, ConcurrentSolverInstancesAreIndependent) {
+  ThreadPool Pool(2);
+  auto SolveChain = [](uint32_t Vars) {
+    // O0 < O1 < ... < On, satisfiable; plus the reversed chain with a
+    // shared endpoint, unsatisfiable.
+    FormulaBuilder FB;
+    std::vector<NodeRef> Atoms;
+    for (uint32_t I = 0; I + 1 < Vars; ++I)
+      Atoms.push_back(FB.mkAtom(I, I + 1));
+    auto S = createIdlSolver();
+    OrderModel Model;
+    SatResult Chain =
+        S->solve(FB, FB.mkAnd(Atoms), Deadline(), &Model);
+    Atoms.push_back(FB.mkAtom(Vars - 1, 0)); // close the cycle
+    SatResult Cycle = S->solve(FB, FB.mkAnd(Atoms), Deadline(), nullptr);
+    return Chain == SatResult::Sat && Cycle == SatResult::Unsat;
+  };
+  for (int Round = 0; Round < 20; ++Round) {
+    std::future<bool> A = Pool.submit([&] { return SolveChain(40); });
+    std::future<bool> B = Pool.submit([&] { return SolveChain(25); });
+    EXPECT_TRUE(A.get());
+    EXPECT_TRUE(B.get());
+  }
+}
+
+namespace {
+
+Trace parallelTestTrace() {
+  SyntheticSpec Spec;
+  Spec.Name = "pool-unit";
+  Spec.Workers = 6;
+  Spec.TargetEvents = 4000;
+  Spec.PlainRaces = 3;
+  Spec.CpOnlyRaces = 2;
+  Spec.SaidOnlyRaces = 2;
+  Spec.RvOnlyRaces = 2;
+  Spec.QcOnlyPairs = 3;
+  Spec.OrderedPairs = 4;
+  Spec.AtomicityPairs = 3;
+  Spec.DeadlockCycles = 2;
+  Spec.Seed = 99;
+  return generateSynthetic(Spec);
+}
+
+void expectSameStats(const DetectionStats &A, const DetectionStats &B) {
+  EXPECT_EQ(A.Windows, B.Windows);
+  EXPECT_EQ(A.Cops, B.Cops);
+  EXPECT_EQ(A.QcPassed, B.QcPassed);
+  EXPECT_EQ(A.SolverCalls, B.SolverCalls);
+  EXPECT_EQ(A.SolverTimeouts, B.SolverTimeouts);
+}
+
+} // namespace
+
+TEST(ParallelDetect, RacesMatchSequential) {
+  Trace T = parallelTestTrace();
+  DetectorOptions Seq;
+  Seq.PerCopBudgetSeconds = 30;
+  DetectorOptions Par = Seq;
+  Par.Jobs = 4;
+
+  DetectionResult A = detectRaces(T, Technique::Maximal, Seq);
+  DetectionResult B = detectRaces(T, Technique::Maximal, Par);
+  ASSERT_GT(A.raceCount(), 0u);
+  ASSERT_EQ(A.raceCount(), B.raceCount());
+  expectSameStats(A.Stats, B.Stats);
+  EXPECT_EQ(A.Stats.Jobs, 1u);
+  EXPECT_EQ(B.Stats.Jobs, 4u);
+  for (size_t I = 0; I < A.raceCount(); ++I) {
+    EXPECT_EQ(A.Races[I].First, B.Races[I].First);
+    EXPECT_EQ(A.Races[I].Second, B.Races[I].Second);
+    EXPECT_EQ(A.Races[I].LocFirst, B.Races[I].LocFirst);
+    EXPECT_EQ(A.Races[I].LocSecond, B.Races[I].LocSecond);
+    EXPECT_EQ(A.Races[I].Witness, B.Races[I].Witness);
+    EXPECT_EQ(A.Races[I].WitnessValid, B.Races[I].WitnessValid);
+  }
+}
+
+TEST(ParallelDetect, SaidMatchesSequential) {
+  Trace T = parallelTestTrace();
+  DetectorOptions Seq;
+  Seq.PerCopBudgetSeconds = 30;
+  DetectorOptions Par = Seq;
+  Par.Jobs = 4;
+  DetectionResult A = detectRaces(T, Technique::Said, Seq);
+  DetectionResult B = detectRaces(T, Technique::Said, Par);
+  ASSERT_EQ(A.raceCount(), B.raceCount());
+  expectSameStats(A.Stats, B.Stats);
+  for (size_t I = 0; I < A.raceCount(); ++I) {
+    EXPECT_EQ(A.Races[I].First, B.Races[I].First);
+    EXPECT_EQ(A.Races[I].Second, B.Races[I].Second);
+  }
+}
+
+TEST(ParallelDetect, AtomicityMatchesSequential) {
+  Trace T = parallelTestTrace();
+  DetectorOptions Seq;
+  Seq.PerCopBudgetSeconds = 30;
+  DetectorOptions Par = Seq;
+  Par.Jobs = 4;
+  AtomicityResult A = detectAtomicityViolations(T, Seq);
+  AtomicityResult B = detectAtomicityViolations(T, Par);
+  ASSERT_GT(A.Violations.size(), 0u);
+  ASSERT_EQ(A.Violations.size(), B.Violations.size());
+  expectSameStats(A.Stats, B.Stats);
+  for (size_t I = 0; I < A.Violations.size(); ++I) {
+    EXPECT_EQ(A.Violations[I].First, B.Violations[I].First);
+    EXPECT_EQ(A.Violations[I].Remote, B.Violations[I].Remote);
+    EXPECT_EQ(A.Violations[I].Second, B.Violations[I].Second);
+    EXPECT_EQ(A.Violations[I].Pattern, B.Violations[I].Pattern);
+    EXPECT_EQ(A.Violations[I].Witness, B.Violations[I].Witness);
+    EXPECT_EQ(A.Violations[I].WitnessValid, B.Violations[I].WitnessValid);
+  }
+}
+
+TEST(ParallelDetect, DeadlocksMatchSequential) {
+  Trace T = parallelTestTrace();
+  DetectorOptions Seq;
+  Seq.PerCopBudgetSeconds = 30;
+  DetectorOptions Par = Seq;
+  Par.Jobs = 4;
+  DeadlockResult A = detectDeadlocks(T, Seq);
+  DeadlockResult B = detectDeadlocks(T, Par);
+  ASSERT_GT(A.Deadlocks.size(), 0u);
+  ASSERT_EQ(A.Deadlocks.size(), B.Deadlocks.size());
+  expectSameStats(A.Stats, B.Stats);
+  for (size_t I = 0; I < A.Deadlocks.size(); ++I) {
+    EXPECT_EQ(A.Deadlocks[I].RequestA, B.Deadlocks[I].RequestA);
+    EXPECT_EQ(A.Deadlocks[I].RequestB, B.Deadlocks[I].RequestB);
+    EXPECT_EQ(A.Deadlocks[I].Witness, B.Deadlocks[I].Witness);
+    EXPECT_EQ(A.Deadlocks[I].WitnessValid, B.Deadlocks[I].WitnessValid);
+  }
+}
+
+TEST(ParallelDetect, JobsZeroMeansHardwareConcurrency) {
+  Trace T = parallelTestTrace();
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.Jobs = 0;
+  DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+  EXPECT_EQ(R.Stats.Jobs, ThreadPool::defaultWorkerCount());
+}

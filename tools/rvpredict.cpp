@@ -191,6 +191,7 @@ int cmdDetect(const OptionParser &Options) {
   Detect.PerCopBudgetSeconds = Options.getDouble("budget", 60);
   Detect.SolverName = Options.getString("solver", "idl");
   Detect.CollectWitnesses = Options.getBool("witness", true);
+  Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
 
   // Both renderings draw from the same DetectionStats + telemetry snapshot;
@@ -317,6 +318,9 @@ int main(int Argc, const char **Argv) {
   Options.addOption("window", "window size in events", "10000");
   Options.addOption("solver", "idl or z3", "idl");
   Options.addOption("budget", "per-COP solver budget (s)", "60");
+  Options.addOption("jobs",
+                    "solver worker threads (0 = one per hardware thread)",
+                    "0");
   Options.addOption("witness", "print witness reorderings", "false");
   Options.addOption("stats", "print detection statistics", "false");
   Options.addOption("stats-json", "write stats as JSON ('-' for stdout)", "");

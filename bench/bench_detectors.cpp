@@ -12,9 +12,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticPrune.h"
 #include "detect/Atomicity.h"
 #include "detect/Deadlock.h"
 #include "detect/Detect.h"
+#include "lang/Parser.h"
+#include "runtime/Interpreter.h"
+#include "runtime/Scheduler.h"
 #include "workloads/Synthetic.h"
 
 #include <benchmark/benchmark.h>
@@ -22,6 +26,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <string>
 
 using namespace rvp;
@@ -31,6 +37,10 @@ namespace {
 /// --jobs=N (default 0 = one worker per hardware thread), peeled off in
 /// main() like --stats-json.
 uint32_t JobsFlag = 0;
+
+/// --static-prune: adds the BM_MaximalStaticPrune/BM_MaximalNoPrune pair
+/// and switches the --stats-json dump to the pruning A/B comparison.
+bool StaticPruneFlag = false;
 
 Trace makeTrace(uint64_t Events) {
   SyntheticSpec Spec;
@@ -119,6 +129,113 @@ void BM_Deadlock(benchmark::State &State) {
   State.counters["deadlocks"] = static_cast<double>(Found);
 }
 
+// ----------------------------------------------------- static prune A/B
+
+/// A MiniRV workload built for the static pruner: per loop iteration the
+/// two concurrent threads touch `a` only under lock m (prunable by the
+/// common-must-lock rule), t3's and main's `c` accesses are serialized by
+/// top-level fork/join (prunable by the interval rule), and `b` carries
+/// the real races that keep the comparison honest.
+std::string prunableSource(uint32_t Iters) {
+  std::string N = std::to_string(Iters);
+  return "shared a;\n"
+         "shared b;\n"
+         "shared c;\n"
+         "lock m;\n"
+         "thread t1 {\n"
+         "  local i = 0;\n"
+         "  while (i < " + N + ") {\n"
+         "    sync m { a = a + 1; }\n"
+         "    i = i + 1;\n"
+         "  }\n"
+         "  b = 1;\n"
+         "}\n"
+         "thread t2 {\n"
+         "  local i = 0;\n"
+         "  while (i < " + N + ") {\n"
+         "    sync m { a = a + 2; }\n"
+         "    i = i + 1;\n"
+         "  }\n"
+         "  b = 2;\n"
+         "}\n"
+         "thread t3 {\n"
+         "  local i = 0;\n"
+         "  while (i < " + N + ") {\n"
+         "    c = c + 1;\n"
+         "    i = i + 1;\n"
+         "  }\n"
+         "}\n"
+         "main {\n"
+         "  spawn t1;\n"
+         "  spawn t2;\n"
+         "  join t1;\n"
+         "  join t2;\n"
+         "  spawn t3;\n"
+         "  join t3;\n"
+         "  c = 0;\n"
+         "}\n";
+}
+
+/// Program, recorded trace, and bound oracle; the oracle holds references
+/// into both, so the three live and die together.
+struct PruneWorkload {
+  PruneWorkload(Program Prog, Trace Tr)
+      : P(std::move(Prog)), T(std::move(Tr)), Oracle(P) {
+    Oracle.bind(T);
+  }
+
+  Program P;
+  Trace T;
+  StaticPruneOracle Oracle;
+};
+
+PruneWorkload &pruneWorkload(uint32_t Iters) {
+  static std::map<uint32_t, std::unique_ptr<PruneWorkload>> Cache;
+  std::unique_ptr<PruneWorkload> &Slot = Cache[Iters];
+  if (!Slot) {
+    std::string Error;
+    std::optional<Program> P = parseProgram(prunableSource(Iters), Error);
+    if (!P) {
+      std::fprintf(stderr, "prune workload parse error: %s\n",
+                   Error.c_str());
+      std::abort();
+    }
+    Trace T;
+    RunResult Result;
+    RoundRobinScheduler S(3);
+    if (!recordTrace(prunableSource(Iters), T, Result, Error, &S)) {
+      std::fprintf(stderr, "prune workload run error: %s\n", Error.c_str());
+      std::abort();
+    }
+    Slot = std::make_unique<PruneWorkload>(std::move(*P), std::move(T));
+  }
+  return *Slot;
+}
+
+void runPruneBench(benchmark::State &State, bool UsePruner) {
+  PruneWorkload &W = pruneWorkload(static_cast<uint32_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+  Options.StaticPruner = UsePruner ? &W.Oracle : nullptr;
+  DetectionStats Stats;
+  size_t Races = 0;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(W.T, Technique::Maximal, Options);
+    Races = R.raceCount();
+    Stats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["races"] = static_cast<double>(Races);
+  State.counters["cops"] = static_cast<double>(Stats.Cops);
+  State.counters["pruned"] = static_cast<double>(Stats.CopsPrunedStatic);
+  State.counters["solves"] = static_cast<double>(Stats.SolverCalls);
+  State.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(W.T.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_Hb)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
@@ -176,11 +293,70 @@ int dumpStatsJson(const std::string &Path) {
   return 0;
 }
 
+/// A/B dump behind --static-prune --stats-json=<path>: every technique
+/// runs once without and once with the oracle on the prunable workload
+/// (this is the source of the checked-in BENCH_static.json). The race
+/// counts must agree — the pruner is sound — so only work and time move.
+int dumpStaticPruneJson(const std::string &Path) {
+  constexpr uint32_t Iters = 120;
+  Telemetry::setEnabled(true);
+  PruneWorkload &W = pruneWorkload(Iters);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+
+  JsonObject Techs;
+  const std::pair<Technique, const char *> Runs[] = {
+      {Technique::Maximal, "rv"},
+      {Technique::Said, "said"},
+      {Technique::Cp, "cp"},
+      {Technique::Hb, "hb"},
+  };
+  for (const auto &[Tech, Key] : Runs) {
+    Telemetry::instance().reset();
+    Options.StaticPruner = nullptr;
+    DetectionResult Baseline = detectRaces(W.T, Tech, Options);
+    Telemetry::instance().reset();
+    Options.StaticPruner = &W.Oracle;
+    DetectionResult Pruned = detectRaces(W.T, Tech, Options);
+
+    JsonObject Cmp;
+    Cmp.field("races", static_cast<uint64_t>(Baseline.raceCount()))
+        .field("races_agree", Baseline.raceCount() == Pruned.raceCount())
+        .field("speedup", Pruned.Stats.Seconds > 0
+                              ? Baseline.Stats.Seconds / Pruned.Stats.Seconds
+                              : 0.0)
+        .raw("baseline", statsToJson(Baseline.Stats, techniqueName(Tech)))
+        .raw("static_prune", statsToJson(Pruned.Stats, techniqueName(Tech)));
+    Techs.raw(Key, Cmp.str());
+  }
+  Telemetry::setEnabled(false);
+
+  JsonObject Out;
+  Out.field("workload", "prune-loop-" + std::to_string(Iters))
+      .field("events", static_cast<uint64_t>(W.T.size()))
+      .field("vars_thread_local", W.Oracle.threadLocalVars())
+      .raw("techniques", Techs.str());
+  std::string Json = Out.str() + "\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}
+
 } // namespace
 
-// Custom main: peel off --stats-json=<path> and --jobs=<n>
-// (google-benchmark rejects unknown flags), run the benchmarks, then do
-// the one-shot stats dump.
+// Custom main: peel off --stats-json=<path>, --jobs=<n>, and
+// --static-prune (google-benchmark rejects unknown flags), run the
+// benchmarks, then do the one-shot stats dump.
 int main(int Argc, char **Argv) {
   std::string StatsJsonPath;
   int Kept = 1;
@@ -192,10 +368,29 @@ int main(int Argc, char **Argv) {
     else if (std::strncmp(Argv[I], Jobs, std::strlen(Jobs)) == 0)
       JobsFlag = static_cast<uint32_t>(
           std::strtoul(Argv[I] + std::strlen(Jobs), nullptr, 10));
+    else if (std::strcmp(Argv[I], "--static-prune") == 0)
+      StaticPruneFlag = true;
     else
       Argv[Kept++] = Argv[I];
   }
   Argc = Kept;
+
+  if (StaticPruneFlag) {
+    benchmark::RegisterBenchmark("BM_MaximalStaticPrune",
+                                 [](benchmark::State &S) {
+                                   runPruneBench(S, /*UsePruner=*/true);
+                                 })
+        ->Arg(30)
+        ->Arg(120)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_MaximalNoPrune",
+                                 [](benchmark::State &S) {
+                                   runPruneBench(S, /*UsePruner=*/false);
+                                 })
+        ->Arg(30)
+        ->Arg(120)
+        ->Unit(benchmark::kMillisecond);
+  }
 
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
@@ -204,6 +399,7 @@ int main(int Argc, char **Argv) {
   benchmark::Shutdown();
 
   if (!StatsJsonPath.empty())
-    return dumpStatsJson(StatsJsonPath);
+    return StaticPruneFlag ? dumpStaticPruneJson(StatsJsonPath)
+                           : dumpStatsJson(StatsJsonPath);
   return 0;
 }

@@ -1,0 +1,56 @@
+//===- analysis/AstWalk.h - Small AST traversal helpers ----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Traversal helpers shared by the analyses: visiting every expression a
+/// statement owns directly (without descending into nested statements, so
+/// CFG-node-granular clients see exactly the code that executes at that
+/// node), and pre-order statement walks over whole bodies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_ASTWALK_H
+#define RVP_ANALYSIS_ASTWALK_H
+
+#include "lang/Ast.h"
+
+namespace rvp {
+
+/// Pre-order visit of \p E and every sub-expression.
+template <typename Fn> void forEachExprNode(const Expr &E, Fn &&F) {
+  F(E);
+  if (E.Lhs)
+    forEachExprNode(*E.Lhs, F);
+  if (E.Rhs)
+    forEachExprNode(*E.Rhs, F);
+}
+
+/// Visits every expression node evaluated *by S itself* — its condition,
+/// index, and value operands — but nothing inside S's nested statements.
+/// This matches CFG granularity: all these expressions execute at S's node.
+template <typename Fn> void forEachOwnExprNode(const Stmt &S, Fn &&F) {
+  if (S.Cond)
+    forEachExprNode(*S.Cond, F);
+  if (S.Index)
+    forEachExprNode(*S.Index, F);
+  if (S.Value)
+    forEachExprNode(*S.Value, F);
+}
+
+/// Pre-order visit of every statement in \p Body, descending into nested
+/// bodies.
+template <typename Fn>
+void forEachStmt(const std::vector<StmtPtr> &Body, Fn &&F) {
+  for (const StmtPtr &S : Body) {
+    F(*S);
+    forEachStmt(S->Body, F);
+    forEachStmt(S->ElseBody, F);
+  }
+}
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_ASTWALK_H

@@ -1,0 +1,199 @@
+//===- analysis/Cfg.cpp - Control-flow graphs over MiniRV -------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+
+using namespace rvp;
+
+std::optional<int64_t> rvp::foldConstant(const Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return E.IntValue;
+  case Expr::Kind::Name:
+  case Expr::Kind::Index:
+    return std::nullopt;
+  case Expr::Kind::Unary: {
+    auto V = foldConstant(*E.Lhs);
+    if (!V)
+      return std::nullopt;
+    return E.UOp == UnOp::Neg ? -*V : (*V == 0 ? 1 : 0);
+  }
+  case Expr::Kind::Binary: {
+    auto L = foldConstant(*E.Lhs);
+    auto R = foldConstant(*E.Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    switch (E.Op) {
+    case BinOp::Add:
+      return *L + *R;
+    case BinOp::Sub:
+      return *L - *R;
+    case BinOp::Mul:
+      return *L * *R;
+    case BinOp::Div:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L / *R);
+    case BinOp::Mod:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L % *R);
+    case BinOp::Eq:
+      return *L == *R ? 1 : 0;
+    case BinOp::Ne:
+      return *L != *R ? 1 : 0;
+    case BinOp::Lt:
+      return *L < *R ? 1 : 0;
+    case BinOp::Le:
+      return *L <= *R ? 1 : 0;
+    case BinOp::Gt:
+      return *L > *R ? 1 : 0;
+    case BinOp::Ge:
+      return *L >= *R ? 1 : 0;
+    case BinOp::And:
+      return (*L != 0 && *R != 0) ? 1 : 0;
+    case BinOp::Or:
+      return (*L != 0 || *R != 0) ? 1 : 0;
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+Cfg::Cfg(const ThreadDecl &T) : Decl(&T) {
+  addNode(CfgNode::Kind::Entry, nullptr, T.Line, T.Col);
+  addNode(CfgNode::Kind::Exit, nullptr, T.Line, T.Col);
+  std::vector<uint32_t> Dangling = buildBlock(T.Body, {entry()});
+  for (uint32_t Id : Dangling)
+    addEdge(Id, exit());
+  computeReachability();
+}
+
+uint32_t Cfg::addNode(CfgNode::Kind K, const Stmt *S, uint32_t Line,
+                      uint32_t Col) {
+  CfgNode N;
+  N.K = K;
+  N.S = S;
+  N.Line = Line;
+  N.Col = Col;
+  Nodes.push_back(std::move(N));
+  return static_cast<uint32_t>(Nodes.size() - 1);
+}
+
+void Cfg::addEdge(uint32_t From, uint32_t To) {
+  Nodes[From].Succs.push_back(To);
+  Nodes[To].Preds.push_back(From);
+}
+
+std::vector<uint32_t> Cfg::buildBlock(const std::vector<StmtPtr> &Body,
+                                      std::vector<uint32_t> Dangling) {
+  for (const StmtPtr &SP : Body) {
+    const Stmt &S = *SP;
+    switch (S.K) {
+    case Stmt::Kind::If: {
+      uint32_t Cond = addNode(CfgNode::Kind::Branch, &S, S.Line, S.Col);
+      for (uint32_t Id : Dangling)
+        addEdge(Id, Cond);
+      std::optional<int64_t> Folded = foldConstant(*S.Cond);
+      bool TakeThen = !Folded || *Folded != 0;
+      bool TakeElse = !Folded || *Folded == 0;
+      // Untaken arms are still lowered (with no incoming edge) so the
+      // reachability pass can report them.
+      std::vector<uint32_t> ThenExits = buildBlock(
+          S.Body, TakeThen ? std::vector<uint32_t>{Cond}
+                           : std::vector<uint32_t>{});
+      std::vector<uint32_t> ElseExits = buildBlock(
+          S.ElseBody, TakeElse ? std::vector<uint32_t>{Cond}
+                               : std::vector<uint32_t>{});
+      // buildBlock returns its incoming set for an empty body, so empty
+      // arms contribute the condition node itself.
+      Dangling.clear();
+      if (TakeThen)
+        Dangling = std::move(ThenExits);
+      if (TakeElse)
+        Dangling.insert(Dangling.end(), ElseExits.begin(), ElseExits.end());
+      break;
+    }
+    case Stmt::Kind::While: {
+      uint32_t Cond = addNode(CfgNode::Kind::Branch, &S, S.Line, S.Col);
+      for (uint32_t Id : Dangling)
+        addEdge(Id, Cond);
+      std::optional<int64_t> Folded = foldConstant(*S.Cond);
+      bool TakeBody = !Folded || *Folded != 0;
+      bool TakeExit = !Folded || *Folded == 0;
+      std::vector<uint32_t> BodyExits = buildBlock(
+          S.Body, TakeBody ? std::vector<uint32_t>{Cond}
+                           : std::vector<uint32_t>{});
+      if (TakeBody)
+        for (uint32_t Id : BodyExits)
+          addEdge(Id, Cond);
+      Dangling = TakeExit ? std::vector<uint32_t>{Cond}
+                          : std::vector<uint32_t>{};
+      break;
+    }
+    case Stmt::Kind::Sync: {
+      uint32_t Acq = addNode(CfgNode::Kind::Acquire, &S, S.Line, S.Col);
+      for (uint32_t Id : Dangling)
+        addEdge(Id, Acq);
+      std::vector<uint32_t> BodyExits = buildBlock(S.Body, {Acq});
+      uint32_t Rel = addNode(CfgNode::Kind::Release, &S, S.Line, S.Col);
+      for (uint32_t Id : BodyExits)
+        addEdge(Id, Rel);
+      Dangling = {Rel};
+      break;
+    }
+    case Stmt::Kind::Lock:
+    case Stmt::Kind::Unlock: {
+      uint32_t Id = addNode(S.K == Stmt::Kind::Lock ? CfgNode::Kind::Acquire
+                                                    : CfgNode::Kind::Release,
+                            &S, S.Line, S.Col);
+      for (uint32_t From : Dangling)
+        addEdge(From, Id);
+      Dangling = {Id};
+      break;
+    }
+    default: {
+      uint32_t Id = addNode(CfgNode::Kind::Stmt, &S, S.Line, S.Col);
+      for (uint32_t From : Dangling)
+        addEdge(From, Id);
+      Dangling = {Id};
+      break;
+    }
+    }
+  }
+  return Dangling;
+}
+
+void Cfg::computeReachability() {
+  Reachable.assign(Nodes.size(), false);
+  Rpo.clear();
+  // Iterative DFS with an explicit post-order; reversed at the end.
+  std::vector<std::pair<uint32_t, size_t>> Stack;
+  Reachable[entry()] = true;
+  Stack.push_back({entry(), 0});
+  std::vector<uint32_t> PostOrder;
+  while (!Stack.empty()) {
+    auto &[Id, NextSucc] = Stack.back();
+    if (NextSucc < Nodes[Id].Succs.size()) {
+      uint32_t To = Nodes[Id].Succs[NextSucc++];
+      if (!Reachable[To]) {
+        Reachable[To] = true;
+        Stack.push_back({To, 0});
+      }
+    } else {
+      PostOrder.push_back(Id);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+}
+
+std::vector<uint32_t> Cfg::unreachableNodes() const {
+  std::vector<uint32_t> Out;
+  for (uint32_t Id = 0; Id < size(); ++Id)
+    if (!Reachable[Id] && Nodes[Id].S != nullptr)
+      Out.push_back(Id);
+  return Out; // creation order == source order
+}

@@ -1,0 +1,97 @@
+//===- analysis/Cfg.h - Control-flow graphs over MiniRV ----------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statement-granularity control-flow graphs over MiniRV thread bodies, the
+/// substrate of the static analyses in this directory. One node per program
+/// point: a synthetic Entry/Exit pair, one node per straight-line statement,
+/// one per `if`/`while` condition, and explicit Acquire/Release nodes for
+/// `lock`/`unlock` and the two halves of `sync` — so lock-state transfer
+/// functions never have to look inside compound statements.
+///
+/// Conditions that fold to a constant (no shared or local reads) drop the
+/// untaken edge, which is what makes `if (0) { ... }` bodies and code after
+/// `while (1) { ... }` reachable-analysis targets rather than noise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_CFG_H
+#define RVP_ANALYSIS_CFG_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rvp {
+
+/// Folds \p E to a constant when it contains no variable references
+/// (literals, unary/binary operators over constants). Division by zero and
+/// friends return nullopt rather than guessing.
+std::optional<int64_t> foldConstant(const Expr &E);
+
+/// One CFG node. `S` points into the ThreadDecl the graph was built from,
+/// which must outlive the Cfg.
+struct CfgNode {
+  enum class Kind : uint8_t {
+    Entry,   ///< synthetic; no statement
+    Exit,    ///< synthetic; no statement
+    Stmt,    ///< straight-line statement (assign, local, spawn, join, ...)
+    Branch,  ///< `if`/`while` condition evaluation
+    Acquire, ///< `lock` statement or the entry half of `sync`
+    Release, ///< `unlock` statement or the exit half of `sync`
+  };
+
+  Kind K = Kind::Stmt;
+  const Stmt *S = nullptr; ///< null for Entry/Exit
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::vector<uint32_t> Succs, Preds;
+};
+
+/// The CFG of one thread body. Node 0 is Entry, node 1 is Exit; statement
+/// nodes appear in source order after them.
+class Cfg {
+public:
+  explicit Cfg(const ThreadDecl &T);
+
+  const ThreadDecl &thread() const { return *Decl; }
+  uint32_t entry() const { return 0; }
+  uint32_t exit() const { return 1; }
+  uint32_t size() const { return static_cast<uint32_t>(Nodes.size()); }
+  const CfgNode &node(uint32_t Id) const { return Nodes[Id]; }
+  const std::vector<CfgNode> &nodes() const { return Nodes; }
+
+  /// Node ids reachable from Entry, in reverse post-order (a good worklist
+  /// seed for forward dataflow).
+  const std::vector<uint32_t> &reversePostOrder() const { return Rpo; }
+
+  bool reachable(uint32_t Id) const { return Reachable[Id]; }
+
+  /// Statement nodes not reachable from Entry, in source order — the
+  /// unreachable-code diagnostic's input. Synthetic nodes are excluded.
+  std::vector<uint32_t> unreachableNodes() const;
+
+private:
+  uint32_t addNode(CfgNode::Kind K, const Stmt *S, uint32_t Line,
+                   uint32_t Col);
+  void addEdge(uint32_t From, uint32_t To);
+  /// Lowers \p Body; every node in \p Dangling wants an edge to the next
+  /// program point. Returns the dangling exits of the block.
+  std::vector<uint32_t> buildBlock(const std::vector<StmtPtr> &Body,
+                                   std::vector<uint32_t> Dangling);
+  void computeReachability();
+
+  const ThreadDecl *Decl;
+  std::vector<CfgNode> Nodes;
+  std::vector<bool> Reachable;
+  std::vector<uint32_t> Rpo;
+};
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_CFG_H

@@ -1,0 +1,93 @@
+//===- analysis/Dataflow.h - Forward dataflow over a Cfg ---------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small forward dataflow framework over analysis/Cfg. An analysis
+/// supplies a value domain and three operations:
+///
+///   struct MyAnalysis {
+///     using Domain = ...;            // copyable lattice value
+///     Domain boundary() const;       // value at Entry
+///     // Meet \p In into \p Out; returns true when Out changed.
+///     bool meet(Domain &Out, const Domain &In) const;
+///     // Flow through one node (the node's effect on the state).
+///     void transfer(const CfgNode &N, Domain &D) const;
+///   };
+///
+/// solve() runs the classic worklist iteration seeded in reverse
+/// post-order and returns the fixpoint value at *node entry* for every
+/// node (before the node's own transfer). Nodes unreachable from Entry
+/// keep a default-constructed Domain and are flagged in
+/// DataflowResult::Reached, so clients never mistake "never executed" for
+/// "executes with empty state".
+///
+/// Termination is the caller's obligation: meet must be monotone on a
+/// finite-height domain (both analyses here use pointwise min/max over
+/// bounded counters).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_DATAFLOW_H
+#define RVP_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <deque>
+#include <vector>
+
+namespace rvp {
+
+template <typename Analysis> struct DataflowResult {
+  /// Fixpoint at node entry, indexed by node id.
+  std::vector<typename Analysis::Domain> In;
+  /// False for nodes never reached from Entry.
+  std::vector<bool> Reached;
+};
+
+template <typename Analysis>
+DataflowResult<Analysis> solveDataflow(const Cfg &G, const Analysis &A) {
+  DataflowResult<Analysis> R;
+  R.In.resize(G.size());
+  R.Reached.assign(G.size(), false);
+  R.In[G.entry()] = A.boundary();
+  R.Reached[G.entry()] = true;
+
+  std::deque<uint32_t> Worklist(G.reversePostOrder().begin(),
+                                G.reversePostOrder().end());
+  std::vector<bool> OnList(G.size(), false);
+  for (uint32_t Id : Worklist)
+    OnList[Id] = true;
+
+  while (!Worklist.empty()) {
+    uint32_t Id = Worklist.front();
+    Worklist.pop_front();
+    OnList[Id] = false;
+    if (!R.Reached[Id])
+      continue; // successors of unreached nodes stay unreached
+
+    typename Analysis::Domain Out = R.In[Id];
+    A.transfer(G.node(Id), Out);
+    for (uint32_t To : G.node(Id).Succs) {
+      bool Changed;
+      if (!R.Reached[To]) {
+        R.In[To] = Out;
+        R.Reached[To] = true;
+        Changed = true;
+      } else {
+        Changed = A.meet(R.In[To], Out);
+      }
+      if (Changed && !OnList[To]) {
+        OnList[To] = true;
+        Worklist.push_back(To);
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,204 @@
+//===- analysis/Lint.cpp - Static diagnostics over MiniRV programs ----------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/AstWalk.h"
+#include "analysis/Cfg.h"
+#include "analysis/StaticLockset.h"
+#include "analysis/ThreadEscape.h"
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <tuple>
+
+using namespace rvp;
+
+const char *rvp::diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::NeverShared:
+    return "never-shared";
+  case DiagKind::UnlockedAccess:
+    return "unlocked-access";
+  case DiagKind::UnreleasedLock:
+    return "unreleased-lock";
+  case DiagKind::ReentrantAcquire:
+    return "reentrant-acquire";
+  case DiagKind::UnreachableCode:
+    return "unreachable-code";
+  case DiagKind::ReadNeverWritten:
+    return "read-never-written";
+  case DiagKind::ReleaseUnheld:
+    return "release-unheld";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct LintContext {
+  const Program &P;
+  const ThreadEscapeAnalysis &TE;
+  std::vector<Diagnostic> &Diags;
+  /// (line, col, var) triples already reported as unlocked accesses.
+  std::set<std::tuple<uint32_t, uint32_t, std::string>> SeenUnlocked;
+
+  void emit(DiagKind K, uint32_t Line, uint32_t Col, std::string Message) {
+    Diags.push_back({K, Line, Col, std::move(Message)});
+  }
+
+  void checkThread(const ThreadDecl &TD);
+  void checkAccess(const std::string &Name, bool IsWrite, uint32_t Line,
+                   uint32_t Col, const StaticLocksetAnalysis &LS,
+                   uint32_t Node);
+};
+
+void LintContext::checkAccess(const std::string &Name, bool IsWrite,
+                              uint32_t Line, uint32_t Col,
+                              const StaticLocksetAnalysis &LS,
+                              uint32_t Node) {
+  const SharedDecl *D = P.findShared(Name);
+  if (!D || D->Volatile)
+    return;
+  if (!TE.isThreadShared(Name))
+    return; // thread-local in time: no race possible, lockset irrelevant
+  if (!LS.mustHeldNames(Node).empty())
+    return;
+  if (!SeenUnlocked.insert({Line, Col, Name}).second)
+    return;
+  emit(DiagKind::UnlockedAccess, Line, Col,
+       std::string(IsWrite ? "write to" : "read of") + " shared variable '" +
+           Name + "' holds no lock on some path");
+}
+
+void LintContext::checkThread(const ThreadDecl &TD) {
+  Cfg G(TD);
+  StaticLocksetAnalysis LS(P, G);
+
+  // Unreachable code: one diagnostic per dead region, anchored at the
+  // region's first statement in source order. Dead loops form cycles with
+  // no predecessor-free node, so "first uncovered in creation order, then
+  // flood-fill its successors" is the robust way to pick region heads.
+  std::set<uint32_t> Covered;
+  for (uint32_t Id : G.unreachableNodes()) {
+    if (Covered.count(Id))
+      continue;
+    const CfgNode &N = G.node(Id);
+    emit(DiagKind::UnreachableCode, N.Line, N.Col,
+         "statement in thread '" + TD.Name + "' is unreachable");
+    std::vector<uint32_t> Stack{Id};
+    Covered.insert(Id);
+    while (!Stack.empty()) {
+      uint32_t Cur = Stack.back();
+      Stack.pop_back();
+      for (uint32_t To : G.node(Cur).Succs)
+        if (!G.reachable(To) && Covered.insert(To).second)
+          Stack.push_back(To);
+    }
+  }
+
+  for (uint32_t Id = 0; Id < G.size(); ++Id) {
+    const CfgNode &N = G.node(Id);
+    if (!G.reachable(Id) || !N.S)
+      continue;
+    const Stmt &S = *N.S;
+
+    if (N.K == CfgNode::Kind::Acquire) {
+      int LI = LS.lockIndex(S.Name);
+      if (LI >= 0 && LS.mustAt(Id)[LI] > 0)
+        emit(DiagKind::ReentrantAcquire, N.Line, N.Col,
+             "lock '" + S.Name + "' acquired while already held");
+    }
+    if (N.K == CfgNode::Kind::Release) {
+      int LI = LS.lockIndex(S.Name);
+      if (LI >= 0 && LS.mayAt(Id)[LI] == 0)
+        emit(DiagKind::ReleaseUnheld, N.Line, N.Col,
+             "unlock of '" + S.Name +
+                 "' which is never held here (runtime error)");
+    }
+
+    // Shared accesses at this node: the write target plus every variable
+    // mentioned by the node's own expressions.
+    if (S.K == Stmt::Kind::Assign || S.K == Stmt::Kind::ArrayAssign)
+      checkAccess(S.Name, /*IsWrite=*/true, S.Line, S.Col, LS, Id);
+    forEachOwnExprNode(S, [&](const Expr &E) {
+      if (E.K == Expr::Kind::Name || E.K == Expr::Kind::Index)
+        checkAccess(E.Name, /*IsWrite=*/false, E.Line, E.Col, LS, Id);
+    });
+  }
+
+  // Locks still (possibly) held when the thread exits.
+  if (LS.reached(G.exit()))
+    for (size_t I = 0; I < LS.numLocks(); ++I)
+      if (LS.mayAt(G.exit())[I] > 0)
+        emit(DiagKind::UnreleasedLock, TD.Line, TD.Col,
+             "lock '" + LS.lockName(I) + "' may still be held when thread '" +
+                 TD.Name + "' exits");
+}
+
+} // namespace
+
+LintResult rvp::runLint(const Program &P) {
+  LintResult R;
+  ThreadEscapeAnalysis TE(P);
+  R.ThreadLocalDecls = TE.threadLocalDeclCount();
+
+  LintContext Ctx{P, TE, R.Diags, {}};
+
+  for (const SharedDecl &D : P.Shareds) {
+    if (!TE.isThreadShared(D.Name))
+      Ctx.emit(DiagKind::NeverShared, D.Line, D.Col,
+               "variable '" + D.Name +
+                   "' is declared shared but can never be accessed by two "
+                   "threads concurrently");
+    if (TE.isRead(D.Name) && !TE.isWritten(D.Name))
+      Ctx.emit(DiagKind::ReadNeverWritten, D.Line, D.Col,
+               "shared variable '" + D.Name +
+                   "' is read but never written (always its initial value)");
+  }
+
+  for (const ThreadDecl &TD : P.Threads)
+    Ctx.checkThread(TD);
+
+  std::sort(R.Diags.begin(), R.Diags.end(),
+            [](const Diagnostic &A, const Diagnostic &B) {
+              return std::tie(A.Line, A.Col, A.K, A.Message) <
+                     std::tie(B.Line, B.Col, B.K, B.Message);
+            });
+  return R;
+}
+
+void rvp::renderLintText(const LintResult &R, const std::string &File,
+                         std::ostream &OS) {
+  for (const Diagnostic &D : R.Diags)
+    OS << File << ":" << D.Line << ":" << D.Col << ": warning: " << D.Message
+       << " [" << diagKindName(D.K) << "]\n";
+  if (R.Diags.empty())
+    OS << File << ": no issues found\n";
+  else
+    OS << File << ": " << R.Diags.size()
+       << (R.Diags.size() == 1 ? " warning\n" : " warnings\n");
+}
+
+void rvp::renderLintJson(const LintResult &R, const std::string &File,
+                         std::ostream &OS) {
+  OS << "{\n";
+  OS << "  \"file\": \"" << jsonEscape(File) << "\",\n";
+  OS << "  \"thread_local_decls\": " << R.ThreadLocalDecls << ",\n";
+  OS << "  \"diagnostics\": [";
+  for (size_t I = 0; I < R.Diags.size(); ++I) {
+    const Diagnostic &D = R.Diags[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    OS << "\"kind\": \"" << diagKindName(D.K) << "\", ";
+    OS << "\"line\": " << D.Line << ", ";
+    OS << "\"col\": " << D.Col << ", ";
+    OS << "\"message\": \"" << jsonEscape(D.Message) << "\"}";
+  }
+  OS << (R.Diags.empty() ? "]\n" : "\n  ]\n");
+  OS << "}\n";
+}

@@ -1,0 +1,83 @@
+//===- analysis/Lint.h - Static diagnostics over MiniRV programs -*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic layer behind the `rvlint` tool. Each check composes the
+/// CFG, thread-escape, and static lockset analyses into a program-level
+/// report:
+///
+///   never-shared        shared declaration no two threads can ever access
+///                       concurrently (fork/join structure proves it)
+///   unlocked-access     access to a genuinely shared, non-volatile
+///                       variable with an empty must-lockset
+///   unreleased-lock     some path through a thread leaves a lock held at
+///                       thread exit
+///   reentrant-acquire   lock acquired while already must-held (silent at
+///                       runtime, usually a refactoring leftover)
+///   unreachable-code    statement with no path from thread entry
+///                       (constant-folded branches included)
+///   read-never-written  shared variable read somewhere but never assigned
+///   release-unheld      unlock of a lock that is definitely not held — a
+///                       guaranteed runtime error
+///
+/// Diagnostics carry source line/column and are sorted deterministically
+/// (line, column, kind) so golden tests are stable across platforms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_LINT_H
+#define RVP_ANALYSIS_LINT_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+enum class DiagKind : uint8_t {
+  NeverShared,
+  UnlockedAccess,
+  UnreleasedLock,
+  ReentrantAcquire,
+  UnreachableCode,
+  ReadNeverWritten,
+  ReleaseUnheld,
+};
+
+/// Stable kebab-case identifier, used in both text and JSON output.
+const char *diagKindName(DiagKind K);
+
+struct Diagnostic {
+  DiagKind K;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  std::string Message;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> Diags; ///< sorted by (Line, Col, kind, message)
+  /// Shared declarations proven thread-local in time (never-shared count
+  /// plus supporting metric for --stats consumers).
+  uint64_t ThreadLocalDecls = 0;
+};
+
+/// Runs every check over \p P.
+LintResult runLint(const Program &P);
+
+/// `<file>:<line>:<col>: warning: <message> [<kind>]`, one per line.
+void renderLintText(const LintResult &R, const std::string &File,
+                    std::ostream &OS);
+
+/// Stable JSON: {"file": ..., "diagnostics": [{kind,line,col,message}...]}.
+void renderLintJson(const LintResult &R, const std::string &File,
+                    std::ostream &OS);
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_LINT_H

@@ -1,0 +1,121 @@
+//===- analysis/StaticLockset.cpp - Must/may lockset analysis ---------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticLockset.h"
+
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+
+using namespace rvp;
+
+namespace {
+
+/// Shared transfer: bump/drop the acquisition count of the node's lock.
+/// Release saturates at zero (matching the runtime, which errors out — the
+/// lint reports that separately from the pre-state).
+template <bool Saturating>
+void applyLockEffect(const CfgNode &N,
+                     const std::map<std::string, uint32_t> &LockIdx,
+                     std::vector<uint32_t> &Counts) {
+  if (N.K != CfgNode::Kind::Acquire && N.K != CfgNode::Kind::Release)
+    return;
+  auto It = LockIdx.find(N.S->Name);
+  if (It == LockIdx.end())
+    return; // undeclared lock: parser already rejected, be defensive
+  uint32_t &C = Counts[It->second];
+  if (N.K == CfgNode::Kind::Acquire) {
+    if (!Saturating || C < StaticLocksetAnalysis::MayCap)
+      ++C;
+  } else if (C > 0) {
+    --C;
+  }
+}
+
+struct MustLocksets {
+  using Domain = std::vector<uint32_t>;
+  const std::map<std::string, uint32_t> &LockIdx;
+  size_t NumLocks;
+
+  Domain boundary() const { return Domain(NumLocks, 0); }
+
+  bool meet(Domain &Out, const Domain &In) const {
+    bool Changed = false;
+    for (size_t I = 0; I < Out.size(); ++I)
+      if (In[I] < Out[I]) {
+        Out[I] = In[I];
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  void transfer(const CfgNode &N, Domain &D) const {
+    applyLockEffect<false>(N, LockIdx, D);
+  }
+};
+
+struct MayLocksets {
+  using Domain = std::vector<uint32_t>;
+  const std::map<std::string, uint32_t> &LockIdx;
+  size_t NumLocks;
+
+  Domain boundary() const { return Domain(NumLocks, 0); }
+
+  bool meet(Domain &Out, const Domain &In) const {
+    bool Changed = false;
+    for (size_t I = 0; I < Out.size(); ++I)
+      if (In[I] > Out[I]) {
+        Out[I] = In[I];
+        Changed = true;
+      }
+    return Changed;
+  }
+
+  void transfer(const CfgNode &N, Domain &D) const {
+    applyLockEffect<true>(N, LockIdx, D);
+  }
+};
+
+} // namespace
+
+StaticLocksetAnalysis::StaticLocksetAnalysis(const Program &P, const Cfg &G) {
+  for (const LockDecl &L : P.Locks) {
+    LockIdx[L.Name] = static_cast<uint32_t>(LockNames.size());
+    LockNames.push_back(L.Name);
+  }
+
+  MustLocksets MustA{LockIdx, LockNames.size()};
+  MayLocksets MayA{LockIdx, LockNames.size()};
+  auto MustR = solveDataflow(G, MustA);
+  auto MayR = solveDataflow(G, MayA);
+
+  Must = std::move(MustR.In);
+  May = std::move(MayR.In);
+  Reached = std::move(MustR.Reached);
+  // Unreached nodes: give them properly-sized zero vectors so callers can
+  // index safely even if they forget the reached() check.
+  for (uint32_t Id = 0; Id < G.size(); ++Id)
+    if (!Reached[Id]) {
+      Must[Id].assign(LockNames.size(), 0);
+      May[Id].assign(LockNames.size(), 0);
+    }
+}
+
+int StaticLocksetAnalysis::lockIndex(const std::string &Name) const {
+  auto It = LockIdx.find(Name);
+  return It == LockIdx.end() ? -1 : static_cast<int>(It->second);
+}
+
+std::vector<std::string>
+StaticLocksetAnalysis::mustHeldNames(uint32_t Node) const {
+  std::vector<std::string> Out;
+  if (!Reached[Node])
+    return Out;
+  for (size_t I = 0; I < LockNames.size(); ++I)
+    if (Must[Node][I] > 0)
+      Out.push_back(LockNames[I]);
+  return Out;
+}

@@ -1,0 +1,77 @@
+//===- analysis/StaticLockset.h - Must/may lockset analysis ------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static lockset analysis over a thread CFG, tracking per-lock acquisition
+/// *counts* so that reentrant acquires (silent at runtime) are modelled
+/// exactly:
+///
+///  * the **must** analysis meets with pointwise min — a lock is must-held
+///    at a node iff its count is positive on *every* path reaching it. This
+///    underapproximates the dynamic lockset, which is the direction a sound
+///    COP pruner needs: if two conflicting accesses both must-hold lock m,
+///    every interleaving orders their critical sections, so the pair can
+///    never race (Section 2's lockset filter, decided statically).
+///  * the **may** analysis meets with pointwise max, saturating at a small
+///    cap so loops terminate. It overapproximates: may-count zero at a
+///    release means the lock is *definitely* unheld there (a runtime
+///    error), and a positive may-count at Exit means some path leaks the
+///    lock.
+///
+/// Both run through the shared solveDataflow() worklist; values are at node
+/// entry, before the node's own acquire/release takes effect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_STATICLOCKSET_H
+#define RVP_ANALYSIS_STATICLOCKSET_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+class StaticLocksetAnalysis {
+public:
+  /// Saturation bound for the may analysis (keeps loopy reacquire chains
+  /// finite-height). Counts at or above the cap mean "held many times".
+  static constexpr uint32_t MayCap = 15;
+
+  StaticLocksetAnalysis(const Program &P, const Cfg &G);
+
+  /// Per-lock acquisition counts at entry of \p Node, indexed by
+  /// lockIndex(). Meaningless for unreached nodes.
+  const std::vector<uint32_t> &mustAt(uint32_t Node) const {
+    return Must[Node];
+  }
+  const std::vector<uint32_t> &mayAt(uint32_t Node) const {
+    return May[Node];
+  }
+  bool reached(uint32_t Node) const { return Reached[Node]; }
+
+  size_t numLocks() const { return LockNames.size(); }
+  const std::string &lockName(size_t Idx) const { return LockNames[Idx]; }
+  /// Index of \p Name in the program's lock table, or -1 if undeclared.
+  int lockIndex(const std::string &Name) const;
+
+  /// Names of locks must-held at entry of \p Node, sorted by declaration
+  /// order. Empty for unreached nodes.
+  std::vector<std::string> mustHeldNames(uint32_t Node) const;
+
+private:
+  std::vector<std::string> LockNames;
+  std::map<std::string, uint32_t> LockIdx;
+  std::vector<std::vector<uint32_t>> Must, May;
+  std::vector<bool> Reached;
+};
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_STATICLOCKSET_H

@@ -1,0 +1,123 @@
+//===- analysis/StaticPrune.cpp - Sound static COP pruning ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticPrune.h"
+
+#include "analysis/AstWalk.h"
+#include "analysis/Cfg.h"
+#include "analysis/StaticLockset.h"
+
+using namespace rvp;
+
+namespace {
+
+/// Parses the compiler's "L<line>" location names; 0 means unknown.
+uint32_t parseLocLine(const std::string &Name) {
+  if (Name.size() < 2 || Name[0] != 'L')
+    return 0;
+  uint32_t Line = 0;
+  for (size_t I = 1; I < Name.size(); ++I) {
+    if (Name[I] < '0' || Name[I] > '9')
+      return 0;
+    Line = Line * 10 + static_cast<uint32_t>(Name[I] - '0');
+  }
+  return Line;
+}
+
+} // namespace
+
+StaticPruneOracle::StaticPruneOracle(const Program &P)
+    : Escape(P), NumThreads(P.Threads.size()) {
+  MustLockByLine.resize(NumThreads);
+  for (uint32_t T = 0; T < P.Threads.size(); ++T) {
+    Cfg G(P.Threads[T]);
+    StaticLocksetAnalysis LS(P, G);
+    std::map<uint32_t, uint64_t> &ByLine = MustLockByLine[T];
+
+    for (uint32_t Id = 0; Id < G.size(); ++Id) {
+      const CfgNode &N = G.node(Id);
+      if (!G.reachable(Id) || !N.S)
+        continue; // unreached nodes never produce events
+      uint64_t Mask = 0;
+      const std::vector<uint32_t> &Counts = LS.mustAt(Id);
+      for (size_t L = 0; L < Counts.size() && L < 64; ++L)
+        if (Counts[L] > 0)
+          Mask |= uint64_t(1) << L;
+      // A line's mask is the AND over every node that can emit an access
+      // event attributed to that line: writes land on the statement line
+      // of Assign/ArrayAssign, reads on each owned expression's line.
+      // Acquire/Release/branch nodes sharing the line (e.g. a one-line
+      // `sync m { x = 1; }`) never produce accesses themselves, so they
+      // must not weaken the intersection — only their expressions count.
+      auto Register = [&](uint32_t Line) {
+        if (Line == 0)
+          return;
+        auto [It, Fresh] = ByLine.try_emplace(Line, Mask);
+        if (!Fresh)
+          It->second &= Mask;
+      };
+      if (N.S->K == Stmt::Kind::Assign || N.S->K == Stmt::Kind::ArrayAssign)
+        Register(N.Line);
+      forEachOwnExprNode(*N.S, [&](const Expr &E) { Register(E.Line); });
+    }
+  }
+}
+
+void StaticPruneOracle::bind(const Trace &T) {
+  Bound = &T;
+  LocLine.clear();
+  for (const Event &E : T.events()) {
+    if (E.Loc == UnknownLoc)
+      continue;
+    if (E.Loc >= LocLine.size())
+      LocLine.resize(E.Loc + 1, 0);
+    if (LocLine[E.Loc] == 0)
+      LocLine[E.Loc] = parseLocLine(T.locName(E.Loc));
+  }
+}
+
+uint64_t StaticPruneOracle::mustLocksAt(uint32_t Thread,
+                                        uint32_t Line) const {
+  const std::map<uint32_t, uint64_t> &ByLine = MustLockByLine[Thread];
+  auto It = ByLine.find(Line);
+  return It == ByLine.end() ? 0 : It->second;
+}
+
+bool StaticPruneOracle::prunable(const Trace &T, EventId A,
+                                 EventId B) const {
+  if (Bound != &T)
+    return false; // unbound or different trace: no information
+  const Event &Ea = T[A];
+  const Event &Eb = T[B];
+  uint32_t Ta = Ea.Tid, Tb = Eb.Tid;
+  if (Ta == Tb || Ta >= NumThreads || Tb >= NumThreads)
+    return false;
+  uint32_t La = Ea.Loc != UnknownLoc && Ea.Loc < LocLine.size()
+                    ? LocLine[Ea.Loc]
+                    : 0;
+  uint32_t Lb = Eb.Loc != UnknownLoc && Eb.Loc < LocLine.size()
+                    ? LocLine[Eb.Loc]
+                    : 0;
+
+  // 1. Temporal disjointness through main's fork/join structure: the
+  // window sees the end/join/fork/begin chain between the events, so MHB
+  // orders them for every technique.
+  if (!Escape.mayHappenInParallel(Ta, Tb))
+    return true;
+  if (Ta == 0 && La != 0 && !Escape.lineMayOverlap(La, Tb))
+    return true;
+  if (Tb == 0 && Lb != 0 && !Escape.lineMayOverlap(Lb, Ta))
+    return true;
+
+  // 2. Common must-held lock: the accesses sit in critical sections of
+  // the same lock in every execution; mutual exclusion orders them in
+  // every technique (boundary sections are closed by the encodings).
+  if (La != 0 && Lb != 0 &&
+      (mustLocksAt(Ta, La) & mustLocksAt(Tb, Lb)) != 0)
+    return true;
+
+  return false;
+}

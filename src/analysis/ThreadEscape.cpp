@@ -1,0 +1,243 @@
+//===- analysis/ThreadEscape.cpp - Thread-escape / sharing analysis ---------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ThreadEscape.h"
+
+#include "analysis/AstWalk.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace rvp;
+
+ThreadEscapeAnalysis::ThreadEscapeAnalysis(const Program &P) : Prog(P) {
+  std::set<std::string> SharedNames;
+  for (const SharedDecl &D : P.Shareds)
+    SharedNames.insert(D.Name);
+
+  // Ensure every declared variable has an entry, so never-accessed
+  // declarations still answer queries.
+  for (const SharedDecl &D : P.Shareds)
+    Vars[D.Name];
+
+  // Pass 1: per-thread access sets. MainSite = -1 marks "not a main
+  // top-level context" and is fixed up by the caller below.
+  auto recordAccess = [&](const std::string &Name, bool IsWrite,
+                          uint32_t Thread, int64_t MainSite) {
+    if (!SharedNames.count(Name))
+      return;
+    VarInfo &V = Vars[Name];
+    V.Accessors.push_back(Thread);
+    (IsWrite ? V.Written : V.Read) = true;
+    if (MainSite >= 0)
+      V.MainSites.push_back(MainSite);
+  };
+
+  auto recordStmtAccesses = [&](const Stmt &S, uint32_t Thread,
+                                int64_t MainSite) {
+    if (S.K == Stmt::Kind::Assign || S.K == Stmt::Kind::ArrayAssign)
+      recordAccess(S.Name, /*IsWrite=*/true, Thread, MainSite);
+    forEachOwnExprNode(S, [&](const Expr &Node) {
+      if (Node.K == Expr::Kind::Name || Node.K == Expr::Kind::Index)
+        recordAccess(Node.Name, /*IsWrite=*/false, Thread, MainSite);
+    });
+  };
+
+  for (uint32_t T = 0; T < Prog.Threads.size(); ++T) {
+    const ThreadDecl &TD = Prog.Threads[T];
+    if (TD.IsMain) {
+      // Main: remember which top-level statement covers each access and
+      // each source line, for the refined per-site overlap queries.
+      for (size_t I = 0; I < TD.Body.size(); ++I) {
+        int64_t Idx = static_cast<int64_t>(I);
+        const Stmt &Top = *TD.Body[I];
+        auto CoverLine = [&](uint32_t Line) {
+          auto [It, Fresh] = MainLineIndex.try_emplace(Line, Idx, Idx);
+          if (!Fresh) {
+            It->second.first = std::min(It->second.first, Idx);
+            It->second.second = std::max(It->second.second, Idx);
+          }
+        };
+        auto Visit = [&](const Stmt &S) {
+          recordStmtAccesses(S, T, Idx);
+          CoverLine(S.Line);
+          forEachOwnExprNode(S, [&](const Expr &E) { CoverLine(E.Line); });
+        };
+        Visit(Top);
+        forEachStmt(Top.Body, Visit);
+        forEachStmt(Top.ElseBody, Visit);
+      }
+    } else {
+      forEachStmt(TD.Body,
+                  [&](const Stmt &S) { recordStmtAccesses(S, T, -1); });
+    }
+  }
+
+  for (auto &[Name, V] : Vars) {
+    std::sort(V.Accessors.begin(), V.Accessors.end());
+    V.Accessors.erase(std::unique(V.Accessors.begin(), V.Accessors.end()),
+                      V.Accessors.end());
+    std::sort(V.MainSites.begin(), V.MainSites.end());
+    V.MainSites.erase(std::unique(V.MainSites.begin(), V.MainSites.end()),
+                      V.MainSites.end());
+  }
+
+  // Pass 2: thread live intervals from main's top-level spawn/join
+  // statements. Anything irregular — nested spawn/join, spawn from a
+  // non-main thread, duplicates — falls back to "always live".
+  Intervals.assign(Prog.Threads.size(), ThreadInterval());
+  std::map<std::string, uint32_t> ThreadIdx;
+  for (uint32_t T = 0; T < Prog.Threads.size(); ++T)
+    ThreadIdx[Prog.Threads[T].Name] = T;
+
+  struct SpawnJoinInfo {
+    int64_t TopSpawn = -1, TopJoin = -1;
+    uint32_t Spawns = 0, Joins = 0;
+    bool Irregular = false; ///< nested or non-main spawn/join
+  };
+  std::map<uint32_t, SpawnJoinInfo> Info;
+
+  for (uint32_t T = 0; T < Prog.Threads.size(); ++T) {
+    const ThreadDecl &TD = Prog.Threads[T];
+    for (size_t I = 0; I < TD.Body.size(); ++I) {
+      const Stmt &Top = *TD.Body[I];
+      auto Classify = [&](const Stmt &S, bool TopLevel) {
+        if (S.K != Stmt::Kind::Spawn && S.K != Stmt::Kind::Join)
+          return;
+        auto It = ThreadIdx.find(S.Name);
+        if (It == ThreadIdx.end())
+          return;
+        SpawnJoinInfo &SJ = Info[It->second];
+        bool AtMainTop = TD.IsMain && TopLevel;
+        if (S.K == Stmt::Kind::Spawn) {
+          ++SJ.Spawns;
+          if (AtMainTop)
+            SJ.TopSpawn = static_cast<int64_t>(I);
+          else
+            SJ.Irregular = true;
+        } else {
+          ++SJ.Joins;
+          if (AtMainTop)
+            SJ.TopJoin = static_cast<int64_t>(I);
+          else
+            SJ.Irregular = true;
+        }
+      };
+      Classify(Top, /*TopLevel=*/true);
+      forEachStmt(Top.Body,
+                  [&](const Stmt &S) { Classify(S, /*TopLevel=*/false); });
+      forEachStmt(Top.ElseBody,
+                  [&](const Stmt &S) { Classify(S, /*TopLevel=*/false); });
+    }
+  }
+
+  for (uint32_t T = 1; T < Prog.Threads.size(); ++T) {
+    ThreadInterval &IV = Intervals[T];
+    auto It = Info.find(T);
+    const SpawnJoinInfo SJ =
+        It == Info.end() ? SpawnJoinInfo() : It->second;
+    if (SJ.Spawns == 0) {
+      // Never spawned: the thread never runs; empty interval.
+      IV.Spawn = ThreadInterval::AlwaysAfter;
+      IV.Join = ThreadInterval::AlwaysBefore;
+      continue;
+    }
+    if (SJ.Spawns != 1 || SJ.Irregular)
+      continue; // re-spawned or spawned under control flow: always live
+    IV.Spawn = SJ.TopSpawn;
+    // The join bounds the thread only when the single spawn precedes the
+    // single join at main's top level; anything else leaves the upper end
+    // open.
+    if (SJ.Joins == 1 && SJ.TopJoin > SJ.TopSpawn)
+      IV.Join = SJ.TopJoin;
+  }
+}
+
+const ThreadEscapeAnalysis::VarInfo *
+ThreadEscapeAnalysis::info(const std::string &Var) const {
+  // Array cells ("a[3]") query by base name.
+  std::string Base = Var.substr(0, Var.find('['));
+  auto It = Vars.find(Base);
+  return It == Vars.end() ? nullptr : &It->second;
+}
+
+const std::vector<uint32_t> &
+ThreadEscapeAnalysis::accessors(const std::string &Var) const {
+  static const std::vector<uint32_t> Empty;
+  const VarInfo *V = info(Var);
+  return V ? V->Accessors : Empty;
+}
+
+bool ThreadEscapeAnalysis::isWritten(const std::string &Var) const {
+  const VarInfo *V = info(Var);
+  return V && V->Written;
+}
+
+bool ThreadEscapeAnalysis::isRead(const std::string &Var) const {
+  const VarInfo *V = info(Var);
+  return V && V->Read;
+}
+
+bool ThreadEscapeAnalysis::mayHappenInParallel(uint32_t A,
+                                               uint32_t B) const {
+  if (A == B)
+    return false;
+  if (A > B)
+    std::swap(A, B);
+  if (A == 0) {
+    // Main vs spawned thread, thread-level: concurrent unless the thread
+    // never runs.
+    const ThreadInterval &IV = Intervals[B];
+    return IV.Spawn != ThreadInterval::AlwaysAfter;
+  }
+  const ThreadInterval &IA = Intervals[A];
+  const ThreadInterval &IB = Intervals[B];
+  return !(IA.Join <= IB.Spawn || IB.Join <= IA.Spawn);
+}
+
+bool ThreadEscapeAnalysis::lineMayOverlap(uint32_t MainLine,
+                                          uint32_t Thread) const {
+  if (Thread == 0)
+    return false; // main vs main: same thread
+  const ThreadInterval &IV = Intervals[Thread];
+  auto It = MainLineIndex.find(MainLine);
+  if (It == MainLineIndex.end())
+    return true; // unknown line: conservative
+  auto [MinIdx, MaxIdx] = It->second;
+  // Spawn/join statements themselves carry no accesses, so a line whose
+  // statements all sit at-or-before the spawn (or at-or-after the join)
+  // cannot access anything while the thread is live.
+  return !(MaxIdx <= IV.Spawn || MinIdx >= IV.Join);
+}
+
+bool ThreadEscapeAnalysis::isThreadShared(const std::string &Var) const {
+  const VarInfo *V = info(Var);
+  if (!V || V->Accessors.size() < 2)
+    return false;
+  for (size_t I = 0; I < V->Accessors.size(); ++I) {
+    for (size_t J = I + 1; J < V->Accessors.size(); ++J) {
+      uint32_t A = V->Accessors[I], B = V->Accessors[J];
+      if (A == 0) {
+        // Main: check every main access site against B's live interval.
+        const ThreadInterval &IV = Intervals[B];
+        for (int64_t Site : V->MainSites)
+          if (IV.Spawn < Site && Site < IV.Join)
+            return true;
+      } else if (mayHappenInParallel(A, B)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+uint64_t ThreadEscapeAnalysis::threadLocalDeclCount() const {
+  uint64_t N = 0;
+  for (const SharedDecl &D : Prog.Shareds)
+    if (!isThreadShared(D.Name))
+      ++N;
+  return N;
+}

@@ -1,0 +1,109 @@
+//===- analysis/ThreadEscape.h - Thread-escape / sharing analysis -*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Which shared variables can actually be accessed by two threads *at the
+/// same time*? The analysis combines per-thread access sets with the
+/// fork/join structure of `main`:
+///
+///  * every thread body's shared reads/writes are collected syntactically
+///    (arrays at base-name granularity — static analysis cannot resolve
+///    indices, matching the implicit-branch treatment of Section 4);
+///  * `spawn`/`join` statements at the *top level* of `main` delimit each
+///    thread's live interval within main's program order. A spawn or join
+///    nested under a branch or loop, issued by a non-main thread, or
+///    missing altogether widens the interval to "always live" — the
+///    conservative direction;
+///  * two spawned threads may run in parallel unless one is joined (at top
+///    level) before the other is spawned; a `main` access may overlap a
+///    thread unless it sits before the spawn or after the join.
+///
+/// A variable none of whose accessor pairs may overlap is *thread-local in
+/// time*: no data race on it is possible in any execution, even though more
+/// than one thread touches it. This feeds the `never-shared` lint and the
+/// sound static COP pruning (fork/join order is must-happen-before, so the
+/// dynamic detectors agree on every such pair).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_THREADESCAPE_H
+#define RVP_ANALYSIS_THREADESCAPE_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// Live interval of a thread in main's top-level statement order.
+/// Spawn/Join are statement indices; the defaults mean "live for the whole
+/// program" (the conservative assumption).
+struct ThreadInterval {
+  static constexpr int64_t AlwaysBefore =
+      std::numeric_limits<int64_t>::min();
+  static constexpr int64_t AlwaysAfter = std::numeric_limits<int64_t>::max();
+
+  int64_t Spawn = AlwaysBefore; ///< top-level index of the unique spawn
+  int64_t Join = AlwaysAfter;   ///< top-level index of the unique join
+};
+
+class ThreadEscapeAnalysis {
+public:
+  explicit ThreadEscapeAnalysis(const Program &P);
+
+  /// Thread indices (into Program::Threads) whose bodies mention \p Var;
+  /// array elements query by base name. Sorted ascending.
+  const std::vector<uint32_t> &accessors(const std::string &Var) const;
+
+  bool isWritten(const std::string &Var) const;
+  bool isRead(const std::string &Var) const;
+
+  /// May threads \p A and \p B (Program::Threads indices) ever run
+  /// concurrently? Thread-level: main is conservatively concurrent with
+  /// every thread it spawns (see lineMayOverlap for the refined query).
+  bool mayHappenInParallel(uint32_t A, uint32_t B) const;
+
+  /// Refined main-vs-thread query: may code of \p Thread run concurrently
+  /// with main's statement covering source line \p MainLine? Unknown lines
+  /// answer true (conservative).
+  bool lineMayOverlap(uint32_t MainLine, uint32_t Thread) const;
+
+  /// True when two different threads may access \p Var concurrently. Main
+  /// accesses are checked per site against each thread's live interval.
+  bool isThreadShared(const std::string &Var) const;
+
+  /// Shared declarations proven never concurrently accessed.
+  uint64_t threadLocalDeclCount() const;
+
+  const ThreadInterval &interval(uint32_t Thread) const {
+    return Intervals[Thread];
+  }
+
+private:
+  struct VarInfo {
+    std::vector<uint32_t> Accessors; ///< sorted thread indices
+    bool Written = false;
+    bool Read = false;
+    /// Top-level indices of main statements accessing the variable.
+    std::vector<int64_t> MainSites;
+  };
+
+  const VarInfo *info(const std::string &Var) const;
+
+  const Program &Prog;
+  std::map<std::string, VarInfo> Vars;
+  std::vector<ThreadInterval> Intervals; ///< by thread index; [0] unused
+  /// Line → (min, max) top-level index of main statements covering it.
+  std::map<uint32_t, std::pair<int64_t, int64_t>> MainLineIndex;
+};
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_THREADESCAPE_H

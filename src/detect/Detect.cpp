@@ -41,9 +41,11 @@ const char *rvp::techniqueName(Technique Tech) {
 std::string rvp::renderStatsTable(const DetectionStats &Stats,
                                   const char *What) {
   std::string Out = formatString(
-      "windows=%llu cops=%llu qc=%llu solves=%llu timeouts=%llu jobs=%u\n",
+      "windows=%llu cops=%llu pruned_static=%llu qc=%llu solves=%llu "
+      "timeouts=%llu jobs=%u\n",
       static_cast<unsigned long long>(Stats.Windows),
       static_cast<unsigned long long>(Stats.Cops),
+      static_cast<unsigned long long>(Stats.CopsPrunedStatic),
       static_cast<unsigned long long>(Stats.QcPassed),
       static_cast<unsigned long long>(Stats.SolverCalls),
       static_cast<unsigned long long>(Stats.SolverTimeouts),
@@ -65,6 +67,7 @@ std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
       .field("seconds", Stats.Seconds)
       .field("windows", Stats.Windows)
       .field("cops", Stats.Cops)
+      .field("cops_pruned_static", Stats.CopsPrunedStatic)
       .field("qc_passed", Stats.QcPassed)
       .field("solver_calls", Stats.SolverCalls)
       .field("solver_timeouts", Stats.SolverTimeouts)
@@ -327,6 +330,21 @@ private:
     if (Cops.empty())
       return 0;
 
+    // Sound static pruning: decided once per COP, before every dynamic
+    // filter, from program structure alone — so it is identical across
+    // schedules, jobs counts, and windows.
+    std::vector<bool> Pruned(Cops.size(), false);
+    if (Options.StaticPruner) {
+      ScopedPhaseTimer PrunePhase("static-prune");
+      for (size_t I = 0; I < Cops.size(); ++I) {
+        Pruned[I] = Options.StaticPruner->prunable(T, Cops[I].First,
+                                                   Cops[I].Second);
+        if (Pruned[I])
+          ++StaticPruned;
+      }
+      Result.Stats.CopsPrunedStatic = StaticPruned;
+    }
+
     std::optional<EventClosure> MhbStorage;
     {
       ScopedPhaseTimer ClosurePhase("closure");
@@ -336,7 +354,10 @@ private:
     QuickCheck Qc(T, Window, Mhb);
     {
       ScopedPhaseTimer QcPhase("quick-check");
-      for (const Cop &C : Cops) {
+      for (size_t I = 0; I < Cops.size(); ++I) {
+        const Cop &C = Cops[I];
+        if (Pruned[I])
+          continue; // skipped pairs do not enter the QC accounting
         if (Qc.pass(C)) {
           ++QcHits;
           QcSignatures.insert(
@@ -351,7 +372,12 @@ private:
     switch (Tech) {
     case Technique::Hb: {
       EventClosure Hb(T, Window, ClosureConfig::hb());
-      for (const Cop &C : Cops) {
+      for (size_t I = 0; I < Cops.size(); ++I) {
+        const Cop &C = Cops[I];
+        if (Pruned[I]) {
+          emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+          continue;
+        }
         if (RacySignatures.count(RaceSignature::of(T, C.First,
                                                    C.Second).key())) {
           ++SigPruned;
@@ -367,7 +393,12 @@ private:
     }
     case Technique::Cp: {
       CpOrder Cp(T, Window);
-      for (const Cop &C : Cops) {
+      for (size_t I = 0; I < Cops.size(); ++I) {
+        const Cop &C = Cops[I];
+        if (Pruned[I]) {
+          emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+          continue;
+        }
         if (RacySignatures.count(RaceSignature::of(T, C.First,
                                                    C.Second).key())) {
           ++SigPruned;
@@ -397,11 +428,16 @@ private:
         EncOpts);
 
     if (Pool) {
-      processCopsParallel(Window, Cops, Qc, Mhb, Encoder);
+      processCopsParallel(Window, Cops, Pruned, Qc, Mhb, Encoder);
       return Cops.size();
     }
 
-    for (const Cop &C : Cops) {
+    for (size_t I = 0; I < Cops.size(); ++I) {
+      const Cop &C = Cops[I];
+      if (Pruned[I]) {
+        emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+        continue;
+      }
       if (RacySignatures.count(
               RaceSignature::of(T, C.First, C.Second).key())) {
         ++SigPruned; // signature pruning (Section 4)
@@ -475,7 +511,8 @@ private:
   /// (solve task) and consumed in COP order by phase C.
   struct CopTaskResult {
     uint64_t SigKey = 0;
-    bool PreFiltered = false; ///< signature racy at window start
+    bool StaticPruned = false; ///< skipped by the static oracle
+    bool PreFiltered = false;  ///< signature racy at window start
     bool QcFail = false;
     bool Solved = false;
     SatResult Sat = SatResult::Unknown;
@@ -506,12 +543,16 @@ private:
   /// timeout under contention (wall-clock budgets are the one
   /// scheduling-dependent input).
   void processCopsParallel(Span Window, const std::vector<Cop> &Cops,
+                           const std::vector<bool> &Pruned,
                            const QuickCheck &Qc, const EventClosure &Mhb,
                            const RaceEncoder &Encoder) {
     std::vector<CopTaskResult> Results(Cops.size());
     for (size_t I = 0; I < Cops.size(); ++I) {
       CopTaskResult &R = Results[I];
       R.SigKey = RaceSignature::of(T, Cops[I].First, Cops[I].Second).key();
+      R.StaticPruned = Pruned[I];
+      if (R.StaticPruned)
+        continue;
       R.PreFiltered = RacySignatures.count(R.SigKey) != 0;
       if (R.PreFiltered)
         continue;
@@ -523,7 +564,7 @@ private:
     std::vector<PhaseTree> WorkerTrees(Observing ? Pool->numWorkers() : 0);
     Pool->parallelFor(0, Cops.size(), [&](size_t I) {
       CopTaskResult &R = Results[I];
-      if (R.PreFiltered || R.QcFail)
+      if (R.StaticPruned || R.PreFiltered || R.QcFail)
         return;
       std::optional<ThreadPhaseScope> PhaseScope;
       if (Observing) {
@@ -544,6 +585,10 @@ private:
     for (size_t I = 0; I < Cops.size(); ++I) {
       const Cop &C = Cops[I];
       CopTaskResult &R = Results[I];
+      if (R.StaticPruned) {
+        emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+        continue;
+      }
       if (RacySignatures.count(R.SigKey)) {
         ++SigPruned; // signature pruning (Section 4)
         if (R.Solved)
@@ -641,6 +686,7 @@ private:
     Reg.counter("detect.qc_misses").add(QcMisses);
     Reg.counter("detect.qc_passed_signatures").add(Result.Stats.QcPassed);
     Reg.counter("detect.signature_pruned").add(SigPruned);
+    Reg.counter("analysis.cops_pruned_static").add(StaticPruned);
     Reg.counter("detect.races").add(Result.Races.size());
     Reg.counter("solver.calls").add(Result.Stats.SolverCalls);
     Reg.counter("solver.timeouts").add(Result.Stats.SolverTimeouts);
@@ -788,6 +834,8 @@ private:
   uint64_t QcHits = 0;
   uint64_t QcMisses = 0;
   uint64_t SigPruned = 0;
+  /// COPs skipped by Options.StaticPruner across all windows.
+  uint64_t StaticPruned = 0;
   /// Parallel-only: solves whose COP turned out signature-pruned once an
   /// earlier COP of the same window reported; their results are discarded
   /// so stats match the sequential run.

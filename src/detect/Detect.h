@@ -38,6 +38,23 @@ enum class Technique : uint8_t { Hb, Cp, Said, Maximal };
 
 const char *techniqueName(Technique Tech);
 
+/// Interface for sound static COP pruning (the analysis layer's
+/// StaticPruneOracle implements it; the detectors only see this base so
+/// rvp_detect does not depend on rvp_analysis).
+///
+/// Soundness obligation on implementations: prunable(T, A, B) may return
+/// true only when NO technique could report the pair — i.e. when every
+/// feasible reordering of any window containing both events keeps them
+/// ordered or mutually excluded. The driver then skips the pair before
+/// quick-check/encoding, and race reports are byte-identical with and
+/// without the pruner.
+class CopPruner {
+public:
+  virtual ~CopPruner() = default;
+  /// \p A and \p B are the trace-ordered events of one COP.
+  virtual bool prunable(const Trace &T, EventId A, EventId B) const = 0;
+};
+
 struct DetectorOptions {
   uint32_t WindowSize = DefaultWindowSize;
   /// Per-COP solver budget in seconds (Section 4 uses 60s).
@@ -52,6 +69,9 @@ struct DetectorOptions {
   bool SubstituteRaceVars = true;
   /// Extract, validate, and keep a witness order per reported race.
   bool CollectWitnesses = true;
+  /// Sound static pruner consulted per COP before any other filter; null
+  /// disables static pruning. Not owned; must outlive the detection run.
+  const CopPruner *StaticPruner = nullptr;
   /// Worker threads for the per-COP encode+solve loop of the SMT
   /// techniques. 1 (the default) runs the exact sequential code path; 0
   /// means one worker per hardware thread. Race reports are identical for
@@ -78,6 +98,9 @@ struct DetectionStats {
   uint64_t Cops = 0;
   /// Distinct signatures passing the quick check (Table 1's QC column).
   uint64_t QcPassed = 0;
+  /// COPs skipped by DetectorOptions::StaticPruner before any dynamic
+  /// filter ran (0 when no pruner is installed).
+  uint64_t CopsPrunedStatic = 0;
   uint64_t SolverCalls = 0;
   uint64_t SolverTimeouts = 0;
   /// Effective worker count used for per-COP solving (1 when the

@@ -55,6 +55,7 @@ struct Expr {
 
   Kind K;
   uint32_t Line = 0;
+  uint32_t Col = 0;
   int64_t IntValue = 0;
   std::string Name;
   BinOp Op = BinOp::Add;
@@ -86,6 +87,7 @@ struct Stmt {
 
   Kind K;
   uint32_t Line = 0;
+  uint32_t Col = 0;
   std::string Name;
   ExprPtr Index, Value, Cond;
   std::vector<std::unique_ptr<Stmt>> Body, ElseBody;
@@ -100,6 +102,14 @@ struct SharedDecl {
   int64_t Init = 0;
   uint32_t ArraySize = 0; ///< 0 for scalars
   uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// `lock name;`
+struct LockDecl {
+  std::string Name;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
 };
 
 /// `thread name { ... }` or `main { ... }`.
@@ -107,19 +117,27 @@ struct ThreadDecl {
   std::string Name;
   bool IsMain = false;
   uint32_t Line = 0;
+  uint32_t Col = 0;
   std::vector<StmtPtr> Body;
 };
 
 /// A whole MiniRV program.
 struct Program {
   std::vector<SharedDecl> Shareds;
-  std::vector<std::pair<std::string, uint32_t>> Locks; ///< name, line
+  std::vector<LockDecl> Locks;
   std::vector<ThreadDecl> Threads; ///< Threads[0] is main
 
   const ThreadDecl *findThread(const std::string &Name) const {
     for (const ThreadDecl &T : Threads)
       if (T.Name == Name)
         return &T;
+    return nullptr;
+  }
+
+  const SharedDecl *findShared(const std::string &Name) const {
+    for (const SharedDecl &D : Shareds)
+      if (D.Name == Name)
+        return &D;
     return nullptr;
   }
 };

@@ -31,22 +31,26 @@ public:
         parseSharedDecl(P);
       } else if (Current.is(TokenKind::KwLock)) {
         uint32_t Line = Current.Line;
+        uint32_t Col = Current.Column;
         consume();
         std::string Name = expectIdent("lock name");
         expect(TokenKind::Semicolon);
         declareName(Name, "lock");
-        P.Locks.push_back({Name, Line});
+        P.Locks.push_back({Name, Line, Col});
       } else if (Current.is(TokenKind::KwThread)) {
         uint32_t Line = Current.Line;
+        uint32_t Col = Current.Column;
         consume();
         ThreadDecl T;
         T.Name = expectIdent("thread name");
         T.Line = Line;
+        T.Col = Col;
         declareName(T.Name, "thread");
         T.Body = parseBlock();
         P.Threads.push_back(std::move(T));
       } else if (Current.is(TokenKind::KwMain)) {
         uint32_t Line = Current.Line;
+        uint32_t Col = Current.Column;
         consume();
         if (SawMain)
           fail(Line, 1, "duplicate 'main'");
@@ -55,6 +59,7 @@ public:
         T.Name = "main";
         T.IsMain = true;
         T.Line = Line;
+        T.Col = Col;
         T.Body = parseBlock();
         // Main goes first so ThreadId 0 is always the root thread.
         P.Threads.insert(P.Threads.begin(), std::move(T));
@@ -145,6 +150,7 @@ private:
   void parseSharedDecl(Program &P) {
     SharedDecl D;
     D.Line = Current.Line;
+    D.Col = Current.Column;
     consume(); // 'shared'
     if (Current.is(TokenKind::KwVolatile)) {
       D.Volatile = true;
@@ -187,19 +193,21 @@ private:
     return Body;
   }
 
-  StmtPtr makeStmt(Stmt::Kind K, uint32_t Line) {
+  StmtPtr makeStmt(Stmt::Kind K, uint32_t Line, uint32_t Col) {
     auto S = std::make_unique<Stmt>();
     S->K = K;
     S->Line = Line;
+    S->Col = Col;
     return S;
   }
 
   StmtPtr parseStmt() {
     uint32_t Line = Current.Line;
+    uint32_t Col = Current.Column;
     switch (Current.Kind) {
     case TokenKind::KwLocal: {
       consume();
-      StmtPtr S = makeStmt(Stmt::Kind::LocalDecl, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::LocalDecl, Line, Col);
       S->Name = expectIdent("local variable name");
       if (Current.is(TokenKind::Assign)) {
         consume();
@@ -213,7 +221,7 @@ private:
       consume();
       if (Current.is(TokenKind::LBracket)) {
         consume();
-        StmtPtr S = makeStmt(Stmt::Kind::ArrayAssign, Line);
+        StmtPtr S = makeStmt(Stmt::Kind::ArrayAssign, Line, Col);
         S->Name = std::move(Name);
         S->Index = parseExpr();
         expect(TokenKind::RBracket);
@@ -222,7 +230,7 @@ private:
         expect(TokenKind::Semicolon);
         return S;
       }
-      StmtPtr S = makeStmt(Stmt::Kind::Assign, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::Assign, Line, Col);
       S->Name = std::move(Name);
       expect(TokenKind::Assign);
       S->Value = parseExpr();
@@ -231,7 +239,7 @@ private:
     }
     case TokenKind::KwIf: {
       consume();
-      StmtPtr S = makeStmt(Stmt::Kind::If, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::If, Line, Col);
       expect(TokenKind::LParen);
       S->Cond = parseExpr();
       expect(TokenKind::RParen);
@@ -251,7 +259,7 @@ private:
     }
     case TokenKind::KwWhile: {
       consume();
-      StmtPtr S = makeStmt(Stmt::Kind::While, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::While, Line, Col);
       expect(TokenKind::LParen);
       S->Cond = parseExpr();
       expect(TokenKind::RParen);
@@ -290,21 +298,21 @@ private:
         break;
       }
       consume();
-      StmtPtr S = makeStmt(K, Line);
+      StmtPtr S = makeStmt(K, Line, Col);
       S->Name = expectIdent("name");
       expect(TokenKind::Semicolon);
       return S;
     }
     case TokenKind::KwSync: {
       consume();
-      StmtPtr S = makeStmt(Stmt::Kind::Sync, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::Sync, Line, Col);
       S->Name = expectIdent("lock name");
       S->Body = parseBlock();
       return S;
     }
     case TokenKind::KwAssert: {
       consume();
-      StmtPtr S = makeStmt(Stmt::Kind::Assert, Line);
+      StmtPtr S = makeStmt(Stmt::Kind::Assert, Line, Col);
       S->Value = parseExpr();
       expect(TokenKind::Semicolon);
       return S;
@@ -312,7 +320,7 @@ private:
     case TokenKind::KwSkip: {
       consume();
       expect(TokenKind::Semicolon);
-      return makeStmt(Stmt::Kind::Skip, Line);
+      return makeStmt(Stmt::Kind::Skip, Line, Col);
     }
     case TokenKind::Error:
       fail(Current.Line, Current.Column, Current.Text);
@@ -326,10 +334,11 @@ private:
   }
 
   // --------------------------------------------------------- expressions
-  ExprPtr makeExpr(Expr::Kind K, uint32_t Line) {
+  ExprPtr makeExpr(Expr::Kind K, uint32_t Line, uint32_t Col) {
     auto E = std::make_unique<Expr>();
     E->K = K;
     E->Line = Line;
+    E->Col = Col;
     return E;
   }
 
@@ -400,9 +409,10 @@ private:
       if (Prec < MinPrec)
         return Lhs;
       uint32_t Line = Current.Line;
+      uint32_t Col = Current.Column;
       consume();
       ExprPtr Rhs = parseBinary(Prec + 1);
-      ExprPtr Node = makeExpr(Expr::Kind::Binary, Line);
+      ExprPtr Node = makeExpr(Expr::Kind::Binary, Line, Col);
       Node->Op = Op;
       Node->Lhs = std::move(Lhs);
       Node->Rhs = std::move(Rhs);
@@ -412,10 +422,11 @@ private:
 
   ExprPtr parseUnary() {
     uint32_t Line = Current.Line;
+    uint32_t Col = Current.Column;
     if (Current.is(TokenKind::Minus) || Current.is(TokenKind::Not)) {
       UnOp Op = Current.is(TokenKind::Minus) ? UnOp::Neg : UnOp::Not;
       consume();
-      ExprPtr E = makeExpr(Expr::Kind::Unary, Line);
+      ExprPtr E = makeExpr(Expr::Kind::Unary, Line, Col);
       E->UOp = Op;
       E->Lhs = parseUnary();
       return E;
@@ -425,8 +436,9 @@ private:
 
   ExprPtr parsePrimary() {
     uint32_t Line = Current.Line;
+    uint32_t Col = Current.Column;
     if (Current.is(TokenKind::Integer)) {
-      ExprPtr E = makeExpr(Expr::Kind::IntLit, Line);
+      ExprPtr E = makeExpr(Expr::Kind::IntLit, Line, Col);
       E->IntValue = Current.Value;
       consume();
       return E;
@@ -436,13 +448,13 @@ private:
       consume();
       if (Current.is(TokenKind::LBracket)) {
         consume();
-        ExprPtr E = makeExpr(Expr::Kind::Index, Line);
+        ExprPtr E = makeExpr(Expr::Kind::Index, Line, Col);
         E->Name = std::move(Name);
         E->Lhs = parseExpr();
         expect(TokenKind::RBracket);
         return E;
       }
-      ExprPtr E = makeExpr(Expr::Kind::Name, Line);
+      ExprPtr E = makeExpr(Expr::Kind::Name, Line, Col);
       E->Name = std::move(Name);
       return E;
     }
@@ -460,7 +472,7 @@ private:
                tokenKindName(Current.Kind));
     // Error recovery: produce a dummy literal so parsing can report the
     // first error cleanly.
-    return makeExpr(Expr::Kind::IntLit, Line);
+    return makeExpr(Expr::Kind::IntLit, Line, Col);
   }
 
   Lexer Lex;

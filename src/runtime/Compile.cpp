@@ -33,10 +33,9 @@ public:
                   /*IsVolatile=*/false);
       }
     }
-    for (const auto &[Name, Line] : P.Locks) {
-      (void)Line;
-      LockIds[Name] = static_cast<uint32_t>(Out.Locks.size());
-      Out.Locks.push_back(Name);
+    for (const LockDecl &L : P.Locks) {
+      LockIds[L.Name] = static_cast<uint32_t>(Out.Locks.size());
+      Out.Locks.push_back(L.Name);
     }
     for (uint32_t I = 0; I < P.Threads.size(); ++I)
       ThreadIds[P.Threads[I].Name] = I;

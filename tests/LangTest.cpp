@@ -115,7 +115,8 @@ TEST(Parser, Declarations) {
   EXPECT_TRUE(P.Shareds[1].Volatile);
   EXPECT_EQ(P.Shareds[2].ArraySize, 10u);
   ASSERT_EQ(P.Locks.size(), 1u);
-  EXPECT_EQ(P.Locks[0].first, "m");
+  EXPECT_EQ(P.Locks[0].Name, "m");
+  EXPECT_EQ(P.Locks[0].Line, 2u);
 }
 
 TEST(Parser, NegativeInitializer) {

@@ -1,0 +1,75 @@
+# Golden-file check for the rvlint tool: each lint_<kind>.rv program under
+# tests/golden/ must produce byte-identical text output to its .expected
+# file (rvlint prints basenames, so the goldens are path-independent), the
+# right exit code (1 with diagnostics, 0 clean), and JSON output that
+# parses with a matching diagnostic count. Invoked by CTest as
+#   cmake -DRVLINT=<tool> -DGOLDEN_DIR=<dir> -P LintGolden.cmake
+
+if(NOT DEFINED RVLINT OR NOT DEFINED GOLDEN_DIR)
+  message(FATAL_ERROR "usage: cmake -DRVLINT=... -DGOLDEN_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+file(GLOB CASES "${GOLDEN_DIR}/lint_*.rv")
+list(LENGTH CASES NCASES)
+if(NCASES LESS 8)
+  message(FATAL_ERROR "expected >= 8 lint goldens under ${GOLDEN_DIR}, found ${NCASES}")
+endif()
+
+set(KINDS_SEEN "")
+foreach(CASE ${CASES})
+  get_filename_component(NAME "${CASE}" NAME_WE)
+  set(EXPECTED_FILE "${GOLDEN_DIR}/${NAME}.expected")
+  if(NOT EXISTS "${EXPECTED_FILE}")
+    message(FATAL_ERROR "missing golden ${EXPECTED_FILE}")
+  endif()
+  file(READ "${EXPECTED_FILE}" EXPECTED)
+
+  execute_process(
+    COMMAND "${RVLINT}" "${CASE}"
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  if(NOT STDOUT STREQUAL EXPECTED)
+    message(FATAL_ERROR "rvlint output differs for ${NAME}:\n"
+            "--- expected ---\n${EXPECTED}\n--- actual ---\n${STDOUT}\n${STDERR}")
+  endif()
+
+  # Exit code discipline: 0 only for the clean program.
+  if(NAME STREQUAL "lint_clean")
+    if(NOT RC EQUAL 0)
+      message(FATAL_ERROR "rvlint ${NAME} exited ${RC}, expected 0")
+    endif()
+  elseif(NOT RC EQUAL 1)
+    message(FATAL_ERROR "rvlint ${NAME} exited ${RC}, expected 1")
+  endif()
+
+  # The JSON rendering must parse and agree on the diagnostic count.
+  execute_process(
+    COMMAND "${RVLINT}" "${CASE}" --json
+    RESULT_VARIABLE JSON_RC
+    OUTPUT_VARIABLE JSON_TEXT)
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    string(JSON NDIAGS ERROR_VARIABLE JSON_ERR LENGTH "${JSON_TEXT}"
+           diagnostics)
+    if(JSON_ERR)
+      message(FATAL_ERROR "unparsable rvlint --json for ${NAME}: ${JSON_ERR}\n${JSON_TEXT}")
+    endif()
+    string(REGEX MATCHALL "warning:" TEXT_WARNINGS "${EXPECTED}")
+    list(LENGTH TEXT_WARNINGS NTEXT)
+    if(NOT NDIAGS EQUAL NTEXT)
+      message(FATAL_ERROR "${NAME}: ${NDIAGS} JSON diagnostics vs ${NTEXT} text warnings")
+    endif()
+  endif()
+
+  # Collect the [kind] tags so the suite provably covers every checker.
+  string(REGEX MATCHALL "\\[[a-z-]+\\]" TAGS "${EXPECTED}")
+  list(APPEND KINDS_SEEN ${TAGS})
+endforeach()
+
+list(REMOVE_DUPLICATES KINDS_SEEN)
+list(LENGTH KINDS_SEEN NKINDS)
+if(NKINDS LESS 7)
+  message(FATAL_ERROR "lint goldens cover only ${NKINDS} diagnostic kinds: ${KINDS_SEEN}")
+endif()
+
+message(STATUS "rvlint golden check passed: ${NCASES} programs, ${NKINDS} kinds")

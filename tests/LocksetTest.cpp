@@ -1,0 +1,144 @@
+//===- tests/LocksetTest.cpp - LocksetIndex edge cases -----------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Edge cases of detect/Lockset beyond the happy path covered in
+// DetectInternalsTest: reentrant acquire/release multisets, windows that
+// start inside a critical section (release-without-acquire), empty
+// locksets, and disjointness with duplicate entries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Closure.h"
+#include "detect/Lockset.h"
+#include "trace/TraceBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(LocksetEdge, ReentrantAcquireKeepsLockHeld) {
+  // The recorder normally filters reentrancy, but the index must stay a
+  // multiset so a hand-built (or future non-filtering) trace is safe: one
+  // release of a doubly-acquired lock leaves it held.
+  TraceBuilder B;
+  B.acquire("t1", "l");  // 0
+  B.acquire("t1", "l");  // 1: reentrant
+  B.write("t1", "x", 1); // 2: l held twice
+  B.release("t1", "l");  // 3: one level released
+  B.write("t1", "x", 2); // 4: l still held
+  B.release("t1", "l");  // 5
+  B.write("t1", "x", 3); // 6: free
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_EQ(Ls.heldAt(2), (std::vector<LockId>{0, 0}));
+  EXPECT_EQ(Ls.heldAt(4), (std::vector<LockId>{0}));
+  EXPECT_TRUE(Ls.heldAt(6).empty());
+}
+
+TEST(LocksetEdge, ReentrantHeldLockIsNotDisjoint) {
+  TraceBuilder B;
+  B.acquire("t1", "l");
+  B.acquire("t1", "l");
+  B.release("t1", "l");
+  B.write("t1", "x", 1); // 3: still holds l (one level)
+  B.acquire("t2", "l");
+  B.write("t2", "x", 2); // 5: holds l
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_FALSE(Ls.disjoint(3, 5));
+}
+
+TEST(LocksetEdge, ReleaseWithoutAcquireIsIgnored) {
+  // A window starting inside a critical section sees the release but not
+  // the acquire; the index must drop it (under-approximating the held
+  // set) instead of corrupting the multiset.
+  TraceBuilder B;
+  B.acquire("t1", "l");  // 0: outside the window
+  B.write("t1", "x", 1); // 1
+  B.release("t1", "l");  // 2
+  B.write("t1", "x", 2); // 3
+  B.acquire("t2", "l");  // 4
+  B.write("t2", "x", 3); // 5
+  Trace T = B.build();
+  Span Window = {1, 6};
+  LocksetIndex Ls(T, Window);
+  // Inside the window t1 appears lock-free everywhere: the acquire at 0
+  // is invisible and the dangling release at 2 must be a no-op.
+  EXPECT_TRUE(Ls.heldAt(1).empty());
+  EXPECT_TRUE(Ls.heldAt(3).empty());
+  EXPECT_EQ(Ls.heldAt(5), (std::vector<LockId>{0}));
+  // Under-approximation direction: the pair looks disjoint (passes the
+  // filter) even though the full trace holds a common lock at (1,5).
+  EXPECT_TRUE(Ls.disjoint(1, 5));
+  LocksetIndex Full(T, T.fullSpan());
+  EXPECT_FALSE(Full.disjoint(1, 5));
+}
+
+TEST(LocksetEdge, EmptyLocksetsAreDisjoint) {
+  TraceBuilder B;
+  B.write("t1", "x", 1); // 0
+  B.write("t2", "x", 2); // 1
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_TRUE(Ls.heldAt(0).empty());
+  EXPECT_TRUE(Ls.heldAt(1).empty());
+  EXPECT_TRUE(Ls.disjoint(0, 1));
+  EXPECT_TRUE(Ls.disjoint(0, 0)) << "empty vs itself";
+}
+
+TEST(LocksetEdge, DisjointWithMultipleAndDuplicateLocks) {
+  TraceBuilder B;
+  B.acquire("t1", "a");  // 0
+  B.acquire("t1", "b");  // 1
+  B.acquire("t1", "b");  // 2: duplicate entry in the multiset
+  B.write("t1", "x", 1); // 3: holds {a, b, b}
+  B.acquire("t2", "c");
+  B.acquire("t2", "b");
+  B.write("t2", "x", 2); // 6: holds {b, c}
+  B.acquire("t3", "c");
+  B.write("t3", "x", 3); // 8: holds {c}
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_FALSE(Ls.disjoint(3, 6)) << "common lock b despite duplicates";
+  EXPECT_TRUE(Ls.disjoint(3, 8));
+  EXPECT_FALSE(Ls.disjoint(6, 8));
+}
+
+TEST(LocksetEdge, HeldAtIsSortedAcrossInterning) {
+  // Locks interned in one order, acquired in another: heldAt must come
+  // back sorted for the disjointness merge to be valid.
+  TraceBuilder B;
+  B.trace().internLock("z"); // id 0
+  B.trace().internLock("a"); // id 1
+  B.acquire("t1", "a");
+  B.acquire("t1", "z");
+  B.write("t1", "x", 1); // 2
+  Trace T = B.build();
+  LocksetIndex Ls(T, T.fullSpan());
+  EXPECT_EQ(Ls.heldAt(2), (std::vector<LockId>{0, 1}));
+}
+
+TEST(LocksetEdge, QuickCheckPassesDanglingReleasePair) {
+  // End-to-end over the quick check: the window-start under-approximation
+  // makes a lock-protected pair pass (deliberately unsound direction).
+  TraceBuilder B;
+  B.acquire("t1", "l");  // 0
+  B.write("t1", "x", 1); // 1
+  B.release("t1", "l");  // 2
+  B.acquire("t2", "l");  // 3
+  B.write("t2", "x", 2); // 4
+  B.release("t2", "l");  // 5
+  Trace T = B.build();
+  Span Window = {1, 6};
+  EventClosure Mhb(T, Window, ClosureConfig::mhb());
+  QuickCheck Qc(T, Window, Mhb);
+  EXPECT_TRUE(Qc.pass({1, 4})) << "filter must err towards passing";
+  // Over the full span the common lock is visible and the pair is
+  // filtered out.
+  EventClosure FullMhb(T, T.fullSpan(), ClosureConfig::mhb());
+  QuickCheck FullQc(T, T.fullSpan(), FullMhb);
+  EXPECT_FALSE(FullQc.pass({1, 4}));
+}

@@ -24,8 +24,8 @@ file(READ "${OUT}" JSON_TEXT)
 # string(JSON) needs CMake >= 3.19; older hosts fall back to substring
 # checks so the test still guards the field set.
 if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
-  foreach(FIELD windows cops qc_passed solver_calls solver_timeouts seconds
-          technique)
+  foreach(FIELD windows cops cops_pruned_static qc_passed solver_calls
+          solver_timeouts seconds technique)
     string(JSON VALUE ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" ${FIELD})
     if(JSON_ERR)
       message(FATAL_ERROR "missing or unparsable field '${FIELD}': ${JSON_ERR}\n${JSON_TEXT}")
@@ -59,6 +59,42 @@ else()
       message(FATAL_ERROR "missing field '${FIELD}':\n${JSON_TEXT}")
     endif()
   endforeach()
+endif()
+
+# Second run with the static pruner installed (PRUNE_WORKLOAD is built so
+# the analysis provably fires): the analysis.* counters must be present
+# and non-zero.
+if(DEFINED PRUNE_WORKLOAD)
+  set(PRUNE_OUT "${CMAKE_CURRENT_BINARY_DIR}/stats_golden_prune.json")
+  execute_process(
+    COMMAND "${RVPREDICT}" detect "${PRUNE_WORKLOAD}" --technique=rv
+            --schedule=rr --seed=1 --static-prune --stats-json=${PRUNE_OUT}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "rvpredict detect --static-prune failed (${RC}):\n${STDOUT}\n${STDERR}")
+  endif()
+  file(READ "${PRUNE_OUT}" JSON_TEXT)
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    string(JSON PRUNED ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}"
+           cops_pruned_static)
+    if(JSON_ERR OR PRUNED LESS 1)
+      message(FATAL_ERROR "cops_pruned_static missing or zero under --static-prune: ${JSON_ERR} '${PRUNED}'\n${JSON_TEXT}")
+    endif()
+    string(JSON COUNTER ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" metrics
+           counters analysis.cops_pruned_static)
+    if(JSON_ERR OR NOT COUNTER EQUAL PRUNED)
+      message(FATAL_ERROR "analysis.cops_pruned_static counter (${COUNTER}) disagrees with cops_pruned_static (${PRUNED}): ${JSON_ERR}")
+    endif()
+    string(JSON TLOCAL ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" metrics
+           gauges analysis.vars_thread_local)
+    if(JSON_ERR OR TLOCAL LESS 1)
+      message(FATAL_ERROR "analysis.vars_thread_local gauge missing or zero: ${JSON_ERR} '${TLOCAL}'\n${JSON_TEXT}")
+    endif()
+  elseif(NOT JSON_TEXT MATCHES "\"cops_pruned_static\":")
+    message(FATAL_ERROR "missing field 'cops_pruned_static':\n${JSON_TEXT}")
+  endif()
 endif()
 
 message(STATUS "stats-json golden check passed: ${OUT}")

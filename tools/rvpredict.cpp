@@ -22,9 +22,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/StaticPrune.h"
 #include "detect/Atomicity.h"
 #include "detect/Deadlock.h"
 #include "detect/Detect.h"
+#include "lang/Parser.h"
 #include "runtime/Interpreter.h"
 #include "support/CommandLine.h"
 #include "trace/Consistency.h"
@@ -33,6 +35,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 using namespace rvp;
@@ -54,15 +57,19 @@ bool endsWith(const std::string &S, const std::string &Suffix) {
          S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
 
-/// Loads a trace from a program (recording it) or a trace file.
+/// Loads a trace from a program (recording it) or a trace file. When the
+/// input was a MiniRV program, \p SourceOut (if non-null) receives its
+/// text, so callers can re-analyze the program statically.
 bool loadTrace(const std::string &Path, const OptionParser &Options,
-               Trace &T) {
+               Trace &T, std::string *SourceOut = nullptr) {
   std::string Content;
   if (!readFile(Path, Content)) {
     std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
     return false;
   }
   if (endsWith(Path, ".rv")) {
+    if (SourceOut)
+      *SourceOut = Content;
     RunResult Run;
     std::string Error;
     uint64_t Seed = Options.getInt("seed", 1);
@@ -176,7 +183,8 @@ int cmdDetect(const OptionParser &Options) {
   }
 
   Trace T;
-  if (!loadTrace(Options.positional()[1], Options, T))
+  std::string Source;
+  if (!loadTrace(Options.positional()[1], Options, T, &Source))
     return 1;
 
   ConsistencyResult C = checkConsistency(T, ConsistencyMode::Fragment);
@@ -193,6 +201,32 @@ int cmdDetect(const OptionParser &Options) {
   Detect.CollectWitnesses = Options.getBool("witness", true);
   Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
+
+  // Sound static COP pruning: needs the program source, so it only applies
+  // to .rv inputs (a bare trace has no control-flow structure to analyze).
+  std::unique_ptr<Program> PruneProgram;
+  std::unique_ptr<StaticPruneOracle> Oracle;
+  if (Options.getBool("static-prune")) {
+    if (Source.empty()) {
+      std::fprintf(stderr, "warning: --static-prune needs a .rv program "
+                           "input; ignoring\n");
+    } else {
+      std::string ParseError;
+      auto Parsed = parseProgram(Source, ParseError);
+      if (!Parsed) {
+        std::fprintf(stderr, "error: %s\n", ParseError.c_str());
+        return 1;
+      }
+      PruneProgram = std::make_unique<Program>(std::move(*Parsed));
+      Oracle = std::make_unique<StaticPruneOracle>(*PruneProgram);
+      Oracle->bind(T);
+      Detect.StaticPruner = Oracle.get();
+      if (Telemetry::enabled())
+        MetricsRegistry::global()
+            .gauge("analysis.vars_thread_local")
+            .set(Oracle->threadLocalVars());
+    }
+  }
 
   // Both renderings draw from the same DetectionStats + telemetry snapshot;
   // returns false only on stats-json write failure.
@@ -321,6 +355,10 @@ int main(int Argc, const char **Argv) {
   Options.addOption("jobs",
                     "solver worker threads (0 = one per hardware thread)",
                     "0");
+  Options.addOption("static-prune",
+                    "skip COPs a static analysis of the program proves "
+                    "race-free (.rv inputs only)",
+                    "false");
   Options.addOption("witness", "print witness reorderings", "false");
   Options.addOption("stats", "print detection statistics", "false");
   Options.addOption("stats-json", "write stats as JSON ('-' for stdout)", "");

@@ -42,6 +42,11 @@ uint32_t JobsFlag = 0;
 /// and switches the --stats-json dump to the pruning A/B comparison.
 bool StaticPruneFlag = false;
 
+/// --incremental: adds the BM_*Incremental/BM_*OneShot pairs and switches
+/// the --stats-json dump to the incremental-solving A/B comparison (the
+/// source of the checked-in BENCH_incremental.json).
+bool IncrementalFlag = false;
+
 Trace makeTrace(uint64_t Events) {
   SyntheticSpec Spec;
   Spec.Name = "bench";
@@ -236,6 +241,34 @@ void runPruneBench(benchmark::State &State, bool UsePruner) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// ------------------------------------------------ incremental solving A/B
+
+/// Times the maximal detector with and without persistent per-window
+/// solver sessions on the same multi-COP synthetic trace. Witnesses stay
+/// off so the pair isolates the solving path; byte-identity of the full
+/// reports is the IncrementalGolden test's job.
+void runIncrementalBench(benchmark::State &State, bool Incremental) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+  Options.Incremental = Incremental;
+  DetectionStats Stats;
+  size_t Races = 0;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    Races = R.raceCount();
+    Stats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["races"] = static_cast<double>(Races);
+  State.counters["solves"] = static_cast<double>(Stats.SolverCalls);
+  State.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(T.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_Hb)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
@@ -352,10 +385,69 @@ int dumpStaticPruneJson(const std::string &Path) {
   return 0;
 }
 
+/// A/B dump behind --incremental --stats-json=<path>: the SMT-backed race
+/// techniques run once per mode on the multi-COP synthetic workload (this
+/// is the source of the checked-in BENCH_incremental.json). Race counts
+/// and solver_calls must agree — incremental solving is invisible — so
+/// only time moves.
+int dumpIncrementalJson(const std::string &Path) {
+  Telemetry::setEnabled(true);
+  Trace T = makeTrace(32000);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+
+  JsonObject Techs;
+  const std::pair<Technique, const char *> Runs[] = {
+      {Technique::Maximal, "rv"},
+      {Technique::Said, "said"},
+  };
+  for (const auto &[Tech, Key] : Runs) {
+    Telemetry::instance().reset();
+    Options.Incremental = false;
+    DetectionResult Legacy = detectRaces(T, Tech, Options);
+    Telemetry::instance().reset();
+    Options.Incremental = true;
+    DetectionResult Inc = detectRaces(T, Tech, Options);
+
+    JsonObject Cmp;
+    Cmp.field("races", static_cast<uint64_t>(Legacy.raceCount()))
+        .field("races_agree", Legacy.raceCount() == Inc.raceCount())
+        .field("solver_calls_agree",
+               Legacy.Stats.SolverCalls == Inc.Stats.SolverCalls)
+        .field("speedup", Inc.Stats.Seconds > 0
+                              ? Legacy.Stats.Seconds / Inc.Stats.Seconds
+                              : 0.0)
+        .raw("one_shot", statsToJson(Legacy.Stats, techniqueName(Tech)))
+        .raw("incremental", statsToJson(Inc.Stats, techniqueName(Tech)));
+    Techs.raw(Key, Cmp.str());
+  }
+  Telemetry::setEnabled(false);
+
+  JsonObject Out;
+  Out.field("workload", "synthetic-32000")
+      .field("events", static_cast<uint64_t>(T.size()))
+      .field("jobs", static_cast<uint64_t>(JobsFlag))
+      .raw("techniques", Techs.str());
+  std::string Json = Out.str() + "\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}
+
 } // namespace
 
-// Custom main: peel off --stats-json=<path>, --jobs=<n>, and
-// --static-prune (google-benchmark rejects unknown flags), run the
+// Custom main: peel off --stats-json=<path>, --jobs=<n>, --static-prune,
+// and --incremental (google-benchmark rejects unknown flags), run the
 // benchmarks, then do the one-shot stats dump.
 int main(int Argc, char **Argv) {
   std::string StatsJsonPath;
@@ -370,6 +462,8 @@ int main(int Argc, char **Argv) {
           std::strtoul(Argv[I] + std::strlen(Jobs), nullptr, 10));
     else if (std::strcmp(Argv[I], "--static-prune") == 0)
       StaticPruneFlag = true;
+    else if (std::strcmp(Argv[I], "--incremental") == 0)
+      IncrementalFlag = true;
     else
       Argv[Kept++] = Argv[I];
   }
@@ -392,14 +486,35 @@ int main(int Argc, char **Argv) {
         ->Unit(benchmark::kMillisecond);
   }
 
+  if (IncrementalFlag) {
+    benchmark::RegisterBenchmark("BM_MaximalIncremental",
+                                 [](benchmark::State &S) {
+                                   runIncrementalBench(S, /*Incremental=*/true);
+                                 })
+        ->Arg(2000)
+        ->Arg(8000)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_MaximalOneShot",
+                                 [](benchmark::State &S) {
+                                   runIncrementalBench(S,
+                                                       /*Incremental=*/false);
+                                 })
+        ->Arg(2000)
+        ->Arg(8000)
+        ->Unit(benchmark::kMillisecond);
+  }
+
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  if (!StatsJsonPath.empty())
+  if (!StatsJsonPath.empty()) {
+    if (IncrementalFlag)
+      return dumpIncrementalJson(StatsJsonPath);
     return StaticPruneFlag ? dumpStaticPruneJson(StatsJsonPath)
                            : dumpStatsJson(StatsJsonPath);
+  }
   return 0;
 }

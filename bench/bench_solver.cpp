@@ -121,6 +121,76 @@ void BM_IdlRandom(benchmark::State &State) {
   }
 }
 
+// ----------------------------------------------- incremental session A/B
+
+/// One COP-style query against a shared window: the quadratic lock core
+/// over \p Sections critical sections conjoined with a pair-specific
+/// order atom. Even queries ask for an orderable pair (SAT); odd queries
+/// ask for the back edge inside a section (UNSAT) — roughly the mix the
+/// detectors see after the quick check.
+NodeRef windowQuery(FormulaBuilder &FB, uint32_t Sections, uint32_t Q) {
+  NodeRef Core = lockFormula(FB, Sections);
+  uint32_t I = Q % Sections;
+  if (Q % 2 == 0)
+    return FB.mkAnd2(Core, FB.mkAtom(4 * I + 1, 4 * ((I + 1) % Sections)));
+  return FB.mkAnd2(Core, FB.mkAtom(4 * I + 1, 4 * I));
+}
+
+constexpr uint32_t WindowQueries = 64;
+
+/// The legacy per-COP path: every query re-encodes the window core into a
+/// fresh builder and constructs a fresh solver.
+void runOneShotWindow(benchmark::State &State, const char *Name) {
+  if (!createSolverByName(Name)) {
+    State.SkipWithError("backend unavailable");
+    return;
+  }
+  uint32_t Sections = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    for (uint32_t Q = 0; Q < WindowQueries; ++Q) {
+      FormulaBuilder FB;
+      NodeRef Root = windowQuery(FB, Sections, Q);
+      auto Solver = createSolverByName(Name);
+      SatResult R = Solver->solve(FB, Root, Deadline(), nullptr);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  State.counters["queries"] = WindowQueries;
+}
+
+/// The incremental path: one session and one hash-consed builder per
+/// window; the core encodes once and learned clauses carry across queries.
+void runSessionWindow(benchmark::State &State, const char *Name) {
+  if (!createSessionByName(Name)) {
+    State.SkipWithError("backend unavailable");
+    return;
+  }
+  uint32_t Sections = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    FormulaBuilder FB;
+    auto Session = createSessionByName(Name);
+    for (uint32_t Q = 0; Q < WindowQueries; ++Q) {
+      NodeRef Root = windowQuery(FB, Sections, Q);
+      SatResult R = Session->query(FB, Root, Deadline(), nullptr);
+      benchmark::DoNotOptimize(R);
+    }
+  }
+  State.counters["queries"] = WindowQueries;
+}
+
+void BM_IdlOneShotWindow(benchmark::State &State) {
+  runOneShotWindow(State, "idl");
+}
+void BM_IdlSessionWindow(benchmark::State &State) {
+  runSessionWindow(State, "idl");
+}
+void BM_Z3OneShotWindow(benchmark::State &State) {
+  runOneShotWindow(State, "z3");
+}
+void BM_Z3SessionWindow(benchmark::State &State) {
+  runSessionWindow(State, "z3");
+}
+
 } // namespace
 
 BENCHMARK(BM_IdlChainSat)->Arg(100)->Arg(1000)->Arg(10000);
@@ -130,5 +200,9 @@ BENCHMARK(BM_Z3ChainUnsat)->Arg(100)->Arg(1000)->Arg(10000);
 BENCHMARK(BM_IdlLockDisjunctions)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_Z3LockDisjunctions)->Arg(8)->Arg(32)->Arg(128);
 BENCHMARK(BM_IdlRandom)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_IdlOneShotWindow)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_IdlSessionWindow)->Arg(8)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Z3OneShotWindow)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Z3SessionWindow)->Arg(8)->Arg(32)->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

@@ -105,6 +105,14 @@ struct AtomTaskResult {
   AtomicityReport Report;
 };
 
+/// Incremental mode: a shared hash-consing builder plus a persistent
+/// solver session. One per window sequentially; one per worker (plus the
+/// helping main thread) per window with jobs > 1.
+struct AtomSolveCtx {
+  FormulaBuilder FB;
+  std::unique_ptr<SmtSession> Session;
+};
+
 class AtomicityDriver {
 public:
   AtomicityDriver(const Trace &T, const DetectorOptions &Options)
@@ -115,6 +123,7 @@ public:
     Solver = createSolverByName(Options.SolverName);
     if (!Solver)
       Solver = createIdlSolver();
+    UseIncremental = Options.Incremental;
     Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                              : Options.Jobs;
     if (Jobs > 1)
@@ -157,6 +166,15 @@ private:
       return;
     }
 
+    AtomSolveCtx WindowCtx;
+    AtomSolveCtx *Ctx = nullptr;
+    if (UseIncremental) {
+      WindowCtx.Session = createSessionByName(Options.SolverName);
+      if (!WindowCtx.Session)
+        WindowCtx.Session = createIdlSession();
+      Ctx = &WindowCtx;
+    }
+
     for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
       for (const LockPair &Region : T.lockPairsOf(Lock)) {
         if (Region.AcquireId == InvalidEvent ||
@@ -164,9 +182,31 @@ private:
             !Window.contains(Region.AcquireId) ||
             !Window.contains(Region.ReleaseId))
           continue;
-        checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region);
+        checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region, Ctx);
       }
     }
+  }
+
+  /// Same role as Detect.cpp's rederiveModel: the incremental session only
+  /// answers sat/unsat, so the witness model comes from re-encoding the
+  /// candidate into a fresh builder and solving one-shot — exactly the
+  /// legacy path's instance, byte-identical model included. (The shared
+  /// window builder would not do: And/Or children are canonicalized by
+  /// node reference, so ref numbering from earlier candidates reshapes the
+  /// DAG and the model the solver happens to pick.)
+  bool rederiveModel(const RaceEncoder &Encoder, EventId A1, EventId B,
+                     EventId A2, OrderModel &Model) const {
+    FormulaBuilder FreshFB;
+    NodeRef Root = Encoder.encodeBetween(FreshFB, A1, B, A2);
+    std::unique_ptr<SmtSolver> Fresh =
+        createSolverByName(Options.SolverName);
+    if (!Fresh)
+      Fresh = createIdlSolver();
+    if (Telemetry::enabled())
+      MetricsRegistry::global().counter("solver.witness_resolves").inc();
+    return Fresh->solve(FreshFB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        &Model) == SatResult::Sat;
   }
 
   /// Phase A of the parallel path: enumerate candidates in the exact
@@ -240,11 +280,23 @@ private:
         enumerateCandidates(Window, Mhb, Locksets);
     std::vector<AtomTaskResult> Results(Candidates.size());
 
+    // Incremental mode: per-worker window-scoped sessions; the trailing
+    // slot serves the main thread (currentWorkerIndex() == -1) when it
+    // helps drain the queue.
+    std::vector<AtomSolveCtx> Contexts;
+    if (UseIncremental)
+      Contexts.resize(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
       const AtomCandidate &C = Candidates[Index];
       if (C.QcRejected)
         return;
-      solveCandidateTask(Window, Mhb, Encoder, C, Results[Index]);
+      AtomSolveCtx *Ctx = nullptr;
+      if (!Contexts.empty()) {
+        int W = Pool->currentWorkerIndex();
+        Ctx = &Contexts[W >= 0 ? static_cast<size_t>(W)
+                               : Contexts.size() - 1];
+      }
+      solveCandidateTask(Window, Mhb, Encoder, C, Ctx, Results[Index]);
     });
 
     for (size_t Index = 0; Index < Candidates.size(); ++Index) {
@@ -276,20 +328,34 @@ private:
   /// collection phase only has to accept or discard it.
   void solveCandidateTask(Span Window, const EventClosure &Mhb,
                           const RaceEncoder &Encoder,
-                          const AtomCandidate &C, AtomTaskResult &Out) {
-    FormulaBuilder FB;
+                          const AtomCandidate &C, AtomSolveCtx *Ctx,
+                          AtomTaskResult &Out) {
+    if (Ctx && !Ctx->Session) {
+      Ctx->Session = createSessionByName(Options.SolverName);
+      if (!Ctx->Session)
+        Ctx->Session = createIdlSession();
+    }
+    FormulaBuilder TaskFB;
+    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
     NodeRef Root = Encoder.encodeBetween(FB, C.A1, C.B, C.A2);
     OrderModel Model;
-    std::unique_ptr<SmtSolver> TaskSolver =
-        createSolverByName(Options.SolverName);
-    if (!TaskSolver)
-      TaskSolver = createIdlSolver();
-    Out.Sat = TaskSolver->solve(
-        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-        Options.CollectWitnesses ? &Model : nullptr);
+    if (Ctx) {
+      Out.Sat = Ctx->Session->query(
+          FB, Root, Deadline::after(Options.PerCopBudgetSeconds), nullptr);
+    } else {
+      std::unique_ptr<SmtSolver> TaskSolver =
+          createSolverByName(Options.SolverName);
+      if (!TaskSolver)
+        TaskSolver = createIdlSolver();
+      Out.Sat = TaskSolver->solve(
+          FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+          Options.CollectWitnesses ? &Model : nullptr);
+    }
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
+    if (Ctx && Options.CollectWitnesses)
+      rederiveModel(Encoder, C.A1, C.B, C.A2, Model);
 
     AtomicityReport &Report = Out.Report;
     Report.RegionLock = C.Lock;
@@ -315,7 +381,7 @@ private:
   void checkRegion(Span Window, const EventClosure &Mhb,
                    const RaceEncoder &Encoder,
                    const LocksetIndex &Locksets, LockId Lock,
-                   const LockPair &Region) {
+                   const LockPair &Region, AtomSolveCtx *Ctx) {
     // Local same-variable access pairs inside the region.
     std::vector<EventId> Local;
     for (EventId Id = Region.AcquireId + 1; Id < Region.ReleaseId; ++Id)
@@ -351,7 +417,7 @@ private:
           }
 
           solveCandidate(Window, Mhb, Encoder, Lock, Region, A1, B, A2,
-                         Pattern);
+                         Pattern, Ctx);
         }
       }
     }
@@ -360,20 +426,28 @@ private:
   void solveCandidate(Span Window, const EventClosure &Mhb,
                       const RaceEncoder &Encoder, LockId Lock,
                       const LockPair &Region, EventId A1, EventId B,
-                      EventId A2, AtomicityPattern Pattern) {
-    FormulaBuilder FB;
+                      EventId A2, AtomicityPattern Pattern,
+                      AtomSolveCtx *Ctx) {
+    FormulaBuilder LocalFB;
+    FormulaBuilder &FB = Ctx ? Ctx->FB : LocalFB;
     NodeRef Root = Encoder.encodeBetween(FB, A1, B, A2);
     OrderModel Model;
     ++Result.Stats.SolverCalls;
-    SatResult Sat = Solver->solve(
-        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-        Options.CollectWitnesses ? &Model : nullptr);
+    SatResult Sat =
+        Ctx ? Ctx->Session->query(
+                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                  nullptr)
+            : Solver->solve(
+                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                  Options.CollectWitnesses ? &Model : nullptr);
     if (Sat == SatResult::Unknown) {
       ++Result.Stats.SolverTimeouts;
       return;
     }
     if (Sat == SatResult::Unsat)
       return;
+    if (Ctx && Options.CollectWitnesses)
+      rederiveModel(Encoder, A1, B, A2, Model);
 
     AtomicityReport Report;
     Report.RegionLock = Lock;
@@ -421,6 +495,7 @@ private:
   std::unique_ptr<SmtSolver> Solver;
   std::unique_ptr<ThreadPool> Pool;
   uint32_t Jobs = 1;
+  bool UseIncremental = false;
   uint64_t SpeculativeSolves = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;

@@ -42,6 +42,7 @@ public:
     Solver = createSolverByName(Options.SolverName);
     if (!Solver)
       Solver = createIdlSolver();
+    UseIncremental = Options.Incremental;
     Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                              : Options.Jobs;
     if (Jobs > 1)
@@ -135,6 +136,13 @@ private:
     DeadlockReport Report;
   };
 
+  /// Incremental mode: one shared builder + persistent solver session
+  /// per window (sequential) or per worker per window (jobs > 1).
+  struct DlSolveCtx {
+    FormulaBuilder FB;
+    std::unique_ptr<SmtSession> Session;
+  };
+
   void processWindow(Span Window) {
     std::vector<LockDependency> Deps = collectDependencies(Window);
     if (Deps.empty())
@@ -145,6 +153,15 @@ private:
     if (Pool) {
       processWindowParallel(Window, Mhb, Encoder, Deps);
       return;
+    }
+
+    DlSolveCtx WindowCtx;
+    DlSolveCtx *Ctx = nullptr;
+    if (UseIncremental) {
+      WindowCtx.Session = createSessionByName(Options.SolverName);
+      if (!WindowCtx.Session)
+        WindowCtx.Session = createIdlSession();
+      Ctx = &WindowCtx;
     }
 
     for (size_t I = 0; I < Deps.size(); ++I) {
@@ -168,7 +185,7 @@ private:
             continue;
           ++Result.Stats.QcPassed;
         }
-        solveCandidate(Window, Mhb, Encoder, A, B);
+        solveCandidate(Window, Mhb, Encoder, A, B, Ctx);
       }
     }
   }
@@ -203,11 +220,22 @@ private:
     }
 
     std::vector<DeadlockTaskResult> Results(Candidates.size());
+    // Per-worker window-scoped sessions; the trailing slot serves the
+    // main thread (currentWorkerIndex() == -1) when it helps out.
+    std::vector<DlSolveCtx> Contexts;
+    if (UseIncremental)
+      Contexts.resize(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
       const DeadlockCandidate &C = Candidates[Index];
       if (C.QcRejected)
         return;
-      solveCandidateTask(Window, Mhb, Encoder, C, Results[Index]);
+      DlSolveCtx *Ctx = nullptr;
+      if (!Contexts.empty()) {
+        int W = Pool->currentWorkerIndex();
+        Ctx = &Contexts[W >= 0 ? static_cast<size_t>(W)
+                               : Contexts.size() - 1];
+      }
+      solveCandidateTask(Window, Mhb, Encoder, C, Ctx, Results[Index]);
     });
 
     for (size_t Index = 0; Index < Candidates.size(); ++Index) {
@@ -238,24 +266,37 @@ private:
   /// and build the complete report, witness included.
   void solveCandidateTask(Span Window, const EventClosure &Mhb,
                           const RaceEncoder &Encoder,
-                          const DeadlockCandidate &C,
+                          const DeadlockCandidate &C, DlSolveCtx *Ctx,
                           DeadlockTaskResult &Out) {
     const LockDependency &A = C.A;
     const LockDependency &B = C.B;
-    FormulaBuilder FB;
+    if (Ctx && !Ctx->Session) {
+      Ctx->Session = createSessionByName(Options.SolverName);
+      if (!Ctx->Session)
+        Ctx->Session = createIdlSession();
+    }
+    FormulaBuilder TaskFB;
+    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
     NodeRef Root =
         Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
     OrderModel Model;
-    std::unique_ptr<SmtSolver> TaskSolver =
-        createSolverByName(Options.SolverName);
-    if (!TaskSolver)
-      TaskSolver = createIdlSolver();
-    Out.Sat = TaskSolver->solve(
-        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-        Options.CollectWitnesses ? &Model : nullptr);
+    if (Ctx) {
+      Out.Sat = Ctx->Session->query(
+          FB, Root, Deadline::after(Options.PerCopBudgetSeconds), nullptr);
+    } else {
+      std::unique_ptr<SmtSolver> TaskSolver =
+          createSolverByName(Options.SolverName);
+      if (!TaskSolver)
+        TaskSolver = createIdlSolver();
+      Out.Sat = TaskSolver->solve(
+          FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+          Options.CollectWitnesses ? &Model : nullptr);
+    }
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
+    if (Ctx && Options.CollectWitnesses)
+      rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport &Report = Out.Report;
     Report.ThreadA = A.Tid;
@@ -283,21 +324,28 @@ private:
 
   void solveCandidate(Span Window, const EventClosure &Mhb,
                       const RaceEncoder &Encoder, const LockDependency &A,
-                      const LockDependency &B) {
-    FormulaBuilder FB;
+                      const LockDependency &B, DlSolveCtx *Ctx) {
+    FormulaBuilder LocalFB;
+    FormulaBuilder &FB = Ctx ? Ctx->FB : LocalFB;
     NodeRef Root =
         Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
     OrderModel Model;
     ++Result.Stats.SolverCalls;
-    SatResult Sat = Solver->solve(
-        FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-        Options.CollectWitnesses ? &Model : nullptr);
+    SatResult Sat =
+        Ctx ? Ctx->Session->query(
+                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                  nullptr)
+            : Solver->solve(
+                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                  Options.CollectWitnesses ? &Model : nullptr);
     if (Sat == SatResult::Unknown) {
       ++Result.Stats.SolverTimeouts;
       return;
     }
     if (Sat == SatResult::Unsat)
       return;
+    if (Ctx && Options.CollectWitnesses)
+      rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport Report;
     Report.ThreadA = A.Tid;
@@ -325,6 +373,26 @@ private:
     Result.Deadlocks.push_back(std::move(Report));
   }
 
+  /// Same role as Detect.cpp's rederiveModel: witnesses come from
+  /// re-encoding the pair into a fresh builder and solving one-shot —
+  /// exactly the legacy path's instance — so they match byte for byte and
+  /// never depend on session history or shared-builder ref numbering.
+  bool rederiveModel(const RaceEncoder &Encoder, const LockDependency &A,
+                     const LockDependency &B, OrderModel &Model) const {
+    FormulaBuilder FreshFB;
+    NodeRef Root = Encoder.encodeDeadlock(FreshFB, A.Request, B.Request,
+                                          A.Outer, B.Outer);
+    std::unique_ptr<SmtSolver> Fresh =
+        createSolverByName(Options.SolverName);
+    if (!Fresh)
+      Fresh = createIdlSolver();
+    if (Telemetry::enabled())
+      MetricsRegistry::global().counter("solver.witness_resolves").inc();
+    return Fresh->solve(FreshFB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        &Model) == SatResult::Sat;
+  }
+
   std::vector<EventId> buildWitness(Span Window,
                                     const OrderModel &Model) const {
     std::vector<EventId> Order;
@@ -348,6 +416,7 @@ private:
   std::unique_ptr<SmtSolver> Solver;
   std::unique_ptr<ThreadPool> Pool;
   uint32_t Jobs = 1;
+  bool UseIncremental = false;
   uint64_t SpeculativeSolves = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;

@@ -266,6 +266,7 @@ public:
       Solver = createSolverByName(Options.SolverName);
       if (!Solver)
         Solver = createIdlSolver();
+      UseIncremental = Options.Incremental;
       Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                                : Options.Jobs;
       if (Jobs > 1)
@@ -432,6 +433,19 @@ private:
       return Cops.size();
     }
 
+    // Incremental path: one persistent solver session and one shared
+    // hash-consing builder per window. Every surviving COP is decided
+    // under its own selector assumption; the shared encoding and all
+    // learned clauses carry over between queries, while each query still
+    // gets its own fresh per-COP Deadline (Section 4's budget).
+    FormulaBuilder WindowFB;
+    std::unique_ptr<SmtSession> Session;
+    if (UseIncremental) {
+      Session = createSessionByName(Options.SolverName);
+      if (!Session)
+        Session = createIdlSession();
+    }
+
     for (size_t I = 0; I < Cops.size(); ++I) {
       const Cop &C = Cops[I];
       if (Pruned[I]) {
@@ -449,7 +463,9 @@ private:
         continue;
       }
 
-      FormulaBuilder FB;
+      FormulaBuilder CopFB;
+      FormulaBuilder &FB = Session ? WindowFB : CopFB;
+      size_t NodesBefore = FB.numNodes();
       NodeRef Root;
       {
         ScopedPhaseTimer EncodePhase("encode");
@@ -458,7 +474,7 @@ private:
                    : Encoder.encodeSaidRace(FB, C.First, C.Second);
       }
       if (Telemetry::enabled())
-        recordFormulaMetrics(FB, Root);
+        recordFormulaMetrics(FB, NodesBefore, Root);
       OrderModel Model;
       ++Result.Stats.SolverCalls;
       SatResult Sat;
@@ -466,9 +482,15 @@ private:
       {
         ScopedPhaseTimer SolvePhase("solve");
         Timer SolveClock;
-        Sat = Solver->solve(FB, Root,
-                            Deadline::after(Options.PerCopBudgetSeconds),
-                            Options.CollectWitnesses ? &Model : nullptr);
+        Sat = Session
+                  ? Session->query(
+                        FB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        nullptr)
+                  : Solver->solve(
+                        FB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        Options.CollectWitnesses ? &Model : nullptr);
         SolveSeconds = SolveClock.seconds();
       }
       if (Telemetry::enabled())
@@ -479,13 +501,10 @@ private:
                             : Sat == SatResult::Unsat ? "unsat"
                                                       : "timeout";
       emitSolveEvent(Window, C, Outcome, SolveSeconds);
-      if (Sat == SatResult::Unknown) {
-        ++Result.Stats.SolverTimeouts;
-        emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
-        continue;
-      }
-      if (Sat == SatResult::Unsat) {
-        emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
+      if (Sat != SatResult::Sat) {
+        if (Sat == SatResult::Unknown)
+          ++Result.Stats.SolverTimeouts;
+        emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
         continue;
       }
 
@@ -493,19 +512,57 @@ private:
       bool WitnessValid = false;
       if (Options.CollectWitnesses && Tech == Technique::Maximal) {
         ScopedPhaseTimer WitnessPhase("witness");
+        if (Session)
+          rederiveModel(Encoder, C, Model);
         Witness = buildWitness(Window, Model, C);
         WitnessValid =
             checkWitness(T, Window, Witness, C.First, C.Second, Encoder,
                          Mhb, RunningValues)
                 .Ok;
       }
-      emitCopEvent(Window, C, Outcome, &FB, Root, SolveSeconds);
+      emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
       report(C.First, C.Second, std::move(Witness), WitnessValid);
     }
     return Cops.size();
   }
 
+  /// Canonical witness model for the incremental path: re-encode the COP
+  /// into a fresh builder and solve it one-shot — exactly the instance the
+  /// legacy path builds, so witnesses are byte-identical across modes and
+  /// independent of session history. (Reusing the shared window builder
+  /// would not do: the simplifier canonicalizes And/Or children by node
+  /// reference, so ref numbering from earlier COPs reshapes the DAG and
+  /// with it the model the solver happens to pick.) Tallied as
+  /// solver.witness_resolves, not as a COP decision (solver_calls is
+  /// mode-invariant).
+  bool rederiveModel(const RaceEncoder &Encoder, const Cop &C,
+                     OrderModel &Model) const {
+    FormulaBuilder FreshFB;
+    NodeRef Root = Tech == Technique::Maximal
+                       ? Encoder.encodeMaximalRace(FreshFB, C.First,
+                                                   C.Second)
+                       : Encoder.encodeSaidRace(FreshFB, C.First, C.Second);
+    std::unique_ptr<SmtSolver> Fresh =
+        createSolverByName(Options.SolverName);
+    if (!Fresh)
+      Fresh = createIdlSolver();
+    if (Telemetry::enabled())
+      MetricsRegistry::global().counter("solver.witness_resolves").inc();
+    return Fresh->solve(FreshFB, Root,
+                        Deadline::after(Options.PerCopBudgetSeconds),
+                        &Model) == SatResult::Sat;
+  }
+
   // -------------------------------------------------- parallel solving
+
+  /// Incremental mode, jobs > 1: each worker keeps its own shared builder
+  /// and solver session for the current window, so queries of COPs that
+  /// land on the same worker reuse each other's encoding and learned
+  /// clauses without any cross-thread solver state.
+  struct WorkerSolveCtx {
+    FormulaBuilder FB;
+    std::unique_ptr<SmtSession> Session;
+  };
 
   /// Outcome of one COP, decided in phase A (pre-filters) or phase B
   /// (solve task) and consumed in COP order by phase C.
@@ -562,17 +619,27 @@ private:
     const bool Observing = Telemetry::enabled();
     const bool WantEventMetrics = activeSink() != nullptr;
     std::vector<PhaseTree> WorkerTrees(Observing ? Pool->numWorkers() : 0);
+    // Per-worker incremental state, window-scoped. The extra trailing slot
+    // belongs to the main thread, which helps drain the queue inside
+    // parallelFor and reports currentWorkerIndex() == -1.
+    std::vector<WorkerSolveCtx> Contexts;
+    if (UseIncremental)
+      Contexts.resize(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Cops.size(), [&](size_t I) {
       CopTaskResult &R = Results[I];
       if (R.StaticPruned || R.PreFiltered || R.QcFail)
         return;
+      int W = Pool->currentWorkerIndex();
       std::optional<ThreadPhaseScope> PhaseScope;
-      if (Observing) {
-        int W = Pool->currentWorkerIndex();
-        if (W >= 0)
-          PhaseScope.emplace(&WorkerTrees[W]);
-      }
-      solveCopTask(Cops[I], Encoder, Mhb, Window, WantEventMetrics, R);
+      if (Observing && W >= 0)
+        PhaseScope.emplace(&WorkerTrees[W]);
+      WorkerSolveCtx *Ctx =
+          Contexts.empty()
+              ? nullptr
+              : &Contexts[W >= 0 ? static_cast<size_t>(W)
+                                 : Contexts.size() - 1];
+      solveCopTask(Cops[I], Encoder, Mhb, Window, WantEventMetrics, Ctx,
+                   R);
     });
     if (Observing) {
       // The main thread is inside the "window" phase here, so the merge
@@ -627,8 +694,16 @@ private:
   /// registry (atomic), and its own CopTaskResult slot.
   void solveCopTask(const Cop &C, const RaceEncoder &Encoder,
                     const EventClosure &Mhb, Span Window,
-                    bool WantEventMetrics, CopTaskResult &R) {
-    FormulaBuilder FB;
+                    bool WantEventMetrics, WorkerSolveCtx *Ctx,
+                    CopTaskResult &R) {
+    if (Ctx && !Ctx->Session) {
+      Ctx->Session = createSessionByName(Options.SolverName);
+      if (!Ctx->Session)
+        Ctx->Session = createIdlSession();
+    }
+    FormulaBuilder TaskFB;
+    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
+    size_t NodesBefore = FB.numNodes();
     NodeRef Root;
     {
       ScopedPhaseTimer EncodePhase("encode");
@@ -637,29 +712,34 @@ private:
                  : Encoder.encodeSaidRace(FB, C.First, C.Second);
     }
     if (Telemetry::enabled())
-      recordFormulaMetrics(FB, Root);
+      recordFormulaMetrics(FB, NodesBefore, Root);
     if (WantEventMetrics) {
-      R.FormulaNodes = FB.numNodes();
-      for (NodeRef I = 0; I < FB.numNodes(); ++I)
-        if (FB.node(I).Kind == FormulaKind::Atom)
+      R.FormulaNodes = FB.numNodes() - NodesBefore;
+      for (size_t I = NodesBefore; I < FB.numNodes(); ++I)
+        if (FB.node(static_cast<NodeRef>(I)).Kind == FormulaKind::Atom)
           ++R.DifferenceAtoms;
       R.OrderVars = FB.collectVars(Root).size();
     }
-    // One solver instance per task: all solver state is per-solve, and
-    // instantiation is cheap next to the solve itself.
-    std::unique_ptr<SmtSolver> TaskSolver =
-        createSolverByName(Options.SolverName);
-    if (!TaskSolver)
-      TaskSolver = createIdlSolver();
+    // Legacy mode: one solver instance per task — all solver state is
+    // per-solve, and instantiation is cheap next to the solve itself.
+    std::unique_ptr<SmtSolver> TaskSolver;
+    if (!Ctx) {
+      TaskSolver = createSolverByName(Options.SolverName);
+      if (!TaskSolver)
+        TaskSolver = createIdlSolver();
+    }
     OrderModel Model;
     R.Solved = true;
     {
       ScopedPhaseTimer SolvePhase("solve");
       Timer SolveClock;
       R.Sat =
-          TaskSolver->solve(FB, Root,
-                            Deadline::after(Options.PerCopBudgetSeconds),
-                            Options.CollectWitnesses ? &Model : nullptr);
+          Ctx ? Ctx->Session->query(
+                    FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                    nullptr)
+              : TaskSolver->solve(
+                    FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
+                    Options.CollectWitnesses ? &Model : nullptr);
       R.SolveSeconds = SolveClock.seconds();
     }
     if (Telemetry::enabled())
@@ -669,6 +749,8 @@ private:
     if (R.Sat == SatResult::Sat && Options.CollectWitnesses &&
         Tech == Technique::Maximal) {
       ScopedPhaseTimer WitnessPhase("witness");
+      if (Ctx)
+        rederiveModel(Encoder, C, Model);
       R.Witness = buildWitness(Window, Model, C);
       R.WitnessValid = checkWitness(T, Window, R.Witness, C.First, C.Second,
                                     Encoder, Mhb, RunningValues)
@@ -697,11 +779,17 @@ private:
   /// Formula-size accounting after one encode: total nodes, difference
   /// atoms, distinct cf boolean variables, and order variables reachable
   /// from the root.
-  void recordFormulaMetrics(const FormulaBuilder &FB, NodeRef Root) {
+  /// \p NodesBefore is the builder's size before this COP's encode: with a
+  /// per-COP builder it is 0 and the whole builder is counted (the legacy
+  /// numbers); with the incremental path's shared per-window builder only
+  /// this COP's newly hash-consed nodes count, so encoder.nodes measures
+  /// real encoding work, not re-reads of shared structure.
+  void recordFormulaMetrics(const FormulaBuilder &FB, size_t NodesBefore,
+                            NodeRef Root) {
     uint64_t Atoms = 0;
     std::unordered_set<uint32_t> BoolIds;
-    for (NodeRef I = 0; I < FB.numNodes(); ++I) {
-      const FormulaNode &N = FB.node(I);
+    for (size_t I = NodesBefore; I < FB.numNodes(); ++I) {
+      const FormulaNode &N = FB.node(static_cast<NodeRef>(I));
       if (N.Kind == FormulaKind::Atom)
         ++Atoms;
       else if (N.Kind == FormulaKind::BoolVar)
@@ -709,7 +797,7 @@ private:
     }
     MetricsRegistry &Reg = MetricsRegistry::global();
     Reg.counter("encoder.formulas").inc();
-    Reg.counter("encoder.nodes").add(FB.numNodes());
+    Reg.counter("encoder.nodes").add(FB.numNodes() - NodesBefore);
     Reg.counter("encoder.difference_atoms").add(Atoms);
     Reg.counter("encoder.bool_vars").add(BoolIds.size());
     Reg.counter("encoder.order_vars").add(FB.collectVars(Root).size());
@@ -748,6 +836,24 @@ private:
         ++Atoms;
     emitCopEventFields(C, Outcome, true, FB->numNodes(), Atoms,
                        FB->collectVars(Root).size(), SolveSeconds);
+  }
+
+  /// Delta variant of emitCopEvent for builders that outlive one COP: the
+  /// incremental path's shared per-window builder accumulates nodes, so
+  /// this COP's contribution is the range [NodesBefore, numNodes()). With
+  /// NodesBefore == 0 (the legacy per-COP builder) this reproduces
+  /// emitCopEvent's whole-builder numbers exactly.
+  void emitCopEventRange(const Cop &C, const char *Outcome,
+                         const FormulaBuilder &FB, size_t NodesBefore,
+                         NodeRef Root, double SolveSeconds) {
+    if (!activeSink())
+      return;
+    uint64_t Atoms = 0;
+    for (size_t I = NodesBefore; I < FB.numNodes(); ++I)
+      if (FB.node(static_cast<NodeRef>(I)).Kind == FormulaKind::Atom)
+        ++Atoms;
+    emitCopEventFields(C, Outcome, true, FB.numNodes() - NodesBefore,
+                       Atoms, FB.collectVars(Root).size(), SolveSeconds);
   }
 
   /// Same event from precomputed numbers — the parallel path measures
@@ -826,6 +932,10 @@ private:
   /// sequential code path) or the technique has no solver loop.
   std::unique_ptr<ThreadPool> Pool;
   uint32_t Jobs = 1;
+  /// Options.Incremental, latched for the SMT techniques: COPs are decided
+  /// through persistent per-window SmtSessions instead of fresh one-shot
+  /// solvers (docs/INCREMENTAL_SOLVING.md).
+  bool UseIncremental = false;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> RacySignatures;
   std::unordered_set<uint64_t> QcSignatures;

@@ -72,6 +72,14 @@ struct DetectorOptions {
   /// Sound static pruner consulted per COP before any other filter; null
   /// disables static pruning. Not owned; must outlive the detection run.
   const CopPruner *StaticPruner = nullptr;
+  /// Decide COPs through a persistent per-window solver session
+  /// (assumption-based incremental solving: the shared window encoding is
+  /// asserted once, every COP is decided under a fresh selector literal,
+  /// and learned clauses carry over between queries — see
+  /// docs/INCREMENTAL_SOLVING.md). Reports are byte-identical with the
+  /// legacy fresh-solver-per-COP path; with Jobs > 1 each worker keeps its
+  /// own session. Each query still gets its own fresh per-COP Deadline.
+  bool Incremental = true;
   /// Worker threads for the per-COP encode+solve loop of the SMT
   /// techniques. 1 (the default) runs the exact sequential code path; 0
   /// means one worker per hardware thread. Race reports are identical for

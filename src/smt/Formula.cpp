@@ -109,7 +109,9 @@ NodeRef FormulaBuilder::mkNary(FormulaKind Kind,
 
   // Complement detection: atoms a<b and b<a (or a boolean variable and
   // its negation) together are contradictory (And) or exhaustive (Or).
-  AtomPairScratch.clear();
+  // Entries from earlier calls are invalidated by bumping the epoch, not
+  // by clearing the container (see the field comment).
+  ++AtomPairEpoch;
   for (NodeRef Ref : Flat) {
     const FormulaNode &N = Nodes[Ref];
     uint64_t Key, ReverseKey;
@@ -123,9 +125,10 @@ NodeRef FormulaBuilder::mkNary(FormulaKind Kind,
     } else {
       continue;
     }
-    if (AtomPairScratch.count(ReverseKey))
+    auto It = AtomPairScratch.find(ReverseKey);
+    if (It != AtomPairScratch.end() && It->second == AtomPairEpoch)
       return Absorbing;
-    AtomPairScratch.insert(Key);
+    AtomPairScratch[Key] = AtomPairEpoch;
   }
 
   if (Flat.empty())

@@ -26,7 +26,6 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace rvp {
@@ -118,7 +117,14 @@ private:
   std::vector<FormulaNode> Nodes;
   std::vector<NodeRef> Children;
   std::unordered_map<uint64_t, std::vector<NodeRef>> Buckets;
-  std::unordered_set<uint64_t> AtomPairScratch;
+  /// Complement-detection scratch for mkNary, epoch-stamped instead of
+  /// cleared: unordered containers never shrink their bucket array, so a
+  /// single huge conjunction (a window root) would make every later
+  /// clear() — even for two-element disjunctions — pay O(buckets). That
+  /// cost is invisible with a throwaway per-COP builder but quadratic for
+  /// the long-lived shared builder of the incremental sessions.
+  std::unordered_map<uint64_t, uint64_t> AtomPairScratch;
+  uint64_t AtomPairEpoch = 0;
   NodeRef TrueRef = 0;
   NodeRef FalseRef = 0;
 };

@@ -8,16 +8,15 @@
 /// (positive polarity only — the formula language has no negation), binds
 /// atom literals to ordering edges in the difference-logic theory, and runs
 /// the CDCL solver. The model is read off the theory's topological order.
+/// The encoding itself lives in Tseitin.h, shared with the incremental
+/// session (Incremental.cpp).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "smt/DiffLogic.h"
 #include "smt/Solver.h"
+#include "smt/Tseitin.h"
 
-#include "support/Compiler.h"
 #include "support/Telemetry.h"
-
-#include <map>
 
 using namespace rvp;
 
@@ -49,79 +48,10 @@ public:
     Timer Clock;
     DiffLogicTheory Theory;
     SatSolver Sat(&Theory);
-    std::vector<Lit> LitOf(FB.numNodes(), Lit());
-    std::map<std::pair<OrderVar, OrderVar>, Var> AtomVars;
-    std::map<uint32_t, Var> BoolVars;
+    TseitinEncoder Encoder(Sat, Theory);
+    Lit RootLit = Encoder.encode(FB, Root);
 
-    // Post-order iterative encoding; children first.
-    std::vector<std::pair<NodeRef, bool>> Work = {{Root, false}};
-    while (!Work.empty()) {
-      auto [Ref, ChildrenDone] = Work.back();
-      Work.pop_back();
-      if (LitOf[Ref].valid())
-        continue;
-      const FormulaNode &N = FB.node(Ref);
-      switch (N.Kind) {
-      case FormulaKind::True:
-      case FormulaKind::False:
-        // mkAnd/mkOr fold constants away; only the root can be constant,
-        // and that case returned above.
-        RVP_UNREACHABLE("constant below the root of a simplified formula");
-      case FormulaKind::Atom: {
-        // One boolean variable per unordered pair; the positive literal
-        // asserts min<max, the negative one max<min (all order variables
-        // denote distinct positions).
-        OrderVar Lo = std::min(N.VarA, N.VarB);
-        OrderVar Hi = std::max(N.VarA, N.VarB);
-        auto [It, Inserted] = AtomVars.try_emplace({Lo, Hi}, 0);
-        if (Inserted) {
-          Var V = Sat.newVar();
-          It->second = V;
-          Theory.bindLit(Lit::pos(V), Lo, Hi);
-          Theory.bindLit(Lit::neg(V), Hi, Lo);
-        }
-        LitOf[Ref] = N.VarA == Lo ? Lit::pos(It->second)
-                                  : Lit::neg(It->second);
-        break;
-      }
-      case FormulaKind::BoolVar: {
-        auto [It, Inserted] = BoolVars.try_emplace(N.VarA, 0);
-        if (Inserted)
-          It->second = Sat.newVar();
-        LitOf[Ref] =
-            N.VarB ? Lit::neg(It->second) : Lit::pos(It->second);
-        break;
-      }
-      case FormulaKind::And:
-      case FormulaKind::Or: {
-        if (!ChildrenDone) {
-          Work.push_back({Ref, true});
-          for (const NodeRef *C = FB.childBegin(Ref), *E = FB.childEnd(Ref);
-               C != E; ++C)
-            if (!LitOf[*C].valid())
-              Work.push_back({*C, false});
-          continue;
-        }
-        Var Gate = Sat.newVar();
-        Lit G = Lit::pos(Gate);
-        if (N.Kind == FormulaKind::And) {
-          for (const NodeRef *C = FB.childBegin(Ref), *E = FB.childEnd(Ref);
-               C != E; ++C)
-            Sat.addClause({~G, LitOf[*C]});
-        } else {
-          std::vector<Lit> Clause = {~G};
-          for (const NodeRef *C = FB.childBegin(Ref), *E = FB.childEnd(Ref);
-               C != E; ++C)
-            Clause.push_back(LitOf[*C]);
-          Sat.addClause(std::move(Clause));
-        }
-        LitOf[Ref] = G;
-        break;
-      }
-      }
-    }
-
-    if (!Sat.addClause({LitOf[Root]})) {
+    if (!Sat.addClause({RootLit})) {
       if (Telemetry::enabled())
         recordSolveTelemetry(Sat, Clock.seconds());
       return SatResult::Unsat;
@@ -130,19 +60,8 @@ public:
     SatResult Result = Sat.solve(Limit);
     if (Telemetry::enabled())
       recordSolveTelemetry(Sat, Clock.seconds());
-    if (Result == SatResult::Sat && ModelOut) {
-      ModelOut->clear();
-      for (const auto &[Pair, V] : AtomVars) {
-        (void)V;
-        auto Record = [&](OrderVar Variable) {
-          uint32_t Pos = Theory.graph().positionOf(Variable);
-          if (Pos != UINT32_MAX)
-            (*ModelOut)[Variable] = Pos;
-        };
-        Record(Pair.first);
-        Record(Pair.second);
-      }
-    }
+    if (Result == SatResult::Sat && ModelOut)
+      Encoder.readModel(*ModelOut);
     return Result;
   }
 

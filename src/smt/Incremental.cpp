@@ -1,0 +1,138 @@
+//===- smt/Incremental.cpp - Incremental CDCL(T) session ------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The assumption-based incremental solving path (docs/INCREMENTAL_SOLVING
+/// .md): one SatSolver + DiffLogicTheory pair lives for the whole session.
+/// Each query guards its root with a fresh selector variable s,
+///
+///   (~s \/ root)   +   solve under assumption {s}   +   unit ~s after,
+///
+/// so the clause database only ever contains definitional clauses, guarded
+/// roots, and lemmas derived from them — all globally valid — and every
+/// learned clause transfers to the next query. The theory backtracks
+/// across queries through the ordinary undoLit stream: edges asserted at
+/// decision levels are popped when solve() unwinds, while level-0 facts
+/// persist.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "smt/Tseitin.h"
+
+#include "support/Telemetry.h"
+
+using namespace rvp;
+
+SmtSession::~SmtSession() = default;
+
+namespace {
+
+class IdlSession : public SmtSession {
+public:
+  IdlSession() : Sat(&Theory), Encoder(Sat, Theory) {}
+
+  void assertFormula(const FormulaBuilder &FB, NodeRef Root) override {
+    const FormulaNode &N = FB.node(Root);
+    if (N.Kind == FormulaKind::True)
+      return;
+    if (N.Kind == FormulaKind::False) {
+      CoreUnsat = true;
+      return;
+    }
+    Sat.backtrackToRoot();
+    Lit L = Encoder.encode(FB, Root);
+    if (!Sat.addClause({L}))
+      CoreUnsat = true;
+  }
+
+  SatResult query(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
+                  OrderModel *ModelOut) override {
+    Timer Clock;
+    DidSolve = false;
+    SatResult Result = queryImpl(FB, Root, Limit, ModelOut);
+    if (Telemetry::enabled())
+      recordQueryTelemetry(Clock.seconds());
+    return Result;
+  }
+
+  const char *name() const override { return "idl"; }
+
+private:
+  SatResult queryImpl(const FormulaBuilder &FB, NodeRef Root,
+                      Deadline Limit, OrderModel *ModelOut) {
+    if (CoreUnsat)
+      return SatResult::Unsat;
+    const FormulaNode &N = FB.node(Root);
+    if (N.Kind == FormulaKind::True) {
+      if (ModelOut)
+        ModelOut->clear();
+      return SatResult::Sat;
+    }
+    if (N.Kind == FormulaKind::False)
+      return SatResult::Unsat;
+
+    Sat.backtrackToRoot();
+    Lit RootLit = Encoder.encode(FB, Root);
+    Var Selector = Sat.newVar();
+    if (!Sat.addClause({Lit::neg(Selector), RootLit})) {
+      CoreUnsat = true;
+      return SatResult::Unsat;
+    }
+
+    DidSolve = true;
+    SatResult Result = Sat.solve({Lit::pos(Selector)}, Limit);
+    // The model lives in the theory's current trail; read it before the
+    // backtrack below unwinds those edges.
+    if (Result == SatResult::Sat && ModelOut)
+      Encoder.readModel(*ModelOut);
+
+    // Retire the selector: the permanent unit ~s satisfies the guarded
+    // root and every learned clause mentioning the selector, so later
+    // queries never revisit this one's pin.
+    Sat.backtrackToRoot();
+    if (!Sat.addClause({Lit::neg(Selector)}))
+      CoreUnsat = true;
+    return Result;
+  }
+
+  void recordQueryTelemetry(double Seconds) {
+    MetricsRegistry &Reg = MetricsRegistry::global();
+    Reg.counter("solver.incremental_calls").inc();
+    if (DidSolve) {
+      // The SatSolver resets its search counters per solve() call, so
+      // these are this query's numbers; skip them when the query was
+      // decided without searching (constant root, poisoned core).
+      Reg.counter("sat.decisions").add(Sat.numDecisions());
+      Reg.counter("sat.propagations").add(Sat.numPropagations());
+      Reg.counter("sat.conflicts").add(Sat.numConflicts());
+      Reg.counter("sat.restarts").add(Sat.numRestarts());
+      Reg.counter("sat.assumption_conflicts")
+          .add(Sat.numAssumptionConflicts());
+      Reg.gauge("sat.clauses_kept").set(Sat.numLearnedClauses());
+    }
+    Reg.histogram("solver.incremental.latency_seconds").record(Seconds);
+  }
+
+  DiffLogicTheory Theory;
+  SatSolver Sat;
+  TseitinEncoder Encoder;
+  bool CoreUnsat = false;
+  bool DidSolve = false;
+};
+
+} // namespace
+
+std::unique_ptr<SmtSession> rvp::createIdlSession() {
+  return std::make_unique<IdlSession>();
+}
+
+std::unique_ptr<SmtSession> rvp::createSessionByName(const std::string &Name) {
+  if (Name == "idl" || Name.empty())
+    return createIdlSession();
+  if (Name == "z3")
+    return createZ3Session();
+  return nullptr;
+}

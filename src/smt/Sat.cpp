@@ -235,6 +235,33 @@ void SatSolver::analyze(ClauseRef ConflictRef,
   }
 }
 
+void SatSolver::analyzeFinal(Lit FailedAssumption) {
+  // Walks the implication graph backwards from ~FailedAssumption (true on
+  // the trail) down to the pseudo-decisions that imply it. Decisions above
+  // level 0 are exactly the planted assumptions, so the collected set is
+  // an inconsistent subset of Assumptions.
+  FinalConflict.clear();
+  FinalConflict.push_back(FailedAssumption);
+  if (currentLevel() == 0)
+    return;
+  if (level(FailedAssumption.var()) > 0)
+    Seen[FailedAssumption.var()] = 1;
+  for (size_t I = Trail.size(); I-- > TrailLimits[0];) {
+    Var V = Trail[I].var();
+    if (!Seen[V])
+      continue;
+    Seen[V] = 0;
+    ClauseRef R = Reasons[V];
+    if (R == NoReason) {
+      FinalConflict.push_back(Trail[I]);
+    } else {
+      for (Lit L : Clauses[R].Lits)
+        if (L.var() != V && level(L.var()) > 0)
+          Seen[L.var()] = 1;
+    }
+  }
+}
+
 void SatSolver::backtrack(uint32_t Level) {
   if (currentLevel() <= Level)
     return;
@@ -369,6 +396,14 @@ void SatSolver::reduceDb() {
       R = NewRef[R];
 }
 
+uint64_t SatSolver::numLearnedClauses() const {
+  uint64_t N = 0;
+  for (const Clause &C : Clauses)
+    if (C.Learned)
+      ++N;
+  return N;
+}
+
 // ----------------------------------------------------------- main loop
 
 /// Luby restart sequence (1,1,2,1,1,2,4,...).
@@ -389,13 +424,19 @@ static uint64_t luby(uint64_t I) {
 }
 
 SatResult SatSolver::solve(Deadline Limit) {
+  return solve(std::vector<Lit>(), Limit);
+}
+
+SatResult SatSolver::solve(const std::vector<Lit> &Assumed, Deadline Limit) {
+  FinalConflict.clear();
+  AssumptionConflicts = 0;
+  Conflicts = Decisions = Propagations = Restarts = 0;
   if (Unsatisfiable)
     return SatResult::Unsat;
+  Assumptions = Assumed;
   // A previous solve() leaves its final trail in place (the theory state
   // backs the model); start the new search from the root.
   backtrack(0);
-
-  Conflicts = Decisions = Propagations = Restarts = 0;
   uint64_t ConflictBudget = 64 * luby(Restarts);
   uint64_t ConflictsSinceRestart = 0;
   uint64_t LearnedSinceReduce = 0;
@@ -427,6 +468,8 @@ SatResult SatSolver::solve(Deadline Limit) {
       ++Conflicts;
       ++ConflictsSinceRestart;
       if (currentLevel() == 0) {
+        // A conflict below every assumption refutes the clause database
+        // itself — this and only this makes the solver permanently unsat.
         Unsatisfiable = true;
         backtrack(0);
         return SatResult::Unsat;
@@ -450,13 +493,6 @@ SatResult SatSolver::solve(Deadline Limit) {
     }
 
     // No conflict.
-    if (Trail.size() == Assigns.size()) {
-      Model.assign(Assigns.size(), false);
-      for (size_t I = 0; I < Model.size(); ++I)
-        Model[I] = Assigns[I] == 1;
-      return SatResult::Sat;
-    }
-
     if (ConflictsSinceRestart >= ConflictBudget) {
       backtrack(0);
       ConflictsSinceRestart = 0;
@@ -469,9 +505,33 @@ SatResult SatSolver::solve(Deadline Limit) {
       LearnedSinceReduce = 0;
     }
 
+    // Plant pending assumptions as pseudo-decisions (in order, one level
+    // each) before any real branching; restarts pop and replant them.
+    if (currentLevel() < Assumptions.size()) {
+      Lit A = Assumptions[currentLevel()];
+      uint8_t V = litValue(A);
+      if (V == 1) {
+        // Already implied: open an empty level so indices keep lining up.
+        TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+        continue;
+      }
+      if (V == 0) {
+        // The database (plus earlier assumptions) refutes this one. Not a
+        // global Unsat: report the failed subset and stay usable.
+        ++AssumptionConflicts;
+        analyzeFinal(A);
+        backtrack(0);
+        return SatResult::Unsat;
+      }
+      ++Decisions;
+      TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+      enqueue(A, NoReason);
+      continue;
+    }
+
     Lit Decision = pickBranchLit();
     if (!Decision.valid()) {
-      // All remaining heap entries were stale; everything is assigned.
+      // Everything is assigned (and the theory accepted the full trail).
       Model.assign(Assigns.size(), false);
       for (size_t I = 0; I < Model.size(); ++I)
         Model[I] = Assigns[I] == 1;

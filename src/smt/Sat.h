@@ -81,6 +81,28 @@ public:
   /// expiry — the paper gives each COP a fixed budget, Section 4).
   SatResult solve(Deadline Limit = Deadline());
 
+  /// MiniSat-style incremental query: decides satisfiability under the
+  /// conjunction of \p Assumed, planted as pseudo-decisions before any
+  /// real branching. The clause database — original and learned clauses,
+  /// activities, saved phases — persists across calls, so a sequence of
+  /// related queries shares all derived lemmas (every learned clause is
+  /// implied by the database alone, never by the assumptions, which enter
+  /// learned clauses only in negated guard position).
+  ///
+  /// An Unsat answer caused by the assumptions does NOT poison the solver:
+  /// failedAssumptions() then names an inconsistent subset and later calls
+  /// (with other assumptions, or none) still work. Only a conflict at
+  /// decision level 0 — independent of any assumption — makes the solver
+  /// permanently unsatisfiable.
+  SatResult solve(const std::vector<Lit> &Assumed,
+                  Deadline Limit = Deadline());
+
+  /// After solve(assumptions) returned Unsat because of the assumptions,
+  /// an inconsistent subset of them (the final conflict, including the
+  /// assumption that failed); empty when the clause database itself is
+  /// unsatisfiable.
+  const std::vector<Lit> &failedAssumptions() const { return FinalConflict; }
+
   /// Model access; only meaningful after solve() returned Sat.
   bool modelValue(Var V) const { return Model[V]; }
 
@@ -92,6 +114,11 @@ public:
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
   uint64_t numRestarts() const { return Restarts; }
+  /// Queries of this solve() refuted by the planted assumptions.
+  uint64_t numAssumptionConflicts() const { return AssumptionConflicts; }
+  /// Learned clauses currently retained in the database; persists across
+  /// solve() calls (reduceDb drops the least active half when large).
+  uint64_t numLearnedClauses() const;
 
 private:
   using ClauseRef = uint32_t;
@@ -121,6 +148,10 @@ private:
   ClauseRef propagate();
   void analyze(ClauseRef ConflictRef, const std::vector<Lit> &TheoryConflict,
                std::vector<Lit> &Learned, uint32_t &BacktrackLevel);
+  /// Fills FinalConflict with the subset of planted assumptions whose
+  /// conjunction the clause database refutes; \p FailedAssumption is the
+  /// one found false when it was about to be planted.
+  void analyzeFinal(Lit FailedAssumption);
   void backtrack(uint32_t Level);
   Lit pickBranchLit();
   void bumpVar(Var V);
@@ -162,10 +193,17 @@ private:
   std::vector<bool> Model;
   bool Unsatisfiable = false;
 
+  /// Assumption literals of the solve() in progress, planted in order as
+  /// pseudo-decisions at levels 1..Assumptions.size().
+  std::vector<Lit> Assumptions;
+  /// The failed assumption subset of the last Unsat-under-assumptions.
+  std::vector<Lit> FinalConflict;
+
   uint64_t Conflicts = 0;
   uint64_t Decisions = 0;
   uint64_t Propagations = 0;
   uint64_t Restarts = 0;
+  uint64_t AssumptionConflicts = 0;
 
   // Scratch buffers for analyze().
   std::vector<uint8_t> Seen;

@@ -57,6 +57,50 @@ std::unique_ptr<SmtSolver> createZ3Solver();
 /// Names a backend: "idl" or "z3". Returns nullptr for unknown/unavailable.
 std::unique_ptr<SmtSolver> createSolverByName(const std::string &Name);
 
+/// An incremental solving session: one persistent solver whose clause
+/// database, learned clauses, variable activities, and theory state
+/// survive across queries (MiniSat-style assumption solving; the Z3
+/// backend mirrors it with check_sat_assuming). The detectors open one
+/// session per window (per worker) and decide every surviving COP through
+/// it; see docs/INCREMENTAL_SOLVING.md.
+///
+/// Every call must pass the SAME FormulaBuilder: the session caches the
+/// encoding by node reference, so the builder's hash-consing is what makes
+/// subformulas shared across queries encode only once.
+class SmtSession {
+public:
+  virtual ~SmtSession();
+
+  /// Permanently asserts \p Root; it constrains every later query. Only
+  /// sound for constraints implied by each query's own formula (the
+  /// detectors pass nothing here in substitution mode — the shared window
+  /// core is reused through the encoding cache and learned clauses).
+  virtual void assertFormula(const FormulaBuilder &FB, NodeRef Root) = 0;
+
+  /// Decides \p Root under a fresh selector literal s (adds s -> Root,
+  /// solves under assumption s, retires s afterwards), so every clause
+  /// learned while answering is implied by the session's definitional
+  /// clauses alone and transfers to later queries. \p Limit is this
+  /// query's own budget — callers construct a fresh Deadline per COP
+  /// (Section 4). On Sat, \p ModelOut (if non-null) receives order
+  /// positions; note they depend on session history, unlike the one-shot
+  /// solver's (the detectors re-derive witness models one-shot for
+  /// byte-identical reports).
+  virtual SatResult query(const FormulaBuilder &FB, NodeRef Root,
+                          Deadline Limit, OrderModel *ModelOut) = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// An incremental session on the in-tree CDCL(T) solver.
+std::unique_ptr<SmtSession> createIdlSession();
+
+/// An incremental session on Z3; nullptr when the build has no Z3.
+std::unique_ptr<SmtSession> createZ3Session();
+
+/// Names a backend: "idl" or "z3". Returns nullptr for unknown/unavailable.
+std::unique_ptr<SmtSession> createSessionByName(const std::string &Name);
+
 } // namespace rvp
 
 #endif // RVP_SMT_SOLVER_H

@@ -194,6 +194,176 @@ TEST(Sat, ResolveAfterSatKeepsWorking) {
   EXPECT_EQ(S.solve(), SatResult::Unsat);
 }
 
+// ------------------------------------------------ assumption solving
+
+TEST(Sat, UnsatUnderAssumptionsIsNotGloballyUnsat) {
+  // (a \/ b) is satisfiable, but not under assumptions {~a, ~b}.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(A), Lit::pos(B)}));
+  EXPECT_EQ(S.solve({Lit::neg(A), Lit::neg(B)}), SatResult::Unsat);
+  EXPECT_GE(S.numAssumptionConflicts(), 1u);
+  // The refutation names only assumption literals.
+  ASSERT_FALSE(S.failedAssumptions().empty());
+  for (Lit L : S.failedAssumptions())
+    EXPECT_TRUE(L == Lit::neg(A) || L == Lit::neg(B));
+  // The clause database itself stays satisfiable: no poisoning.
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(Sat, GloballyUnsatUnderAssumptionsStaysUnsat) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  // (a) (~a \/ b) (~b): unsat regardless of assumptions. Root-level
+  // propagation spots the contradiction as the last clause arrives.
+  ASSERT_TRUE(S.addClause({Lit::pos(A)}));
+  ASSERT_TRUE(S.addClause({Lit::neg(A), Lit::pos(B)}));
+  EXPECT_FALSE(S.addClause({Lit::neg(B)}));
+  Var C = S.newVar();
+  EXPECT_EQ(S.solve({Lit::pos(C)}), SatResult::Unsat);
+  EXPECT_EQ(S.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, ModelCorrectAfterFailedAssumptionQuery) {
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(A), Lit::pos(B)}));
+  ASSERT_TRUE(S.addClause({Lit::neg(C), Lit::pos(A)}));
+  ASSERT_EQ(S.solve({Lit::neg(A), Lit::neg(B)}), SatResult::Unsat);
+  // A later satisfiable query must produce a full, consistent model.
+  ASSERT_EQ(S.solve({Lit::pos(C)}), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(C));
+  EXPECT_TRUE(S.modelValue(A)); // forced by C -> A
+  EXPECT_TRUE(S.modelValue(A) || S.modelValue(B));
+}
+
+TEST(Sat, AlreadyImpliedAssumptionGetsEmptyLevel) {
+  // Unit a makes assumption {a} already true at the root; the solver must
+  // still answer and still respect later assumptions.
+  SatSolver S;
+  Var A = S.newVar(), B = S.newVar();
+  ASSERT_TRUE(S.addClause({Lit::pos(A)}));
+  ASSERT_TRUE(S.addClause({Lit::pos(B), Lit::neg(A)}));
+  EXPECT_EQ(S.solve({Lit::pos(A), Lit::pos(B)}), SatResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_EQ(S.solve({Lit::pos(A), Lit::neg(B)}), SatResult::Unsat);
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+}
+
+TEST(Sat, LearnedClausesPersistAcrossAssumptionQueries) {
+  // Selector-guarded pigeonhole: each query re-solves the same hard core
+  // under a fresh assumption. Lemmas learned in query 1 must survive into
+  // queries 2 and 3 (the incremental-session contract).
+  SatSolver S;
+  constexpr int P = 7, H = 6;
+  std::vector<std::vector<Var>> V(P, std::vector<Var>(H));
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  Var Sel = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> Clause = {Lit::neg(Sel)};
+    for (int J = 0; J < H; ++J)
+      Clause.push_back(Lit::pos(V[I][J]));
+    ASSERT_TRUE(S.addClause(Clause));
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I1 = 0; I1 < P; ++I1)
+      for (int I2 = I1 + 1; I2 < P; ++I2)
+        ASSERT_TRUE(S.addClause({Lit::neg(Sel), Lit::neg(V[I1][J]),
+                                 Lit::neg(V[I2][J])}));
+
+  ASSERT_EQ(S.solve({Lit::pos(Sel)}), SatResult::Unsat);
+  uint64_t KeptAfterFirst = S.numLearnedClauses();
+  EXPECT_GT(KeptAfterFirst, 0u);
+  uint64_t FirstConflicts = S.numConflicts();
+
+  // Two more rounds: with the learned clauses in place, refuting the same
+  // selector never needs more conflicts than the first round, and the
+  // database is never wiped between calls.
+  for (int Round = 0; Round < 2; ++Round) {
+    ASSERT_EQ(S.solve({Lit::pos(Sel)}), SatResult::Unsat);
+    EXPECT_GT(S.numLearnedClauses(), 0u);
+    EXPECT_LE(S.numConflicts(), FirstConflicts);
+  }
+  // Unguarded, the instance is satisfiable (selector off).
+  EXPECT_EQ(S.solve(), SatResult::Sat);
+  EXPECT_FALSE(S.modelValue(Sel));
+}
+
+TEST(Sat, AssumptionQueryDeadlineDoesNotStarveNextQuery) {
+  // Query k exhausting its budget must not consume query k+1's: each
+  // solve(assumptions) call gets a fresh Deadline.
+  SatSolver S;
+  constexpr int P = 9, H = 8;
+  std::vector<std::vector<Var>> V(P, std::vector<Var>(H));
+  for (auto &Row : V)
+    for (Var &X : Row)
+      X = S.newVar();
+  Var Sel = S.newVar();
+  for (int I = 0; I < P; ++I) {
+    std::vector<Lit> Clause = {Lit::neg(Sel)};
+    for (int J = 0; J < H; ++J)
+      Clause.push_back(Lit::pos(V[I][J]));
+    S.addClause(Clause);
+  }
+  for (int J = 0; J < H; ++J)
+    for (int I1 = 0; I1 < P; ++I1)
+      for (int I2 = I1 + 1; I2 < P; ++I2)
+        S.addClause({Lit::neg(Sel), Lit::neg(V[I1][J]), Lit::neg(V[I2][J])});
+  EXPECT_EQ(S.solve({Lit::pos(Sel)}, Deadline::after(1e-6)),
+            SatResult::Unknown);
+  // A fresh per-query budget answers the easy next query immediately.
+  EXPECT_EQ(S.solve({Lit::neg(Sel)}, Deadline::after(60)), SatResult::Sat);
+  EXPECT_FALSE(S.modelValue(Sel));
+}
+
+TEST(Sat, RandomAssumptionQueriesAgreeWithOneShot) {
+  // The same instance under the same assumptions must answer identically
+  // whether solved incrementally (one solver, many queries) or one-shot
+  // (fresh solver per query with assumptions baked in as units).
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    Rng R(Seed);
+    uint32_t NumVars = 8 + static_cast<uint32_t>(R.below(5));
+    std::vector<std::vector<Lit>> Clauses;
+    SatSolver Inc;
+    for (uint32_t I = 0; I < NumVars; ++I)
+      Inc.newVar();
+    bool AddedOk = true;
+    for (uint32_t I = 0; I < NumVars * 3; ++I) {
+      std::vector<Lit> Clause;
+      uint32_t Width = 2 + static_cast<uint32_t>(R.below(2));
+      for (uint32_t K = 0; K < Width; ++K) {
+        Var V = static_cast<Var>(R.below(NumVars));
+        Clause.push_back(R.chance(1, 2) ? Lit::pos(V) : Lit::neg(V));
+      }
+      Clauses.push_back(Clause);
+      AddedOk = Inc.addClause(Clause) && AddedOk;
+    }
+    if (!AddedOk)
+      continue;
+    for (int Query = 0; Query < 5; ++Query) {
+      std::vector<Lit> Assumed;
+      for (int K = 0; K < 3; ++K) {
+        Var V = static_cast<Var>(R.below(NumVars));
+        Assumed.push_back(R.chance(1, 2) ? Lit::pos(V) : Lit::neg(V));
+      }
+      SatResult Got = Inc.solve(Assumed);
+      SatSolver OneShot;
+      for (uint32_t I = 0; I < NumVars; ++I)
+        OneShot.newVar();
+      bool Ok = true;
+      for (const auto &Clause : Clauses)
+        Ok = OneShot.addClause(Clause) && Ok;
+      for (Lit L : Assumed)
+        Ok = Ok && OneShot.addClause({L});
+      SatResult Want = Ok ? OneShot.solve() : SatResult::Unsat;
+      EXPECT_EQ(Got, Want) << "seed " << Seed << " query " << Query;
+    }
+  }
+}
+
 // Property sweep: random 3-SAT instances cross-checked against brute force.
 class SatRandomTest : public ::testing::TestWithParam<uint64_t> {};
 

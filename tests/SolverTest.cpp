@@ -187,3 +187,117 @@ TEST(SolverFactory, ByName) {
   EXPECT_NE(createSolverByName(""), nullptr);
   EXPECT_EQ(createSolverByName("nonsense"), nullptr);
 }
+
+// ----------------------------------------------- incremental sessions
+
+TEST(IdlSession, AgreesWithOneShotAcrossQueries) {
+  // One session answering a stream of random queries over a shared
+  // builder must match a fresh one-shot solver on every single query —
+  // regardless of what earlier queries learned or how they ended.
+  Rng R(7);
+  for (int Round = 0; Round < 10; ++Round) {
+    FormulaBuilder FB;
+    auto Session = createIdlSession();
+    ASSERT_NE(Session, nullptr);
+    for (int Query = 0; Query < 8; ++Query) {
+      NodeRef F = randomFormula(FB, R, 8, 3);
+      OrderModel Model;
+      SatResult Got = Session->query(FB, F, Deadline(), &Model);
+      auto OneShot = createIdlSolver();
+      SatResult Want = OneShot->solve(FB, F, Deadline(), nullptr);
+      ASSERT_EQ(Got, Want) << "round " << Round << " query " << Query
+                           << "\n"
+                           << FB.toString(F);
+      if (Got == SatResult::Sat && FB.node(F).Kind != FormulaKind::True)
+        EXPECT_TRUE(evaluate(FB, F, Model)) << FB.toString(F);
+    }
+  }
+}
+
+TEST(IdlSession, TheoryBacktracksBetweenQueries) {
+  // Query 1 pins a<b, query 2 pins b<a: the theory state asserted for the
+  // first query must fully unwind, or the second would be wrongly unsat.
+  FormulaBuilder FB;
+  auto Session = createIdlSession();
+  NodeRef AB = FB.mkAtom(0, 1);
+  NodeRef BA = FB.mkAtom(1, 0);
+  EXPECT_EQ(Session->query(FB, AB, Deadline(), nullptr), SatResult::Sat);
+  EXPECT_EQ(Session->query(FB, BA, Deadline(), nullptr), SatResult::Sat);
+  // And the conjunction is still correctly refuted afterwards.
+  NodeRef Both = FB.mkAnd({AB, BA});
+  EXPECT_EQ(Session->query(FB, Both, Deadline(), nullptr),
+            SatResult::Unsat);
+  // An unsat query leaves the session healthy for the next sat one.
+  EXPECT_EQ(Session->query(FB, AB, Deadline(), nullptr), SatResult::Sat);
+}
+
+TEST(IdlSession, ModelReadAfterEarlierFailedQuery) {
+  FormulaBuilder FB;
+  auto Session = createIdlSession();
+  NodeRef Cycle =
+      FB.mkAnd({FB.mkAtom(0, 1), FB.mkAtom(1, 2), FB.mkAtom(2, 0)});
+  EXPECT_EQ(Session->query(FB, Cycle, Deadline(), nullptr),
+            SatResult::Unsat);
+  NodeRef Chain = FB.mkAnd({FB.mkAtom(0, 1), FB.mkAtom(1, 2)});
+  OrderModel Model;
+  ASSERT_EQ(Session->query(FB, Chain, Deadline(), &Model), SatResult::Sat);
+  EXPECT_TRUE(evaluate(FB, Chain, Model));
+}
+
+TEST(IdlSession, AssertFormulaConstrainsEveryQuery) {
+  FormulaBuilder FB;
+  auto Session = createIdlSession();
+  Session->assertFormula(FB, FB.mkAtom(0, 1)); // a < b, permanently
+  EXPECT_EQ(Session->query(FB, FB.mkAtom(1, 0), Deadline(), nullptr),
+            SatResult::Unsat);
+  EXPECT_EQ(Session->query(FB, FB.mkAtom(0, 1), Deadline(), nullptr),
+            SatResult::Sat);
+  EXPECT_EQ(Session->query(FB, FB.mkAtom(1, 2), Deadline(), nullptr),
+            SatResult::Sat);
+  EXPECT_EQ(Session->query(FB, FB.mkAtom(1, 0), Deadline(), nullptr),
+            SatResult::Unsat);
+}
+
+TEST(IdlSession, ExpiredQueryDeadlineDoesNotStarveNextQuery) {
+  // A query given an already-expired budget answers Unknown (or solves
+  // within its zero budget); either way the NEXT query must still get its
+  // own fresh budget and answer.
+  Rng R(99);
+  FormulaBuilder FB;
+  auto Session = createIdlSession();
+  NodeRef Hard = randomFormula(FB, R, 10, 4);
+  (void)Session->query(FB, Hard, Deadline::after(0), nullptr);
+  NodeRef Easy = FB.mkAtom(0, 1);
+  EXPECT_EQ(Session->query(FB, Easy, Deadline::after(60), nullptr),
+            SatResult::Sat);
+}
+
+TEST(Z3Session, AgreesWithIdlSession) {
+  auto Z3 = createZ3Session();
+  if (!Z3)
+    GTEST_SKIP() << "Z3 backend not built";
+  Rng R(21);
+  FormulaBuilder FB;
+  auto Idl = createIdlSession();
+  for (int Query = 0; Query < 12; ++Query) {
+    NodeRef F = randomFormula(FB, R, 8, 3);
+    OrderModel IdlModel, Z3Model;
+    SatResult IdlResult = Idl->query(FB, F, Deadline(), &IdlModel);
+    SatResult Z3Result = Z3->query(FB, F, Deadline(), &Z3Model);
+    ASSERT_NE(IdlResult, SatResult::Unknown);
+    ASSERT_NE(Z3Result, SatResult::Unknown);
+    EXPECT_EQ(IdlResult, Z3Result) << "query " << Query << "\n"
+                                   << FB.toString(F);
+    if (IdlResult == SatResult::Sat &&
+        FB.node(F).Kind != FormulaKind::True) {
+      EXPECT_TRUE(evaluate(FB, F, IdlModel));
+      EXPECT_TRUE(evaluate(FB, F, Z3Model));
+    }
+  }
+}
+
+TEST(SessionFactory, ByName) {
+  EXPECT_NE(createSessionByName("idl"), nullptr);
+  EXPECT_NE(createSessionByName(""), nullptr);
+  EXPECT_EQ(createSessionByName("nonsense"), nullptr);
+}

@@ -200,6 +200,8 @@ int cmdDetect(const OptionParser &Options) {
   Detect.SolverName = Options.getString("solver", "idl");
   Detect.CollectWitnesses = Options.getBool("witness", true);
   Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
+  Detect.Incremental = Options.getBool("incremental", true) &&
+                       !Options.getBool("no-incremental", false);
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
 
   // Sound static COP pruning: needs the program source, so it only applies
@@ -355,6 +357,14 @@ int main(int Argc, const char **Argv) {
   Options.addOption("jobs",
                     "solver worker threads (0 = one per hardware thread)",
                     "0");
+  Options.addOption("incremental",
+                    "decide COPs through a persistent per-window solver "
+                    "session (assumption-based incremental solving)",
+                    "true");
+  Options.addOption("no-incremental",
+                    "alias for --incremental=false (legacy "
+                    "fresh-solver-per-COP path)",
+                    "false");
   Options.addOption("static-prune",
                     "skip COPs a static analysis of the program proves "
                     "race-free (.rv inputs only)",

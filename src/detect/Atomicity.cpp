@@ -6,16 +6,22 @@
 
 #include "detect/Atomicity.h"
 
+#include "detect/Checkpoint.h"
 #include "detect/Closure.h"
 #include "detect/Lockset.h"
 #include "detect/RaceEncoder.h"
+#include "detect/Resilience.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
+#include "support/CommandLine.h"
 #include "support/Compiler.h"
+#include "support/FaultInjector.h"
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <unordered_set>
 
@@ -102,15 +108,18 @@ struct AtomCandidate {
 struct AtomTaskResult {
   bool Solved = false;
   SatResult Sat = SatResult::Unknown;
+  /// Escalation attempts the host spent on this candidate.
+  uint32_t Attempts = 1;
   AtomicityReport Report;
 };
 
-/// Incremental mode: a shared hash-consing builder plus a persistent
-/// solver session. One per window sequentially; one per worker (plus the
-/// helping main thread) per window with jobs > 1.
+/// Per-window solve state: the SolveHost owning the session (or the
+/// one-shot solver) plus, in incremental mode, the shared hash-consing
+/// builder. One per window sequentially; one per worker (plus the helping
+/// main thread) per window with jobs > 1.
 struct AtomSolveCtx {
   FormulaBuilder FB;
-  std::unique_ptr<SmtSession> Session;
+  std::unique_ptr<SolveHost> Host;
 };
 
 class AtomicityDriver {
@@ -120,9 +129,6 @@ public:
 
   AtomicityResult run() {
     Timer Clock;
-    Solver = createSolverByName(Options.SolverName);
-    if (!Solver)
-      Solver = createIdlSolver();
     UseIncremental = Options.Incremental;
     Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                              : Options.Jobs;
@@ -133,22 +139,54 @@ public:
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
 
+    // Resume: same contract as the race driver (docs/ROBUSTNESS.md) —
+    // reload everything accumulated up to the last completed window and
+    // continue past it, byte-identical to an uninterrupted run.
+    CheckpointStore Ckpt(Options.CheckpointDir,
+                         Options.CheckpointFingerprint);
+    uint64_t SkipWindows = 0;
+    if (Ckpt.enabled()) {
+      std::string Payload;
+      int64_t Last = Ckpt.loadLatest(Payload);
+      if (Last >= 0 && restoreState(Payload))
+        SkipWindows = static_cast<uint64_t>(Last) + 1;
+    }
+
     {
       ScopedPhaseTimer DetectPhase("atomicity");
+      uint64_t Index = 0;
       for (Span Window : splitWindows(T, Options.WindowSize)) {
+        if (Index++ < SkipWindows)
+          continue;
         ++Result.Stats.Windows;
         processWindow(Window);
         for (EventId Id = Window.Begin; Id < Window.End; ++Id)
           if (T[Id].isWrite())
             RunningValues[T[Id].Target] = T[Id].Data;
+        if (Ckpt.enabled()) {
+          Ckpt.save(Index - 1, serializeState());
+          if (FaultInjector::shouldFail(faults::DetectAbort))
+            std::_Exit(ExitInternal);
+        }
       }
     }
+    Result.Stats.UnknownCops = Result.Unknowns.size();
     Result.Stats.Seconds = Clock.seconds();
     if (Telemetry::enabled()) {
+      MetricsRegistry &Reg = MetricsRegistry::global();
       if (SpeculativeSolves)
-        MetricsRegistry::global()
-            .counter("detect.speculative_solves")
-            .add(SpeculativeSolves);
+        Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
+      if (Result.Stats.SolverRetries)
+        Reg.counter("solver.retries").add(Result.Stats.SolverRetries);
+      if (Result.Stats.DegradedSessions)
+        Reg.counter("solver.degraded_sessions")
+            .add(Result.Stats.DegradedSessions);
+      if (BackendFallbacks)
+        Reg.counter("solver.backend_fallbacks").add(BackendFallbacks);
+      if (Result.Stats.UnknownCops)
+        Reg.counter("detect.unknown_cops").add(Result.Stats.UnknownCops);
+      if (SkipWindows)
+        Reg.counter("detect.resumed_windows").add(SkipWindows);
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
     }
     return std::move(Result);
@@ -166,14 +204,14 @@ private:
       return;
     }
 
+    // One SolveHost per window, whatever the mode: it owns the session
+    // (incremental) or the one-shot solver (legacy) and the whole
+    // degradation policy (docs/ROBUSTNESS.md).
     AtomSolveCtx WindowCtx;
-    AtomSolveCtx *Ctx = nullptr;
-    if (UseIncremental) {
-      WindowCtx.Session = createSessionByName(Options.SolverName);
-      if (!WindowCtx.Session)
-        WindowCtx.Session = createIdlSession();
-      Ctx = &WindowCtx;
-    }
+    WindowCtx.Host = std::make_unique<SolveHost>(
+        Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
+        Options.RetryBudgets,
+        Options.RetryJitterSeed + Result.Stats.Windows);
 
     for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
       for (const LockPair &Region : T.lockPairsOf(Lock)) {
@@ -182,9 +220,19 @@ private:
             !Window.contains(Region.AcquireId) ||
             !Window.contains(Region.ReleaseId))
           continue;
-        checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region, Ctx);
+        checkRegion(Window, Mhb, Encoder, Locksets, Lock, Region,
+                    &WindowCtx);
       }
     }
+    absorbHostStats(WindowCtx.Host->stats());
+  }
+
+  /// Folds one host's resilience tallies into the run's stats (called at
+  /// each window barrier; the parallel path folds every worker's host).
+  void absorbHostStats(const ResilienceStats &S) {
+    Result.Stats.SolverRetries += S.Retries;
+    Result.Stats.DegradedSessions += S.DegradedSessions;
+    BackendFallbacks += S.BackendFallbacks;
   }
 
   /// Same role as Detect.cpp's rederiveModel: the incremental session only
@@ -280,24 +328,22 @@ private:
         enumerateCandidates(Window, Mhb, Locksets);
     std::vector<AtomTaskResult> Results(Candidates.size());
 
-    // Incremental mode: per-worker window-scoped sessions; the trailing
-    // slot serves the main thread (currentWorkerIndex() == -1) when it
-    // helps drain the queue.
-    std::vector<AtomSolveCtx> Contexts;
-    if (UseIncremental)
-      Contexts.resize(Pool->numWorkers() + 1);
+    // Per-worker window-scoped solve state (session or one-shot solver,
+    // behind a SolveHost); the trailing slot serves the main thread
+    // (currentWorkerIndex() == -1) when it helps drain the queue.
+    std::vector<AtomSolveCtx> Contexts(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
       const AtomCandidate &C = Candidates[Index];
       if (C.QcRejected)
         return;
-      AtomSolveCtx *Ctx = nullptr;
-      if (!Contexts.empty()) {
-        int W = Pool->currentWorkerIndex();
-        Ctx = &Contexts[W >= 0 ? static_cast<size_t>(W)
-                               : Contexts.size() - 1];
-      }
+      int W = Pool->currentWorkerIndex();
+      AtomSolveCtx &Ctx = Contexts[W >= 0 ? static_cast<size_t>(W)
+                                          : Contexts.size() - 1];
       solveCandidateTask(Window, Mhb, Encoder, C, Ctx, Results[Index]);
     });
+    for (const AtomSolveCtx &Ctx : Contexts)
+      if (Ctx.Host)
+        absorbHostStats(Ctx.Host->stats());
 
     for (size_t Index = 0; Index < Candidates.size(); ++Index) {
       const AtomCandidate &C = Candidates[Index];
@@ -314,10 +360,12 @@ private:
       ++Result.Stats.SolverCalls;
       if (R.Sat == SatResult::Unknown) {
         ++Result.Stats.SolverTimeouts;
+        recordUnknown(C.A1, C.B, C.Sig, R.Attempts);
         continue;
       }
       if (R.Sat == SatResult::Unsat)
         continue;
+      eraseUnknown(C.Sig);
       SeenSignatures.insert(C.Sig);
       Result.Violations.push_back(std::move(R.Report));
     }
@@ -328,33 +376,25 @@ private:
   /// collection phase only has to accept or discard it.
   void solveCandidateTask(Span Window, const EventClosure &Mhb,
                           const RaceEncoder &Encoder,
-                          const AtomCandidate &C, AtomSolveCtx *Ctx,
+                          const AtomCandidate &C, AtomSolveCtx &Ctx,
                           AtomTaskResult &Out) {
-    if (Ctx && !Ctx->Session) {
-      Ctx->Session = createSessionByName(Options.SolverName);
-      if (!Ctx->Session)
-        Ctx->Session = createIdlSession();
-    }
+    if (!Ctx.Host)
+      Ctx.Host = std::make_unique<SolveHost>(
+          Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
+          Options.RetryBudgets,
+          Options.RetryJitterSeed + Result.Stats.Windows);
     FormulaBuilder TaskFB;
-    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
+    FormulaBuilder &FB = UseIncremental ? Ctx.FB : TaskFB;
     NodeRef Root = Encoder.encodeBetween(FB, C.A1, C.B, C.A2);
     OrderModel Model;
-    if (Ctx) {
-      Out.Sat = Ctx->Session->query(
-          FB, Root, Deadline::after(Options.PerCopBudgetSeconds), nullptr);
-    } else {
-      std::unique_ptr<SmtSolver> TaskSolver =
-          createSolverByName(Options.SolverName);
-      if (!TaskSolver)
-        TaskSolver = createIdlSolver();
-      Out.Sat = TaskSolver->solve(
-          FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-          Options.CollectWitnesses ? &Model : nullptr);
-    }
+    SolveHost::Outcome Decided = Ctx.Host->decide(
+        FB, Root, Options.CollectWitnesses ? &Model : nullptr);
+    Out.Sat = Decided.Sat;
+    Out.Attempts = Decided.Attempts;
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
-    if (Ctx && Options.CollectWitnesses)
+    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
       rederiveModel(Encoder, C.A1, C.B, C.A2, Model);
 
     AtomicityReport &Report = Out.Report;
@@ -429,24 +469,21 @@ private:
                       EventId A2, AtomicityPattern Pattern,
                       AtomSolveCtx *Ctx) {
     FormulaBuilder LocalFB;
-    FormulaBuilder &FB = Ctx ? Ctx->FB : LocalFB;
+    FormulaBuilder &FB = UseIncremental ? Ctx->FB : LocalFB;
     NodeRef Root = Encoder.encodeBetween(FB, A1, B, A2);
     OrderModel Model;
     ++Result.Stats.SolverCalls;
-    SatResult Sat =
-        Ctx ? Ctx->Session->query(
-                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                  nullptr)
-            : Solver->solve(
-                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                  Options.CollectWitnesses ? &Model : nullptr);
+    SolveHost::Outcome Decided = Ctx->Host->decide(
+        FB, Root, Options.CollectWitnesses ? &Model : nullptr);
+    SatResult Sat = Decided.Sat;
     if (Sat == SatResult::Unknown) {
       ++Result.Stats.SolverTimeouts;
+      recordUnknown(A1, B, signatureOf(T, A1, B, A2), Decided.Attempts);
       return;
     }
     if (Sat == SatResult::Unsat)
       return;
-    if (Ctx && Options.CollectWitnesses)
+    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
       rederiveModel(Encoder, A1, B, A2, Model);
 
     AtomicityReport Report;
@@ -468,8 +505,251 @@ private:
                                 Encoder, Mhb, RunningValues)
               .Ok;
     }
-    SeenSignatures.insert(signatureOf(T, A1, B, A2));
+    uint64_t Sig = signatureOf(T, A1, B, A2);
+    eraseUnknown(Sig);
+    SeenSignatures.insert(Sig);
     Result.Violations.push_back(std::move(Report));
+  }
+
+  /// Parks an undecided candidate in the unknown section — one entry per
+  /// signature, keyed by the full (A1, B, A2) location triple; the report
+  /// shows the first local access and the remote intruder. Never merged
+  /// into Violations, so degradation keeps the violation list sound.
+  void recordUnknown(EventId A1, EventId B, uint64_t Sig,
+                     uint32_t Attempts) {
+    if (!UnknownSigs.insert(Sig).second)
+      return;
+    UnknownReport U;
+    U.First = A1;
+    U.Second = B;
+    U.LocFirst = T.locName(T[A1].Loc);
+    U.LocSecond = T.locName(T[B].Loc);
+    U.Variable = T.varName(T[A1].Target);
+    U.Attempts = Attempts;
+    UnknownSigList.push_back(Sig);
+    Result.Unknowns.push_back(std::move(U));
+  }
+
+  /// A signature provisionally parked as unknown has now been decided
+  /// (a later candidate with the same locations solved sat): the reported
+  /// violation supersedes the maybe-entry.
+  void eraseUnknown(uint64_t Sig) {
+    if (!UnknownSigs.erase(Sig))
+      return;
+    for (size_t I = 0; I < UnknownSigList.size(); ++I)
+      if (UnknownSigList[I] == Sig) {
+        UnknownSigList.erase(UnknownSigList.begin() +
+                             static_cast<ptrdiff_t>(I));
+        Result.Unknowns.erase(Result.Unknowns.begin() +
+                              static_cast<ptrdiff_t>(I));
+        break;
+      }
+  }
+
+  // ----------------------------------------------------- checkpointing
+  // Same contract as the race driver's pair in Detect.cpp: only event ids
+  // and counters are stored; display strings, patterns, and the region
+  // lock are re-derived from the trace on restore (the store's fingerprint
+  // pins trace and flags).
+
+  std::string serializeState() const {
+    std::string Out;
+    Out += formatString(
+        "stats %llu %llu %llu %llu %llu %llu %llu\n",
+        static_cast<unsigned long long>(Result.Stats.Windows),
+        static_cast<unsigned long long>(Result.Stats.Cops),
+        static_cast<unsigned long long>(Result.Stats.QcPassed),
+        static_cast<unsigned long long>(Result.Stats.SolverCalls),
+        static_cast<unsigned long long>(Result.Stats.SolverTimeouts),
+        static_cast<unsigned long long>(Result.Stats.SolverRetries),
+        static_cast<unsigned long long>(Result.Stats.DegradedSessions));
+    Out += formatString("tallies %llu %llu\n",
+                        static_cast<unsigned long long>(SpeculativeSolves),
+                        static_cast<unsigned long long>(BackendFallbacks));
+    Out += "values";
+    for (Value V : RunningValues)
+      Out += formatString(" %lld", static_cast<long long>(V));
+    Out += "\n";
+    // Sorted so the same state always serializes to the same bytes.
+    std::vector<uint64_t> Keys(SeenSignatures.begin(),
+                               SeenSignatures.end());
+    std::sort(Keys.begin(), Keys.end());
+    Out += "seen";
+    for (uint64_t K : Keys)
+      Out += formatString(" %llx", static_cast<unsigned long long>(K));
+    Out += "\n";
+    for (const AtomicityReport &V : Result.Violations) {
+      Out += formatString(
+          "viol %llu %llu %llu %llu %llu %d",
+          static_cast<unsigned long long>(V.RegionAcquire),
+          static_cast<unsigned long long>(V.RegionRelease),
+          static_cast<unsigned long long>(V.First),
+          static_cast<unsigned long long>(V.Remote),
+          static_cast<unsigned long long>(V.Second),
+          V.WitnessValid ? 1 : 0);
+      for (EventId Id : V.Witness)
+        Out += formatString(" %llu", static_cast<unsigned long long>(Id));
+      Out += "\n";
+    }
+    for (size_t I = 0; I < Result.Unknowns.size(); ++I) {
+      const UnknownReport &U = Result.Unknowns[I];
+      Out += formatString(
+          "unknown %llu %llu %u %llx\n",
+          static_cast<unsigned long long>(U.First),
+          static_cast<unsigned long long>(U.Second),
+          static_cast<unsigned>(U.Attempts),
+          static_cast<unsigned long long>(UnknownSigList[I]));
+    }
+    return Out;
+  }
+
+  /// Inverse of serializeState. All-or-nothing: any malformed or
+  /// out-of-range field rejects the snapshot and the run starts from
+  /// scratch (sound; checkpoints only save time).
+  bool restoreState(const std::string &Payload) {
+    auto parseU64 = [](std::string_view S, uint64_t &Out) {
+      int64_t V = 0;
+      if (!parseInt(S, V) || V < 0)
+        return false;
+      Out = static_cast<uint64_t>(V);
+      return true;
+    };
+    auto parseHex = [](std::string_view S, uint64_t &Out) {
+      if (S.empty() || S.size() > 16)
+        return false;
+      uint64_t V = 0;
+      for (char C : S) {
+        int D;
+        if (C >= '0' && C <= '9')
+          D = C - '0';
+        else if (C >= 'a' && C <= 'f')
+          D = C - 'a' + 10;
+        else
+          return false;
+        V = V << 4 | static_cast<uint64_t>(D);
+      }
+      Out = V;
+      return true;
+    };
+    auto parseEvent = [&](std::string_view S, EventId &Out) {
+      uint64_t V = 0;
+      if (!parseU64(S, V) || V >= T.size())
+        return false;
+      Out = static_cast<EventId>(V);
+      return true;
+    };
+
+    std::vector<AtomicityReport> NewViolations;
+    std::vector<UnknownReport> NewUnknowns;
+    std::vector<uint64_t> NewUnknownSigs;
+    std::vector<Value> NewValues;
+    std::unordered_set<uint64_t> NewSeen, NewUnkSet;
+    uint64_t S[7] = {0}, Tally[2] = {0};
+    bool SawStats = false, SawTallies = false, SawValues = false;
+
+    for (std::string_view Line : split(Payload, '\n')) {
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+      std::vector<std::string_view> F = split(Line, ' ');
+      if (F[0] == "stats") {
+        if (F.size() != 8)
+          return false;
+        for (size_t I = 0; I < 7; ++I)
+          if (!parseU64(F[I + 1], S[I]))
+            return false;
+        SawStats = true;
+      } else if (F[0] == "tallies") {
+        if (F.size() != 3)
+          return false;
+        for (size_t I = 0; I < 2; ++I)
+          if (!parseU64(F[I + 1], Tally[I]))
+            return false;
+        SawTallies = true;
+      } else if (F[0] == "values") {
+        for (size_t I = 1; I < F.size(); ++I) {
+          int64_t V = 0;
+          if (!parseInt(F[I], V))
+            return false;
+          NewValues.push_back(static_cast<Value>(V));
+        }
+        SawValues = true;
+      } else if (F[0] == "seen") {
+        for (size_t I = 1; I < F.size(); ++I) {
+          uint64_t K = 0;
+          if (!parseHex(F[I], K))
+            return false;
+          NewSeen.insert(K);
+        }
+      } else if (F[0] == "viol") {
+        if (F.size() < 7)
+          return false;
+        AtomicityReport V;
+        uint64_t Valid = 0;
+        if (!parseEvent(F[1], V.RegionAcquire) ||
+            !parseEvent(F[2], V.RegionRelease) ||
+            !parseEvent(F[3], V.First) || !parseEvent(F[4], V.Remote) ||
+            !parseEvent(F[5], V.Second) || !parseU64(F[6], Valid) ||
+            Valid > 1)
+          return false;
+        if (!T[V.RegionAcquire].isAcquire() ||
+            T[V.RegionAcquire].Target >= T.numLocks() ||
+            !classifyAtomicity(T[V.First], T[V.Remote], T[V.Second],
+                               V.Pattern))
+          return false;
+        V.RegionLock = T[V.RegionAcquire].Target;
+        V.Variable = T.varName(T[V.First].Target);
+        V.LocFirst = T.locName(T[V.First].Loc);
+        V.LocRemote = T.locName(T[V.Remote].Loc);
+        V.LocSecond = T.locName(T[V.Second].Loc);
+        V.WitnessValid = Valid != 0;
+        for (size_t I = 7; I < F.size(); ++I) {
+          EventId Id = InvalidEvent;
+          if (!parseEvent(F[I], Id))
+            return false;
+          V.Witness.push_back(Id);
+        }
+        NewViolations.push_back(std::move(V));
+      } else if (F[0] == "unknown") {
+        if (F.size() != 5)
+          return false;
+        UnknownReport U;
+        uint64_t Attempts = 0, Sig = 0;
+        if (!parseEvent(F[1], U.First) || !parseEvent(F[2], U.Second) ||
+            !parseU64(F[3], Attempts) || Attempts == 0 ||
+            !parseHex(F[4], Sig))
+          return false;
+        U.LocFirst = T.locName(T[U.First].Loc);
+        U.LocSecond = T.locName(T[U.Second].Loc);
+        U.Variable = T.varName(T[U.First].Target);
+        U.Attempts = static_cast<uint32_t>(Attempts);
+        NewUnkSet.insert(Sig);
+        NewUnknownSigs.push_back(Sig);
+        NewUnknowns.push_back(std::move(U));
+      } else {
+        return false; // written by a different build: start from scratch
+      }
+    }
+    if (!SawStats || !SawTallies || !SawValues ||
+        NewValues.size() != T.numVars())
+      return false;
+
+    Result.Stats.Windows = S[0];
+    Result.Stats.Cops = S[1];
+    Result.Stats.QcPassed = S[2];
+    Result.Stats.SolverCalls = S[3];
+    Result.Stats.SolverTimeouts = S[4];
+    Result.Stats.SolverRetries = S[5];
+    Result.Stats.DegradedSessions = S[6];
+    SpeculativeSolves = Tally[0];
+    BackendFallbacks = Tally[1];
+    RunningValues = std::move(NewValues);
+    SeenSignatures = std::move(NewSeen);
+    UnknownSigs = std::move(NewUnkSet);
+    UnknownSigList = std::move(NewUnknownSigs);
+    Result.Violations = std::move(NewViolations);
+    Result.Unknowns = std::move(NewUnknowns);
+    return true;
   }
 
   std::vector<EventId> buildWitness(Span Window,
@@ -492,13 +772,19 @@ private:
   const Trace &T;
   DetectorOptions Options;
   AtomicityResult Result;
-  std::unique_ptr<SmtSolver> Solver;
   std::unique_ptr<ThreadPool> Pool;
   uint32_t Jobs = 1;
   bool UseIncremental = false;
   uint64_t SpeculativeSolves = 0;
+  /// Backend factory failures absorbed by the hosts (telemetry only).
+  uint64_t BackendFallbacks = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;
+  /// Signatures parked in Result.Unknowns, plus the list aligned with it
+  /// (signatures cover the full triple, which UnknownReport does not
+  /// store, so supersede/serialize need them on the side).
+  std::unordered_set<uint64_t> UnknownSigs;
+  std::vector<uint64_t> UnknownSigList;
 };
 
 } // namespace

@@ -70,6 +70,11 @@ struct AtomicityReport {
 
 struct AtomicityResult {
   std::vector<AtomicityReport> Violations;
+  /// Candidates the solver never decided within every retry budget —
+  /// First/Second hold the region's first local access and the remote
+  /// intruder. Maybe-violations, kept out of Violations so degradation
+  /// stays sound (docs/ROBUSTNESS.md).
+  std::vector<UnknownReport> Unknowns;
   DetectionStats Stats;
 
   bool hasViolationAt(const std::string &First, const std::string &Remote,

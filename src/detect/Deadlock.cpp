@@ -6,14 +6,20 @@
 
 #include "detect/Deadlock.h"
 
+#include "detect/Checkpoint.h"
 #include "detect/Closure.h"
 #include "detect/RaceEncoder.h"
+#include "detect/Resilience.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
+#include "support/CommandLine.h"
+#include "support/FaultInjector.h"
+#include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <unordered_set>
 
@@ -39,9 +45,6 @@ public:
 
   DeadlockResult run() {
     Timer Clock;
-    Solver = createSolverByName(Options.SolverName);
-    if (!Solver)
-      Solver = createIdlSolver();
     UseIncremental = Options.Incremental;
     Jobs = Options.Jobs == 0 ? ThreadPool::defaultWorkerCount()
                              : Options.Jobs;
@@ -52,22 +55,52 @@ public:
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
 
+    // Resume: same contract as the race driver (docs/ROBUSTNESS.md).
+    CheckpointStore Ckpt(Options.CheckpointDir,
+                         Options.CheckpointFingerprint);
+    uint64_t SkipWindows = 0;
+    if (Ckpt.enabled()) {
+      std::string Payload;
+      int64_t Last = Ckpt.loadLatest(Payload);
+      if (Last >= 0 && restoreState(Payload))
+        SkipWindows = static_cast<uint64_t>(Last) + 1;
+    }
+
     {
       ScopedPhaseTimer DetectPhase("deadlock");
+      uint64_t Index = 0;
       for (Span Window : splitWindows(T, Options.WindowSize)) {
+        if (Index++ < SkipWindows)
+          continue;
         ++Result.Stats.Windows;
         processWindow(Window);
         for (EventId Id = Window.Begin; Id < Window.End; ++Id)
           if (T[Id].isWrite())
             RunningValues[T[Id].Target] = T[Id].Data;
+        if (Ckpt.enabled()) {
+          Ckpt.save(Index - 1, serializeState());
+          if (FaultInjector::shouldFail(faults::DetectAbort))
+            std::_Exit(ExitInternal);
+        }
       }
     }
+    Result.Stats.UnknownCops = Result.Unknowns.size();
     Result.Stats.Seconds = Clock.seconds();
     if (Telemetry::enabled()) {
+      MetricsRegistry &Reg = MetricsRegistry::global();
       if (SpeculativeSolves)
-        MetricsRegistry::global()
-            .counter("detect.speculative_solves")
-            .add(SpeculativeSolves);
+        Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
+      if (Result.Stats.SolverRetries)
+        Reg.counter("solver.retries").add(Result.Stats.SolverRetries);
+      if (Result.Stats.DegradedSessions)
+        Reg.counter("solver.degraded_sessions")
+            .add(Result.Stats.DegradedSessions);
+      if (BackendFallbacks)
+        Reg.counter("solver.backend_fallbacks").add(BackendFallbacks);
+      if (Result.Stats.UnknownCops)
+        Reg.counter("detect.unknown_cops").add(Result.Stats.UnknownCops);
+      if (SkipWindows)
+        Reg.counter("detect.resumed_windows").add(SkipWindows);
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
     }
     return std::move(Result);
@@ -133,14 +166,17 @@ private:
   struct DeadlockTaskResult {
     bool Solved = false;
     SatResult Sat = SatResult::Unknown;
+    /// Escalation attempts the host spent on this candidate.
+    uint32_t Attempts = 1;
     DeadlockReport Report;
   };
 
-  /// Incremental mode: one shared builder + persistent solver session
-  /// per window (sequential) or per worker per window (jobs > 1).
+  /// Per-window solve state: the SolveHost (session or one-shot solver)
+  /// plus, in incremental mode, the shared hash-consing builder. One per
+  /// window (sequential) or per worker per window (jobs > 1).
   struct DlSolveCtx {
     FormulaBuilder FB;
-    std::unique_ptr<SmtSession> Session;
+    std::unique_ptr<SolveHost> Host;
   };
 
   void processWindow(Span Window) {
@@ -155,14 +191,13 @@ private:
       return;
     }
 
+    // One SolveHost per window, whatever the mode (docs/ROBUSTNESS.md).
     DlSolveCtx WindowCtx;
-    DlSolveCtx *Ctx = nullptr;
-    if (UseIncremental) {
-      WindowCtx.Session = createSessionByName(Options.SolverName);
-      if (!WindowCtx.Session)
-        WindowCtx.Session = createIdlSession();
-      Ctx = &WindowCtx;
-    }
+    WindowCtx.Host = std::make_unique<SolveHost>(
+        Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
+        Options.RetryBudgets,
+        Options.RetryJitterSeed + Result.Stats.Windows);
+    DlSolveCtx *Ctx = &WindowCtx;
 
     for (size_t I = 0; I < Deps.size(); ++I) {
       for (size_t J = I + 1; J < Deps.size(); ++J) {
@@ -188,6 +223,15 @@ private:
         solveCandidate(Window, Mhb, Encoder, A, B, Ctx);
       }
     }
+    absorbHostStats(WindowCtx.Host->stats());
+  }
+
+  /// Folds one host's resilience tallies into the run's stats (called at
+  /// each window barrier; the parallel path folds every worker's host).
+  void absorbHostStats(const ResilienceStats &S) {
+    Result.Stats.SolverRetries += S.Retries;
+    Result.Stats.DegradedSessions += S.DegradedSessions;
+    BackendFallbacks += S.BackendFallbacks;
   }
 
   /// Parallel window: enumerate pairs sequentially (phase A), encode+solve
@@ -220,23 +264,21 @@ private:
     }
 
     std::vector<DeadlockTaskResult> Results(Candidates.size());
-    // Per-worker window-scoped sessions; the trailing slot serves the
+    // Per-worker window-scoped solve state; the trailing slot serves the
     // main thread (currentWorkerIndex() == -1) when it helps out.
-    std::vector<DlSolveCtx> Contexts;
-    if (UseIncremental)
-      Contexts.resize(Pool->numWorkers() + 1);
+    std::vector<DlSolveCtx> Contexts(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Candidates.size(), [&](size_t Index) {
       const DeadlockCandidate &C = Candidates[Index];
       if (C.QcRejected)
         return;
-      DlSolveCtx *Ctx = nullptr;
-      if (!Contexts.empty()) {
-        int W = Pool->currentWorkerIndex();
-        Ctx = &Contexts[W >= 0 ? static_cast<size_t>(W)
-                               : Contexts.size() - 1];
-      }
+      int W = Pool->currentWorkerIndex();
+      DlSolveCtx *Ctx = &Contexts[W >= 0 ? static_cast<size_t>(W)
+                                         : Contexts.size() - 1];
       solveCandidateTask(Window, Mhb, Encoder, C, Ctx, Results[Index]);
     });
+    for (const DlSolveCtx &Ctx : Contexts)
+      if (Ctx.Host)
+        absorbHostStats(Ctx.Host->stats());
 
     for (size_t Index = 0; Index < Candidates.size(); ++Index) {
       const DeadlockCandidate &C = Candidates[Index];
@@ -253,10 +295,12 @@ private:
       ++Result.Stats.SolverCalls;
       if (R.Sat == SatResult::Unknown) {
         ++Result.Stats.SolverTimeouts;
+        recordUnknown(C.A.Request, C.B.Request, R.Attempts);
         continue;
       }
       if (R.Sat == SatResult::Unsat)
         continue;
+      eraseUnknown(C.Sig);
       SeenSignatures.insert(C.Sig);
       Result.Deadlocks.push_back(std::move(R.Report));
     }
@@ -270,32 +314,24 @@ private:
                           DeadlockTaskResult &Out) {
     const LockDependency &A = C.A;
     const LockDependency &B = C.B;
-    if (Ctx && !Ctx->Session) {
-      Ctx->Session = createSessionByName(Options.SolverName);
-      if (!Ctx->Session)
-        Ctx->Session = createIdlSession();
-    }
+    if (!Ctx->Host)
+      Ctx->Host = std::make_unique<SolveHost>(
+          Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
+          Options.RetryBudgets,
+          Options.RetryJitterSeed + Result.Stats.Windows);
     FormulaBuilder TaskFB;
-    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
+    FormulaBuilder &FB = UseIncremental ? Ctx->FB : TaskFB;
     NodeRef Root =
         Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
     OrderModel Model;
-    if (Ctx) {
-      Out.Sat = Ctx->Session->query(
-          FB, Root, Deadline::after(Options.PerCopBudgetSeconds), nullptr);
-    } else {
-      std::unique_ptr<SmtSolver> TaskSolver =
-          createSolverByName(Options.SolverName);
-      if (!TaskSolver)
-        TaskSolver = createIdlSolver();
-      Out.Sat = TaskSolver->solve(
-          FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-          Options.CollectWitnesses ? &Model : nullptr);
-    }
+    SolveHost::Outcome Decided = Ctx->Host->decide(
+        FB, Root, Options.CollectWitnesses ? &Model : nullptr);
+    Out.Sat = Decided.Sat;
+    Out.Attempts = Decided.Attempts;
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
-    if (Ctx && Options.CollectWitnesses)
+    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
       rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport &Report = Out.Report;
@@ -326,25 +362,22 @@ private:
                       const RaceEncoder &Encoder, const LockDependency &A,
                       const LockDependency &B, DlSolveCtx *Ctx) {
     FormulaBuilder LocalFB;
-    FormulaBuilder &FB = Ctx ? Ctx->FB : LocalFB;
+    FormulaBuilder &FB = UseIncremental ? Ctx->FB : LocalFB;
     NodeRef Root =
         Encoder.encodeDeadlock(FB, A.Request, B.Request, A.Outer, B.Outer);
     OrderModel Model;
     ++Result.Stats.SolverCalls;
-    SatResult Sat =
-        Ctx ? Ctx->Session->query(
-                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                  nullptr)
-            : Solver->solve(
-                  FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                  Options.CollectWitnesses ? &Model : nullptr);
+    SolveHost::Outcome Decided = Ctx->Host->decide(
+        FB, Root, Options.CollectWitnesses ? &Model : nullptr);
+    SatResult Sat = Decided.Sat;
     if (Sat == SatResult::Unknown) {
       ++Result.Stats.SolverTimeouts;
+      recordUnknown(A.Request, B.Request, Decided.Attempts);
       return;
     }
     if (Sat == SatResult::Unsat)
       return;
-    if (Ctx && Options.CollectWitnesses)
+    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
       rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport Report;
@@ -369,8 +402,228 @@ private:
                                Mhb, RunningValues)
               .Ok;
     }
-    SeenSignatures.insert(signatureOf(T, A.Request, B.Request));
+    uint64_t Sig = signatureOf(T, A.Request, B.Request);
+    eraseUnknown(Sig);
+    SeenSignatures.insert(Sig);
     Result.Deadlocks.push_back(std::move(Report));
+  }
+
+  /// Parks an undecided dependency pair in the unknown section (one entry
+  /// per signature) — never in the deadlock list, so degradation keeps the
+  /// reports sound. Variable stays empty: the pair is about locks.
+  void recordUnknown(EventId ReqA, EventId ReqB, uint32_t Attempts) {
+    if (!UnknownSigs.insert(signatureOf(T, ReqA, ReqB)).second)
+      return;
+    UnknownReport U;
+    U.First = ReqA;
+    U.Second = ReqB;
+    U.LocFirst = T.locName(T[ReqA].Loc);
+    U.LocSecond = T.locName(T[ReqB].Loc);
+    U.Attempts = Attempts;
+    Result.Unknowns.push_back(std::move(U));
+  }
+
+  /// A signature provisionally parked as unknown has now been decided:
+  /// the reported deadlock supersedes the maybe-entry.
+  void eraseUnknown(uint64_t Sig) {
+    if (!UnknownSigs.erase(Sig))
+      return;
+    Result.Unknowns.erase(
+        std::remove_if(Result.Unknowns.begin(), Result.Unknowns.end(),
+                       [&](const UnknownReport &U) {
+                         return signatureOf(T, U.First, U.Second) == Sig;
+                       }),
+        Result.Unknowns.end());
+  }
+
+  // ----------------------------------------------------- checkpointing
+  // Same contract as the race driver's pair in Detect.cpp: only event ids
+  // and counters are stored; threads, locks, and display strings are
+  // re-derived from the request events on restore.
+
+  std::string serializeState() const {
+    std::string Out;
+    Out += formatString(
+        "stats %llu %llu %llu %llu %llu %llu %llu\n",
+        static_cast<unsigned long long>(Result.Stats.Windows),
+        static_cast<unsigned long long>(Result.Stats.Cops),
+        static_cast<unsigned long long>(Result.Stats.QcPassed),
+        static_cast<unsigned long long>(Result.Stats.SolverCalls),
+        static_cast<unsigned long long>(Result.Stats.SolverTimeouts),
+        static_cast<unsigned long long>(Result.Stats.SolverRetries),
+        static_cast<unsigned long long>(Result.Stats.DegradedSessions));
+    Out += formatString("tallies %llu %llu\n",
+                        static_cast<unsigned long long>(SpeculativeSolves),
+                        static_cast<unsigned long long>(BackendFallbacks));
+    Out += "values";
+    for (Value V : RunningValues)
+      Out += formatString(" %lld", static_cast<long long>(V));
+    Out += "\n";
+    // Sorted so the same state always serializes to the same bytes.
+    std::vector<uint64_t> Keys(SeenSignatures.begin(),
+                               SeenSignatures.end());
+    std::sort(Keys.begin(), Keys.end());
+    Out += "seen";
+    for (uint64_t K : Keys)
+      Out += formatString(" %llx", static_cast<unsigned long long>(K));
+    Out += "\n";
+    for (const DeadlockReport &D : Result.Deadlocks) {
+      Out += formatString("dl %llu %llu %d",
+                          static_cast<unsigned long long>(D.RequestA),
+                          static_cast<unsigned long long>(D.RequestB),
+                          D.WitnessValid ? 1 : 0);
+      for (EventId Id : D.Witness)
+        Out += formatString(" %llu", static_cast<unsigned long long>(Id));
+      Out += "\n";
+    }
+    for (const UnknownReport &U : Result.Unknowns)
+      Out += formatString("unknown %llu %llu %u\n",
+                          static_cast<unsigned long long>(U.First),
+                          static_cast<unsigned long long>(U.Second),
+                          static_cast<unsigned>(U.Attempts));
+    return Out;
+  }
+
+  /// Inverse of serializeState. All-or-nothing: any malformed or
+  /// out-of-range field rejects the snapshot and the run starts from
+  /// scratch (sound; checkpoints only save time).
+  bool restoreState(const std::string &Payload) {
+    auto parseU64 = [](std::string_view S, uint64_t &Out) {
+      int64_t V = 0;
+      if (!parseInt(S, V) || V < 0)
+        return false;
+      Out = static_cast<uint64_t>(V);
+      return true;
+    };
+    auto parseHex = [](std::string_view S, uint64_t &Out) {
+      if (S.empty() || S.size() > 16)
+        return false;
+      uint64_t V = 0;
+      for (char C : S) {
+        int D;
+        if (C >= '0' && C <= '9')
+          D = C - '0';
+        else if (C >= 'a' && C <= 'f')
+          D = C - 'a' + 10;
+        else
+          return false;
+        V = V << 4 | static_cast<uint64_t>(D);
+      }
+      Out = V;
+      return true;
+    };
+    auto parseEvent = [&](std::string_view S, EventId &Out) {
+      uint64_t V = 0;
+      if (!parseU64(S, V) || V >= T.size())
+        return false;
+      Out = static_cast<EventId>(V);
+      return true;
+    };
+    auto parseRequest = [&](std::string_view S, EventId &Out) {
+      return parseEvent(S, Out) && T[Out].isAcquire() &&
+             T[Out].Target < T.numLocks();
+    };
+
+    std::vector<DeadlockReport> NewDeadlocks;
+    std::vector<UnknownReport> NewUnknowns;
+    std::vector<Value> NewValues;
+    std::unordered_set<uint64_t> NewSeen, NewUnkSet;
+    uint64_t S[7] = {0}, Tally[2] = {0};
+    bool SawStats = false, SawTallies = false, SawValues = false;
+
+    for (std::string_view Line : split(Payload, '\n')) {
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+      std::vector<std::string_view> F = split(Line, ' ');
+      if (F[0] == "stats") {
+        if (F.size() != 8)
+          return false;
+        for (size_t I = 0; I < 7; ++I)
+          if (!parseU64(F[I + 1], S[I]))
+            return false;
+        SawStats = true;
+      } else if (F[0] == "tallies") {
+        if (F.size() != 3)
+          return false;
+        for (size_t I = 0; I < 2; ++I)
+          if (!parseU64(F[I + 1], Tally[I]))
+            return false;
+        SawTallies = true;
+      } else if (F[0] == "values") {
+        for (size_t I = 1; I < F.size(); ++I) {
+          int64_t V = 0;
+          if (!parseInt(F[I], V))
+            return false;
+          NewValues.push_back(static_cast<Value>(V));
+        }
+        SawValues = true;
+      } else if (F[0] == "seen") {
+        for (size_t I = 1; I < F.size(); ++I) {
+          uint64_t K = 0;
+          if (!parseHex(F[I], K))
+            return false;
+          NewSeen.insert(K);
+        }
+      } else if (F[0] == "dl") {
+        if (F.size() < 4)
+          return false;
+        DeadlockReport D;
+        uint64_t Valid = 0;
+        if (!parseRequest(F[1], D.RequestA) ||
+            !parseRequest(F[2], D.RequestB) || !parseU64(F[3], Valid) ||
+            Valid > 1)
+          return false;
+        D.ThreadA = T[D.RequestA].Tid;
+        D.ThreadB = T[D.RequestB].Tid;
+        D.LockHeldByB = T[D.RequestA].Target; // A requests B's lock
+        D.LockHeldByA = T[D.RequestB].Target;
+        D.LocRequestA = T.locName(T[D.RequestA].Loc);
+        D.LocRequestB = T.locName(T[D.RequestB].Loc);
+        D.WitnessValid = Valid != 0;
+        for (size_t I = 4; I < F.size(); ++I) {
+          EventId Id = InvalidEvent;
+          if (!parseEvent(F[I], Id))
+            return false;
+          D.Witness.push_back(Id);
+        }
+        NewDeadlocks.push_back(std::move(D));
+      } else if (F[0] == "unknown") {
+        if (F.size() != 4)
+          return false;
+        UnknownReport U;
+        uint64_t Attempts = 0;
+        if (!parseEvent(F[1], U.First) || !parseEvent(F[2], U.Second) ||
+            !parseU64(F[3], Attempts) || Attempts == 0)
+          return false;
+        U.LocFirst = T.locName(T[U.First].Loc);
+        U.LocSecond = T.locName(T[U.Second].Loc);
+        U.Attempts = static_cast<uint32_t>(Attempts);
+        NewUnkSet.insert(signatureOf(T, U.First, U.Second));
+        NewUnknowns.push_back(std::move(U));
+      } else {
+        return false; // written by a different build: start from scratch
+      }
+    }
+    if (!SawStats || !SawTallies || !SawValues ||
+        NewValues.size() != T.numVars())
+      return false;
+
+    Result.Stats.Windows = S[0];
+    Result.Stats.Cops = S[1];
+    Result.Stats.QcPassed = S[2];
+    Result.Stats.SolverCalls = S[3];
+    Result.Stats.SolverTimeouts = S[4];
+    Result.Stats.SolverRetries = S[5];
+    Result.Stats.DegradedSessions = S[6];
+    SpeculativeSolves = Tally[0];
+    BackendFallbacks = Tally[1];
+    RunningValues = std::move(NewValues);
+    SeenSignatures = std::move(NewSeen);
+    UnknownSigs = std::move(NewUnkSet);
+    Result.Deadlocks = std::move(NewDeadlocks);
+    Result.Unknowns = std::move(NewUnknowns);
+    return true;
   }
 
   /// Same role as Detect.cpp's rederiveModel: witnesses come from
@@ -413,13 +666,16 @@ private:
   const Trace &T;
   DetectorOptions Options;
   DeadlockResult Result;
-  std::unique_ptr<SmtSolver> Solver;
   std::unique_ptr<ThreadPool> Pool;
   uint32_t Jobs = 1;
   bool UseIncremental = false;
   uint64_t SpeculativeSolves = 0;
+  /// Backend factory failures absorbed by the hosts (telemetry only).
+  uint64_t BackendFallbacks = 0;
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> SeenSignatures;
+  /// Signatures parked in Result.Unknowns (recordUnknown/eraseUnknown).
+  std::unordered_set<uint64_t> UnknownSigs;
 };
 
 } // namespace

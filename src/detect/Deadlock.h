@@ -47,6 +47,10 @@ struct DeadlockReport {
 
 struct DeadlockResult {
   std::vector<DeadlockReport> Deadlocks;
+  /// Dependency pairs the solver never decided within every retry budget —
+  /// First/Second hold the two lock requests. Maybe-deadlocks, kept out of
+  /// Deadlocks so degradation stays sound (docs/ROBUSTNESS.md).
+  std::vector<UnknownReport> Unknowns;
   DetectionStats Stats;
 };
 

@@ -6,18 +6,23 @@
 
 #include "detect/Detect.h"
 
+#include "detect/Checkpoint.h"
 #include "detect/Closure.h"
 #include "detect/Lockset.h"
 #include "detect/RaceEncoder.h"
+#include "detect/Resilience.h"
 #include "detect/WindowEncoding.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
+#include "support/CommandLine.h"
 #include "support/Compiler.h"
+#include "support/FaultInjector.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -50,6 +55,14 @@ std::string rvp::renderStatsTable(const DetectionStats &Stats,
       static_cast<unsigned long long>(Stats.SolverCalls),
       static_cast<unsigned long long>(Stats.SolverTimeouts),
       static_cast<unsigned>(Stats.Jobs));
+  // Degradation line only when something degraded, so healthy runs print
+  // the classic summary unchanged (docs/ROBUSTNESS.md).
+  if (Stats.SolverRetries || Stats.DegradedSessions || Stats.UnknownCops)
+    Out += formatString(
+        "resilience: retries=%llu degraded_sessions=%llu unknown=%llu\n",
+        static_cast<unsigned long long>(Stats.SolverRetries),
+        static_cast<unsigned long long>(Stats.DegradedSessions),
+        static_cast<unsigned long long>(Stats.UnknownCops));
   if (!Stats.Telemetry.Captured)
     return Out;
   Out += formatString("phases (%s, wall seconds):\n", What);
@@ -71,6 +84,9 @@ std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
       .field("qc_passed", Stats.QcPassed)
       .field("solver_calls", Stats.SolverCalls)
       .field("solver_timeouts", Stats.SolverTimeouts)
+      .field("solver_retries", Stats.SolverRetries)
+      .field("degraded_sessions", Stats.DegradedSessions)
+      .field("unknown_cops", Stats.UnknownCops)
       .field("jobs", static_cast<uint64_t>(Stats.Jobs));
   if (Stats.Telemetry.Captured) {
     O.raw("metrics", metricsToJson(Stats.Telemetry.Metrics));
@@ -274,14 +290,41 @@ public:
       Result.Stats.Jobs = Jobs;
     }
 
+    // Resume: with --checkpoint, reload everything accumulated up to the
+    // last completed window and skip straight past it. The fingerprint
+    // check inside the store guarantees the snapshot came from the same
+    // trace and flags, so the continued run is byte-identical to an
+    // uninterrupted one (docs/ROBUSTNESS.md).
+    CheckpointStore Ckpt(Options.CheckpointDir,
+                         Options.CheckpointFingerprint);
+    uint64_t SkipWindows = 0;
+    if (Ckpt.enabled()) {
+      std::string Payload;
+      int64_t Last = Ckpt.loadLatest(Payload);
+      if (Last >= 0 && restoreState(Payload))
+        SkipWindows = static_cast<uint64_t>(Last) + 1;
+      ResumedWindows = SkipWindows;
+    }
+
     {
       ScopedPhaseTimer DetectPhase("detect");
+      uint64_t Index = 0;
       for (Span Window : splitWindows(T, Options.WindowSize)) {
+        if (Index++ < SkipWindows)
+          continue;
         ++Result.Stats.Windows;
         processWindow(Window);
         advanceValues(Window);
+        if (Ckpt.enabled()) {
+          Ckpt.save(Index - 1, serializeState());
+          // Deterministic kill point for the resume tests: dies exactly
+          // at a window barrier, after the snapshot is durable.
+          if (FaultInjector::shouldFail(faults::DetectAbort))
+            std::_Exit(ExitInternal);
+        }
       }
     }
+    Result.Stats.UnknownCops = Result.Unknowns.size();
     Result.Stats.Seconds = Clock.seconds();
     if (Telemetry::enabled()) {
       flushTelemetryCounters();
@@ -311,7 +354,35 @@ private:
     R.Witness = std::move(Witness);
     R.WitnessValid = WitnessValid;
     RacySignatures.insert(R.Sig.key());
+    // A signature provisionally parked in the unknown section (an earlier
+    // window's COP ran out of budget) has now been decided: the race
+    // report supersedes the maybe-entry.
+    if (UnknownSignatures.erase(R.Sig.key()))
+      Result.Unknowns.erase(
+          std::remove_if(Result.Unknowns.begin(), Result.Unknowns.end(),
+                         [&](const UnknownReport &U) {
+                           return RaceSignature::of(T, U.First, U.Second)
+                                      .key() == R.Sig.key();
+                         }),
+          Result.Unknowns.end());
     Result.Races.push_back(std::move(R));
+  }
+
+  /// Parks an undecided COP in the unknown section (one entry per
+  /// signature, first COP seen) — never in the race list, so degradation
+  /// keeps the race reports sound.
+  void recordUnknown(const Cop &C, uint32_t Attempts) {
+    uint64_t Key = RaceSignature::of(T, C.First, C.Second).key();
+    if (!UnknownSignatures.insert(Key).second)
+      return;
+    UnknownReport U;
+    U.First = C.First;
+    U.Second = C.Second;
+    U.LocFirst = T.locName(T[C.First].Loc);
+    U.LocSecond = T.locName(T[C.Second].Loc);
+    U.Variable = T.varName(T[C.First].Target);
+    U.Attempts = Attempts;
+    Result.Unknowns.push_back(std::move(U));
   }
 
   void processWindow(Span Window) {
@@ -437,14 +508,14 @@ private:
     // hash-consing builder per window. Every surviving COP is decided
     // under its own selector assumption; the shared encoding and all
     // learned clauses carry over between queries, while each query still
-    // gets its own fresh per-COP Deadline (Section 4's budget).
+    // gets its own fresh per-COP Deadline (Section 4's budget). The
+    // SolveHost owns the session (or the one-shot solver in legacy mode)
+    // plus the whole degradation policy: budget escalation, session
+    // quarantine/rebuild, backend fallback (docs/ROBUSTNESS.md).
     FormulaBuilder WindowFB;
-    std::unique_ptr<SmtSession> Session;
-    if (UseIncremental) {
-      Session = createSessionByName(Options.SolverName);
-      if (!Session)
-        Session = createIdlSession();
-    }
+    SolveHost Host(Options.SolverName, UseIncremental,
+                   Options.PerCopBudgetSeconds, Options.RetryBudgets,
+                   Options.RetryJitterSeed + Result.Stats.Windows);
 
     for (size_t I = 0; I < Cops.size(); ++I) {
       const Cop &C = Cops[I];
@@ -464,7 +535,7 @@ private:
       }
 
       FormulaBuilder CopFB;
-      FormulaBuilder &FB = Session ? WindowFB : CopFB;
+      FormulaBuilder &FB = UseIncremental ? WindowFB : CopFB;
       size_t NodesBefore = FB.numNodes();
       NodeRef Root;
       {
@@ -477,22 +548,16 @@ private:
         recordFormulaMetrics(FB, NodesBefore, Root);
       OrderModel Model;
       ++Result.Stats.SolverCalls;
-      SatResult Sat;
+      SolveHost::Outcome Decided;
       double SolveSeconds = 0;
       {
         ScopedPhaseTimer SolvePhase("solve");
         Timer SolveClock;
-        Sat = Session
-                  ? Session->query(
-                        FB, Root,
-                        Deadline::after(Options.PerCopBudgetSeconds),
-                        nullptr)
-                  : Solver->solve(
-                        FB, Root,
-                        Deadline::after(Options.PerCopBudgetSeconds),
-                        Options.CollectWitnesses ? &Model : nullptr);
+        Decided = Host.decide(FB, Root,
+                              Options.CollectWitnesses ? &Model : nullptr);
         SolveSeconds = SolveClock.seconds();
       }
+      SatResult Sat = Decided.Sat;
       if (Telemetry::enabled())
         MetricsRegistry::global()
             .histogram("solver.latency_seconds")
@@ -502,8 +567,10 @@ private:
                                                       : "timeout";
       emitSolveEvent(Window, C, Outcome, SolveSeconds);
       if (Sat != SatResult::Sat) {
-        if (Sat == SatResult::Unknown)
+        if (Sat == SatResult::Unknown) {
           ++Result.Stats.SolverTimeouts;
+          recordUnknown(C, Decided.Attempts);
+        }
         emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
         continue;
       }
@@ -512,7 +579,7 @@ private:
       bool WitnessValid = false;
       if (Options.CollectWitnesses && Tech == Technique::Maximal) {
         ScopedPhaseTimer WitnessPhase("witness");
-        if (Session)
+        if (!Decided.ModelFromSolve)
           rederiveModel(Encoder, C, Model);
         Witness = buildWitness(Window, Model, C);
         WitnessValid =
@@ -523,7 +590,220 @@ private:
       emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
       report(C.First, C.Second, std::move(Witness), WitnessValid);
     }
+    absorbHostStats(Host.stats());
     return Cops.size();
+  }
+
+  /// Folds one host's resilience tallies into the run's stats (called at
+  /// each window barrier; the parallel path folds every worker's host).
+  void absorbHostStats(const ResilienceStats &S) {
+    Result.Stats.SolverRetries += S.Retries;
+    Result.Stats.DegradedSessions += S.DegradedSessions;
+    BackendFallbacks += S.BackendFallbacks;
+  }
+
+  // ----------------------------------------------------- checkpointing
+
+  /// Serializes everything the driver accumulates across windows
+  /// (docs/ROBUSTNESS.md). Only event ids and counters are stored —
+  /// display strings and signatures are re-derived from the trace on
+  /// restore, so the payload stays small and cannot drift from the trace
+  /// (the store's fingerprint pins trace and flags).
+  std::string serializeState() const {
+    std::string Out;
+    Out += formatString(
+        "stats %llu %llu %llu %llu %llu %llu %llu %llu\n",
+        static_cast<unsigned long long>(Result.Stats.Windows),
+        static_cast<unsigned long long>(Result.Stats.Cops),
+        static_cast<unsigned long long>(Result.Stats.QcPassed),
+        static_cast<unsigned long long>(Result.Stats.CopsPrunedStatic),
+        static_cast<unsigned long long>(Result.Stats.SolverCalls),
+        static_cast<unsigned long long>(Result.Stats.SolverTimeouts),
+        static_cast<unsigned long long>(Result.Stats.SolverRetries),
+        static_cast<unsigned long long>(Result.Stats.DegradedSessions));
+    Out += formatString(
+        "tallies %llu %llu %llu %llu %llu %llu\n",
+        static_cast<unsigned long long>(QcHits),
+        static_cast<unsigned long long>(QcMisses),
+        static_cast<unsigned long long>(SigPruned),
+        static_cast<unsigned long long>(StaticPruned),
+        static_cast<unsigned long long>(SpeculativeSolves),
+        static_cast<unsigned long long>(BackendFallbacks));
+    Out += "values";
+    for (Value V : RunningValues)
+      Out += formatString(" %lld", static_cast<long long>(V));
+    Out += "\n";
+    appendKeySet(Out, "racy", RacySignatures);
+    appendKeySet(Out, "qcsig", QcSignatures);
+    for (const RaceReport &R : Result.Races) {
+      Out += formatString("race %llu %llu %d",
+                          static_cast<unsigned long long>(R.First),
+                          static_cast<unsigned long long>(R.Second),
+                          R.WitnessValid ? 1 : 0);
+      for (EventId Id : R.Witness)
+        Out += formatString(" %llu", static_cast<unsigned long long>(Id));
+      Out += "\n";
+    }
+    for (const UnknownReport &U : Result.Unknowns)
+      Out += formatString("unknown %llu %llu %u\n",
+                          static_cast<unsigned long long>(U.First),
+                          static_cast<unsigned long long>(U.Second),
+                          static_cast<unsigned>(U.Attempts));
+    return Out;
+  }
+
+  static void appendKeySet(std::string &Out, const char *Tag,
+                           const std::unordered_set<uint64_t> &Set) {
+    // Sorted so the same state always serializes to the same bytes.
+    std::vector<uint64_t> Keys(Set.begin(), Set.end());
+    std::sort(Keys.begin(), Keys.end());
+    Out += Tag;
+    for (uint64_t K : Keys)
+      Out += formatString(" %llx", static_cast<unsigned long long>(K));
+    Out += "\n";
+  }
+
+  /// Inverse of serializeState. All-or-nothing: any malformed or
+  /// out-of-range field rejects the snapshot (the run then starts from
+  /// scratch, which is always sound — checkpoints only save time).
+  bool restoreState(const std::string &Payload) {
+    auto parseU64 = [](std::string_view S, uint64_t &Out) {
+      int64_t V = 0;
+      if (!parseInt(S, V) || V < 0)
+        return false;
+      Out = static_cast<uint64_t>(V);
+      return true;
+    };
+    auto parseHex = [](std::string_view S, uint64_t &Out) {
+      if (S.empty() || S.size() > 16)
+        return false;
+      uint64_t V = 0;
+      for (char C : S) {
+        int D;
+        if (C >= '0' && C <= '9')
+          D = C - '0';
+        else if (C >= 'a' && C <= 'f')
+          D = C - 'a' + 10;
+        else
+          return false;
+        V = V << 4 | static_cast<uint64_t>(D);
+      }
+      Out = V;
+      return true;
+    };
+    auto parseEvent = [&](std::string_view S, EventId &Out) {
+      uint64_t V = 0;
+      if (!parseU64(S, V) || V >= T.size())
+        return false;
+      Out = static_cast<EventId>(V);
+      return true;
+    };
+
+    std::vector<RaceReport> NewRaces;
+    std::vector<UnknownReport> NewUnknowns;
+    std::vector<Value> NewValues;
+    std::unordered_set<uint64_t> NewRacy, NewQc, NewUnkSigs;
+    uint64_t S[8] = {0}, Tally[6] = {0};
+    bool SawStats = false, SawTallies = false, SawValues = false;
+
+    for (std::string_view Line : split(Payload, '\n')) {
+      Line = trim(Line);
+      if (Line.empty())
+        continue;
+      std::vector<std::string_view> F = split(Line, ' ');
+      if (F[0] == "stats") {
+        if (F.size() != 9)
+          return false;
+        for (size_t I = 0; I < 8; ++I)
+          if (!parseU64(F[I + 1], S[I]))
+            return false;
+        SawStats = true;
+      } else if (F[0] == "tallies") {
+        if (F.size() != 7)
+          return false;
+        for (size_t I = 0; I < 6; ++I)
+          if (!parseU64(F[I + 1], Tally[I]))
+            return false;
+        SawTallies = true;
+      } else if (F[0] == "values") {
+        for (size_t I = 1; I < F.size(); ++I) {
+          int64_t V = 0;
+          if (!parseInt(F[I], V))
+            return false;
+          NewValues.push_back(static_cast<Value>(V));
+        }
+        SawValues = true;
+      } else if (F[0] == "racy" || F[0] == "qcsig") {
+        auto &Set = F[0] == "racy" ? NewRacy : NewQc;
+        for (size_t I = 1; I < F.size(); ++I) {
+          uint64_t K = 0;
+          if (!parseHex(F[I], K))
+            return false;
+          Set.insert(K);
+        }
+      } else if (F[0] == "race") {
+        if (F.size() < 4)
+          return false;
+        RaceReport R;
+        uint64_t Valid = 0;
+        if (!parseEvent(F[1], R.First) || !parseEvent(F[2], R.Second) ||
+            !parseU64(F[3], Valid) || Valid > 1)
+          return false;
+        R.Sig = RaceSignature::of(T, R.First, R.Second);
+        R.LocFirst = T.locName(T[R.First].Loc);
+        R.LocSecond = T.locName(T[R.Second].Loc);
+        R.Variable = T.varName(T[R.First].Target);
+        R.WitnessValid = Valid != 0;
+        for (size_t I = 4; I < F.size(); ++I) {
+          EventId Id = InvalidEvent;
+          if (!parseEvent(F[I], Id))
+            return false;
+          R.Witness.push_back(Id);
+        }
+        NewRaces.push_back(std::move(R));
+      } else if (F[0] == "unknown") {
+        if (F.size() != 4)
+          return false;
+        UnknownReport U;
+        uint64_t Attempts = 0;
+        if (!parseEvent(F[1], U.First) || !parseEvent(F[2], U.Second) ||
+            !parseU64(F[3], Attempts) || Attempts == 0)
+          return false;
+        U.LocFirst = T.locName(T[U.First].Loc);
+        U.LocSecond = T.locName(T[U.Second].Loc);
+        U.Variable = T.varName(T[U.First].Target);
+        U.Attempts = static_cast<uint32_t>(Attempts);
+        NewUnkSigs.insert(RaceSignature::of(T, U.First, U.Second).key());
+        NewUnknowns.push_back(std::move(U));
+      } else {
+        return false; // unknown section: written by a different build
+      }
+    }
+    if (!SawStats || !SawTallies || !SawValues ||
+        NewValues.size() != T.numVars())
+      return false;
+
+    Result.Stats.Windows = S[0];
+    Result.Stats.Cops = S[1];
+    Result.Stats.QcPassed = S[2];
+    Result.Stats.CopsPrunedStatic = S[3];
+    Result.Stats.SolverCalls = S[4];
+    Result.Stats.SolverTimeouts = S[5];
+    Result.Stats.SolverRetries = S[6];
+    Result.Stats.DegradedSessions = S[7];
+    QcHits = Tally[0];
+    QcMisses = Tally[1];
+    SigPruned = Tally[2];
+    StaticPruned = Tally[3];
+    SpeculativeSolves = Tally[4];
+    BackendFallbacks = Tally[5];
+    RunningValues = std::move(NewValues);
+    RacySignatures = std::move(NewRacy);
+    QcSignatures = std::move(NewQc);
+    UnknownSignatures = std::move(NewUnkSigs);
+    Result.Races = std::move(NewRaces);
+    Result.Unknowns = std::move(NewUnknowns);
+    return true;
   }
 
   /// Canonical witness model for the incremental path: re-encode the COP
@@ -555,13 +835,16 @@ private:
 
   // -------------------------------------------------- parallel solving
 
-  /// Incremental mode, jobs > 1: each worker keeps its own shared builder
-  /// and solver session for the current window, so queries of COPs that
-  /// land on the same worker reuse each other's encoding and learned
-  /// clauses without any cross-thread solver state.
+  /// Jobs > 1: each worker keeps its own SolveHost for the current window
+  /// — in incremental mode that host owns the worker's persistent session
+  /// and the shared builder below, so queries of COPs that land on the
+  /// same worker reuse each other's encoding and learned clauses without
+  /// any cross-thread solver state; in legacy mode the host just owns the
+  /// worker's one-shot solver (all solver state is per-solve). Either
+  /// way the host also runs the per-worker degradation policy.
   struct WorkerSolveCtx {
     FormulaBuilder FB;
-    std::unique_ptr<SmtSession> Session;
+    std::unique_ptr<SolveHost> Host;
   };
 
   /// Outcome of one COP, decided in phase A (pre-filters) or phase B
@@ -573,6 +856,8 @@ private:
     bool QcFail = false;
     bool Solved = false;
     SatResult Sat = SatResult::Unknown;
+    /// Escalation attempts the host spent on this COP.
+    uint32_t Attempts = 1;
     double SolveSeconds = 0;
     uint64_t FormulaNodes = 0;
     uint64_t DifferenceAtoms = 0;
@@ -619,12 +904,10 @@ private:
     const bool Observing = Telemetry::enabled();
     const bool WantEventMetrics = activeSink() != nullptr;
     std::vector<PhaseTree> WorkerTrees(Observing ? Pool->numWorkers() : 0);
-    // Per-worker incremental state, window-scoped. The extra trailing slot
+    // Per-worker solve state, window-scoped. The extra trailing slot
     // belongs to the main thread, which helps drain the queue inside
     // parallelFor and reports currentWorkerIndex() == -1.
-    std::vector<WorkerSolveCtx> Contexts;
-    if (UseIncremental)
-      Contexts.resize(Pool->numWorkers() + 1);
+    std::vector<WorkerSolveCtx> Contexts(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Cops.size(), [&](size_t I) {
       CopTaskResult &R = Results[I];
       if (R.StaticPruned || R.PreFiltered || R.QcFail)
@@ -633,14 +916,14 @@ private:
       std::optional<ThreadPhaseScope> PhaseScope;
       if (Observing && W >= 0)
         PhaseScope.emplace(&WorkerTrees[W]);
-      WorkerSolveCtx *Ctx =
-          Contexts.empty()
-              ? nullptr
-              : &Contexts[W >= 0 ? static_cast<size_t>(W)
-                                 : Contexts.size() - 1];
+      WorkerSolveCtx &Ctx = Contexts[W >= 0 ? static_cast<size_t>(W)
+                                            : Contexts.size() - 1];
       solveCopTask(Cops[I], Encoder, Mhb, Window, WantEventMetrics, Ctx,
                    R);
     });
+    for (const WorkerSolveCtx &Ctx : Contexts)
+      if (Ctx.Host)
+        absorbHostStats(Ctx.Host->stats());
     if (Observing) {
       // The main thread is inside the "window" phase here, so the merge
       // nests each worker's encode/solve/witness times under it.
@@ -674,6 +957,7 @@ private:
       emitSolveEvent(Window, C, Outcome, R.SolveSeconds);
       if (R.Sat == SatResult::Unknown) {
         ++Result.Stats.SolverTimeouts;
+        recordUnknown(C, R.Attempts);
         emitCopEventFields(C, Outcome, true, R.FormulaNodes,
                            R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
         continue;
@@ -694,15 +978,15 @@ private:
   /// registry (atomic), and its own CopTaskResult slot.
   void solveCopTask(const Cop &C, const RaceEncoder &Encoder,
                     const EventClosure &Mhb, Span Window,
-                    bool WantEventMetrics, WorkerSolveCtx *Ctx,
+                    bool WantEventMetrics, WorkerSolveCtx &Ctx,
                     CopTaskResult &R) {
-    if (Ctx && !Ctx->Session) {
-      Ctx->Session = createSessionByName(Options.SolverName);
-      if (!Ctx->Session)
-        Ctx->Session = createIdlSession();
-    }
+    if (!Ctx.Host)
+      Ctx.Host = std::make_unique<SolveHost>(
+          Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
+          Options.RetryBudgets,
+          Options.RetryJitterSeed + Result.Stats.Windows);
     FormulaBuilder TaskFB;
-    FormulaBuilder &FB = Ctx ? Ctx->FB : TaskFB;
+    FormulaBuilder &FB = UseIncremental ? Ctx.FB : TaskFB;
     size_t NodesBefore = FB.numNodes();
     NodeRef Root;
     {
@@ -720,28 +1004,18 @@ private:
           ++R.DifferenceAtoms;
       R.OrderVars = FB.collectVars(Root).size();
     }
-    // Legacy mode: one solver instance per task — all solver state is
-    // per-solve, and instantiation is cheap next to the solve itself.
-    std::unique_ptr<SmtSolver> TaskSolver;
-    if (!Ctx) {
-      TaskSolver = createSolverByName(Options.SolverName);
-      if (!TaskSolver)
-        TaskSolver = createIdlSolver();
-    }
     OrderModel Model;
     R.Solved = true;
+    SolveHost::Outcome Decided;
     {
       ScopedPhaseTimer SolvePhase("solve");
       Timer SolveClock;
-      R.Sat =
-          Ctx ? Ctx->Session->query(
-                    FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                    nullptr)
-              : TaskSolver->solve(
-                    FB, Root, Deadline::after(Options.PerCopBudgetSeconds),
-                    Options.CollectWitnesses ? &Model : nullptr);
+      Decided = Ctx.Host->decide(
+          FB, Root, Options.CollectWitnesses ? &Model : nullptr);
       R.SolveSeconds = SolveClock.seconds();
     }
+    R.Sat = Decided.Sat;
+    R.Attempts = Decided.Attempts;
     if (Telemetry::enabled())
       MetricsRegistry::global()
           .histogram("solver.latency_seconds")
@@ -749,7 +1023,7 @@ private:
     if (R.Sat == SatResult::Sat && Options.CollectWitnesses &&
         Tech == Technique::Maximal) {
       ScopedPhaseTimer WitnessPhase("witness");
-      if (Ctx)
+      if (!Decided.ModelFromSolve)
         rederiveModel(Encoder, C, Model);
       R.Witness = buildWitness(Window, Model, C);
       R.WitnessValid = checkWitness(T, Window, R.Witness, C.First, C.Second,
@@ -772,6 +1046,12 @@ private:
     Reg.counter("detect.races").add(Result.Races.size());
     Reg.counter("solver.calls").add(Result.Stats.SolverCalls);
     Reg.counter("solver.timeouts").add(Result.Stats.SolverTimeouts);
+    Reg.counter("solver.retries").add(Result.Stats.SolverRetries);
+    Reg.counter("solver.degraded_sessions")
+        .add(Result.Stats.DegradedSessions);
+    Reg.counter("solver.backend_fallbacks").add(BackendFallbacks);
+    Reg.counter("detect.unknown_cops").add(Result.Stats.UnknownCops);
+    Reg.counter("detect.resumed_windows").add(ResumedWindows);
     Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
     Reg.gauge("detect.jobs").set(Result.Stats.Jobs);
   }
@@ -939,6 +1219,14 @@ private:
   std::vector<Value> RunningValues;
   std::unordered_set<uint64_t> RacySignatures;
   std::unordered_set<uint64_t> QcSignatures;
+  /// Signatures currently parked in Result.Unknowns (kept in sync by
+  /// recordUnknown/report).
+  std::unordered_set<uint64_t> UnknownSignatures;
+  /// Backend factory failures absorbed by falling back to idl.
+  uint64_t BackendFallbacks = 0;
+  /// Windows skipped because a checkpoint snapshot covered them
+  /// (telemetry detect.resumed_windows).
+  uint64_t ResumedWindows = 0;
   /// Plain tallies on the hot path, flushed into the registry once per run
   /// (flushTelemetryCounters) so disabled telemetry costs nothing.
   uint64_t QcHits = 0;

@@ -87,6 +87,22 @@ struct DetectorOptions {
   /// independently, then collect results in COP order (see
   /// docs/OBSERVABILITY.md).
   uint32_t Jobs = 1;
+  /// Escalating per-attempt solver budgets (`--retry-budgets`, parsed by
+  /// parseBudgetList): an Unknown answer is retried at the next budget
+  /// before the COP lands in the unknown section. Empty (the default)
+  /// means a single attempt at PerCopBudgetSeconds — the exact historical
+  /// behaviour. See docs/ROBUSTNESS.md.
+  std::vector<double> RetryBudgets;
+  /// Seed for the retry backoff jitter (deterministic runs).
+  uint64_t RetryJitterSeed = 1;
+  /// Directory for per-window checkpoints (`--checkpoint`); empty
+  /// disables them. A run restarted with the same flags and trace resumes
+  /// after the last completed window. See docs/ROBUSTNESS.md.
+  std::string CheckpointDir;
+  /// Fingerprint guarding CheckpointDir (hash of trace + flags, computed
+  /// by the front end via checkpointHash); snapshots with a different
+  /// fingerprint are ignored.
+  uint64_t CheckpointFingerprint = 0;
 };
 
 /// One reported race (first COP found per signature).
@@ -101,6 +117,21 @@ struct RaceReport {
   bool WitnessValid = false;
 };
 
+/// A pair the pipeline could not decide within every retry budget (or
+/// whose solves kept failing under degradation). Soundness: these are
+/// *maybe* races — they are reported in their own section, never merged
+/// into the race list, so the race list stays sound under faults and
+/// budget exhaustion (docs/ROBUSTNESS.md). The same struct serves the
+/// atomicity and deadlock drivers, where First/Second are the defining
+/// pair of the undecided candidate.
+struct UnknownReport {
+  EventId First = InvalidEvent;
+  EventId Second = InvalidEvent;
+  std::string LocFirst, LocSecond, Variable; ///< resolved display names
+  /// Solve attempts spent before giving up.
+  uint32_t Attempts = 1;
+};
+
 struct DetectionStats {
   uint64_t Windows = 0;
   uint64_t Cops = 0;
@@ -111,6 +142,15 @@ struct DetectionStats {
   uint64_t CopsPrunedStatic = 0;
   uint64_t SolverCalls = 0;
   uint64_t SolverTimeouts = 0;
+  /// Extra solve attempts beyond each COP's first (the escalation ladder;
+  /// 0 unless --retry-budgets is set and Unknowns occurred).
+  uint64_t SolverRetries = 0;
+  /// Incremental sessions quarantined and rebuilt (or dropped to one-shot
+  /// solving) after corruption or a failed-query streak.
+  uint64_t DegradedSessions = 0;
+  /// Distinct signatures left undecided after all retry tiers — the
+  /// entries of DetectionResult::Unknowns.
+  uint64_t UnknownCops = 0;
   /// Effective worker count used for per-COP solving (1 when the
   /// technique has no solver loop or the run was sequential).
   uint32_t Jobs = 1;
@@ -135,6 +175,10 @@ std::string statsToJson(const DetectionStats &Stats, const char *What);
 
 struct DetectionResult {
   std::vector<RaceReport> Races;
+  /// Maybe-races the solver never decided (one per signature, first COP
+  /// seen); disjoint from Races. Empty in a healthy run with adequate
+  /// budgets, so reports only grow this section when degradation happened.
+  std::vector<UnknownReport> Unknowns;
   DetectionStats Stats;
 
   /// Distinct race signatures found (the paper's race counts).

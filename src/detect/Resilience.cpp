@@ -1,0 +1,184 @@
+//===- detect/Resilience.cpp - Budget escalation & degradation ------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Resilience.h"
+
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+using namespace rvp;
+
+bool rvp::parseBudgetList(const std::string &Spec, std::vector<double> &Out,
+                          std::string &Error) {
+  Out.clear();
+  std::string_view Trimmed = trim(Spec);
+  if (Trimmed.empty())
+    return true;
+  for (std::string_view Raw : split(Trimmed, ',')) {
+    std::string_view Entry = trim(Raw);
+    double Scale = 1.0;
+    if (Entry.size() > 2 && Entry.substr(Entry.size() - 2) == "ms") {
+      Scale = 1e-3;
+      Entry.remove_suffix(2);
+    } else if (Entry.size() > 2 && Entry.substr(Entry.size() - 2) == "us") {
+      Scale = 1e-6;
+      Entry.remove_suffix(2);
+    } else if (Entry.size() > 1 && Entry.back() == 's') {
+      Entry.remove_suffix(1);
+    }
+    std::string Num(Entry);
+    char *End = nullptr;
+    double Value = Num.empty() ? 0.0 : std::strtod(Num.c_str(), &End);
+    if (Num.empty() || End != Num.c_str() + Num.size() ||
+        !std::isfinite(Value) || Value <= 0) {
+      Error = formatString(
+          "malformed retry budget '%s' (want a positive duration like "
+          "50ms, 250ms, or 1s)",
+          std::string(trim(Raw)).c_str());
+      Out.clear();
+      return false;
+    }
+    Out.push_back(Value * Scale);
+  }
+  return true;
+}
+
+SolveHost::SolveHost(std::string SolverName, bool Incremental,
+                     double BaseBudgetSeconds,
+                     std::vector<double> RetryBudgets, uint64_t JitterSeed)
+    : SolverName(std::move(SolverName)), Incremental(Incremental),
+      BaseBudgetSeconds(BaseBudgetSeconds),
+      RetryBudgets(std::move(RetryBudgets)),
+      RngState(JitterSeed ? JitterSeed : 0x9e3779b97f4a7c15ULL) {}
+
+SolveHost::~SolveHost() = default;
+
+const char *SolveHost::backendName() const {
+  if (Incremental && !SessionDead && Session)
+    return Session->name();
+  if (Solver)
+    return Solver->name();
+  return SolverName.empty() ? "idl" : SolverName.c_str();
+}
+
+void SolveHost::ensureSession() {
+  if (Session)
+    return;
+  Session = createSessionByName(SolverName);
+  if (!Session) {
+    if (!SolverName.empty() && SolverName != "idl")
+      ++Stats.BackendFallbacks;
+    Session = createIdlSession();
+  }
+}
+
+void SolveHost::ensureSolver() {
+  if (Solver)
+    return;
+  Solver = createSolverByName(SolverName);
+  if (!Solver) {
+    if (!SolverName.empty() && SolverName != "idl")
+      ++Stats.BackendFallbacks;
+    Solver = createIdlSolver();
+  }
+}
+
+void SolveHost::quarantineSession() {
+  ++Stats.DegradedSessions;
+  Session.reset();
+  FailedStreak = 0;
+  // One rebuild is worth trying: corruption may have been transient and
+  // the window's learned clauses rebuild quickly. A second quarantine in
+  // the same window means the session path itself is unhealthy here, so
+  // every later query goes to a fresh one-shot solver instead.
+  if (RebuiltOnce)
+    SessionDead = true;
+  else
+    RebuiltOnce = true;
+}
+
+void SolveHost::backoff() {
+  // xorshift64* — deterministic per host, sub-millisecond so escalation
+  // never dominates the budget it protects.
+  RngState ^= RngState >> 12;
+  RngState ^= RngState << 25;
+  RngState ^= RngState >> 27;
+  uint64_t Us = 50 + (RngState * 0x2545f4914f6cdd1dULL >> 32) % 400;
+  std::this_thread::sleep_for(std::chrono::microseconds(Us));
+}
+
+SatResult SolveHost::attemptOnce(const FormulaBuilder &FB, NodeRef Root,
+                                 double BudgetSeconds, OrderModel *ModelOut,
+                                 bool &FromSolve) {
+  if (Incremental && !SessionDead) {
+    ensureSession();
+    // Session models depend on query history; witness models are always
+    // re-derived one-shot by the caller, so no model is requested here.
+    SatResult Result =
+        Session->query(FB, Root, Deadline::after(BudgetSeconds), nullptr);
+    FromSolve = false;
+    if (Session->poisoned()) {
+      quarantineSession();
+      return SatResult::Unknown;
+    }
+    if (Result == SatResult::Unknown) {
+      if (++FailedStreak >= FailedStreakLimit)
+        quarantineSession();
+    } else {
+      FailedStreak = 0;
+    }
+    return Result;
+  }
+
+  ensureSolver();
+  // In legacy (non-incremental) mode the caller's builder holds exactly
+  // this COP's formula, so the solve's model IS the canonical witness
+  // model. In degraded session mode the builder is the shared window
+  // builder and the model would depend on earlier COPs' numbering — the
+  // caller re-derives instead, exactly like the healthy session path.
+  OrderModel *Out = Incremental ? nullptr : ModelOut;
+  SatResult Result =
+      Solver->solve(FB, Root, Deadline::after(BudgetSeconds), Out);
+  FromSolve = !Incremental;
+  return Result;
+}
+
+SolveHost::Outcome SolveHost::decide(const FormulaBuilder &FB, NodeRef Root,
+                                     OrderModel *ModelOut) {
+  Outcome Out;
+  size_t Tiers = RetryBudgets.empty() ? 1 : RetryBudgets.size();
+  uint32_t Attempt = 0;
+  for (size_t Tier = 0; Tier < Tiers; ++Tier) {
+    double Budget =
+        RetryBudgets.empty() ? BaseBudgetSeconds : RetryBudgets[Tier];
+    bool Repeat = true;
+    while (Repeat) {
+      Repeat = false;
+      if (Attempt > 0) {
+        ++Stats.Retries;
+        backoff();
+      }
+      bool FromSolve = false;
+      uint64_t QuarantinesBefore = Stats.DegradedSessions;
+      Out.Sat = attemptOnce(FB, Root, Budget, ModelOut, FromSolve);
+      Out.Attempts = ++Attempt;
+      Out.ModelFromSolve = FromSolve && Out.Sat == SatResult::Sat;
+      if (Out.Sat != SatResult::Unknown)
+        return Out;
+      // A query lost to session sickness (quarantine fired during the
+      // attempt) was never really asked — repeat it at the same tier
+      // against the rebuilt session or the one-shot fallback. Bounded:
+      // a host quarantines at most twice (rebuild once, then dead).
+      if (Stats.DegradedSessions != QuarantinesBefore)
+        Repeat = true;
+    }
+  }
+  return Out;
+}

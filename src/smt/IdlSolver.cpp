@@ -16,6 +16,7 @@
 #include "smt/Solver.h"
 #include "smt/Tseitin.h"
 
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 using namespace rvp;
@@ -44,6 +45,8 @@ public:
       return SatResult::Sat; // no constraints; ModelOut stays empty
     if (RootNode.Kind == FormulaKind::False)
       return SatResult::Unsat;
+    if (FaultInjector::shouldFail(faults::SolverTimeout))
+      return SatResult::Unknown; // injected budget expiry
 
     Timer Clock;
     DiffLogicTheory Theory;
@@ -77,7 +80,10 @@ std::unique_ptr<SmtSolver> rvp::createIdlSolver() {
 std::unique_ptr<SmtSolver> rvp::createSolverByName(const std::string &Name) {
   if (Name == "idl" || Name.empty())
     return createIdlSolver();
-  if (Name == "z3")
+  if (Name == "z3") {
+    if (FaultInjector::shouldFail(faults::Z3Unavailable))
+      return nullptr; // injected backend outage; callers fall back to idl
     return createZ3Solver();
+  }
   return nullptr;
 }

@@ -22,6 +22,7 @@
 #include "smt/Solver.h"
 #include "smt/Tseitin.h"
 
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 using namespace rvp;
@@ -58,11 +59,17 @@ public:
     return Result;
   }
 
+  bool poisoned() const override { return Poisoned; }
+
   const char *name() const override { return "idl"; }
 
 private:
   SatResult queryImpl(const FormulaBuilder &FB, NodeRef Root,
                       Deadline Limit, OrderModel *ModelOut) {
+    if (FaultInjector::shouldFail(faults::SessionCorrupt))
+      Poisoned = true;
+    if (Poisoned)
+      return SatResult::Unknown;
     if (CoreUnsat)
       return SatResult::Unsat;
     const FormulaNode &N = FB.node(Root);
@@ -73,6 +80,8 @@ private:
     }
     if (N.Kind == FormulaKind::False)
       return SatResult::Unsat;
+    if (FaultInjector::shouldFail(faults::SolverTimeout))
+      return SatResult::Unknown; // injected budget expiry
 
     Sat.backtrackToRoot();
     Lit RootLit = Encoder.encode(FB, Root);
@@ -95,6 +104,10 @@ private:
     Sat.backtrackToRoot();
     if (!Sat.addClause({Lit::neg(Selector)}))
       CoreUnsat = true;
+    // A failed clause-database allocation leaves the database truncated;
+    // nothing this session answers from here on can be trusted.
+    if (Sat.allocFailed())
+      Poisoned = true;
     return Result;
   }
 
@@ -121,6 +134,7 @@ private:
   TseitinEncoder Encoder;
   bool CoreUnsat = false;
   bool DidSolve = false;
+  bool Poisoned = false;
 };
 
 } // namespace
@@ -132,7 +146,10 @@ std::unique_ptr<SmtSession> rvp::createIdlSession() {
 std::unique_ptr<SmtSession> rvp::createSessionByName(const std::string &Name) {
   if (Name == "idl" || Name.empty())
     return createIdlSession();
-  if (Name == "z3")
+  if (Name == "z3") {
+    if (FaultInjector::shouldFail(faults::Z3Unavailable))
+      return nullptr; // injected backend outage; callers fall back to idl
     return createZ3Session();
+  }
   return nullptr;
 }

@@ -7,6 +7,7 @@
 #include "smt/Sat.h"
 
 #include "support/Compiler.h"
+#include "support/FaultInjector.h"
 
 #include <algorithm>
 #include <cassert>
@@ -33,6 +34,13 @@ Var SatSolver::newVar() {
 bool SatSolver::addClause(std::vector<Lit> Lits) {
   if (Unsatisfiable)
     return false;
+  if (FaultInjector::shouldFail(faults::SatDbAlloc)) {
+    // Simulated allocation failure: the clause is dropped, so the database
+    // no longer represents the input formula. Mark the solver sick; solve()
+    // degrades to Unknown rather than answering from the truncated DB.
+    AllocFailed = true;
+    return true;
+  }
   assert(TrailLimits.empty() && "clauses must be added at decision level 0");
 
   // Normalize: sort, dedupe, detect tautologies, drop level-0 falsified
@@ -431,6 +439,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumed, Deadline Limit) {
   FinalConflict.clear();
   AssumptionConflicts = 0;
   Conflicts = Decisions = Propagations = Restarts = 0;
+  if (AllocFailed)
+    return SatResult::Unknown;
   if (Unsatisfiable)
     return SatResult::Unsat;
   Assumptions = Assumed;

@@ -120,6 +120,12 @@ public:
   /// solve() calls (reduceDb drops the least active half when large).
   uint64_t numLearnedClauses() const;
 
+  /// True once a clause-database allocation failed (today only via the
+  /// `satdb.alloc` fault site; a real bad_alloc would land here too). The
+  /// solver is sick, not unsat: solve() answers Unknown so callers take
+  /// their degradation path instead of trusting a truncated database.
+  bool allocFailed() const { return AllocFailed; }
+
 private:
   using ClauseRef = uint32_t;
   static constexpr ClauseRef NoReason = UINT32_MAX;
@@ -192,6 +198,7 @@ private:
 
   std::vector<bool> Model;
   bool Unsatisfiable = false;
+  bool AllocFailed = false;
 
   /// Assumption literals of the solve() in progress, planted in order as
   /// pseudo-decisions at levels 1..Assumptions.size().

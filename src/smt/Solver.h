@@ -89,6 +89,13 @@ public:
   virtual SatResult query(const FormulaBuilder &FB, NodeRef Root,
                           Deadline Limit, OrderModel *ModelOut) = 0;
 
+  /// True once the session detected internal corruption — a failed
+  /// clause-database allocation, a backend exception, or an injected
+  /// `session.corrupt` fault. A poisoned session only ever answers
+  /// Unknown; callers should quarantine it and rebuild or fall back to
+  /// one-shot solving (src/detect/Resilience.h implements that policy).
+  virtual bool poisoned() const = 0;
+
   virtual const char *name() const = 0;
 };
 
@@ -100,6 +107,11 @@ std::unique_ptr<SmtSession> createZ3Session();
 
 /// Names a backend: "idl" or "z3". Returns nullptr for unknown/unavailable.
 std::unique_ptr<SmtSession> createSessionByName(const std::string &Name);
+
+/// True when the build carries the Z3 backend (compile-time fact; the
+/// `z3.unavailable` fault site can still make the factories fail at
+/// runtime to exercise the z3 -> idl fallback).
+bool z3Available();
 
 } // namespace rvp
 

@@ -16,6 +16,7 @@
 #ifdef RVP_HAVE_Z3
 
 #include "support/Compiler.h"
+#include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 
 #include <z3++.h>
@@ -51,6 +52,8 @@ public:
 private:
   SatResult solveImpl(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
                       OrderModel *ModelOut) {
+    if (FaultInjector::shouldFail(faults::SolverTimeout))
+      return SatResult::Unknown; // injected budget expiry
     z3::context Ctx;
     z3::solver Solver(Ctx);
     // Budget accounting is explicit about "no limit": only a real deadline
@@ -174,13 +177,19 @@ public:
     return Result;
   }
 
+  bool poisoned() const override { return Broken; }
+
   const char *name() const override { return "z3"; }
 
 private:
   SatResult queryImpl(const FormulaBuilder &FB, NodeRef Root, Deadline Limit,
                       OrderModel *ModelOut) {
+    if (FaultInjector::shouldFail(faults::SessionCorrupt))
+      Broken = true;
     if (Broken)
       return SatResult::Unknown;
+    if (FaultInjector::shouldFail(faults::SolverTimeout))
+      return SatResult::Unknown; // injected budget expiry
     if (Limit.hasLimit()) {
       double Remaining = Limit.remainingSeconds();
       z3::params Params(Ctx);
@@ -289,10 +298,14 @@ std::unique_ptr<rvp::SmtSession> rvp::createZ3Session() {
   return std::make_unique<Z3Session>();
 }
 
+bool rvp::z3Available() { return true; }
+
 #else // !RVP_HAVE_Z3
 
 std::unique_ptr<rvp::SmtSolver> rvp::createZ3Solver() { return nullptr; }
 
 std::unique_ptr<rvp::SmtSession> rvp::createZ3Session() { return nullptr; }
+
+bool rvp::z3Available() { return false; }
 
 #endif

@@ -98,7 +98,7 @@ int64_t OptionParser::getInt(const std::string &Name, int64_t Default) const {
   if (!parseInt(Opt->Value, Value)) {
     std::fprintf(stderr, "error: option '--%s' expects an integer, got '%s'\n",
                  Name.c_str(), Opt->Value.c_str());
-    std::exit(1);
+    std::exit(ExitUsage);
   }
   return Value;
 }
@@ -113,7 +113,7 @@ double OptionParser::getDouble(const std::string &Name,
   if (End == Opt->Value.c_str() || *End != '\0') {
     std::fprintf(stderr, "error: option '--%s' expects a number, got '%s'\n",
                  Name.c_str(), Opt->Value.c_str());
-    std::exit(1);
+    std::exit(ExitUsage);
   }
   return Value;
 }

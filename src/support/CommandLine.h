@@ -20,6 +20,15 @@
 
 namespace rvp {
 
+/// Exit codes shared by the command-line tools (documented in the README
+/// and docs/ROBUSTNESS.md). Keep scripts in scripts/ in sync.
+enum ExitCode : int {
+  ExitSuccess = 0,  ///< clean run, nothing found
+  ExitFindings = 1, ///< the analysis found races / violations / deadlocks
+  ExitUsage = 2,    ///< bad flags, malformed values, unreadable inputs
+  ExitInternal = 3, ///< internal error, or a degraded run with unknowns
+};
+
 /// Collects option definitions, parses argv, and answers typed lookups.
 class OptionParser {
 public:

@@ -59,13 +59,36 @@ namespace {
 struct LineParser {
   Trace T;
   std::string Error;
+  const TraceParseOptions &Opts;
 
-  bool fail(size_t LineNo, const std::string &Msg) {
-    Error = formatString("line %zu: %s", LineNo, Msg.c_str());
+  explicit LineParser(const TraceParseOptions &Opts) : Opts(Opts) {}
+
+  /// Builds the diagnostic: "file.txt:3:17: message (offending token
+  /// 'xyz')" with a file name, "line 3, col 17: ..." without one. The
+  /// column is the token's 1-based offset in the raw (untrimmed) line.
+  bool fail(size_t LineNo, size_t Col, const std::string &Msg,
+            std::string_view Token) {
+    Error = Opts.FileName.empty()
+                ? formatString("line %zu, col %zu: %s", LineNo, Col,
+                               Msg.c_str())
+                : formatString("%s:%zu:%zu: %s", Opts.FileName.c_str(),
+                               LineNo, Col, Msg.c_str());
+    if (!Token.empty())
+      Error += formatString(" (offending token '%.*s')",
+                            static_cast<int>(Token.size()), Token.data());
     return false;
   }
 
-  bool parseLine(size_t LineNo, std::string_view Line) {
+  /// Parses one non-blank, non-comment line. \p Raw is the untrimmed line
+  /// (column numbers are computed against it); \p Line the trimmed view
+  /// into the same buffer. Validation is complete before any interning, so
+  /// a rejected line leaves the trace untouched (SkipBadEvents relies on
+  /// this: skipping a line equals deleting it from the input).
+  bool parseLine(size_t LineNo, std::string_view Raw,
+                 std::string_view Line) {
+    auto columnOf = [&](std::string_view Field) {
+      return static_cast<size_t>(Field.data() - Raw.data()) + 1;
+    };
     std::vector<std::string_view> Fields;
     for (std::string_view Field : split(Line, ' '))
       if (!Field.empty())
@@ -86,51 +109,83 @@ struct LineParser {
       } else if (startsWith(Last, "match=")) {
         int64_t Match = 0;
         if (!parseInt(Last.substr(6), Match) || Match < 0)
-          return fail(LineNo, "malformed match id");
-        E.Aux = static_cast<uint32_t>(Match);
+          return fail(LineNo, columnOf(Last), "malformed match id", Last);
       } else {
         break;
       }
       --NumCore;
     }
     if (NumCore < 2)
-      return fail(LineNo, "expected '<kind> <thread> ...'");
+      return fail(LineNo, columnOf(Fields[0]),
+                  "expected '<kind> <thread> ...'", Fields[0]);
 
     std::string Kind(Fields[0]);
-    E.Tid = T.internThread(std::string(Fields[1]));
-    E.Loc = Loc.empty() ? UnknownLoc : T.internLoc(Loc);
-
     auto needFields = [&](size_t N) { return NumCore == N; };
+    int64_t Value = 0;
 
     if (Kind == "read" || Kind == "write") {
       if (!needFields(4))
-        return fail(LineNo, "expected '" + Kind + " <thread> <var> <value>'");
+        return fail(LineNo, columnOf(Fields[0]),
+                    "expected '" + Kind + " <thread> <var> <value>'",
+                    Fields[0]);
       E.Kind = Kind == "read" ? EventKind::Read : EventKind::Write;
-      E.Target = T.internVar(std::string(Fields[2]));
-      int64_t V = 0;
-      if (!parseInt(Fields[3], V))
-        return fail(LineNo, "malformed value");
-      E.Data = V;
+      if (!parseInt(Fields[3], Value))
+        return fail(LineNo, columnOf(Fields[3]), "malformed value",
+                    Fields[3]);
+      E.Data = Value;
     } else if (Kind == "acquire" || Kind == "release" || Kind == "notify") {
       if (!needFields(3))
-        return fail(LineNo, "expected '" + Kind + " <thread> <lock>'");
+        return fail(LineNo, columnOf(Fields[0]),
+                    "expected '" + Kind + " <thread> <lock>'", Fields[0]);
       E.Kind = Kind == "acquire"  ? EventKind::Acquire
                : Kind == "release" ? EventKind::Release
                                    : EventKind::Notify;
-      E.Target = T.internLock(std::string(Fields[2]));
     } else if (Kind == "fork" || Kind == "join") {
       if (!needFields(3))
-        return fail(LineNo, "expected '" + Kind + " <thread> <child>'");
+        return fail(LineNo, columnOf(Fields[0]),
+                    "expected '" + Kind + " <thread> <child>'", Fields[0]);
       E.Kind = Kind == "fork" ? EventKind::Fork : EventKind::Join;
-      E.Target = T.internThread(std::string(Fields[2]));
     } else if (Kind == "begin" || Kind == "end" || Kind == "branch") {
       if (!needFields(2))
-        return fail(LineNo, "expected '" + Kind + " <thread>'");
+        return fail(LineNo, columnOf(Fields[0]),
+                    "expected '" + Kind + " <thread>'", Fields[0]);
       E.Kind = Kind == "begin" ? EventKind::Begin
                : Kind == "end" ? EventKind::End
                                : EventKind::Branch;
     } else {
-      return fail(LineNo, "unknown event kind '" + Kind + "'");
+      return fail(LineNo, columnOf(Fields[0]),
+                  "unknown event kind '" + Kind + "'", Fields[0]);
+    }
+
+    // The modifier loop already parsed match=N; re-derive Aux now that the
+    // line is known good.
+    for (size_t I = NumCore; I < Fields.size(); ++I)
+      if (startsWith(Fields[I], "match=")) {
+        int64_t Match = 0;
+        parseInt(Fields[I].substr(6), Match);
+        E.Aux = static_cast<uint32_t>(Match);
+      }
+
+    // Interning happens last, in the historical order (thread, location,
+    // target), so well-formed traces get byte-identical name tables.
+    E.Tid = T.internThread(std::string(Fields[1]));
+    E.Loc = Loc.empty() ? UnknownLoc : T.internLoc(Loc);
+    switch (E.Kind) {
+    case EventKind::Read:
+    case EventKind::Write:
+      E.Target = T.internVar(std::string(Fields[2]));
+      break;
+    case EventKind::Acquire:
+    case EventKind::Release:
+    case EventKind::Notify:
+      E.Target = T.internLock(std::string(Fields[2]));
+      break;
+    case EventKind::Fork:
+    case EventKind::Join:
+      E.Target = T.internThread(std::string(Fields[2]));
+      break;
+    default:
+      break;
     }
 
     T.append(E);
@@ -140,20 +195,32 @@ struct LineParser {
 
 } // namespace
 
-std::optional<Trace> rvp::parseTraceText(std::string_view Text,
-                                         std::string &Error) {
-  LineParser P;
+std::optional<Trace>
+rvp::parseTraceText(std::string_view Text, std::string &Error,
+                    const TraceParseOptions &Options,
+                    TraceParseStats *Stats) {
+  LineParser P(Options);
   size_t LineNo = 0;
-  for (std::string_view Line : split(Text, '\n')) {
+  for (std::string_view Raw : split(Text, '\n')) {
     ++LineNo;
-    Line = trim(Line);
+    std::string_view Line = trim(Raw);
     if (Line.empty() || Line[0] == '#')
       continue;
-    if (!P.parseLine(LineNo, Line)) {
+    if (!P.parseLine(LineNo, Raw, Line)) {
+      if (Options.SkipBadEvents) {
+        if (Stats)
+          ++Stats->SkippedEvents;
+        continue;
+      }
       Error = P.Error;
       return std::nullopt;
     }
   }
   P.T.finalize();
   return std::move(P.T);
+}
+
+std::optional<Trace> rvp::parseTraceText(std::string_view Text,
+                                         std::string &Error) {
+  return parseTraceText(Text, Error, TraceParseOptions());
 }

@@ -37,9 +37,32 @@ namespace rvp {
 std::string writeTraceText(const Trace &T, Span S);
 std::string writeTraceText(const Trace &T);
 
+struct TraceParseOptions {
+  /// Skip malformed event lines instead of failing the parse; each skip is
+  /// counted in TraceParseStats::SkippedEvents (`--skip-bad-events`).
+  /// Skipped lines intern nothing, so the surviving trace is identical to
+  /// parsing the file with the bad lines deleted.
+  bool SkipBadEvents = false;
+  /// File name prefixed to diagnostics ("file.txt:3:17: message"); when
+  /// empty, diagnostics use the "line 3, col 17: message" form.
+  std::string FileName;
+};
+
+struct TraceParseStats {
+  /// Malformed event lines skipped under SkipBadEvents.
+  uint64_t SkippedEvents = 0;
+};
+
 /// Parses the text format. On success returns a finalized trace; on failure
-/// returns std::nullopt and stores a diagnostic in \p Error
-/// ("line N: message").
+/// returns std::nullopt and stores a diagnostic in \p Error, pointing at
+/// the offending line, column, and token.
+std::optional<Trace> parseTraceText(std::string_view Text,
+                                    std::string &Error,
+                                    const TraceParseOptions &Options,
+                                    TraceParseStats *Stats = nullptr);
+
+/// Legacy entry point: default options (strict, no file name — "line N,
+/// col C:" diagnostics).
 std::optional<Trace> parseTraceText(std::string_view Text,
                                     std::string &Error);
 

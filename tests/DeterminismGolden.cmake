@@ -16,7 +16,8 @@ function(run_detect SCHEDULE SEED JOBS OUT_VAR)
     RESULT_VARIABLE RC
     OUTPUT_VARIABLE STDOUT
     ERROR_VARIABLE STDERR)
-  if(NOT RC EQUAL 0)
+  # Exit 1 just means findings were reported; >=2 is a usage/internal error.
+  if(RC GREATER 1)
     message(FATAL_ERROR "rvpredict detect --jobs=${JOBS} failed (${RC}):\n${STDOUT}\n${STDERR}")
   endif()
   # Strip the one timing-dependent piece: "... in 1.23s".
@@ -43,4 +44,67 @@ foreach(CONFIG "rr;1" "random;1" "random;2")
   endif()
 endforeach()
 
-message(STATUS "parallel determinism check passed (3 schedules, jobs 1 vs 4)")
+# --- Checkpoint kill/resume determinism ---------------------------------
+# A run killed at a window barrier (injected detect.abort) and restarted
+# with the same flags must print a byte-identical report to a run that was
+# never interrupted (docs/ROBUSTNESS.md). --window=5 splits the fixed
+# workload into several windows so the kill lands mid-analysis.
+
+set(CKPT_DIR "${CMAKE_CURRENT_BINARY_DIR}/determinism_ckpt")
+file(REMOVE_RECURSE "${CKPT_DIR}")
+
+execute_process(
+  COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
+          --seed=1 --witness=true --window=5
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE BASELINE
+  ERROR_VARIABLE STDERR)
+if(RC GREATER 1)
+  message(FATAL_ERROR "uninterrupted baseline failed (${RC}):\n${STDERR}")
+endif()
+string(REGEX REPLACE " in [0-9.]+s" "" BASELINE "${BASELINE}")
+
+execute_process(
+  COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
+          --seed=1 --witness=true --window=5 --checkpoint=${CKPT_DIR}
+          --inject-faults=detect.abort=2
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(NOT RC EQUAL 3)
+  message(FATAL_ERROR "injected detect.abort did not kill the run "
+          "(exit ${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+file(GLOB SNAPSHOTS "${CKPT_DIR}/window-*.ckpt")
+list(LENGTH SNAPSHOTS NSNAPSHOTS)
+if(NOT NSNAPSHOTS EQUAL 2)
+  message(FATAL_ERROR "killed run left ${NSNAPSHOTS} snapshot(s), wanted 2: "
+          "${SNAPSHOTS}")
+endif()
+
+execute_process(
+  COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
+          --seed=1 --witness=true --window=5 --checkpoint=${CKPT_DIR}
+          --stats-json=${CKPT_DIR}/resume_stats.json
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE RESUMED
+  ERROR_VARIABLE STDERR)
+if(RC GREATER 1)
+  message(FATAL_ERROR "resumed run failed (${RC}):\n${RESUMED}\n${STDERR}")
+endif()
+string(REGEX REPLACE " in [0-9.]+s" "" RESUMED "${RESUMED}")
+if(NOT RESUMED STREQUAL BASELINE)
+  message(FATAL_ERROR "resumed report differs from the uninterrupted run:\n"
+          "--- uninterrupted ---\n${BASELINE}\n--- resumed ---\n${RESUMED}")
+endif()
+# Guard against the vacuous pass: the second run must actually have
+# resumed (skipped the two checkpointed windows) rather than recomputed.
+file(READ "${CKPT_DIR}/resume_stats.json" RESUME_STATS)
+string(REGEX MATCH "\"detect.resumed_windows\": *([0-9]+)" _ "${RESUME_STATS}")
+if(NOT CMAKE_MATCH_1 EQUAL 2)
+  message(FATAL_ERROR "resumed run skipped ${CMAKE_MATCH_1} window(s), "
+          "wanted 2:\n${RESUME_STATS}")
+endif()
+
+message(STATUS "parallel determinism check passed (3 schedules, jobs 1 vs 4; "
+        "checkpoint kill/resume byte-identical)")

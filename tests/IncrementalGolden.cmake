@@ -22,7 +22,8 @@ function(run_detect INCREMENTAL EXTRA OUT_VAR)
     RESULT_VARIABLE RC
     OUTPUT_VARIABLE STDOUT
     ERROR_VARIABLE STDERR)
-  if(NOT RC EQUAL 0)
+  # Exit 1 just means findings were reported; >=2 is a usage/internal error.
+  if(RC GREATER 1)
     message(FATAL_ERROR "rvpredict detect --incremental=${INCREMENTAL} "
             "${EXTRA} failed (${RC}):\n${STDOUT}\n${STDERR}")
   endif()

@@ -19,7 +19,8 @@ function(run_detect TECHNIQUE SCHEDULE PRUNE EXTRA OUT_VAR)
     RESULT_VARIABLE RC
     OUTPUT_VARIABLE STDOUT
     ERROR_VARIABLE STDERR)
-  if(NOT RC EQUAL 0)
+  # Exit 1 just means findings were reported; >=2 is a usage/internal error.
+  if(RC GREATER 1)
     message(FATAL_ERROR "rvpredict detect --technique=${TECHNIQUE} "
             "--static-prune=${PRUNE} failed (${RC}):\n${STDOUT}\n${STDERR}")
   endif()

@@ -1,0 +1,110 @@
+# Robustness golden checks (docs/ROBUSTNESS.md): corrupt-trace diagnostics
+# carry file:line:col and the offending token, --skip-bad-events counts and
+# skips exactly the bad lines, CLI misuse exits 2 with a diagnostic, and
+# the documented exit-code taxonomy (0 clean / 1 findings / 3 unknowns)
+# holds end to end. Invoked by CTest as
+#   cmake -DRVPREDICT=<tool> -DGOLDEN_DIR=<dir> -P RobustGolden.cmake
+
+if(NOT DEFINED RVPREDICT OR NOT DEFINED GOLDEN_DIR)
+  message(FATAL_ERROR "usage: cmake -DRVPREDICT=... -DGOLDEN_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+# Runs rvpredict with ARGS (a ;-list); leaves RC / STDOUT / STDERR.
+function(run_tool)
+  execute_process(
+    COMMAND "${RVPREDICT}" ${ARGN}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  set(RC "${RC}" PARENT_SCOPE)
+  set(STDOUT "${STDOUT}" PARENT_SCOPE)
+  set(STDERR "${STDERR}" PARENT_SCOPE)
+endfunction()
+
+function(expect_rc WANT LABEL)
+  if(NOT RC EQUAL ${WANT})
+    message(FATAL_ERROR "${LABEL}: expected exit ${WANT}, got ${RC}\n"
+            "stdout:\n${STDOUT}\nstderr:\n${STDERR}")
+  endif()
+endfunction()
+
+function(expect_stderr NEEDLE LABEL)
+  string(FIND "${STDERR}" "${NEEDLE}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "${LABEL}: stderr missing '${NEEDLE}':\n${STDERR}")
+  endif()
+endfunction()
+
+# --- Parse diagnostics: file:line:col plus the offending token ----------
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind.txt")
+expect_rc(2 "strict parse of corrupt_kind.txt")
+expect_stderr("corrupt_kind.txt:3:1: unknown event kind 'frobnicate'"
+              "unknown-kind diagnostic")
+expect_stderr("(offending token 'frobnicate')" "unknown-kind token")
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_value.txt")
+expect_rc(2 "strict parse of corrupt_value.txt")
+expect_stderr("corrupt_value.txt:1:12: malformed value" "bad-value diagnostic")
+expect_stderr("(offending token 'banana')" "bad-value token")
+
+# --- --skip-bad-events: count, skip, and match the cleaned trace --------
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind.txt" --skip-bad-events=true)
+expect_rc(1 "detect with --skip-bad-events (the surviving pair races)")
+expect_stderr("skipped 2 malformed event line(s)" "skip counter note")
+string(REGEX REPLACE " in [0-9.]+s" "" SKIPPED_OUT "${STDOUT}")
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt")
+expect_rc(1 "detect on the pre-cleaned trace")
+string(REGEX REPLACE " in [0-9.]+s" "" CLEANED_OUT "${STDOUT}")
+if(NOT SKIPPED_OUT STREQUAL CLEANED_OUT)
+  message(FATAL_ERROR "--skip-bad-events diverged from the cleaned trace:\n"
+          "--- skipped ---\n${SKIPPED_OUT}\n--- cleaned ---\n${CLEANED_OUT}")
+endif()
+
+# --- CLI validation: misuse is exit 2 with a diagnostic -----------------
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --jobs=0)
+expect_rc(2 "--jobs=0")
+expect_stderr("explicit --jobs=0 is invalid" "--jobs=0 diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --window=-5)
+expect_rc(2 "--window=-5")
+expect_stderr("--window must be a positive event count" "--window diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --retry-budgets=banana)
+expect_rc(2 "--retry-budgets=banana")
+expect_stderr("malformed retry budget 'banana'" "--retry-budgets diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --inject-faults=no.such.site)
+expect_rc(2 "--inject-faults=no.such.site")
+expect_stderr("unknown fault site 'no.such.site'" "--inject-faults diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/does_not_exist.txt")
+expect_rc(2 "missing input file")
+expect_stderr("cannot open" "missing-file diagnostic")
+
+# --- Exit-code taxonomy -------------------------------------------------
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt")
+expect_rc(0 "clean run with no findings")
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt")
+expect_rc(1 "run with findings")
+
+# Solver outage on a racy trace: the pair can no longer be proven either
+# way, so it must land in the unknown section (exit 3), never in the races.
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt"
+         "--inject-faults=solver.timeout,session.corrupt")
+expect_rc(3 "degraded run with undecided COPs")
+string(FIND "${STDOUT}" "unknown:" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "degraded run printed no unknown section:\n${STDOUT}")
+endif()
+string(FIND "${STDOUT}" "0 race(s)" POS)
+if(POS EQUAL -1)
+  message(FATAL_ERROR "degraded run still claimed races:\n${STDOUT}")
+endif()
+
+message(STATUS "robustness golden checks passed")

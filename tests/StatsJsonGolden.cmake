@@ -15,7 +15,8 @@ execute_process(
   RESULT_VARIABLE RC
   OUTPUT_VARIABLE STDOUT
   ERROR_VARIABLE STDERR)
-if(NOT RC EQUAL 0)
+# Exit 1 just means findings were reported; >=2 is a usage/internal error.
+if(RC GREATER 1)
   message(FATAL_ERROR "rvpredict detect failed (${RC}):\n${STDOUT}\n${STDERR}")
 endif()
 
@@ -72,7 +73,7 @@ if(DEFINED PRUNE_WORKLOAD)
     RESULT_VARIABLE RC
     OUTPUT_VARIABLE STDOUT
     ERROR_VARIABLE STDERR)
-  if(NOT RC EQUAL 0)
+  if(RC GREATER 1)
     message(FATAL_ERROR "rvpredict detect --static-prune failed (${RC}):\n${STDOUT}\n${STDERR}")
   endif()
   file(READ "${PRUNE_OUT}" JSON_TEXT)

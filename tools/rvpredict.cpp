@@ -13,6 +13,8 @@
 ///                     [--property=race|atomicity|deadlock] [--window=N]
 ///                     [--solver=idl|z3] [--budget=S] [--witness] [--stats]
 ///                     [--stats-json=out.json] [--trace-events=events.jsonl]
+///                     [--retry-budgets=50ms,250ms,1s] [--checkpoint=dir]
+///                     [--skip-bad-events] [--inject-faults=spec]
 ///   rvpredict replay  <prog.rv> --trace=trace.txt
 ///                     (re-runs the program following the trace's schedule)
 ///   rvpredict fuzz    [--seed=N]   (prints a random program)
@@ -20,20 +22,30 @@
 /// Inputs ending in `.rv` are treated as MiniRV programs (recorded on the
 /// fly); anything else is parsed as a trace in the text format.
 ///
+/// Exit codes (see docs/ROBUSTNESS.md): 0 = clean run, nothing found;
+/// 1 = the analysis found races / violations / deadlocks; 2 = usage errors
+/// (bad flags, malformed values, unreadable inputs); 3 = internal errors
+/// or a degraded run that left COPs undecided (an `unknown` section).
+///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/StaticPrune.h"
 #include "detect/Atomicity.h"
+#include "detect/Checkpoint.h"
 #include "detect/Deadlock.h"
 #include "detect/Detect.h"
+#include "detect/Resilience.h"
 #include "lang/Parser.h"
 #include "runtime/Interpreter.h"
 #include "support/CommandLine.h"
+#include "support/FaultInjector.h"
+#include "support/StringUtils.h"
 #include "trace/Consistency.h"
 #include "trace/TraceIO.h"
 #include "workloads/Fuzzer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -49,6 +61,13 @@ bool readFile(const std::string &Path, std::string &Out) {
   std::stringstream Buffer;
   Buffer << In.rdbuf();
   Out = Buffer.str();
+  // Injected read failures (docs/ROBUSTNESS.md): a short read truncates
+  // the content mid-stream, a garble corrupts one byte in the middle.
+  // Both surface downstream as parse diagnostics, never as crashes.
+  if (FaultInjector::shouldFail(faults::TraceShortRead))
+    Out.resize(Out.size() / 2);
+  if (FaultInjector::shouldFail(faults::TraceGarble) && !Out.empty())
+    Out[Out.size() / 2] = '\x01';
   return true;
 }
 
@@ -97,10 +116,24 @@ bool loadTrace(const std::string &Path, const OptionParser &Options,
     return true;
   }
   std::string Error;
-  auto Parsed = parseTraceText(Content, Error);
+  TraceParseOptions ParseOpts;
+  ParseOpts.FileName = Path;
+  ParseOpts.SkipBadEvents = Options.getBool("skip-bad-events");
+  TraceParseStats ParseStats;
+  auto Parsed = parseTraceText(Content, Error, ParseOpts, &ParseStats);
   if (!Parsed) {
-    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return false;
+  }
+  if (ParseStats.SkippedEvents) {
+    std::fprintf(stderr,
+                 "note: skipped %llu malformed event line(s) in '%s'\n",
+                 static_cast<unsigned long long>(ParseStats.SkippedEvents),
+                 Path.c_str());
+    if (Telemetry::enabled())
+      MetricsRegistry::global()
+          .counter("trace.skipped_events")
+          .add(ParseStats.SkippedEvents);
   }
   T = std::move(*Parsed);
   return true;
@@ -160,7 +193,34 @@ bool writeJsonOutput(const std::string &Path, const std::string &Json) {
 int cmdDetect(const OptionParser &Options) {
   if (Options.positional().size() < 2) {
     std::fprintf(stderr, "usage: rvpredict detect <trace.txt|prog.rv>\n");
-    return 1;
+    return ExitUsage;
+  }
+
+  // Flag validation up front: every malformed value is a usage error
+  // (exit 2), diagnosed before any work starts.
+  if (Options.hasOption("jobs") && Options.getInt("jobs", 0) == 0) {
+    std::fprintf(stderr,
+                 "error: explicit --jobs=0 is invalid; pass --jobs=N "
+                 "(N >= 1) or omit the flag for one worker per hardware "
+                 "thread\n");
+    return ExitUsage;
+  }
+  if (Options.getInt("window", 10000) <= 0) {
+    std::fprintf(stderr,
+                 "error: --window must be a positive event count (got "
+                 "%lld)\n",
+                 static_cast<long long>(Options.getInt("window", 10000)));
+    return ExitUsage;
+  }
+  std::vector<double> RetryBudgets;
+  {
+    std::string BudgetError;
+    if (!parseBudgetList(Options.getString("retry-budgets", ""),
+                         RetryBudgets, BudgetError)) {
+      std::fprintf(stderr, "error: --retry-budgets: %s\n",
+                   BudgetError.c_str());
+      return ExitUsage;
+    }
   }
 
   std::string StatsJsonPath = Options.getString("stats-json", "");
@@ -176,7 +236,7 @@ int cmdDetect(const OptionParser &Options) {
       std::string Error;
       if (!Sink.open(TraceEventsPath, Error)) {
         std::fprintf(stderr, "error: %s\n", Error.c_str());
-        return 1;
+        return ExitUsage;
       }
       Telemetry::instance().setSink(&Sink);
     }
@@ -185,13 +245,13 @@ int cmdDetect(const OptionParser &Options) {
   Trace T;
   std::string Source;
   if (!loadTrace(Options.positional()[1], Options, T, &Source))
-    return 1;
+    return ExitUsage;
 
   ConsistencyResult C = checkConsistency(T, ConsistencyMode::Fragment);
   if (!C.Ok) {
     std::fprintf(stderr, "error: inconsistent input trace: %s\n",
                  C.Message.c_str());
-    return 1;
+    return ExitUsage;
   }
 
   DetectorOptions Detect;
@@ -202,7 +262,26 @@ int cmdDetect(const OptionParser &Options) {
   Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Detect.Incremental = Options.getBool("incremental", true) &&
                        !Options.getBool("no-incremental", false);
+  Detect.RetryBudgets = RetryBudgets;
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
+
+  // Checkpointing: the fingerprint pins the trace contents and every
+  // result-relevant flag (jobs excluded — reports are identical for any
+  // value), so a checkpoint directory can only resume the same analysis.
+  Detect.CheckpointDir = Options.getString("checkpoint", "");
+  if (!Detect.CheckpointDir.empty()) {
+    std::string Flags = formatString(
+        "technique=%s property=%s window=%u solver=%s budget=%g "
+        "incremental=%d witness=%d static-prune=%d retry-budgets=%s",
+        Options.getString("technique", "rv").c_str(),
+        Options.getString("property", "race").c_str(), Detect.WindowSize,
+        Detect.SolverName.c_str(), Detect.PerCopBudgetSeconds,
+        Detect.Incremental ? 1 : 0, Detect.CollectWitnesses ? 1 : 0,
+        Options.getBool("static-prune") ? 1 : 0,
+        Options.getString("retry-budgets", "").c_str());
+    Detect.CheckpointFingerprint =
+        checkpointHash(Flags, checkpointHash(writeTraceText(T)));
+  }
 
   // Sound static COP pruning: needs the program source, so it only applies
   // to .rv inputs (a bare trace has no control-flow structure to analyze).
@@ -240,6 +319,33 @@ int cmdDetect(const OptionParser &Options) {
     return writeJsonOutput(StatsJsonPath, statsToJson(Stats, What));
   };
 
+  // The `unknown` section: candidates no retry tier decided. Printed only
+  // when non-empty, so healthy runs are byte-identical to builds without
+  // the resilience layer; these are maybe-findings, never merged into the
+  // sound report above (docs/ROBUSTNESS.md).
+  auto printUnknowns = [](const std::vector<UnknownReport> &Unknowns,
+                          const char *Pair) {
+    if (Unknowns.empty())
+      return;
+    std::printf("unknown: %zu undecided %s(s) (exhausted every solver "
+                "budget; NOT findings)\n",
+                Unknowns.size(), Pair);
+    for (const UnknownReport &U : Unknowns) {
+      std::printf("  unknown");
+      if (!U.Variable.empty())
+        std::printf(" on %-12s", U.Variable.c_str());
+      std::printf(" %s <-> %s  [%u attempt(s)]\n", U.LocFirst.c_str(),
+                  U.LocSecond.c_str(), U.Attempts);
+    }
+  };
+  // Exit code: findings → 1; a degraded run that left candidates
+  // undecided → 3 (the report may be incomplete); clean and empty → 0.
+  auto exitCode = [](size_t Findings, size_t Unknowns) {
+    if (Unknowns)
+      return static_cast<int>(ExitInternal);
+    return static_cast<int>(Findings ? ExitFindings : ExitSuccess);
+  };
+
   if (Options.getString("property", "race") == "deadlock") {
     DeadlockResult R = detectDeadlocks(T, Detect);
     std::printf("deadlock: %zu potential deadlock(s) in %.2fs\n",
@@ -255,7 +361,10 @@ int cmdDetect(const OptionParser &Options) {
                   T.lockName(D.LockHeldByA).c_str(),
                   D.LocRequestB.c_str(),
                   D.WitnessValid ? "validated" : "UNVALIDATED");
-    return emitStats(R.Stats, "deadlock") ? 0 : 1;
+    printUnknowns(R.Unknowns, "lock pair");
+    if (!emitStats(R.Stats, "deadlock"))
+      return ExitInternal;
+    return exitCode(R.Deadlocks.size(), R.Unknowns.size());
   }
 
   if (Options.getString("property", "race") == "atomicity") {
@@ -268,7 +377,10 @@ int cmdDetect(const OptionParser &Options) {
                   V.LocFirst.c_str(), V.LocRemote.c_str(),
                   V.LocSecond.c_str(),
                   V.WitnessValid ? "validated" : "UNVALIDATED");
-    return emitStats(R.Stats, "atomicity") ? 0 : 1;
+    printUnknowns(R.Unknowns, "candidate");
+    if (!emitStats(R.Stats, "atomicity"))
+      return ExitInternal;
+    return exitCode(R.Violations.size(), R.Unknowns.size());
   }
 
   DetectionResult R = detectRaces(T, Tech, Detect);
@@ -289,7 +401,10 @@ int cmdDetect(const OptionParser &Options) {
       }
     }
   }
-  return emitStats(R.Stats, techniqueName(Tech)) ? 0 : 1;
+  printUnknowns(R.Unknowns, "pair");
+  if (!emitStats(R.Stats, techniqueName(Tech)))
+    return ExitInternal;
+  return exitCode(R.raceCount(), R.Unknowns.size());
 }
 
 int cmdReplay(const OptionParser &Options) {
@@ -377,12 +492,44 @@ int main(int Argc, const char **Argv) {
                     "('-' for stdout)",
                     "");
   Options.addOption("trace", "trace file for replay", "");
+  Options.addOption("retry-budgets",
+                    "escalating per-COP retry budgets for unknown results, "
+                    "e.g. 50ms,250ms,1s (empty = no retries)",
+                    "");
+  Options.addOption("checkpoint",
+                    "directory for per-window checkpoints; rerunning with "
+                    "the same flags resumes from the last completed window",
+                    "");
+  Options.addOption("skip-bad-events",
+                    "skip malformed trace lines (counted in stats) instead "
+                    "of failing the parse",
+                    "false");
+  Options.addOption("inject-faults",
+                    "deterministic fault injection spec, e.g. "
+                    "'seed=7,solver.timeout=3,trace.garble' "
+                    "(also read from RV_FAULTS)",
+                    "");
   if (!Options.parse(Argc, Argv))
-    return 1;
+    return ExitUsage;
+  // Fault injection configures process-wide before any subcommand runs;
+  // the env var lets test harnesses reach child processes they don't exec
+  // directly.
+  std::string FaultSpec = Options.getString("inject-faults", "");
+  if (FaultSpec.empty())
+    if (const char *Env = std::getenv("RV_FAULTS"))
+      FaultSpec = Env;
+  if (!FaultSpec.empty()) {
+    std::string FaultError;
+    if (!FaultInjector::configure(FaultSpec, FaultError)) {
+      std::fprintf(stderr, "error: bad --inject-faults spec: %s\n",
+                   FaultError.c_str());
+      return ExitUsage;
+    }
+  }
   if (Options.positional().empty()) {
     std::fprintf(stderr,
                  "usage: rvpredict <record|detect|replay|fuzz> ...\n");
-    return 1;
+    return ExitUsage;
   }
   const std::string &Cmd = Options.positional()[0];
   if (Cmd == "record")
@@ -394,5 +541,5 @@ int main(int Argc, const char **Argv) {
   if (Cmd == "fuzz")
     return cmdFuzz(Options);
   std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd.c_str());
-  return 1;
+  return ExitUsage;
 }

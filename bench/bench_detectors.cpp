@@ -16,6 +16,7 @@
 #include "detect/Atomicity.h"
 #include "detect/Deadlock.h"
 #include "detect/Detect.h"
+#include "support/BuildInfo.h"
 #include "lang/Parser.h"
 #include "runtime/Interpreter.h"
 #include "runtime/Scheduler.h"
@@ -311,6 +312,7 @@ int dumpStatsJson(const std::string &Path) {
   Telemetry::setEnabled(false);
 
   JsonObject Out;
+  appendRunMetadata(Out);
   Out.field("workload", "synthetic-8000").raw("techniques", Techs.str());
   std::string Json = Out.str() + "\n";
   if (Path == "-") {
@@ -367,6 +369,7 @@ int dumpStaticPruneJson(const std::string &Path) {
   Telemetry::setEnabled(false);
 
   JsonObject Out;
+  appendRunMetadata(Out);
   Out.field("workload", "prune-loop-" + std::to_string(Iters))
       .field("events", static_cast<uint64_t>(W.T.size()))
       .field("vars_thread_local", W.Oracle.threadLocalVars())
@@ -426,6 +429,7 @@ int dumpIncrementalJson(const std::string &Path) {
   Telemetry::setEnabled(false);
 
   JsonObject Out;
+  appendRunMetadata(Out);
   Out.field("workload", "synthetic-32000")
       .field("events", static_cast<uint64_t>(T.size()))
       .field("jobs", static_cast<uint64_t>(JobsFlag))

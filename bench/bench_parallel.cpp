@@ -17,6 +17,7 @@
 
 #include "detect/Detect.h"
 #include "support/Stats.h"
+#include "support/BuildInfo.h"
 #include "support/Timer.h"
 #include "workloads/Synthetic.h"
 
@@ -125,6 +126,7 @@ int main(int Argc, char **Argv) {
   }
 
   JsonObject Out;
+  appendRunMetadata(Out);
   Out.field("workload", "synthetic-" + std::to_string(Events))
       .field("events", static_cast<uint64_t>(T.size()))
       .field("hardware_concurrency",

@@ -23,6 +23,7 @@
 
 #include "detect/Detect.h"
 #include "support/CommandLine.h"
+#include "support/BuildInfo.h"
 #include "workloads/Catalog.h"
 
 #include <cstdio>
@@ -148,7 +149,10 @@ int main(int Argc, const char **Argv) {
                 static_cast<unsigned long long>(TotalCp),
                 static_cast<unsigned long long>(TotalHb));
   if (!StatsJsonPath.empty()) {
-    std::string Json = "{\"benchmarks\":[" + JsonRows + "]}\n";
+    JsonObject Out;
+    appendRunMetadata(Out);
+    Out.raw("benchmarks", "[" + JsonRows + "]");
+    std::string Json = Out.str() + "\n";
     if (StatsJsonPath == "-") {
       std::fputs(Json.c_str(), stdout);
     } else {

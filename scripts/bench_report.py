@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Perf-regression harness (docs/OBSERVABILITY.md).
+
+Runs `rvpredict detect --stats-json=-` on a fixed workload, extracts one
+schema-versioned perf record (git sha, timestamp, workload, seconds, work
+counters, peak RSS), appends it to the trajectory file, and compares it
+against the previous record for the same workload:
+
+    {"schema_version": 1, "records": [ {...}, {...}, ... ]}
+
+Exit codes: 0 = recorded, no regression; 1 = harness error; 2 = the new
+record is slower than the previous one beyond --tolerance.
+
+Timing noise is handled by running the workload --runs times and keeping
+the fastest run (min is the most stable estimator of the work's cost);
+the comparison additionally reports, but does not gate on, deterministic
+work counters (solver_calls, cops) so a flagged slowdown can be told
+apart from "the workload itself changed".
+
+--simulate-slowdown multiplies the measured seconds before recording —
+an injection hook for testing the regression gate end-to-end.
+--self-test exercises measure/append/reload/compare with a synthetic 2x
+record in a temporary history, flake-free (no second measurement).
+
+Used by the `bench_history` CMake target and the BenchReport* CTests.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+MARKER = "##rvp:stats-json"
+HISTORY_SCHEMA_VERSION = 1
+
+
+def fail(msg):
+    print("bench_report: error: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def run_once(binary, workload, detect_args):
+    cmd = [binary, "detect", workload] + detect_args + ["--stats-json=-"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    # 0 = clean, 1 = findings; anything else is a broken run.
+    if proc.returncode not in (0, 1):
+        fail("'%s' exited %d:\n%s" % (" ".join(cmd), proc.returncode,
+                                      proc.stderr))
+    lines = proc.stdout.splitlines()
+    try:
+        idx = lines.index(MARKER)
+    except ValueError:
+        fail("no '%s' marker in detect output" % MARKER)
+    try:
+        return json.loads(lines[idx + 1])
+    except (IndexError, ValueError) as e:
+        fail("stats-json after marker does not parse: %s" % e)
+
+
+def measure(args, detect_args):
+    """Best (fastest) stats object over --runs measurements."""
+    best = None
+    for _ in range(args.runs):
+        stats = run_once(args.binary, args.workload, detect_args)
+        if best is None or stats["seconds"] < best["seconds"]:
+            best = stats
+    return best
+
+
+def make_record(stats, workload, runs, slowdown):
+    gauges = stats.get("metrics", {}).get("gauges", {})
+    return {
+        "schema_version": stats.get("schema_version"),
+        "git_sha": stats.get("git_sha", "unknown"),
+        "timestamp": stats.get("timestamp"),
+        "workload": workload,
+        "runs": runs,
+        "metrics": {
+            "seconds": stats["seconds"] * slowdown,
+            "windows": stats.get("windows", 0),
+            "cops": stats.get("cops", 0),
+            "solver_calls": stats.get("solver_calls", 0),
+            "peak_rss_bytes": gauges.get("mem.peak_rss_bytes", 0),
+        },
+    }
+
+
+def load_history(path):
+    if not os.path.exists(path):
+        return {"schema_version": HISTORY_SCHEMA_VERSION, "records": []}
+    with open(path) as f:
+        history = json.load(f)
+    if history.get("schema_version") != HISTORY_SCHEMA_VERSION:
+        fail("%s has schema_version %r, this tool writes %d" %
+             (path, history.get("schema_version"), HISTORY_SCHEMA_VERSION))
+    if not isinstance(history.get("records"), list):
+        fail("%s has no 'records' array" % path)
+    return history
+
+
+def save_history(path, history):
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        json.dump(history, f, indent=2)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def compare(prev, new, tolerance):
+    """Returns (regressed, lines-to-print)."""
+    lines = []
+    p, n = prev["metrics"], new["metrics"]
+    ratio = n["seconds"] / p["seconds"] if p["seconds"] > 0 else 1.0
+    lines.append("previous: %s  %.6fs  (sha %s)" %
+                 (prev["workload"], p["seconds"], prev.get("git_sha")))
+    lines.append("current:  %s  %.6fs  (sha %s)  ratio %.2fx" %
+                 (new["workload"], n["seconds"], new.get("git_sha"), ratio))
+    for key in ("windows", "cops", "solver_calls"):
+        if p.get(key) != n.get(key):
+            lines.append("note: %s changed %s -> %s — the workload's work "
+                         "changed, timing may not be comparable" %
+                         (key, p.get(key), n.get(key)))
+    regressed = ratio > 1.0 + tolerance
+    if regressed:
+        lines.append("REGRESSION: %.2fx slower than the previous record "
+                     "(tolerance %.0f%%)" % (ratio, tolerance * 100))
+    return regressed, lines
+
+
+def self_test(args, detect_args):
+    """Measure once, then drive append/reload/compare with a synthetic 2x
+    record — deterministic, no second measurement to race against."""
+    stats = measure(args, detect_args)
+    base = make_record(stats, args.workload, args.runs, 1.0)
+    with tempfile.TemporaryDirectory() as tmp:
+        history_path = os.path.join(tmp, "trajectory.json")
+        history = load_history(history_path)
+        history["records"].append(base)
+        save_history(history_path, history)
+        history = load_history(history_path)
+        if len(history["records"]) != 1:
+            fail("self-test: record did not round-trip")
+        slow = make_record(stats, args.workload, args.runs, 2.0)
+        regressed, lines = compare(history["records"][-1], slow,
+                                   args.tolerance)
+        if not regressed:
+            fail("self-test: synthetic 2x slowdown was not flagged "
+                 "(tolerance %.2f)" % args.tolerance)
+        ok_rec = make_record(stats, args.workload, args.runs, 1.0)
+        regressed, _ = compare(history["records"][-1], ok_rec,
+                               args.tolerance)
+        if regressed:
+            fail("self-test: identical record flagged as regression")
+    print("bench_report self-test passed (base %.6fs, 2x record flagged, "
+          "1x record clean)" % base["metrics"]["seconds"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--binary", required=True,
+                    help="path to the rvpredict executable")
+    ap.add_argument("--workload", default="tests/golden/stats_workload.rv")
+    ap.add_argument("--history", default="BENCH_trajectory.json")
+    ap.add_argument("--tolerance", type=float, default=0.5,
+                    help="allowed relative slowdown before exit 2 "
+                         "(0.5 = 50%%)")
+    ap.add_argument("--runs", type=int, default=3,
+                    help="measurements per record; the fastest is kept")
+    ap.add_argument("--simulate-slowdown", type=float, default=1.0,
+                    help="multiply measured seconds (regression-gate "
+                         "injection hook)")
+    ap.add_argument("--no-append", action="store_true",
+                    help="compare only; leave the history file untouched")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the measure/append/compare pipeline in "
+                         "a temporary history and exit")
+    args = ap.parse_args()
+
+    detect_args = ["--technique=rv", "--schedule=rr", "--seed=1",
+                   "--jobs=1"]
+    if args.runs < 1:
+        fail("--runs must be >= 1")
+
+    if args.self_test:
+        self_test(args, detect_args)
+        return
+
+    stats = measure(args, detect_args)
+    record = make_record(stats, args.workload, args.runs,
+                         args.simulate_slowdown)
+
+    history = load_history(args.history)
+    prev = None
+    for r in reversed(history["records"]):
+        if r.get("workload") == record["workload"]:
+            prev = r
+            break
+
+    regressed = False
+    if prev is None:
+        print("no previous record for '%s'; baseline %.6fs" %
+              (record["workload"], record["metrics"]["seconds"]))
+    else:
+        regressed, lines = compare(prev, record, args.tolerance)
+        for line in lines:
+            print(line)
+
+    if not args.no_append:
+        history["records"].append(record)
+        save_history(args.history, history)
+        print("appended record #%d to %s" %
+              (len(history["records"]), args.history))
+
+    sys.exit(2 if regressed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Validates one Chrome/Perfetto trace written by `rvpredict --profile`
+(the structural half of scripts/check_profile.sh; see
+docs/OBSERVABILITY.md for the format)."""
+
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 2:
+        print("usage: check_profile.py <trace.json>", file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print("traceEvents missing or empty", file=sys.stderr)
+        return 1
+
+    named_tids = set()
+    last_ts = -1
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") != "thread_name" or "name" not in e.get(
+                    "args", {}):
+                print("bad metadata event: %r" % e, file=sys.stderr)
+                return 1
+            named_tids.add(e["tid"])
+            continue
+        if ph not in ("X", "C", "i"):
+            print("unexpected phase %r" % ph, file=sys.stderr)
+            return 1
+        ts = e.get("ts")
+        if not isinstance(ts, int) or ts < last_ts:
+            print("timestamps not monotone at %r" % e, file=sys.stderr)
+            return 1
+        last_ts = ts
+        if ph == "X" and (not isinstance(e.get("dur"), int)
+                          or e["dur"] < 0):
+            print("span without a valid dur: %r" % e, file=sys.stderr)
+            return 1
+        if ph == "C" and "value" not in e.get("args", {}):
+            print("counter without a value: %r" % e, file=sys.stderr)
+            return 1
+        if e.get("tid") not in named_tids:
+            print("event on unnamed tid %r" % e.get("tid"),
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,15 +14,19 @@
 #include "detect/WindowEncoding.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
+#include "support/BuildInfo.h"
 #include "support/CommandLine.h"
 #include "support/Compiler.h"
 #include "support/FaultInjector.h"
+#include "support/MemStats.h"
+#include "support/Profile.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -71,11 +75,15 @@ std::string rvp::renderStatsTable(const DetectionStats &Stats,
     Out += "metrics:\n";
     Out += Stats.Telemetry.Metrics.renderTable();
   }
+  Out += Stats.TopCosts.renderTable();
   return Out;
 }
 
 std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
   JsonObject O;
+  // Identity triple first, so trajectory tooling can key records without
+  // scanning (docs/OBSERVABILITY.md).
+  appendRunMetadata(O);
   O.field("technique", What)
       .field("seconds", Stats.Seconds)
       .field("windows", Stats.Windows)
@@ -91,6 +99,7 @@ std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
   if (Stats.Telemetry.Captured) {
     O.raw("metrics", metricsToJson(Stats.Telemetry.Metrics));
     O.raw("phases", Stats.Telemetry.Phases.toJson());
+    Stats.TopCosts.addToJson(O);
   }
   return O.str();
 }
@@ -317,6 +326,8 @@ public:
         advanceValues(Window);
         if (Ckpt.enabled()) {
           Ckpt.save(Index - 1, serializeState());
+          if (ProfileCollector *P = ProfileCollector::active())
+            P->instant("checkpoint-save", "resilience");
           // Deterministic kill point for the resume tests: dies exactly
           // at a window barrier, after the snapshot is durable.
           if (FaultInjector::shouldFail(faults::DetectAbort))
@@ -388,8 +399,30 @@ private:
   void processWindow(Span Window) {
     ScopedPhaseTimer WindowPhase("window");
     Timer WindowClock;
+    uint64_t SolvesBefore = Result.Stats.SolverCalls;
     size_t CopsInWindow = processWindowImpl(Window);
-    emitWindowEvent(Window, CopsInWindow, WindowClock.seconds());
+    double Seconds = WindowClock.seconds();
+    emitWindowEvent(Window, CopsInWindow, Seconds);
+    if (Telemetry::enabled()) {
+      WindowCost W;
+      W.Index = Result.Stats.Windows - 1;
+      W.Cops = CopsInWindow;
+      W.Solves = Result.Stats.SolverCalls - SolvesBefore;
+      W.Seconds = Seconds;
+      Result.Stats.TopCosts.recordWindow(W);
+    }
+    // Live counter tracks, sampled once per window barrier — enough
+    // resolution to see trends in Perfetto without bloating the trace.
+    if (ProfileCollector *P = ProfileCollector::active()) {
+      P->counter("cops", static_cast<double>(Result.Stats.Cops));
+      P->counter("races", static_cast<double>(Result.Races.size()));
+      P->counter("solver-calls",
+                 static_cast<double>(Result.Stats.SolverCalls));
+      P->counter("mem.formula_bytes",
+                 static_cast<double>(MemStats::current(MemPool::Formula)));
+      P->counter("mem.rss_bytes",
+                 static_cast<double>(MemStats::currentRssBytes()));
+    }
   }
 
   size_t processWindowImpl(Span Window) {
@@ -447,7 +480,7 @@ private:
       for (size_t I = 0; I < Cops.size(); ++I) {
         const Cop &C = Cops[I];
         if (Pruned[I]) {
-          emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+          emitCopEvent(Window, C, "static-pruned", "static-prune");
           continue;
         }
         if (RacySignatures.count(RaceSignature::of(T, C.First,
@@ -459,7 +492,8 @@ private:
                     !Hb.ordered(C.Second, C.First);
         if (Racy)
           report(C.First, C.Second, {}, false);
-        emitCopEvent(Window, C, Racy ? "race" : "ordered", nullptr, 0, 0);
+        const char *Outcome = Racy ? "race" : "ordered";
+        emitCopEvent(Window, C, Outcome, stageForOutcome(Outcome));
       }
       return Cops.size();
     }
@@ -468,7 +502,7 @@ private:
       for (size_t I = 0; I < Cops.size(); ++I) {
         const Cop &C = Cops[I];
         if (Pruned[I]) {
-          emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+          emitCopEvent(Window, C, "static-pruned", "static-prune");
           continue;
         }
         if (RacySignatures.count(RaceSignature::of(T, C.First,
@@ -480,7 +514,8 @@ private:
                     !Cp.ordered(C.Second, C.First);
         if (Racy)
           report(C.First, C.Second, {}, false);
-        emitCopEvent(Window, C, Racy ? "race" : "ordered", nullptr, 0, 0);
+        const char *Outcome = Racy ? "race" : "ordered";
+        emitCopEvent(Window, C, Outcome, stageForOutcome(Outcome));
       }
       return Cops.size();
     }
@@ -520,17 +555,17 @@ private:
     for (size_t I = 0; I < Cops.size(); ++I) {
       const Cop &C = Cops[I];
       if (Pruned[I]) {
-        emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+        emitCopEvent(Window, C, "static-pruned", "static-prune");
         continue;
       }
       if (RacySignatures.count(
               RaceSignature::of(T, C.First, C.Second).key())) {
         ++SigPruned; // signature pruning (Section 4)
-        emitCopEvent(Window, C, "pruned", nullptr, 0, 0);
+        emitCopEvent(Window, C, "pruned", "signature");
         continue;
       }
       if (Options.UseQuickCheck && !Qc.pass(C)) {
-        emitCopEvent(Window, C, "qc-fail", nullptr, 0, 0);
+        emitCopEvent(Window, C, "qc-fail", Qc.failStage(C));
         continue;
       }
 
@@ -538,11 +573,14 @@ private:
       FormulaBuilder &FB = UseIncremental ? WindowFB : CopFB;
       size_t NodesBefore = FB.numNodes();
       NodeRef Root;
+      double EncodeSeconds = 0;
       {
         ScopedPhaseTimer EncodePhase("encode");
+        Timer EncodeClock;
         Root = Tech == Technique::Maximal
                    ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
                    : Encoder.encodeSaidRace(FB, C.First, C.Second);
+        EncodeSeconds = EncodeClock.seconds();
       }
       if (Telemetry::enabled())
         recordFormulaMetrics(FB, NodesBefore, Root);
@@ -565,13 +603,21 @@ private:
       const char *Outcome = Sat == SatResult::Sat     ? "sat"
                             : Sat == SatResult::Unsat ? "unsat"
                                                       : "timeout";
+      CopEventExtra Extra;
+      Extra.Stage = stageForOutcome(Outcome);
+      Extra.EncodeSeconds = EncodeSeconds;
+      Extra.MemDeltaBytes =
+          (FB.numNodes() - NodesBefore) * sizeof(FormulaNode);
+      Extra.Attempts = Decided.Attempts;
       emitSolveEvent(Window, C, Outcome, SolveSeconds);
       if (Sat != SatResult::Sat) {
         if (Sat == SatResult::Unknown) {
           ++Result.Stats.SolverTimeouts;
           recordUnknown(C, Decided.Attempts);
         }
-        emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
+        emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds,
+                          Extra);
+        recordCopCost(C, Outcome, SolveSeconds, Extra);
         continue;
       }
 
@@ -579,6 +625,7 @@ private:
       bool WitnessValid = false;
       if (Options.CollectWitnesses && Tech == Technique::Maximal) {
         ScopedPhaseTimer WitnessPhase("witness");
+        Timer WitnessClock;
         if (!Decided.ModelFromSolve)
           rederiveModel(Encoder, C, Model);
         Witness = buildWitness(Window, Model, C);
@@ -586,8 +633,11 @@ private:
             checkWitness(T, Window, Witness, C.First, C.Second, Encoder,
                          Mhb, RunningValues)
                 .Ok;
+        Extra.WitnessSeconds = WitnessClock.seconds();
       }
-      emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds);
+      emitCopEventRange(C, Outcome, FB, NodesBefore, Root, SolveSeconds,
+                        Extra);
+      recordCopCost(C, Outcome, SolveSeconds, Extra);
       report(C.First, C.Second, std::move(Witness), WitnessValid);
     }
     absorbHostStats(Host.stats());
@@ -854,11 +904,16 @@ private:
     bool StaticPruned = false; ///< skipped by the static oracle
     bool PreFiltered = false;  ///< signature racy at window start
     bool QcFail = false;
+    /// Which quick-check component rejected the COP (set iff QcFail).
+    const char *QcStage = nullptr;
     bool Solved = false;
     SatResult Sat = SatResult::Unknown;
     /// Escalation attempts the host spent on this COP.
     uint32_t Attempts = 1;
     double SolveSeconds = 0;
+    double EncodeSeconds = 0;
+    double WitnessSeconds = 0;
+    uint64_t MemDeltaBytes = 0;
     uint64_t FormulaNodes = 0;
     uint64_t DifferenceAtoms = 0;
     uint64_t OrderVars = 0;
@@ -899,6 +954,8 @@ private:
       if (R.PreFiltered)
         continue;
       R.QcFail = Options.UseQuickCheck && !Qc.pass(Cops[I]);
+      if (R.QcFail)
+        R.QcStage = Qc.failStage(Cops[I]);
     }
 
     const bool Observing = Telemetry::enabled();
@@ -936,40 +993,41 @@ private:
       const Cop &C = Cops[I];
       CopTaskResult &R = Results[I];
       if (R.StaticPruned) {
-        emitCopEvent(Window, C, "static-pruned", nullptr, 0, 0);
+        emitCopEvent(Window, C, "static-pruned", "static-prune");
         continue;
       }
       if (RacySignatures.count(R.SigKey)) {
         ++SigPruned; // signature pruning (Section 4)
         if (R.Solved)
           ++SpeculativeSolves;
-        emitCopEvent(Window, C, "pruned", nullptr, 0, 0);
+        emitCopEvent(Window, C, "pruned", "signature");
         continue;
       }
       if (R.QcFail) {
-        emitCopEvent(Window, C, "qc-fail", nullptr, 0, 0);
+        emitCopEvent(Window, C, "qc-fail", R.QcStage);
         continue;
       }
       ++Result.Stats.SolverCalls;
       const char *Outcome = R.Sat == SatResult::Sat     ? "sat"
                             : R.Sat == SatResult::Unsat ? "unsat"
                                                         : "timeout";
+      CopEventExtra Extra;
+      Extra.Stage = stageForOutcome(Outcome);
+      Extra.EncodeSeconds = R.EncodeSeconds;
+      Extra.WitnessSeconds = R.WitnessSeconds;
+      Extra.MemDeltaBytes = R.MemDeltaBytes;
+      Extra.Attempts = R.Attempts;
       emitSolveEvent(Window, C, Outcome, R.SolveSeconds);
       if (R.Sat == SatResult::Unknown) {
         ++Result.Stats.SolverTimeouts;
         recordUnknown(C, R.Attempts);
-        emitCopEventFields(C, Outcome, true, R.FormulaNodes,
-                           R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
-        continue;
-      }
-      if (R.Sat == SatResult::Unsat) {
-        emitCopEventFields(C, Outcome, true, R.FormulaNodes,
-                           R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
-        continue;
       }
       emitCopEventFields(C, Outcome, true, R.FormulaNodes,
-                         R.DifferenceAtoms, R.OrderVars, R.SolveSeconds);
-      report(C.First, C.Second, std::move(R.Witness), R.WitnessValid);
+                         R.DifferenceAtoms, R.OrderVars, R.SolveSeconds,
+                         Extra);
+      recordCopCost(C, Outcome, R.SolveSeconds, Extra);
+      if (R.Sat == SatResult::Sat)
+        report(C.First, C.Second, std::move(R.Witness), R.WitnessValid);
     }
   }
 
@@ -991,10 +1049,13 @@ private:
     NodeRef Root;
     {
       ScopedPhaseTimer EncodePhase("encode");
+      Timer EncodeClock;
       Root = Tech == Technique::Maximal
                  ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
                  : Encoder.encodeSaidRace(FB, C.First, C.Second);
+      R.EncodeSeconds = EncodeClock.seconds();
     }
+    R.MemDeltaBytes = (FB.numNodes() - NodesBefore) * sizeof(FormulaNode);
     if (Telemetry::enabled())
       recordFormulaMetrics(FB, NodesBefore, Root);
     if (WantEventMetrics) {
@@ -1023,12 +1084,14 @@ private:
     if (R.Sat == SatResult::Sat && Options.CollectWitnesses &&
         Tech == Technique::Maximal) {
       ScopedPhaseTimer WitnessPhase("witness");
+      Timer WitnessClock;
       if (!Decided.ModelFromSolve)
         rederiveModel(Encoder, C, Model);
       R.Witness = buildWitness(Window, Model, C);
       R.WitnessValid = checkWitness(T, Window, R.Witness, C.First, C.Second,
                                     Encoder, Mhb, RunningValues)
                            .Ok;
+      R.WitnessSeconds = WitnessClock.seconds();
     }
   }
 
@@ -1054,6 +1117,14 @@ private:
     Reg.counter("detect.resumed_windows").add(ResumedWindows);
     Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
     Reg.gauge("detect.jobs").set(Result.Stats.Jobs);
+    // Memory gauges: the accounted pools plus process RSS. Trace storage
+    // is owned outside the detectors, so its gauge is set directly from
+    // the (immutable) event array instead of through a MemCharge.
+    MemStats::publishGauges(Reg);
+    double TraceBytes =
+        static_cast<double>(T.size()) * static_cast<double>(sizeof(Event));
+    Reg.gauge("mem.trace_bytes").set(TraceBytes);
+    Reg.gauge("mem.trace_peak_bytes").set(TraceBytes);
   }
 
   /// Formula-size accounting after one encode: total nodes, difference
@@ -1101,31 +1172,47 @@ private:
     Sink->write(O);
   }
 
-  void emitCopEvent(Span, const Cop &C, const char *Outcome,
-                    const FormulaBuilder *FB, NodeRef Root,
-                    double SolveSeconds) {
-    if (!activeSink())
-      return;
-    if (!FB) {
-      emitCopEventFields(C, Outcome, false, 0, 0, 0, 0);
-      return;
-    }
-    uint64_t Atoms = 0;
-    for (NodeRef I = 0; I < FB->numNodes(); ++I)
-      if (FB->node(I).Kind == FormulaKind::Atom)
-        ++Atoms;
-    emitCopEventFields(C, Outcome, true, FB->numNodes(), Atoms,
-                       FB->collectVars(Root).size(), SolveSeconds);
+  /// Per-COP attribution beyond the formula-size numbers: the prune
+  /// provenance (which stage decided the pair) plus, for solved COPs, the
+  /// encode/witness split, the formula-arena delta, and the escalation
+  /// attempts. Carried into cop trace events and the cost ledger.
+  struct CopEventExtra {
+    const char *Stage = "none";
+    double EncodeSeconds = 0;
+    double WitnessSeconds = 0;
+    uint64_t MemDeltaBytes = 0;
+    uint32_t Attempts = 0;
+  };
+
+  /// Prune provenance of a solved/ordered COP from its outcome string.
+  /// Filter outcomes (static-pruned/pruned/qc-fail) carry their stage
+  /// explicitly at the call site instead.
+  static const char *stageForOutcome(const char *Outcome) {
+    if (std::strcmp(Outcome, "unsat") == 0)
+      return "unsat";
+    if (std::strcmp(Outcome, "timeout") == 0)
+      return "budget";
+    if (std::strcmp(Outcome, "ordered") == 0)
+      return "ordered";
+    return "none"; // sat / race: nothing killed the pair
   }
 
-  /// Delta variant of emitCopEvent for builders that outlive one COP: the
-  /// incremental path's shared per-window builder accumulates nodes, so
-  /// this COP's contribution is the range [NodesBefore, numNodes()). With
-  /// NodesBefore == 0 (the legacy per-COP builder) this reproduces
-  /// emitCopEvent's whole-builder numbers exactly.
+  void emitCopEvent(Span, const Cop &C, const char *Outcome,
+                    const char *Stage) {
+    CopEventExtra Extra;
+    Extra.Stage = Stage;
+    emitCopEventFields(C, Outcome, false, 0, 0, 0, 0, Extra);
+  }
+
+  /// Delta variant for builders that outlive one COP: the incremental
+  /// path's shared per-window builder accumulates nodes, so this COP's
+  /// contribution is the range [NodesBefore, numNodes()). With
+  /// NodesBefore == 0 (the legacy per-COP builder) the whole builder is
+  /// counted, reproducing the legacy numbers exactly.
   void emitCopEventRange(const Cop &C, const char *Outcome,
                          const FormulaBuilder &FB, size_t NodesBefore,
-                         NodeRef Root, double SolveSeconds) {
+                         NodeRef Root, double SolveSeconds,
+                         const CopEventExtra &Extra) {
     if (!activeSink())
       return;
     uint64_t Atoms = 0;
@@ -1133,14 +1220,16 @@ private:
       if (FB.node(static_cast<NodeRef>(I)).Kind == FormulaKind::Atom)
         ++Atoms;
     emitCopEventFields(C, Outcome, true, FB.numNodes() - NodesBefore,
-                       Atoms, FB.collectVars(Root).size(), SolveSeconds);
+                       Atoms, FB.collectVars(Root).size(), SolveSeconds,
+                       Extra);
   }
 
   /// Same event from precomputed numbers — the parallel path measures
   /// formula sizes inside the task and emits in COP order afterwards.
   void emitCopEventFields(const Cop &C, const char *Outcome,
                           bool HasFormula, uint64_t Nodes, uint64_t Atoms,
-                          uint64_t OrderVars, double SolveSeconds) {
+                          uint64_t OrderVars, double SolveSeconds,
+                          const CopEventExtra &Extra) {
     TraceEventSink *Sink = activeSink();
     if (!Sink)
       return;
@@ -1152,13 +1241,38 @@ private:
         .field("loc_first", T.locName(T[C.First].Loc))
         .field("loc_second", T.locName(T[C.Second].Loc))
         .field("variable", T.varName(T[C.First].Target))
-        .field("outcome", Outcome);
+        .field("outcome", Outcome)
+        .field("stage", Extra.Stage);
     if (HasFormula)
       O.field("formula_nodes", Nodes)
           .field("difference_atoms", Atoms)
           .field("order_vars", OrderVars)
-          .field("solve_seconds", SolveSeconds);
+          .field("solve_seconds", SolveSeconds)
+          .field("encode_seconds", Extra.EncodeSeconds)
+          .field("witness_seconds", Extra.WitnessSeconds)
+          .field("mem_delta_bytes", Extra.MemDeltaBytes)
+          .field("attempts", static_cast<uint64_t>(Extra.Attempts));
     Sink->write(O);
+  }
+
+  /// Feeds one decided COP into the run's cost ledger (telemetry-gated;
+  /// called only from sequential contexts, so the ledger needs no lock).
+  void recordCopCost(const Cop &C, const char *Outcome,
+                     double SolveSeconds, const CopEventExtra &Extra) {
+    if (!Telemetry::enabled())
+      return;
+    CopCost Cost;
+    Cost.Window = Result.Stats.Windows - 1;
+    Cost.LocFirst = T.locName(T[C.First].Loc);
+    Cost.LocSecond = T.locName(T[C.Second].Loc);
+    Cost.Variable = T.varName(T[C.First].Target);
+    Cost.Outcome = Outcome;
+    Cost.EncodeSeconds = Extra.EncodeSeconds;
+    Cost.SolveSeconds = SolveSeconds;
+    Cost.WitnessSeconds = Extra.WitnessSeconds;
+    Cost.MemDeltaBytes = Extra.MemDeltaBytes;
+    Cost.Attempts = Extra.Attempts;
+    Result.Stats.TopCosts.recordCop(std::move(Cost));
   }
 
   void emitSolveEvent(Span, const Cop &C, const char *Outcome,

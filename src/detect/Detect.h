@@ -25,6 +25,7 @@
 #define RVP_DETECT_DETECT_H
 
 #include "detect/Cop.h"
+#include "support/CostLedger.h"
 #include "support/Telemetry.h"
 #include "trace/Trace.h"
 #include "trace/Window.h"
@@ -159,6 +160,11 @@ struct DetectionStats {
   /// telemetry is enabled (Telemetry::setEnabled); empty otherwise. See
   /// docs/OBSERVABILITY.md for the metric names and phase hierarchy.
   TelemetrySnapshot Telemetry;
+  /// The K most expensive windows and COPs of the run (encode/solve/
+  /// witness split, memory delta, attempts), populated only when telemetry
+  /// is enabled; rendered as the `top-costs` section of --stats and the
+  /// "top_costs" member of --stats-json. See docs/OBSERVABILITY.md.
+  CostLedger TopCosts;
 };
 
 /// Human-readable statistics: the classic one-line summary, followed (when

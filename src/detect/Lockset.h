@@ -60,6 +60,14 @@ public:
            !Mhb.ordered(C.Second, C.First);
   }
 
+  /// Which component rejected \p C — "lockset" when a common lock protects
+  /// the pair, "quick-check" when weak HB ordered it. Only meaningful when
+  /// pass() returned false; used for the per-COP prune provenance in trace
+  /// events (docs/OBSERVABILITY.md).
+  const char *failStage(const Cop &C) const {
+    return Locksets.disjoint(C.First, C.Second) ? "quick-check" : "lockset";
+  }
+
 private:
   LocksetIndex Locksets;
   const EventClosure &Mhb;

@@ -6,6 +6,7 @@
 
 #include "detect/Resilience.h"
 
+#include "support/Profile.h"
 #include "support/StringUtils.h"
 
 #include <chrono>
@@ -73,8 +74,11 @@ void SolveHost::ensureSession() {
     return;
   Session = createSessionByName(SolverName);
   if (!Session) {
-    if (!SolverName.empty() && SolverName != "idl")
+    if (!SolverName.empty() && SolverName != "idl") {
       ++Stats.BackendFallbacks;
+      if (ProfileCollector *P = ProfileCollector::active())
+        P->instant("backend-fallback", "resilience");
+    }
     Session = createIdlSession();
   }
 }
@@ -84,14 +88,19 @@ void SolveHost::ensureSolver() {
     return;
   Solver = createSolverByName(SolverName);
   if (!Solver) {
-    if (!SolverName.empty() && SolverName != "idl")
+    if (!SolverName.empty() && SolverName != "idl") {
       ++Stats.BackendFallbacks;
+      if (ProfileCollector *P = ProfileCollector::active())
+        P->instant("backend-fallback", "resilience");
+    }
     Solver = createIdlSolver();
   }
 }
 
 void SolveHost::quarantineSession() {
   ++Stats.DegradedSessions;
+  if (ProfileCollector *P = ProfileCollector::active())
+    P->instant("session-quarantine", "resilience");
   Session.reset();
   FailedStreak = 0;
   // One rebuild is worth trying: corruption may have been transient and
@@ -163,6 +172,8 @@ SolveHost::Outcome SolveHost::decide(const FormulaBuilder &FB, NodeRef Root,
       Repeat = false;
       if (Attempt > 0) {
         ++Stats.Retries;
+        if (ProfileCollector *P = ProfileCollector::active())
+          P->instant("solver-retry", "resilience");
         backoff();
       }
       bool FromSolve = false;

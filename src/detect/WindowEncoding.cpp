@@ -6,6 +6,8 @@
 
 #include "detect/WindowEncoding.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 #include <unordered_map>
 
@@ -229,6 +231,30 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     }
 
     Reads.emplace(R, std::move(Info));
+  }
+
+  if (Telemetry::enabled()) {
+    // Container-footprint estimate: the index vectors plus the per-read
+    // skeletons. An estimate is enough — the gauge tracks growth across
+    // windows, not allocator-exact bytes.
+    uint64_t Bytes = MhbEdges.size() * sizeof(MhbEdges[0]) +
+                     LockConstraints.size() * sizeof(LockConstraint);
+    for (const std::vector<EventId> &V : ThreadEvents)
+      Bytes += V.size() * sizeof(EventId);
+    for (const std::vector<EventId> &V : ThreadBranches)
+      Bytes += V.size() * sizeof(EventId);
+    for (const std::vector<EventId> &V : ThreadReads)
+      Bytes += V.size() * sizeof(EventId);
+    for (const std::vector<EventId> &V : VarWrites)
+      Bytes += V.size() * sizeof(EventId);
+    Bytes += AllReads.size() * sizeof(EventId);
+    for (const auto &[Read, Info] : Reads) {
+      Bytes += sizeof(Read) + sizeof(Info);
+      Bytes += Info.Interfering.size() * sizeof(EventId);
+      for (const ReadCandidate &C : Info.Candidates)
+        Bytes += sizeof(C) + C.Others.size() * sizeof(EventId);
+    }
+    Mem.charge(Bytes);
   }
 }
 

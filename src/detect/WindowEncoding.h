@@ -32,6 +32,7 @@
 
 #include "detect/Closure.h"
 #include "smt/Formula.h"
+#include "support/MemStats.h"
 #include "trace/Trace.h"
 
 #include <unordered_map>
@@ -114,6 +115,9 @@ public:
 
 private:
   std::unordered_map<EventId, ReadInfo> Reads;
+  /// mem.encoding_* accounting, charged once at the end of construction
+  /// with the container footprint (support/MemStats.h).
+  MemCharge Mem{MemPool::Encoding};
 };
 
 } // namespace rvp

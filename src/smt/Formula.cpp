@@ -7,6 +7,7 @@
 #include "smt/Formula.h"
 
 #include "support/Compiler.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -52,6 +53,8 @@ NodeRef FormulaBuilder::intern(FormulaNode Node,
   NodeRef Ref = static_cast<NodeRef>(Nodes.size());
   Nodes.push_back(Node);
   Bucket.push_back(Ref);
+  if (Telemetry::enabled())
+    Mem.charge(sizeof(FormulaNode) + Kids.size() * sizeof(NodeRef));
   return Ref;
 }
 

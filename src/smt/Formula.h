@@ -23,6 +23,8 @@
 #ifndef RVP_SMT_FORMULA_H
 #define RVP_SMT_FORMULA_H
 
+#include "support/MemStats.h"
+
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -117,6 +119,9 @@ private:
   std::vector<FormulaNode> Nodes;
   std::vector<NodeRef> Children;
   std::unordered_map<uint64_t, std::vector<NodeRef>> Buckets;
+  /// mem.formula_* accounting of the node and child arenas; charged per
+  /// interned node when telemetry is on (support/MemStats.h).
+  MemCharge Mem{MemPool::Formula};
   /// Complement-detection scratch for mkNary, epoch-stamped instead of
   /// cleared: unordered containers never shrink their bucket array, so a
   /// single huge conjunction (a window root) would make every later

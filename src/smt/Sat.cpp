@@ -8,6 +8,7 @@
 
 #include "support/Compiler.h"
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -87,6 +88,8 @@ SatSolver::ClauseRef SatSolver::attachClause(std::vector<Lit> Lits,
   C.Activity = Learned ? ClauseInc : 0;
   Watches[(~C.Lits[0]).X].push_back({Ref, C.Lits[1]});
   Watches[(~C.Lits[1]).X].push_back({Ref, C.Lits[0]});
+  if (Telemetry::enabled())
+    Mem.charge(sizeof(Clause) + C.Lits.size() * sizeof(Lit));
   Clauses.push_back(std::move(C));
   return Ref;
 }
@@ -382,15 +385,19 @@ void SatSolver::reduceDb() {
 
   std::vector<ClauseRef> NewRef(Clauses.size(), NoReason);
   size_t Kept = 0;
+  uint64_t FreedBytes = 0;
   for (ClauseRef R = 0; R < Clauses.size(); ++R) {
-    if (Remove[R])
+    if (Remove[R]) {
+      FreedBytes += sizeof(Clause) + Clauses[R].Lits.size() * sizeof(Lit);
       continue;
+    }
     NewRef[R] = static_cast<ClauseRef>(Kept);
     if (Kept != R)
       Clauses[Kept] = std::move(Clauses[R]);
     ++Kept;
   }
   Clauses.resize(Kept);
+  Mem.discharge(FreedBytes);
 
   for (auto &WatchList : Watches)
     WatchList.clear();

@@ -17,6 +17,7 @@
 #ifndef RVP_SMT_SAT_H
 #define RVP_SMT_SAT_H
 
+#include "support/MemStats.h"
 #include "support/Timer.h"
 
 #include <cstdint>
@@ -178,6 +179,10 @@ private:
   bool heapEmpty() const { return Heap.empty(); }
 
   Theory *TheoryClient;
+
+  /// mem.clauses_* accounting of the clause database; charged per attached
+  /// clause, discharged when reduceDb() compacts (support/MemStats.h).
+  MemCharge Mem{MemPool::Clauses};
 
   std::vector<Clause> Clauses;
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit.X

@@ -1,0 +1,144 @@
+//===- support/CostLedger.cpp - Per-COP / per-window cost ledger ------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CostLedger.h"
+
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace rvp;
+
+namespace {
+
+bool copCostlier(const CopCost &A, const CopCost &B) {
+  double TotalA = A.totalSeconds(), TotalB = B.totalSeconds();
+  if (TotalA != TotalB)
+    return TotalA > TotalB;
+  return std::tie(A.Window, A.LocFirst, A.LocSecond) <
+         std::tie(B.Window, B.LocFirst, B.LocSecond);
+}
+
+bool windowCostlier(const WindowCost &A, const WindowCost &B) {
+  if (A.Seconds != B.Seconds)
+    return A.Seconds > B.Seconds;
+  return A.Index < B.Index;
+}
+
+} // namespace
+
+void CostLedger::recordCop(CopCost Cost) {
+  Cops.push_back(std::move(Cost));
+  if (Cops.size() > 4 * TopK)
+    pruneCops();
+}
+
+void CostLedger::recordWindow(WindowCost Cost) {
+  Windows.push_back(Cost);
+  if (Windows.size() > 4 * TopK)
+    pruneWindows();
+}
+
+void CostLedger::pruneCops() {
+  std::nth_element(Cops.begin(), Cops.begin() + TopK - 1, Cops.end(),
+                   copCostlier);
+  Cops.resize(TopK);
+}
+
+void CostLedger::pruneWindows() {
+  std::nth_element(Windows.begin(), Windows.begin() + TopK - 1, Windows.end(),
+                   windowCostlier);
+  Windows.resize(TopK);
+}
+
+std::vector<CopCost> CostLedger::topCops() const {
+  std::vector<CopCost> Sorted = Cops;
+  std::sort(Sorted.begin(), Sorted.end(), copCostlier);
+  if (Sorted.size() > TopK)
+    Sorted.resize(TopK);
+  return Sorted;
+}
+
+std::vector<WindowCost> CostLedger::topWindows() const {
+  std::vector<WindowCost> Sorted = Windows;
+  std::sort(Sorted.begin(), Sorted.end(), windowCostlier);
+  if (Sorted.size() > TopK)
+    Sorted.resize(TopK);
+  return Sorted;
+}
+
+std::string CostLedger::renderTable() const {
+  std::vector<WindowCost> TopW = topWindows();
+  std::vector<CopCost> TopC = topCops();
+  if (TopW.empty() && TopC.empty())
+    return "";
+  std::string Out = "top-costs:\n";
+  if (!TopW.empty()) {
+    Out += "  windows (most expensive first):\n";
+    for (const WindowCost &W : TopW)
+      Out += formatString("    window %zu: %.3fs  (%zu cops, %zu solves)\n",
+                          W.Index, W.Seconds, W.Cops, W.Solves);
+  }
+  if (!TopC.empty()) {
+    Out += "  cops (most expensive first):\n";
+    for (const CopCost &C : TopC)
+      Out += formatString(
+          "    w%zu %s <-> %s on %s [%s]: %.3fs  "
+          "(encode %.3fs, solve %.3fs, witness %.3fs, mem %llu B, "
+          "attempts %u)\n",
+          C.Window, C.LocFirst.c_str(), C.LocSecond.c_str(),
+          C.Variable.c_str(), C.Outcome.c_str(), C.totalSeconds(),
+          C.EncodeSeconds, C.SolveSeconds, C.WitnessSeconds,
+          static_cast<unsigned long long>(C.MemDeltaBytes), C.Attempts);
+  }
+  return Out;
+}
+
+void CostLedger::addToJson(JsonObject &Json) const {
+  std::string WindowsJson = "[";
+  bool First = true;
+  for (const WindowCost &W : topWindows()) {
+    if (!First)
+      WindowsJson += ",";
+    First = false;
+    WindowsJson += JsonObject()
+                       .field("index", static_cast<uint64_t>(W.Index))
+                       .field("cops", static_cast<uint64_t>(W.Cops))
+                       .field("solves", static_cast<uint64_t>(W.Solves))
+                       .field("seconds", W.Seconds)
+                       .str();
+  }
+  WindowsJson += "]";
+
+  std::string CopsJson = "[";
+  First = true;
+  for (const CopCost &C : topCops()) {
+    if (!First)
+      CopsJson += ",";
+    First = false;
+    CopsJson += JsonObject()
+                    .field("window", static_cast<uint64_t>(C.Window))
+                    .field("first", C.LocFirst)
+                    .field("second", C.LocSecond)
+                    .field("variable", C.Variable)
+                    .field("outcome", C.Outcome)
+                    .field("encode_seconds", C.EncodeSeconds)
+                    .field("solve_seconds", C.SolveSeconds)
+                    .field("witness_seconds", C.WitnessSeconds)
+                    .field("total_seconds", C.totalSeconds())
+                    .field("mem_delta_bytes", C.MemDeltaBytes)
+                    .field("attempts", static_cast<uint64_t>(C.Attempts))
+                    .str();
+  }
+  CopsJson += "]";
+
+  Json.raw("top_costs", JsonObject()
+                            .raw("windows", WindowsJson)
+                            .raw("cops", CopsJson)
+                            .str());
+}

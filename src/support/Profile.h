@@ -1,0 +1,122 @@
+//===- support/Profile.h - Chrome/Perfetto trace export ---------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-profiling export in Chrome Trace Event Format, loadable in
+/// ui.perfetto.dev or chrome://tracing with zero post-processing
+/// (docs/OBSERVABILITY.md). A ProfileCollector gathers three event kinds:
+///
+///  * duration events (`ph:"X"`) — every ScopedPhaseTimer enter/exit pair
+///    becomes a span on the emitting thread's track, so the phase tree is
+///    visible as a real timeline, per worker;
+///  * counter events (`ph:"C"`) — sampled metric tracks (live COP/race
+///    totals, subsystem bytes) emitted at window barriers;
+///  * instant events (`ph:"i"`) — point markers for retries, session
+///    quarantines, backend fallbacks, and checkpoint saves.
+///
+/// Threads are identified by a stable per-collector tid assigned on first
+/// use; the thread pool names its workers (`worker-N`) so solve spans land
+/// on per-worker tracks. Activation mirrors the trace-event sink: the
+/// process-wide collector pointer is installed behind
+/// `rvpredict detect --profile=<path>` and every recording site guards on
+/// ProfileCollector::active(), a single atomic load, so the default path
+/// stays zero-cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SUPPORT_PROFILE_H
+#define RVP_SUPPORT_PROFILE_H
+
+#include "support/Timer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// One collected event; rendered into Chrome Trace Event JSON by
+/// ProfileCollector::toJson().
+struct ProfileEvent {
+  std::string Name;
+  const char *Category = "phase";
+  char Phase = 'X';   ///< 'X' duration, 'C' counter, 'i' instant
+  uint64_t TsUs = 0;  ///< microseconds since collector construction
+  uint64_t DurUs = 0; ///< duration ('X' only)
+  uint32_t Tid = 0;
+  double Value = 0; ///< counter value ('C' only)
+};
+
+class ProfileCollector {
+public:
+  ProfileCollector() = default;
+  ProfileCollector(const ProfileCollector &) = delete;
+  ProfileCollector &operator=(const ProfileCollector &) = delete;
+
+  /// Microseconds since this collector was constructed (the trace
+  /// timebase; steady clock).
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(Clock.seconds() * 1e6);
+  }
+
+  /// Records a completed duration span on the calling thread's track.
+  void span(const char *Name, const char *Category, uint64_t StartUs,
+            uint64_t DurUs);
+
+  /// Records a sample on the counter track \p Name.
+  void counter(const char *Name, double Value);
+
+  /// Records a thread-scoped instant marker on the calling thread's track.
+  void instant(const char *Name, const char *Category);
+
+  /// Names the calling thread's track ("main", "worker-3", ...); later
+  /// calls win. Unnamed threads render as "thread-<tid>".
+  void setThreadName(const std::string &Name);
+
+  /// The calling thread's stable tid within this collector, assigned on
+  /// first use (0 is the first caller, normally the main thread).
+  uint32_t currentTid();
+
+  size_t eventCount() const;
+
+  /// The whole trace as one Chrome Trace Event JSON object:
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with thread-name
+  /// metadata first and all other events sorted by timestamp (stable, so
+  /// equal stamps keep recording order).
+  std::string toJson() const;
+
+  /// Writes toJson() to \p Path. False (with \p Error set) on I/O failure.
+  bool writeFile(const std::string &Path, std::string &Error) const;
+
+  // ---- process-wide switchboard (mirrors Telemetry's sink) ----
+
+  /// The installed collector, or nullptr when profiling is off. One
+  /// relaxed atomic load — cheap enough for every instrumentation site.
+  static ProfileCollector *active() {
+    return ActivePtr.load(std::memory_order_acquire);
+  }
+  static void setActive(ProfileCollector *Collector) {
+    ActivePtr.store(Collector, std::memory_order_release);
+  }
+
+private:
+  void record(ProfileEvent Event);
+
+  static std::atomic<ProfileCollector *> ActivePtr;
+
+  Timer Clock;
+  mutable std::mutex Mutex;
+  std::vector<ProfileEvent> Events;
+  std::map<uint32_t, std::string> ThreadNames;
+  std::atomic<uint32_t> NextTid{0};
+};
+
+} // namespace rvp
+
+#endif // RVP_SUPPORT_PROFILE_H

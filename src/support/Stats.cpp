@@ -90,6 +90,14 @@ double Histogram::percentileLocked(double Q) const {
     double Hi = bounds().Upper[I];
     if (!std::isfinite(Hi))
       Hi = MaxV; // the overflow bucket has no natural upper bound
+    // Tighten the span to the observed range: no bucket holds mass outside
+    // [MinV, MaxV], so interpolating across the full bucket width would
+    // drift single-sample and single-bucket distributions toward bucket
+    // edges the data never touched.
+    Lo = std::max(Lo, MinV);
+    Hi = std::min(Hi, MaxV);
+    if (Hi < Lo)
+      Hi = Lo;
     double Fraction = (Rank - Before) / static_cast<double>(Buckets[I]);
     double Value = Lo + Fraction * (Hi - Lo);
     return std::clamp(Value, MinV, MaxV);

@@ -6,6 +6,7 @@
 
 #include "support/Telemetry.h"
 
+#include "support/MemStats.h"
 #include "support/StringUtils.h"
 
 #include <cassert>
@@ -132,8 +133,10 @@ void PhaseTree::reset() {
 bool TraceEventSink::open(const std::string &Path, std::string &Error) {
   close();
   if (Path == "-") {
-    File = stdout;
-    OwnsFile = false;
+    // Buffer stdout events and flush them as one marked block at close():
+    // writing them live would interleave with the report and any
+    // `--stats-json=-` object mid-run.
+    BufferToStdout = true;
     return true;
   }
   File = std::fopen(Path.c_str(), "w");
@@ -146,15 +149,28 @@ bool TraceEventSink::open(const std::string &Path, std::string &Error) {
 }
 
 void TraceEventSink::write(const JsonObject &Event) {
-  if (!File)
+  if (!File && !BufferToStdout)
     return;
   std::string Line = Event.str();
   Line += "\n";
-  std::fwrite(Line.data(), 1, Line.size(), File);
+  if (BufferToStdout)
+    Buffer += Line;
+  else
+    std::fwrite(Line.data(), 1, Line.size(), File);
   ++Written;
 }
 
 void TraceEventSink::close() {
+  if (BufferToStdout) {
+    // Marker first, even with zero events, so splitters always find the
+    // block boundary.
+    std::fputs(StdoutMarker, stdout);
+    std::fputc('\n', stdout);
+    std::fwrite(Buffer.data(), 1, Buffer.size(), stdout);
+    std::fflush(stdout);
+    Buffer.clear();
+    BufferToStdout = false;
+  }
   if (File && OwnsFile)
     std::fclose(File);
   File = nullptr;
@@ -181,5 +197,6 @@ TelemetrySnapshot Telemetry::snapshot() const {
 
 void Telemetry::reset() {
   MetricsRegistry::global().reset();
+  MemStats::reset();
   Phases.reset();
 }

@@ -27,6 +27,7 @@
 #ifndef RVP_SUPPORT_TELEMETRY_H
 #define RVP_SUPPORT_TELEMETRY_H
 
+#include "support/Profile.h"
 #include "support/Stats.h"
 #include "support/Timer.h"
 
@@ -107,17 +108,26 @@ public:
   TraceEventSink(const TraceEventSink &) = delete;
   TraceEventSink &operator=(const TraceEventSink &) = delete;
 
-  /// Opens \p Path for writing; "-" means stdout.
+  /// Opens \p Path for writing. "-" means stdout, with a twist: stdout
+  /// lines are buffered and flushed as one block at close(), preceded by a
+  /// `##rvp:trace-events` marker line, so the event stream lands after the
+  /// report and any `--stats-json=-` object in a deterministic order that
+  /// golden tests can split on (docs/OBSERVABILITY.md, "Stream ordering").
   bool open(const std::string &Path, std::string &Error);
-  bool isOpen() const { return File != nullptr; }
+  bool isOpen() const { return File != nullptr || BufferToStdout; }
   void write(const JsonObject &Event);
   void close();
 
   uint64_t eventsWritten() const { return Written; }
 
+  /// Marker line preceding buffered stdout event blocks.
+  static constexpr const char *StdoutMarker = "##rvp:trace-events";
+
 private:
   std::FILE *File = nullptr;
   bool OwnsFile = false;
+  bool BufferToStdout = false;
+  std::string Buffer;
   uint64_t Written = 0;
 };
 
@@ -184,17 +194,31 @@ private:
 };
 
 /// RAII phase timer: enters \p Name on construction, records elapsed wall
-/// time on destruction. A no-op (one boolean load) when telemetry is off.
+/// time on destruction. A no-op (two pointer-sized loads) when telemetry
+/// and profiling are off. With a ProfileCollector installed, each timer
+/// additionally becomes a `ph:"X"` span on the calling thread's track, so
+/// the phase tree doubles as the profile timeline.
 class ScopedPhaseTimer {
 public:
   explicit ScopedPhaseTimer(const char *Name) {
-    if (!Telemetry::enabled())
-      return;
-    Telemetry::instance().phases().enter(Name);
-    Active = true;
-    Clock.reset();
+    if (Telemetry::enabled()) {
+      Telemetry::instance().phases().enter(Name);
+      Active = true;
+      Clock.reset();
+    }
+    if (ProfileCollector *P = ProfileCollector::active()) {
+      ProfName = Name;
+      ProfStartUs = P->nowUs();
+    }
   }
   ~ScopedPhaseTimer() {
+    if (ProfName) {
+      if (ProfileCollector *P = ProfileCollector::active()) {
+        uint64_t EndUs = P->nowUs();
+        P->span(ProfName, "phase", ProfStartUs,
+                EndUs > ProfStartUs ? EndUs - ProfStartUs : 0);
+      }
+    }
     if (Active)
       Telemetry::instance().phases().exit(Clock.seconds());
   }
@@ -204,6 +228,8 @@ public:
 private:
   Timer Clock;
   bool Active = false;
+  const char *ProfName = nullptr;
+  uint64_t ProfStartUs = 0;
 };
 
 } // namespace rvp

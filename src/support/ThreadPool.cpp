@@ -6,6 +6,9 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/Profile.h"
+#include "support/StringUtils.h"
+
 #include <algorithm>
 
 namespace rvp {
@@ -91,6 +94,11 @@ bool ThreadPool::tryPop(unsigned Self, UniqueTask &Out) {
 void ThreadPool::workerLoop(unsigned Index) {
   CurrentPool = this;
   CurrentIndex = static_cast<int>(Index);
+  // Label this worker's profile track so solve spans land on named
+  // per-worker rows in Perfetto. Pools are constructed after the collector
+  // is installed (the driver creates them per parallel section).
+  if (ProfileCollector *P = ProfileCollector::active())
+    P->setThreadName(formatString("worker-%u", Index));
   for (;;) {
     UniqueTask Task;
     if (tryPop(Index, Task)) {

@@ -97,6 +97,53 @@ TEST(Stats, HistogramPercentilesOnKnownDistribution) {
   EXPECT_LE(S.P99, S.Max);
 }
 
+TEST(Stats, HistogramAllInOneBucketStaysInObservedRange) {
+  // Many samples landing in a single log bucket: interpolation across the
+  // full bucket width would report quantiles outside [min, max], so the
+  // estimator must tighten the bucket to the observed range.
+  Histogram H;
+  for (int I = 0; I < 100; ++I)
+    H.record(0.105); // one bucket holds every sample
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 100u);
+  for (double P : {S.P50, S.P90, S.P99}) {
+    EXPECT_GE(P, S.Min);
+    EXPECT_LE(P, S.Max);
+  }
+  EXPECT_DOUBLE_EQ(S.P50, 0.105);
+  EXPECT_DOUBLE_EQ(S.P99, 0.105);
+}
+
+TEST(Stats, HistogramTwoDistinctValuesBracketPercentiles) {
+  Histogram H;
+  H.record(0.001);
+  H.record(10.0);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_DOUBLE_EQ(S.Min, 0.001);
+  EXPECT_DOUBLE_EQ(S.Max, 10.0);
+  for (double P : {S.P50, S.P90, S.P99}) {
+    EXPECT_GE(P, S.Min);
+    EXPECT_LE(P, S.Max);
+  }
+  EXPECT_LE(S.P50, S.P90);
+  EXPECT_LE(S.P90, S.P99);
+}
+
+TEST(Stats, HistogramOverflowBucketClampsToMax) {
+  // Values beyond the last bucket bound land in the overflow bucket,
+  // whose upper edge is +inf: quantiles must come back as the observed
+  // max, never inf.
+  Histogram H;
+  double Huge = 1e12;
+  for (int I = 0; I < 10; ++I)
+    H.record(Huge);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 10u);
+  EXPECT_DOUBLE_EQ(S.P50, Huge);
+  EXPECT_DOUBLE_EQ(S.P99, Huge);
+}
+
 TEST(Stats, HistogramEmptyIsAllZero) {
   Histogram H;
   HistogramSnapshot S = H.snapshot();

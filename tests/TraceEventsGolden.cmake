@@ -1,0 +1,103 @@
+# Schema check for `rvpredict detect --trace-events` (docs/OBSERVABILITY.md):
+# every emitted JSONL line must parse as a JSON object and carry the
+# documented required fields for its type —
+#
+#   window: index, begin, end, cops, seconds
+#   cop:    window, first, second, loc_first, loc_second, variable,
+#           outcome, stage
+#   solve:  window, first, second, solver, outcome, seconds
+#
+# with cop.stage drawn from the documented prune-provenance vocabulary.
+# Checked across --jobs={1,4} x --incremental/--no-incremental so the
+# parallel and legacy solver paths emit the same schema.
+# Invoked by CTest as
+#   cmake -DRVPREDICT=<tool> -DWORKLOAD=<prog.rv> -DOUT_DIR=<dir>
+#         -P TraceEventsGolden.cmake
+
+if(NOT DEFINED RVPREDICT OR NOT DEFINED WORKLOAD OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "usage: cmake -DRVPREDICT=... -DWORKLOAD=... -DOUT_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+set(STAGES "static-prune;signature;lockset;quick-check;unsat;budget;ordered;none")
+
+function(require_fields LINE TYPE FIELDS LABEL)
+  foreach(FIELD ${FIELDS})
+    string(JSON VALUE ERROR_VARIABLE JSON_ERR GET "${LINE}" "${FIELD}")
+    if(JSON_ERR)
+      message(FATAL_ERROR "[${LABEL}] ${TYPE} event missing required "
+              "field '${FIELD}':\n${LINE}")
+    endif()
+  endforeach()
+endfunction()
+
+function(check_stream EXTRA LABEL)
+  set(EVENTS "${OUT_DIR}/events_${LABEL}.jsonl")
+  execute_process(
+    COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --seed=1 --schedule=rr
+            --trace-events=${EVENTS} ${EXTRA}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE STDOUT
+    ERROR_VARIABLE STDERR)
+  if(RC GREATER 1)
+    message(FATAL_ERROR "[${LABEL}] rvpredict detect failed (${RC}):\n"
+            "${STDOUT}\n${STDERR}")
+  endif()
+  if(NOT EXISTS "${EVENTS}")
+    message(FATAL_ERROR "[${LABEL}] no trace-events file was written")
+  endif()
+  file(STRINGS "${EVENTS}" LINES)
+  list(LENGTH LINES N)
+  if(N EQUAL 0)
+    message(FATAL_ERROR "[${LABEL}] trace-events file is empty")
+  endif()
+  set(SAW_WINDOW 0)
+  set(SAW_COP 0)
+  foreach(LINE ${LINES})
+    string(JSON TYPE ERROR_VARIABLE JSON_ERR GET "${LINE}" type)
+    if(JSON_ERR)
+      message(FATAL_ERROR "[${LABEL}] line does not parse as a JSON "
+              "object with a 'type' field:\n${LINE}\n${JSON_ERR}")
+    endif()
+    if(TYPE STREQUAL "window")
+      set(SAW_WINDOW 1)
+      require_fields("${LINE}" window "index;begin;end;cops;seconds"
+                     "${LABEL}")
+    elseif(TYPE STREQUAL "cop")
+      set(SAW_COP 1)
+      require_fields("${LINE}" cop
+                     "window;first;second;loc_first;loc_second;variable;outcome;stage"
+                     "${LABEL}")
+      string(JSON STAGE GET "${LINE}" stage)
+      list(FIND STAGES "${STAGE}" STAGE_IDX)
+      if(STAGE_IDX EQUAL -1)
+        message(FATAL_ERROR "[${LABEL}] cop event has undocumented "
+                "stage '${STAGE}':\n${LINE}")
+      endif()
+    elseif(TYPE STREQUAL "solve")
+      require_fields("${LINE}" solve
+                     "window;first;second;solver;outcome;seconds"
+                     "${LABEL}")
+    else()
+      message(FATAL_ERROR "[${LABEL}] undocumented event type "
+              "'${TYPE}':\n${LINE}")
+    endif()
+  endforeach()
+  if(NOT SAW_WINDOW OR NOT SAW_COP)
+    message(FATAL_ERROR "[${LABEL}] stream is missing window or cop "
+            "events — vacuous check")
+  endif()
+  message(STATUS "[${LABEL}] ${N} events validated")
+endfunction()
+
+foreach(JOBS 1 4)
+  foreach(MODE incremental no-incremental)
+    if(MODE STREQUAL "incremental")
+      set(FLAG "--incremental=true")
+    else()
+      set(FLAG "--incremental=false")
+    endif()
+    check_stream("--jobs=${JOBS};${FLAG}" "jobs${JOBS}_${MODE}")
+  endforeach()
+endforeach()
+
+message(STATUS "trace-events schema check passed")

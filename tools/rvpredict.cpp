@@ -13,6 +13,7 @@
 ///                     [--property=race|atomicity|deadlock] [--window=N]
 ///                     [--solver=idl|z3] [--budget=S] [--witness] [--stats]
 ///                     [--stats-json=out.json] [--trace-events=events.jsonl]
+///                     [--profile=out.trace.json]
 ///                     [--retry-budgets=50ms,250ms,1s] [--checkpoint=dir]
 ///                     [--skip-bad-events] [--inject-faults=spec]
 ///   rvpredict replay  <prog.rv> --trace=trace.txt
@@ -39,6 +40,7 @@
 #include "runtime/Interpreter.h"
 #include "support/CommandLine.h"
 #include "support/FaultInjector.h"
+#include "support/Profile.h"
 #include "support/StringUtils.h"
 #include "trace/Consistency.h"
 #include "trace/TraceIO.h"
@@ -175,8 +177,13 @@ Technique parseTechnique(const std::string &Name) {
 }
 
 /// Writes \p Json (plus a trailing newline) to \p Path; "-" means stdout.
+/// On stdout the object is preceded by a `##rvp:stats-json` marker line so
+/// consumers can split the combined stream — detect's stdout is always
+/// report, then stats table, then this block, then the `##rvp:trace-events`
+/// block (docs/OBSERVABILITY.md).
 bool writeJsonOutput(const std::string &Path, const std::string &Json) {
   if (Path == "-") {
+    std::fputs("##rvp:stats-json\n", stdout);
     std::fputs(Json.c_str(), stdout);
     std::fputc('\n', stdout);
     return true;
@@ -225,11 +232,19 @@ int cmdDetect(const OptionParser &Options) {
 
   std::string StatsJsonPath = Options.getString("stats-json", "");
   std::string TraceEventsPath = Options.getString("trace-events", "");
+  std::string ProfilePath = Options.getString("profile", "");
+  if (ProfilePath == "-") {
+    std::fprintf(stderr, "error: --profile needs a file path (the trace is "
+                         "one JSON document, not a streamable block)\n");
+    return ExitUsage;
+  }
   // Telemetry must be on before loadTrace so interpreter counters from an
-  // on-the-fly recording land in the same snapshot.
+  // on-the-fly recording land in the same snapshot. --profile implies
+  // telemetry: the phase timers it samples are telemetry-gated.
   TraceEventSink Sink;
+  ProfileCollector Profiler;
   if (Options.getBool("stats") || !StatsJsonPath.empty() ||
-      !TraceEventsPath.empty()) {
+      !TraceEventsPath.empty() || !ProfilePath.empty()) {
     Telemetry::setEnabled(true);
     Telemetry::instance().reset();
     if (!TraceEventsPath.empty()) {
@@ -239,6 +254,10 @@ int cmdDetect(const OptionParser &Options) {
         return ExitUsage;
       }
       Telemetry::instance().setSink(&Sink);
+    }
+    if (!ProfilePath.empty()) {
+      ProfileCollector::setActive(&Profiler);
+      Profiler.setThreadName("main");
     }
   }
 
@@ -319,6 +338,22 @@ int cmdDetect(const OptionParser &Options) {
     return writeJsonOutput(StatsJsonPath, statsToJson(Stats, What));
   };
 
+  // Detaches the collector and writes the Chrome/Perfetto trace. Called
+  // after emitStats on every analysis path so the profile spans the whole
+  // run; returns false on write failure (an internal error — the analysis
+  // itself succeeded).
+  auto finishProfile = [&]() {
+    if (ProfilePath.empty())
+      return true;
+    ProfileCollector::setActive(nullptr);
+    std::string Error;
+    if (!Profiler.writeFile(ProfilePath, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return false;
+    }
+    return true;
+  };
+
   // The `unknown` section: candidates no retry tier decided. Printed only
   // when non-empty, so healthy runs are byte-identical to builds without
   // the resilience layer; these are maybe-findings, never merged into the
@@ -362,7 +397,7 @@ int cmdDetect(const OptionParser &Options) {
                   D.LocRequestB.c_str(),
                   D.WitnessValid ? "validated" : "UNVALIDATED");
     printUnknowns(R.Unknowns, "lock pair");
-    if (!emitStats(R.Stats, "deadlock"))
+    if (!emitStats(R.Stats, "deadlock") || !finishProfile())
       return ExitInternal;
     return exitCode(R.Deadlocks.size(), R.Unknowns.size());
   }
@@ -378,7 +413,7 @@ int cmdDetect(const OptionParser &Options) {
                   V.LocSecond.c_str(),
                   V.WitnessValid ? "validated" : "UNVALIDATED");
     printUnknowns(R.Unknowns, "candidate");
-    if (!emitStats(R.Stats, "atomicity"))
+    if (!emitStats(R.Stats, "atomicity") || !finishProfile())
       return ExitInternal;
     return exitCode(R.Violations.size(), R.Unknowns.size());
   }
@@ -402,7 +437,7 @@ int cmdDetect(const OptionParser &Options) {
     }
   }
   printUnknowns(R.Unknowns, "pair");
-  if (!emitStats(R.Stats, techniqueName(Tech)))
+  if (!emitStats(R.Stats, techniqueName(Tech)) || !finishProfile())
     return ExitInternal;
   return exitCode(R.raceCount(), R.Unknowns.size());
 }
@@ -490,6 +525,10 @@ int main(int Argc, const char **Argv) {
   Options.addOption("trace-events",
                     "write per-window/COP/solve JSONL events "
                     "('-' for stdout)",
+                    "");
+  Options.addOption("profile",
+                    "write a Chrome/Perfetto trace of the run "
+                    "(load in ui.perfetto.dev or chrome://tracing)",
                     "");
   Options.addOption("trace", "trace file for replay", "");
   Options.addOption("retry-budgets",

@@ -11,7 +11,15 @@
 ///  * maximal (control-flow) constraints vs. Said et al.'s whole-trace
 ///    read-write consistency (constraint counts — the reason our
 ///    technique solves faster);
-///  * raw constraint-generation throughput.
+///  * raw constraint-generation throughput;
+///  * cone-of-influence slicing vs. the full window encoding
+///    (docs/ENCODER.md) on the high-COP catalog row, behind the
+///    `--slice` / `--no-slice` A/B flags. Either flag also writes the
+///    comparison to BENCH_encoding.json (override with
+///    `--stats-json=<path>`):
+///
+///      bench_constraints --slice --no-slice --benchmark_filter=Cone
+///                        --stats-json=BENCH_encoding.json
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +27,19 @@
 #include "detect/Cop.h"
 #include "detect/Detect.h"
 #include "detect/RaceEncoder.h"
+#include "support/BuildInfo.h"
+#include "support/Stats.h"
+#include "support/Telemetry.h"
+#include "workloads/Catalog.h"
 #include "workloads/Synthetic.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
 
 using namespace rvp;
 
@@ -113,6 +131,203 @@ void BM_EncodeThroughput(benchmark::State &State) {
   }
 }
 
+//===----------------------------------------------------------------------===//
+// Cone-slicing A/B (--slice / --no-slice)
+//===----------------------------------------------------------------------===//
+
+uint32_t JobsFlag = 1;
+bool SliceFlag = false;
+bool NoSliceFlag = false;
+
+/// The high-COP catalog row: many pattern threads, few variables, so each
+/// window carries a heavy per-COP encode load whose cones are tiny next to
+/// the window (see workloads/Catalog.cpp).
+const Trace &highcopTrace() {
+  static Trace T = [] {
+    auto Case = findBenchmark("highcop");
+    Trace Built;
+    std::string Error;
+    if (!Case || !benchmarkTrace(*Case, Built, Error)) {
+      std::fprintf(stderr, "error: cannot build bench:highcop: %s\n",
+                   Error.c_str());
+      std::exit(1);
+    }
+    return Built;
+  }();
+  return T;
+}
+
+/// One window encoding over the full highcop span, shared by a sliced and
+/// an unsliced encoder — exactly the pair the detector's witness
+/// re-derivation uses.
+struct SliceAbContext {
+  const Trace &T;
+  Span S;
+  EventClosure Mhb;
+  RaceEncoder Sliced;
+  RaceEncoder Unsliced;
+  std::vector<Cop> Cops;
+
+  SliceAbContext()
+      : T(highcopTrace()), S(T.fullSpan()), Mhb(T, S, ClosureConfig::mhb()),
+        Sliced(T, S, Mhb, T.initialValues()),
+        Unsliced(Sliced.sharedWindowEncoding(),
+                 [] {
+                   EncoderOptions O;
+                   O.Slice = false;
+                   return O;
+                 }()),
+        Cops(collectCops(T, S)) {}
+};
+
+SliceAbContext &sliceAb() {
+  static SliceAbContext Ctx;
+  return Ctx;
+}
+
+void runConeEncodeBench(benchmark::State &State, bool Slice) {
+  SliceAbContext &Ctx = sliceAb();
+  if (Ctx.Cops.empty()) {
+    State.SkipWithError("no COPs in the trace");
+    return;
+  }
+  const RaceEncoder &Encoder = Slice ? Ctx.Sliced : Ctx.Unsliced;
+  size_t Next = 0;
+  uint64_t Atoms = 0, ConeEvents = 0;
+  for (auto _ : State) {
+    const Cop &C = Ctx.Cops[Next++ % Ctx.Cops.size()];
+    FormulaBuilder FB;
+    EncodeStats Stats;
+    NodeRef Root = Encoder.encodeMaximalRace(FB, C.First, C.Second, &Stats);
+    Atoms = Stats.SlicedAtoms;
+    ConeEvents = Stats.ConeEvents;
+    benchmark::DoNotOptimize(Root);
+  }
+  State.counters["window_events"] = static_cast<double>(Ctx.S.size());
+  if (Slice) {
+    State.counters["atoms/cop"] = static_cast<double>(Atoms);
+    State.counters["cone_events"] = static_cast<double>(ConeEvents);
+  }
+}
+
+/// A/B dump behind --slice/--no-slice (this is the source of the
+/// checked-in BENCH_encoding.json): per-COP emitted atoms and encode time
+/// for the sliced vs. the full window encoding, plus end-to-end detect
+/// runs per SMT-backed technique. Decisions must agree — slicing is
+/// equisatisfiable — so only formula size and time move.
+int dumpEncodingJson(const std::string &Path) {
+  SliceAbContext &Ctx = sliceAb();
+  const WindowEncoding &Enc = Ctx.Sliced.windowEncoding();
+
+  // The unsliced emission is COP-invariant: every call walks all of
+  // MhbEdges and LockConstraints.
+  uint64_t UnslicedAtoms = Enc.MhbEdges.size();
+  for (const WindowEncoding::LockConstraint &Lc : Enc.LockConstraints)
+    UnslicedAtoms += Lc.Mutex ? 2 : 1;
+
+  using Clock = std::chrono::steady_clock;
+  const size_t Queries = std::min<size_t>(Ctx.Cops.size(), 48);
+  uint64_t SlicedAtoms = 0, ConeEvents = 0, CacheHits = 0;
+  uint64_t SlicedNodes = 0, UnslicedNodes = 0;
+  double SlicedSeconds = 0, UnslicedSeconds = 0;
+  for (size_t I = 0; I < Queries; ++I) {
+    const Cop &C = Ctx.Cops[I];
+    {
+      FormulaBuilder FB;
+      EncodeStats Stats;
+      Clock::time_point Start = Clock::now();
+      Ctx.Sliced.encodeMaximalRace(FB, C.First, C.Second, &Stats);
+      SlicedSeconds += std::chrono::duration<double>(Clock::now() - Start)
+                           .count();
+      SlicedAtoms += Stats.SlicedAtoms;
+      ConeEvents += Stats.ConeEvents;
+      CacheHits += Stats.CacheHit ? 1 : 0;
+      SlicedNodes += FB.numNodes();
+    }
+    {
+      FormulaBuilder FB;
+      Clock::time_point Start = Clock::now();
+      Ctx.Unsliced.encodeMaximalRace(FB, C.First, C.Second);
+      UnslicedSeconds += std::chrono::duration<double>(Clock::now() - Start)
+                             .count();
+      UnslicedNodes += FB.numNodes();
+    }
+  }
+  double N = static_cast<double>(Queries ? Queries : 1);
+
+  JsonObject SlicedJson;
+  SlicedJson.field("seconds", SlicedSeconds)
+      .field("atoms_per_cop", static_cast<double>(SlicedAtoms) / N)
+      .field("cone_events_per_cop", static_cast<double>(ConeEvents) / N)
+      .field("nodes_per_cop", static_cast<double>(SlicedNodes) / N)
+      .field("skeleton_cache_hits", CacheHits);
+  JsonObject UnslicedJson;
+  UnslicedJson.field("seconds", UnslicedSeconds)
+      .field("atoms_per_cop", static_cast<double>(UnslicedAtoms))
+      .field("nodes_per_cop", static_cast<double>(UnslicedNodes) / N);
+  JsonObject Encode;
+  Encode.field("window_events", static_cast<uint64_t>(Ctx.S.size()))
+      .field("cops", static_cast<uint64_t>(Queries))
+      .raw("sliced", SlicedJson.str())
+      .raw("unsliced", UnslicedJson.str())
+      .field("atom_reduction",
+             SlicedAtoms ? static_cast<double>(UnslicedAtoms) * N /
+                               static_cast<double>(SlicedAtoms)
+                         : 0.0);
+
+  // End-to-end: the detector with and without slicing, per technique.
+  Telemetry::setEnabled(true);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+  JsonObject Techs;
+  const std::pair<Technique, const char *> Runs[] = {
+      {Technique::Maximal, "rv"},
+      {Technique::Said, "said"},
+  };
+  for (const auto &[Tech, Key] : Runs) {
+    Telemetry::instance().reset();
+    Options.Slice = true;
+    DetectionResult SlicedRun = detectRaces(Ctx.T, Tech, Options);
+    std::string SlicedStats = statsToJson(SlicedRun.Stats, techniqueName(Tech));
+    Telemetry::instance().reset();
+    Options.Slice = false;
+    DetectionResult FullRun = detectRaces(Ctx.T, Tech, Options);
+
+    JsonObject Cmp;
+    Cmp.field("races", static_cast<uint64_t>(SlicedRun.raceCount()))
+        .field("races_agree", SlicedRun.raceCount() == FullRun.raceCount())
+        .field("speedup", SlicedRun.Stats.Seconds > 0
+                              ? FullRun.Stats.Seconds / SlicedRun.Stats.Seconds
+                              : 0.0)
+        .raw("sliced", SlicedStats)
+        .raw("unsliced", statsToJson(FullRun.Stats, techniqueName(Tech)));
+    Techs.raw(Key, Cmp.str());
+  }
+  Telemetry::setEnabled(false);
+
+  JsonObject Out;
+  appendRunMetadata(Out);
+  Out.field("workload", "highcop")
+      .field("events", static_cast<uint64_t>(Ctx.T.size()))
+      .field("jobs", static_cast<uint64_t>(JobsFlag))
+      .raw("encode", Encode.str())
+      .raw("techniques", Techs.str());
+  std::string Json = Out.str() + "\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}
+
 } // namespace
 
 BENCHMARK(BM_DetectSubstitution)
@@ -132,4 +347,51 @@ BENCHMARK(BM_EncodeThroughput)
     ->Arg(10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main: peel off --slice, --no-slice, --jobs=<n>, and
+// --stats-json=<path> (google-benchmark rejects unknown flags), register
+// the cone A/B benchmarks the flags ask for, run, then write the A/B dump
+// (default BENCH_encoding.json when either slicing flag is present).
+int main(int Argc, char **Argv) {
+  std::string StatsJsonPath;
+  int Kept = 1;
+  for (int I = 1; I < Argc; ++I) {
+    constexpr const char *Flag = "--stats-json=";
+    constexpr const char *Jobs = "--jobs=";
+    if (std::strncmp(Argv[I], Flag, std::strlen(Flag)) == 0)
+      StatsJsonPath = Argv[I] + std::strlen(Flag);
+    else if (std::strncmp(Argv[I], Jobs, std::strlen(Jobs)) == 0)
+      JobsFlag = static_cast<uint32_t>(
+          std::strtoul(Argv[I] + std::strlen(Jobs), nullptr, 10));
+    else if (std::strcmp(Argv[I], "--slice") == 0)
+      SliceFlag = true;
+    else if (std::strcmp(Argv[I], "--no-slice") == 0)
+      NoSliceFlag = true;
+    else
+      Argv[Kept++] = Argv[I];
+  }
+  Argc = Kept;
+
+  if (SliceFlag)
+    benchmark::RegisterBenchmark("BM_ConeEncodeSliced",
+                                 [](benchmark::State &S) {
+                                   runConeEncodeBench(S, /*Slice=*/true);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+  if (NoSliceFlag)
+    benchmark::RegisterBenchmark("BM_ConeEncodeUnsliced",
+                                 [](benchmark::State &S) {
+                                   runConeEncodeBench(S, /*Slice=*/false);
+                                 })
+        ->Unit(benchmark::kMillisecond);
+
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (SliceFlag || NoSliceFlag)
+    return dumpEncodingJson(StatsJsonPath.empty() ? "BENCH_encoding.json"
+                                                  : StatsJsonPath);
+  return 0;
+}

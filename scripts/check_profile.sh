@@ -55,6 +55,9 @@ run_profiled() {
 run_profiled seq  "$TMPDIR_PROFILE/seq.trace.json"  --jobs=1
 run_profiled par  "$TMPDIR_PROFILE/par.trace.json"  --jobs=4
 run_profiled stats "$TMPDIR_PROFILE/stats.trace.json" --jobs=1 --stats
+# Sliced (default) vs full-window encodings must both profile cleanly
+# under worker tracks (the skeleton cache is shared across workers).
+run_profiled noslice "$TMPDIR_PROFILE/noslice.trace.json" --jobs=4 --no-slice
 
 # --jobs=4 must produce named worker tracks beyond the main thread.
 CHECKS=$((CHECKS + 1))

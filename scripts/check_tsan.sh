@@ -1,9 +1,12 @@
 #!/bin/sh
 # Builds the thread-sanitized preset (-DRV_SANITIZE=thread) and runs the
 # concurrency-sensitive tests under it: the thread-pool and stats unit
-# tests, the parallel-vs-sequential detector comparisons, and the
-# byte-identical-output determinism check. Any data race the pool or the
-# shared per-window encoding introduces fails this script.
+# tests, the parallel-vs-sequential detector comparisons, the
+# byte-identical-output determinism check, and the cone-slicing tests
+# (whose shared skeleton cache is read and populated concurrently by
+# --jobs workers — docs/ENCODER.md). Any data race the pool, the shared
+# per-window encoding, or the skeleton cache introduces fails this
+# script.
 #
 # Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
 set -eu
@@ -16,6 +19,6 @@ cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
   --target rvp_tests rvpredict
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
-  -R 'ThreadPool|ParallelDetect|Stats\.Concurrent|DetectDeterminism'
+  -R 'ThreadPool|ParallelDetect|Stats\.Concurrent|DetectDeterminism|RaceEncoderCone|SliceGolden'
 
 echo "check_tsan: all thread-sanitized checks passed"

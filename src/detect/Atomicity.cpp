@@ -196,6 +196,7 @@ private:
   void processWindow(Span Window) {
     EventClosure Mhb(T, Window, ClosureConfig::mhb());
     EncoderOptions EncOpts; // no substitution for the between-query
+    EncOpts.Slice = Options.Slice;
     RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
     LocksetIndex Locksets(T, Window);
 
@@ -244,8 +245,14 @@ private:
   /// DAG and the model the solver happens to pick.)
   bool rederiveModel(const RaceEncoder &Encoder, EventId A1, EventId B,
                      EventId A2, OrderModel &Model) const {
+    // Witness models come from the unsliced formula: a sliced model has
+    // no positions for events outside the cone, and buildWitness orders
+    // the whole window (see Detect.cpp's rederiveModel).
+    EncoderOptions NoSlice;
+    NoSlice.Slice = false;
+    RaceEncoder Unsliced(Encoder.sharedWindowEncoding(), NoSlice);
     FormulaBuilder FreshFB;
-    NodeRef Root = Encoder.encodeBetween(FreshFB, A1, B, A2);
+    NodeRef Root = Unsliced.encodeBetween(FreshFB, A1, B, A2);
     std::unique_ptr<SmtSolver> Fresh =
         createSolverByName(Options.SolverName);
     if (!Fresh)
@@ -394,7 +401,8 @@ private:
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
-    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
+    if (Options.CollectWitnesses &&
+        (!Decided.ModelFromSolve || Options.Slice))
       rederiveModel(Encoder, C.A1, C.B, C.A2, Model);
 
     AtomicityReport &Report = Out.Report;
@@ -483,7 +491,8 @@ private:
     }
     if (Sat == SatResult::Unsat)
       return;
-    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
+    if (Options.CollectWitnesses &&
+        (!Decided.ModelFromSolve || Options.Slice))
       rederiveModel(Encoder, A1, B, A2, Model);
 
     AtomicityReport Report;

@@ -129,14 +129,3 @@ EventClosure::EventClosure(const Trace &T, Span S, ClosureConfig Config,
     }
   }
 }
-
-bool EventClosure::ordered(EventId A, EventId B) const {
-  assert(Window.contains(A) && Window.contains(B) &&
-         "events outside the closure window");
-  if (A == B)
-    return false;
-  const Event &EA = T[A];
-  const VectorClock &CA = Clocks[A - Window.Begin];
-  const VectorClock &CB = Clocks[B - Window.Begin];
-  return CA.get(EA.Tid) <= CB.get(EA.Tid);
-}

@@ -25,6 +25,7 @@
 #include "detect/VectorClock.h"
 #include "trace/Trace.h"
 
+#include <cassert>
 #include <vector>
 
 namespace rvp {
@@ -55,8 +56,23 @@ public:
   EventClosure(const Trace &T, Span S, ClosureConfig Config,
                const std::vector<ExtraEdge> &Extra = {});
 
-  /// True iff \p A happens before \p B in this closure (strict).
-  bool ordered(EventId A, EventId B) const;
+  /// True iff \p A happens before \p B in this closure (strict). Inline
+  /// because guardingBranches' binary search makes this the hottest call
+  /// on the sliced encode path. Same-thread pairs short-circuit on trace
+  /// order: every closure config includes program order, so within a
+  /// thread `ordered` and `<` coincide.
+  bool ordered(EventId A, EventId B) const {
+    assert(Window.contains(A) && Window.contains(B) &&
+           "events outside the closure window");
+    if (A == B)
+      return false;
+    const Event &EA = T[A];
+    if (EA.Tid == T[B].Tid)
+      return A < B;
+    const VectorClock &CA = Clocks[A - Window.Begin];
+    const VectorClock &CB = Clocks[B - Window.Begin];
+    return CA.get(EA.Tid) <= CB.get(EA.Tid);
+  }
 
   const VectorClock &clockOf(EventId Id) const {
     return Clocks[Id - Window.Begin];

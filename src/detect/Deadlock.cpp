@@ -184,7 +184,9 @@ private:
     if (Deps.empty())
       return;
     EventClosure Mhb(T, Window, ClosureConfig::mhb());
-    RaceEncoder Encoder(T, Window, Mhb, RunningValues);
+    EncoderOptions EncOpts;
+    EncOpts.Slice = Options.Slice;
+    RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
 
     if (Pool) {
       processWindowParallel(Window, Mhb, Encoder, Deps);
@@ -331,7 +333,8 @@ private:
     Out.Solved = true;
     if (Out.Sat != SatResult::Sat)
       return;
-    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
+    if (Options.CollectWitnesses &&
+        (!Decided.ModelFromSolve || Options.Slice))
       rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport &Report = Out.Report;
@@ -377,7 +380,8 @@ private:
     }
     if (Sat == SatResult::Unsat)
       return;
-    if (Options.CollectWitnesses && !Decided.ModelFromSolve)
+    if (Options.CollectWitnesses &&
+        (!Decided.ModelFromSolve || Options.Slice))
       rederiveModel(Encoder, A, B, Model);
 
     DeadlockReport Report;
@@ -632,9 +636,15 @@ private:
   /// never depend on session history or shared-builder ref numbering.
   bool rederiveModel(const RaceEncoder &Encoder, const LockDependency &A,
                      const LockDependency &B, OrderModel &Model) const {
+    // Witness models come from the unsliced formula: a sliced model has
+    // no positions for events outside the cone, and buildWitness orders
+    // the whole window (see Detect.cpp's rederiveModel).
+    EncoderOptions NoSlice;
+    NoSlice.Slice = false;
+    RaceEncoder Unsliced(Encoder.sharedWindowEncoding(), NoSlice);
     FormulaBuilder FreshFB;
-    NodeRef Root = Encoder.encodeDeadlock(FreshFB, A.Request, B.Request,
-                                          A.Outer, B.Outer);
+    NodeRef Root = Unsliced.encodeDeadlock(FreshFB, A.Request, B.Request,
+                                           A.Outer, B.Outer);
     std::unique_ptr<SmtSolver> Fresh =
         createSolverByName(Options.SolverName);
     if (!Fresh)

@@ -529,6 +529,7 @@ private:
     // sequential loop and the parallel workers alike.
     EncoderOptions EncOpts;
     EncOpts.SubstituteRaceVars = Options.SubstituteRaceVars;
+    EncOpts.Slice = Options.Slice;
     RaceEncoder Encoder(
         std::make_shared<const WindowEncoding>(T, Window, Mhb,
                                                RunningValues),
@@ -574,12 +575,15 @@ private:
       size_t NodesBefore = FB.numNodes();
       NodeRef Root;
       double EncodeSeconds = 0;
+      EncodeStats EncStats;
       {
         ScopedPhaseTimer EncodePhase("encode");
         Timer EncodeClock;
         Root = Tech == Technique::Maximal
-                   ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
-                   : Encoder.encodeSaidRace(FB, C.First, C.Second);
+                   ? Encoder.encodeMaximalRace(FB, C.First, C.Second,
+                                               &EncStats)
+                   : Encoder.encodeSaidRace(FB, C.First, C.Second,
+                                            &EncStats);
         EncodeSeconds = EncodeClock.seconds();
       }
       if (Telemetry::enabled())
@@ -609,6 +613,7 @@ private:
       Extra.MemDeltaBytes =
           (FB.numNodes() - NodesBefore) * sizeof(FormulaNode);
       Extra.Attempts = Decided.Attempts;
+      Extra.ConeEvents = EncStats.ConeEvents;
       emitSolveEvent(Window, C, Outcome, SolveSeconds);
       if (Sat != SatResult::Sat) {
         if (Sat == SatResult::Unknown) {
@@ -626,7 +631,9 @@ private:
       if (Options.CollectWitnesses && Tech == Technique::Maximal) {
         ScopedPhaseTimer WitnessPhase("witness");
         Timer WitnessClock;
-        if (!Decided.ModelFromSolve)
+        // A sliced model only orders the cone; witness orders must cover
+        // the window, so they are always re-derived unsliced.
+        if (!Decided.ModelFromSolve || sliceActive())
           rederiveModel(Encoder, C, Model);
         Witness = buildWitness(Window, Model, C);
         WitnessValid =
@@ -865,13 +872,28 @@ private:
   /// with it the model the solver happens to pick.) Tallied as
   /// solver.witness_resolves, not as a COP decision (solver_calls is
   /// mode-invariant).
+  /// Whether the encoder actually slices: the naive adjacency encoding
+  /// references every window event, so slicing is a no-op without the
+  /// substitution.
+  bool sliceActive() const {
+    return Options.Slice && Options.SubstituteRaceVars;
+  }
+
   bool rederiveModel(const RaceEncoder &Encoder, const Cop &C,
                      OrderModel &Model) const {
+    // Witness models come from the unsliced formula: a sliced model has
+    // no positions for events outside the cone, and buildWitness orders
+    // the whole window. Sharing the WindowEncoding makes the unsliced
+    // encoder construction free.
+    EncoderOptions NoSlice;
+    NoSlice.SubstituteRaceVars = Options.SubstituteRaceVars;
+    NoSlice.Slice = false;
+    RaceEncoder Unsliced(Encoder.sharedWindowEncoding(), NoSlice);
     FormulaBuilder FreshFB;
     NodeRef Root = Tech == Technique::Maximal
-                       ? Encoder.encodeMaximalRace(FreshFB, C.First,
-                                                   C.Second)
-                       : Encoder.encodeSaidRace(FreshFB, C.First, C.Second);
+                       ? Unsliced.encodeMaximalRace(FreshFB, C.First,
+                                                    C.Second)
+                       : Unsliced.encodeSaidRace(FreshFB, C.First, C.Second);
     std::unique_ptr<SmtSolver> Fresh =
         createSolverByName(Options.SolverName);
     if (!Fresh)
@@ -917,6 +939,7 @@ private:
     uint64_t FormulaNodes = 0;
     uint64_t DifferenceAtoms = 0;
     uint64_t OrderVars = 0;
+    uint64_t ConeEvents = 0;
     std::vector<EventId> Witness;
     bool WitnessValid = false;
   };
@@ -1017,6 +1040,7 @@ private:
       Extra.WitnessSeconds = R.WitnessSeconds;
       Extra.MemDeltaBytes = R.MemDeltaBytes;
       Extra.Attempts = R.Attempts;
+      Extra.ConeEvents = R.ConeEvents;
       emitSolveEvent(Window, C, Outcome, R.SolveSeconds);
       if (R.Sat == SatResult::Unknown) {
         ++Result.Stats.SolverTimeouts;
@@ -1047,14 +1071,18 @@ private:
     FormulaBuilder &FB = UseIncremental ? Ctx.FB : TaskFB;
     size_t NodesBefore = FB.numNodes();
     NodeRef Root;
+    EncodeStats EncStats;
     {
       ScopedPhaseTimer EncodePhase("encode");
       Timer EncodeClock;
       Root = Tech == Technique::Maximal
-                 ? Encoder.encodeMaximalRace(FB, C.First, C.Second)
-                 : Encoder.encodeSaidRace(FB, C.First, C.Second);
+                 ? Encoder.encodeMaximalRace(FB, C.First, C.Second,
+                                             &EncStats)
+                 : Encoder.encodeSaidRace(FB, C.First, C.Second,
+                                          &EncStats);
       R.EncodeSeconds = EncodeClock.seconds();
     }
+    R.ConeEvents = EncStats.ConeEvents;
     R.MemDeltaBytes = (FB.numNodes() - NodesBefore) * sizeof(FormulaNode);
     if (Telemetry::enabled())
       recordFormulaMetrics(FB, NodesBefore, Root);
@@ -1085,7 +1113,8 @@ private:
         Tech == Technique::Maximal) {
       ScopedPhaseTimer WitnessPhase("witness");
       Timer WitnessClock;
-      if (!Decided.ModelFromSolve)
+      // See the sequential loop: sliced models only order the cone.
+      if (!Decided.ModelFromSolve || sliceActive())
         rederiveModel(Encoder, C, Model);
       R.Witness = buildWitness(Window, Model, C);
       R.WitnessValid = checkWitness(T, Window, R.Witness, C.First, C.Second,
@@ -1182,6 +1211,7 @@ private:
     double WitnessSeconds = 0;
     uint64_t MemDeltaBytes = 0;
     uint32_t Attempts = 0;
+    uint64_t ConeEvents = 0; ///< sliced-encode cone size (0 unsliced)
   };
 
   /// Prune provenance of a solved/ordered COP from its outcome string.
@@ -1251,7 +1281,8 @@ private:
           .field("encode_seconds", Extra.EncodeSeconds)
           .field("witness_seconds", Extra.WitnessSeconds)
           .field("mem_delta_bytes", Extra.MemDeltaBytes)
-          .field("attempts", static_cast<uint64_t>(Extra.Attempts));
+          .field("attempts", static_cast<uint64_t>(Extra.Attempts))
+          .field("cone_events", Extra.ConeEvents);
     Sink->write(O);
   }
 
@@ -1272,6 +1303,7 @@ private:
     Cost.WitnessSeconds = Extra.WitnessSeconds;
     Cost.MemDeltaBytes = Extra.MemDeltaBytes;
     Cost.Attempts = Extra.Attempts;
+    Cost.ConeEvents = Extra.ConeEvents;
     Result.Stats.TopCosts.recordCop(std::move(Cost));
   }
 

@@ -68,6 +68,12 @@ struct DetectorOptions {
   /// Use the `Oa := Ob` substitution instead of an explicit adjacency
   /// encoding (ablation knob; Section 4).
   bool SubstituteRaceVars = true;
+  /// Cone-of-influence slicing of the per-COP encodings (docs/ENCODER.md).
+  /// The sliced formula is equisatisfiable with the full one, so reports
+  /// are identical either way; `--no-slice` is the debug cross-check
+  /// mode. Witness models are always re-derived through an unsliced
+  /// encoder so witness orders match byte for byte too.
+  bool Slice = true;
   /// Extract, validate, and keep a witness order per reported race.
   bool CollectWitnesses = true;
   /// Sound static pruner consulted per COP before any other filter; null

@@ -36,6 +36,103 @@ static NodeRef mkAtomS(FormulaBuilder &FB, OrderVar X, OrderVar Y) {
   return FB.mkAtom(X, Y);
 }
 
+static uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+// ------------------------------------------------------ cone of influence
+
+/// Cone accumulator for one sliced encode call (docs/ENCODER.md). Events
+/// are recorded as the cf/value emission references their variables, the
+/// query events and all cross-thread MHB endpoints are seeded up front,
+/// and close() runs the lock fixpoint: any cone event inside (or at an
+/// endpoint of) a critical section activates every lock constraint that
+/// section is a side of, pulling the constraint's endpoints into the cone
+/// in turn (which may activate enclosing sections — nested locking).
+///
+/// Membership tests use epoch-stamped thread_local scratch instead of a
+/// per-call bitmap so per-COP cost stays proportional to the cone, not
+/// the window (the same trick FormulaBuilder's complement scratch uses).
+struct RaceEncoder::Cone {
+  const WindowEncoding &Enc;
+  std::vector<EventId> Events;     ///< insertion order until close()
+  std::vector<uint32_t> ActiveLcs; ///< insertion order until close()
+  size_t ScanPos = 0;
+
+  struct Scratch {
+    std::vector<uint64_t> EventStamp;
+    std::vector<uint64_t> LcStamp;
+    uint64_t Epoch = 0;
+  };
+  Scratch &Scr;
+
+  explicit Cone(const WindowEncoding &Enc) : Enc(Enc), Scr(scratch()) {
+    ++Scr.Epoch;
+    size_t WindowSize = Enc.Window.End - Enc.Window.Begin;
+    if (Scr.EventStamp.size() < WindowSize)
+      Scr.EventStamp.resize(WindowSize, 0);
+    if (Scr.LcStamp.size() < Enc.LockConstraints.size())
+      Scr.LcStamp.resize(Enc.LockConstraints.size(), 0);
+  }
+
+  static Scratch &scratch() {
+    static thread_local Scratch S;
+    return S;
+  }
+
+  /// Records a window event; RootVar and InvalidEvent fall outside the
+  /// window and are ignored.
+  void addEvent(EventId E) {
+    if (!Enc.Window.contains(E))
+      return;
+    uint64_t &Stamp = Scr.EventStamp[E - Enc.Window.Begin];
+    if (Stamp == Scr.Epoch)
+      return;
+    Stamp = Scr.Epoch;
+    Events.push_back(E);
+  }
+
+  void activate(uint32_t Lc) {
+    uint64_t &Stamp = Scr.LcStamp[Lc];
+    if (Stamp == Scr.Epoch)
+      return;
+    Stamp = Scr.Epoch;
+    ActiveLcs.push_back(Lc);
+    const WindowEncoding::LockConstraint &LC = Enc.LockConstraints[Lc];
+    addEvent(LC.RelP);
+    addEvent(LC.AcqQ);
+    addEvent(LC.RelQ);
+    addEvent(LC.AcqP);
+  }
+
+  /// Seeds the unconditionally-kept parts: every cross-thread MHB edge
+  /// (few, and they anchor the per-thread chains to each other) and every
+  /// one-sided (window-clipped) lock constraint — those are directional,
+  /// and the gap-placement soundness argument only covers the symmetric
+  /// mutual-exclusion disjunction for cone-free section pairs.
+  void seed() {
+    for (const auto &[From, To] : Enc.CrossEdges) {
+      addEvent(From);
+      addEvent(To);
+    }
+    for (uint32_t I = 0; I < Enc.LockConstraints.size(); ++I)
+      if (!Enc.LockConstraints[I].Mutex)
+        activate(I);
+  }
+
+  /// Lock fixpoint over everything recorded so far, then canonical order.
+  void close() {
+    while (ScanPos < Events.size()) {
+      EventId E = Events[ScanPos++];
+      for (uint32_t Sid : Enc.sectionsOf(E))
+        for (uint32_t Lc : Enc.SectionConstraints[Sid])
+          activate(Lc);
+    }
+    std::sort(Events.begin(), Events.end());
+    std::sort(ActiveLcs.begin(), ActiveLcs.end());
+  }
+};
+
 NodeRef RaceEncoder::encodeMhb(FormulaBuilder &FB, EventId A,
                                EventId B) const {
   Subst S{A, B};
@@ -98,10 +195,20 @@ std::vector<EventId> RaceEncoder::guardingBranches(EventId E) const {
 }
 
 NodeRef RaceEncoder::cfVar(CfState &St, EventId E) const {
+  if (St.C)
+    St.C->addEvent(E);
   auto [It, Inserted] = St.VarOf.try_emplace(E, E);
   if (Inserted)
     St.Worklist.push_back(E);
   return St.FB.mkBoolVar(It->second);
+}
+
+NodeRef RaceEncoder::atomS(CfState &St, EventId X, EventId Y) const {
+  if (St.C) {
+    St.C->addEvent(X);
+    St.C->addEvent(Y);
+  }
+  return mkAtomS(St.FB, St.S(X), St.S(Y));
 }
 
 NodeRef RaceEncoder::branchGuards(CfState &St, EventId E) const {
@@ -138,10 +245,9 @@ NodeRef RaceEncoder::readValueFormula(CfState &St, EventId R,
     std::vector<NodeRef> Conj;
     if (Guarded)
       Conj.push_back(cfVar(St, W));
-    Conj.push_back(mkAtomS(FB, S(W), S(R)));
+    Conj.push_back(atomS(St, W, R));
     for (EventId W2 : Cand.Others)
-      Conj.push_back(FB.mkOr2(mkAtomS(FB, S(W2), S(W)),
-                              mkAtomS(FB, S(R), S(W2))));
+      Conj.push_back(FB.mkOr2(atomS(St, W2, W), atomS(St, R, W2)));
     Disjuncts.push_back(FB.mkAnd(std::move(Conj)));
   }
 
@@ -150,7 +256,7 @@ NodeRef RaceEncoder::readValueFormula(CfState &St, EventId R,
   if (Info.InitialOk) {
     std::vector<NodeRef> Conj;
     for (EventId W : Info.Interfering)
-      Conj.push_back(mkAtomS(FB, S(R), S(W)));
+      Conj.push_back(atomS(St, R, W));
     Disjuncts.push_back(FB.mkAnd(std::move(Conj)));
   }
 
@@ -206,38 +312,230 @@ NodeRef RaceEncoder::adjacency(FormulaBuilder &FB, Subst S, EventId A,
   return FB.mkAnd(std::move(Conj));
 }
 
-NodeRef RaceEncoder::encodeMaximalRace(FormulaBuilder &FB, EventId A,
-                                       EventId B) const {
+// ----------------------------------------------------- skeleton cache
+
+/// Records the per-cone counters once the skeleton is known.
+static void recordConeStats(size_t ConeEvents, EncodeStats *Stats) {
+  if (Stats)
+    Stats->ConeEvents += ConeEvents;
+  if (Telemetry::enabled()) {
+    static Counter &Events =
+        MetricsRegistry::global().counter("encoder.cone_events");
+    Events.add(ConeEvents);
+  }
+}
+
+const RaceEncoder::Skeleton &RaceEncoder::skeletonFor(Cone &C,
+                                                      EncodeStats *Stats) const {
+  uint64_t Hash = hashCombine(0x51CEDA7ABCDEF01ULL, C.Events.size());
+  for (EventId E : C.Events)
+    Hash = hashCombine(Hash, E);
+  Hash = hashCombine(Hash, C.ActiveLcs.size());
+  for (uint32_t Lc : C.ActiveLcs)
+    Hash = hashCombine(Hash, Lc);
+
+  auto Matches = [&](const Skeleton &Sk) {
+    return Sk.Events == C.Events && Sk.ActiveLcs == C.ActiveLcs;
+  };
+  {
+    std::shared_lock<std::shared_mutex> Lock(SkelMutex);
+    auto It = SkelCache.find(Hash);
+    if (It != SkelCache.end())
+      for (const std::unique_ptr<Skeleton> &Sk : It->second)
+        if (Matches(*Sk)) {
+          if (Stats)
+            Stats->CacheHit = true;
+          if (Telemetry::enabled()) {
+            static Counter &Hits = MetricsRegistry::global().counter(
+                "encoder.skeleton_cache_hits");
+            Hits.inc();
+          }
+          return *Sk;
+        }
+  }
+
+  auto Sk = std::make_unique<Skeleton>();
+  Sk->Events = C.Events;
+  Sk->ActiveLcs = C.ActiveLcs;
+  // Compressed per-thread chains over the sorted cone: each thread's
+  // first cone event is anchored under the synthetic root, every later
+  // one under its cone predecessor. Transitivity of `<` makes the
+  // compressed chain equivalent to the full program-order chain over the
+  // cone's variables. Cross-thread edges are kept verbatim.
+  Sk->MhbAtoms.reserve(Sk->Events.size() + Enc->CrossEdges.size());
+  std::vector<EventId> Last(T.numThreads(), InvalidEvent);
+  for (EventId E : Sk->Events) {
+    ThreadId Tid = T[E].Tid;
+    Sk->MhbAtoms.emplace_back(
+        Last[Tid] == InvalidEvent ? WindowEncoding::RootVar : Last[Tid], E);
+    Last[Tid] = E;
+  }
+  for (const auto &[From, To] : Enc->CrossEdges)
+    Sk->MhbAtoms.emplace_back(From, To);
+
+  std::unique_lock<std::shared_mutex> Lock(SkelMutex);
+  std::vector<std::unique_ptr<Skeleton>> &Bucket = SkelCache[Hash];
+  // Another worker may have built the same skeleton while we did; keep
+  // the first insert so cached references stay stable.
+  for (const std::unique_ptr<Skeleton> &Existing : Bucket)
+    if (Matches(*Existing))
+      return *Existing;
+  Bucket.push_back(std::move(Sk));
+  return *Bucket.back();
+}
+
+NodeRef RaceEncoder::emitSkeleton(FormulaBuilder &FB, const Skeleton &Sk,
+                                  Subst S,
+                                  const std::vector<EventId> &ExcludedAcquires,
+                                  EncodeStats *Stats) const {
+  auto Excluded = [&](EventId SectionAcq) {
+    return SectionAcq != InvalidEvent &&
+           std::find(ExcludedAcquires.begin(), ExcludedAcquires.end(),
+                     SectionAcq) != ExcludedAcquires.end();
+  };
+  std::vector<NodeRef> Conj;
+  Conj.reserve(Sk.MhbAtoms.size() + Sk.ActiveLcs.size());
+  for (const auto &[From, To] : Sk.MhbAtoms)
+    Conj.push_back(mkAtomS(FB, S(From), S(To)));
+  uint64_t Atoms = Sk.MhbAtoms.size();
+  for (uint32_t Lc : Sk.ActiveLcs) {
+    const WindowEncoding::LockConstraint &LC = Enc->LockConstraints[Lc];
+    if (!ExcludedAcquires.empty() &&
+        (Excluded(LC.SectionAcqP) || Excluded(LC.SectionAcqQ)))
+      continue;
+    if (LC.Mutex) {
+      Conj.push_back(FB.mkOr2(mkAtomS(FB, S(LC.RelP), S(LC.AcqQ)),
+                              mkAtomS(FB, S(LC.RelQ), S(LC.AcqP))));
+      Atoms += 2;
+    } else {
+      Conj.push_back(mkAtomS(FB, S(LC.RelP), S(LC.AcqQ)));
+      Atoms += 1;
+    }
+  }
+  if (Stats)
+    Stats->SlicedAtoms += Atoms;
+  if (Telemetry::enabled()) {
+    static Counter &Sliced =
+        MetricsRegistry::global().counter("encoder.sliced_atoms");
+    Sliced.add(Atoms);
+  }
+  return FB.mkAnd(std::move(Conj));
+}
+
+// --------------------------------------------------------- encode calls
+
+NodeRef RaceEncoder::encodeMaximalImpl(FormulaBuilder &FB, EventId A,
+                                       EventId B, EncodeStats *Stats,
+                                       ConeInfo *ConeOut) const {
   Subst S;
   if (Options.SubstituteRaceVars)
     S = Subst{A, B};
-  CfState St{FB, S, {}, {}, {}};
+
+  // The naive adjacency encoding references every window event, so there
+  // is nothing to slice.
+  if (!Options.Slice || !Options.SubstituteRaceVars) {
+    if (ConeOut) {
+      for (EventId E = Window.Begin; E < Window.End; ++E)
+        ConeOut->Events.push_back(E);
+      for (uint32_t I = 0; I < Enc->LockConstraints.size(); ++I)
+        ConeOut->ActiveLocks.push_back(I);
+    }
+    CfState St{FB, S, {}, {}, {}};
+    std::vector<NodeRef> Conj;
+    Conj.push_back(encodeMhb(FB, S.A, S.B));
+    Conj.push_back(encodeLock(FB, S.A, S.B));
+    if (!Options.SubstituteRaceVars)
+      Conj.push_back(adjacency(FB, S, A, B));
+    Conj.push_back(branchGuards(St, A));
+    Conj.push_back(branchGuards(St, B));
+    emitCfDefs(St);
+    for (NodeRef Def : St.Defs)
+      Conj.push_back(Def);
+    return FB.mkAnd(std::move(Conj));
+  }
+
+  // Sliced: emit the control-flow part first so the cone is complete
+  // (every referenced variable recorded) before the skeleton is chosen.
+  // mkAnd sorts its children, so conjunct order does not change the
+  // resulting formula.
+  Cone C(*Enc);
+  CfState St{FB, S, {}, {}, {}, &C};
+  C.addEvent(A);
+  C.addEvent(B);
+  C.seed();
+  NodeRef GuardsA = branchGuards(St, A);
+  NodeRef GuardsB = branchGuards(St, B);
+  emitCfDefs(St);
+  C.close();
+  const Skeleton &Sk = skeletonFor(C, Stats);
+  recordConeStats(Sk.Events.size(), Stats);
+  if (ConeOut) {
+    ConeOut->Events = Sk.Events;
+    ConeOut->ActiveLocks = Sk.ActiveLcs;
+  }
 
   std::vector<NodeRef> Conj;
-  Conj.push_back(encodeMhb(FB, S.A, S.B));
-  Conj.push_back(encodeLock(FB, S.A, S.B));
-  if (!Options.SubstituteRaceVars)
-    Conj.push_back(adjacency(FB, S, A, B));
-  Conj.push_back(branchGuards(St, A));
-  Conj.push_back(branchGuards(St, B));
-  emitCfDefs(St);
+  Conj.reserve(St.Defs.size() + 3);
+  Conj.push_back(emitSkeleton(FB, Sk, S, {}, Stats));
+  Conj.push_back(GuardsA);
+  Conj.push_back(GuardsB);
   for (NodeRef Def : St.Defs)
     Conj.push_back(Def);
   return FB.mkAnd(std::move(Conj));
 }
 
-NodeRef RaceEncoder::encodeBetween(FormulaBuilder &FB, EventId A1,
-                                   EventId B, EventId A2) const {
-  CfState St{FB, Subst{}, {}, {}, {}};
+NodeRef RaceEncoder::encodeMaximalRace(FormulaBuilder &FB, EventId A,
+                                       EventId B, EncodeStats *Stats) const {
+  return encodeMaximalImpl(FB, A, B, Stats, nullptr);
+}
+
+RaceEncoder::ConeInfo RaceEncoder::coneOf(EventId A, EventId B) const {
+  ConeInfo Info;
+  FormulaBuilder Scratch;
+  encodeMaximalImpl(Scratch, A, B, nullptr, &Info);
+  return Info;
+}
+
+NodeRef RaceEncoder::encodeBetween(FormulaBuilder &FB, EventId A1, EventId B,
+                                   EventId A2, EncodeStats *Stats) const {
+  if (!Options.Slice) {
+    CfState St{FB, Subst{}, {}, {}, {}};
+    std::vector<NodeRef> Conj;
+    Conj.push_back(encodeMhb(FB));
+    Conj.push_back(encodeLock(FB));
+    Conj.push_back(FB.mkAtom(A1, B));
+    Conj.push_back(FB.mkAtom(B, A2));
+    Conj.push_back(branchGuards(St, A1));
+    Conj.push_back(branchGuards(St, B));
+    Conj.push_back(branchGuards(St, A2));
+    emitCfDefs(St);
+    for (NodeRef Def : St.Defs)
+      Conj.push_back(Def);
+    return FB.mkAnd(std::move(Conj));
+  }
+
+  Cone C(*Enc);
+  CfState St{FB, Subst{}, {}, {}, {}, &C};
+  C.addEvent(A1);
+  C.addEvent(B);
+  C.addEvent(A2);
+  C.seed();
+  NodeRef Guards1 = branchGuards(St, A1);
+  NodeRef Guards2 = branchGuards(St, B);
+  NodeRef Guards3 = branchGuards(St, A2);
+  emitCfDefs(St);
+  C.close();
+  const Skeleton &Sk = skeletonFor(C, Stats);
+  recordConeStats(Sk.Events.size(), Stats);
+
   std::vector<NodeRef> Conj;
-  Conj.push_back(encodeMhb(FB));
-  Conj.push_back(encodeLock(FB));
+  Conj.reserve(St.Defs.size() + 6);
+  Conj.push_back(emitSkeleton(FB, Sk, Subst{}, {}, Stats));
   Conj.push_back(FB.mkAtom(A1, B));
   Conj.push_back(FB.mkAtom(B, A2));
-  Conj.push_back(branchGuards(St, A1));
-  Conj.push_back(branchGuards(St, B));
-  Conj.push_back(branchGuards(St, A2));
-  emitCfDefs(St);
+  Conj.push_back(Guards1);
+  Conj.push_back(Guards2);
+  Conj.push_back(Guards3);
   for (NodeRef Def : St.Defs)
     Conj.push_back(Def);
   return FB.mkAnd(std::move(Conj));
@@ -245,41 +543,96 @@ NodeRef RaceEncoder::encodeBetween(FormulaBuilder &FB, EventId A1,
 
 NodeRef RaceEncoder::encodeDeadlock(FormulaBuilder &FB, EventId ReqA,
                                     EventId ReqB, const LockPair &OutA,
-                                    const LockPair &OutB) const {
-  CfState St{FB, Subst{}, {}, {}, {}};
+                                    const LockPair &OutB,
+                                    EncodeStats *Stats) const {
+  if (!Options.Slice) {
+    CfState St{FB, Subst{}, {}, {}, {}};
+    std::vector<NodeRef> Conj;
+    Conj.push_back(encodeMhb(FB));
+    Conj.push_back(encodeLock(FB, InvalidEvent, InvalidEvent,
+                              {ReqA, ReqB}));
+    // Hold-and-wait: each request falls inside the other thread's held
+    // section.
+    Conj.push_back(FB.mkAtom(OutB.AcquireId, ReqA));
+    Conj.push_back(FB.mkAtom(ReqA, OutB.ReleaseId));
+    Conj.push_back(FB.mkAtom(OutA.AcquireId, ReqB));
+    Conj.push_back(FB.mkAtom(ReqB, OutA.ReleaseId));
+    Conj.push_back(branchGuards(St, ReqA));
+    Conj.push_back(branchGuards(St, ReqB));
+    emitCfDefs(St);
+    for (NodeRef Def : St.Defs)
+      Conj.push_back(Def);
+    return FB.mkAnd(std::move(Conj));
+  }
+
+  Cone C(*Enc);
+  CfState St{FB, Subst{}, {}, {}, {}, &C};
+  C.addEvent(ReqA);
+  C.addEvent(ReqB);
+  C.addEvent(OutA.AcquireId);
+  C.addEvent(OutA.ReleaseId);
+  C.addEvent(OutB.AcquireId);
+  C.addEvent(OutB.ReleaseId);
+  C.seed();
+  NodeRef GuardsA = branchGuards(St, ReqA);
+  NodeRef GuardsB = branchGuards(St, ReqB);
+  emitCfDefs(St);
+  C.close();
+  const Skeleton &Sk = skeletonFor(C, Stats);
+  recordConeStats(Sk.Events.size(), Stats);
+
   std::vector<NodeRef> Conj;
-  Conj.push_back(encodeMhb(FB));
-  Conj.push_back(encodeLock(FB, InvalidEvent, InvalidEvent,
-                            {ReqA, ReqB}));
-  // Hold-and-wait: each request falls inside the other thread's held
-  // section.
+  Conj.reserve(St.Defs.size() + 7);
+  Conj.push_back(emitSkeleton(FB, Sk, Subst{}, {ReqA, ReqB}, Stats));
   Conj.push_back(FB.mkAtom(OutB.AcquireId, ReqA));
   Conj.push_back(FB.mkAtom(ReqA, OutB.ReleaseId));
   Conj.push_back(FB.mkAtom(OutA.AcquireId, ReqB));
   Conj.push_back(FB.mkAtom(ReqB, OutA.ReleaseId));
-  Conj.push_back(branchGuards(St, ReqA));
-  Conj.push_back(branchGuards(St, ReqB));
-  emitCfDefs(St);
+  Conj.push_back(GuardsA);
+  Conj.push_back(GuardsB);
   for (NodeRef Def : St.Defs)
     Conj.push_back(Def);
   return FB.mkAnd(std::move(Conj));
 }
 
 NodeRef RaceEncoder::encodeSaidRace(FormulaBuilder &FB, EventId A,
-                                    EventId B) const {
+                                    EventId B, EncodeStats *Stats) const {
   Subst S;
   if (Options.SubstituteRaceVars)
     S = Subst{A, B};
-  CfState St{FB, S, {}, {}, {}};
+
+  if (!Options.Slice || !Options.SubstituteRaceVars) {
+    CfState St{FB, S, {}, {}, {}};
+    std::vector<NodeRef> Conj;
+    Conj.push_back(encodeMhb(FB, S.A, S.B));
+    Conj.push_back(encodeLock(FB, S.A, S.B));
+    if (!Options.SubstituteRaceVars)
+      Conj.push_back(adjacency(FB, S, A, B));
+    // Whole-window read-write consistency: every read keeps its value.
+    for (EventId R : Enc->AllReads)
+      Conj.push_back(readValueFormula(St, R, /*Guarded=*/false));
+    assert(St.Worklist.empty() && "unguarded encoding queued cf definitions");
+    return FB.mkAnd(std::move(Conj));
+  }
+
+  Cone C(*Enc);
+  CfState St{FB, S, {}, {}, {}, &C};
+  C.addEvent(A);
+  C.addEvent(B);
+  C.seed();
+  std::vector<NodeRef> Value;
+  Value.reserve(Enc->AllReads.size());
+  for (EventId R : Enc->AllReads)
+    Value.push_back(readValueFormula(St, R, /*Guarded=*/false));
+  assert(St.Worklist.empty() && "unguarded encoding queued cf definitions");
+  C.close();
+  const Skeleton &Sk = skeletonFor(C, Stats);
+  recordConeStats(Sk.Events.size(), Stats);
 
   std::vector<NodeRef> Conj;
-  Conj.push_back(encodeMhb(FB, S.A, S.B));
-  Conj.push_back(encodeLock(FB, S.A, S.B));
-  if (!Options.SubstituteRaceVars)
-    Conj.push_back(adjacency(FB, S, A, B));
-  // Whole-window read-write consistency: every read keeps its value.
-  for (EventId R : Enc->AllReads)
-    Conj.push_back(readValueFormula(St, R, /*Guarded=*/false));
-  assert(St.Worklist.empty() && "unguarded encoding queued cf definitions");
+  Conj.reserve(Value.size() + 1);
+  Conj.push_back(emitSkeleton(FB, Sk, S, {}, Stats));
+  for (NodeRef V : Value)
+    Conj.push_back(V);
   return FB.mkAnd(std::move(Conj));
 }

@@ -31,7 +31,20 @@
 /// window; every encode call only applies the per-COP substitution and
 /// control-flow guards. A const RaceEncoder is safe to share across the
 /// parallel solve workers — encode calls touch nothing but the immutable
-/// WindowEncoding and the caller's FormulaBuilder.
+/// WindowEncoding, the caller's FormulaBuilder, and the internal
+/// skeleton cache (reader/writer locked).
+///
+/// Cone-of-influence slicing (docs/ENCODER.md): with EncoderOptions::Slice
+/// (the default) the Φ_mhb/Φ_lock conjunctions are restricted to the
+/// events that can actually constrain the query — the events referenced by
+/// the control-flow / read-consistency part, the query events themselves,
+/// every cross-thread MHB edge, and the endpoints of lock constraints one
+/// of whose critical sections contains a cone event. Per-thread program-
+/// order chains are compressed to consecutive cone events. The sliced
+/// formula is equisatisfiable with the full one (the soundness proof lives
+/// in docs/ENCODER.md), so detection decisions are unchanged; witnesses
+/// are re-derived through an unsliced encoder by the drivers so reports
+/// stay byte-identical.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,6 +57,7 @@
 #include "trace/Trace.h"
 
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +68,21 @@ struct EncoderOptions {
   /// encoded explicitly as `Oa < Ob` plus "no event between them", which
   /// is the naive encoding the ablation bench compares against.
   bool SubstituteRaceVars = true;
+  /// Cone-of-influence slicing (docs/ENCODER.md): restrict Φ_mhb/Φ_lock
+  /// to the events that can constrain the query. Off (`--no-slice`) emits
+  /// the full window encoding — the debug cross-check mode. The naive
+  /// adjacency encoding references every window event, so slicing is
+  /// ignored when SubstituteRaceVars is false.
+  bool Slice = true;
+};
+
+/// Per-encode-call statistics, filled when the caller passes one to an
+/// encode method. Only the sliced path reports: an unsliced call leaves
+/// the struct zeroed.
+struct EncodeStats {
+  uint64_t ConeEvents = 0;  ///< window events in the cone of influence
+  uint64_t SlicedAtoms = 0; ///< Φ_mhb/Φ_lock atoms actually emitted
+  bool CacheHit = false;    ///< skeleton served from the per-window cache
 };
 
 class RaceEncoder {
@@ -77,18 +106,20 @@ public:
   }
 
   /// Φ for "COP (A,B) is a race" under the maximal technique.
-  NodeRef encodeMaximalRace(FormulaBuilder &FB, EventId A, EventId B) const;
+  NodeRef encodeMaximalRace(FormulaBuilder &FB, EventId A, EventId B,
+                            EncodeStats *Stats = nullptr) const;
 
   /// Φ for "COP (A,B) is a race" under Said et al.'s whole-trace
   /// read-write consistency.
-  NodeRef encodeSaidRace(FormulaBuilder &FB, EventId A, EventId B) const;
+  NodeRef encodeSaidRace(FormulaBuilder &FB, EventId A, EventId B,
+                         EncodeStats *Stats = nullptr) const;
 
   /// Φ for "\p B can execute strictly between \p A1 and \p A2" with all
   /// three events control-flow feasible — the atomicity-violation query
   /// (see detect/Atomicity.h). No substitution: the between condition is
   /// the two atoms `O_A1 < O_B < O_A2`.
   NodeRef encodeBetween(FormulaBuilder &FB, EventId A1, EventId B,
-                        EventId A2) const;
+                        EventId A2, EncodeStats *Stats = nullptr) const;
 
   /// Φ for a hold-and-wait deadlock between two lock-dependency chains
   /// (see detect/Deadlock.h): \p ReqA requests the lock of the section
@@ -97,7 +128,20 @@ public:
   /// requests themselves are excluded from the mutual-exclusion
   /// constraints — in the deadlocked prefix they never start.
   NodeRef encodeDeadlock(FormulaBuilder &FB, EventId ReqA, EventId ReqB,
-                         const LockPair &OutA, const LockPair &OutB) const;
+                         const LockPair &OutA, const LockPair &OutB,
+                         EncodeStats *Stats = nullptr) const;
+
+  /// The cone of influence of COP (A,B): the window events whose order
+  /// variables the sliced maximal-race encoding references, plus the
+  /// indices of the active LockConstraints. Exposed for tests; computed
+  /// by running the real encoding into a scratch builder so it can never
+  /// diverge from what encodeMaximalRace emits. With slicing disabled
+  /// (or under the naive adjacency encoding) the cone is the full window.
+  struct ConeInfo {
+    std::vector<EventId> Events;      ///< ascending
+    std::vector<uint32_t> ActiveLocks; ///< LockConstraint indices, ascending
+  };
+  ConeInfo coneOf(EventId A, EventId B) const;
 
   /// Pieces exposed for the Figure 5 pretty-printer and tests. \p A/B of
   /// InvalidEvent means "no substitution". \p ExcludedAcquires names
@@ -120,13 +164,34 @@ private:
     OrderVar operator()(EventId E) const { return E == A ? B : E; }
   };
 
-  /// Shared builder state for one encode call.
+  /// Cone-of-influence accumulator for one sliced encode call (defined in
+  /// the .cpp; CfState only carries a pointer so the unsliced path pays
+  /// nothing).
+  struct Cone;
+
+  /// Shared builder state for one encode call. When \p C is non-null the
+  /// call is sliced: every event whose order or feasibility variable the
+  /// cf/value part references is recorded into the cone as a side effect
+  /// of emission, so the cone is the referenced-variable set by
+  /// construction.
   struct CfState {
     FormulaBuilder &FB;
     Subst S;
     std::vector<NodeRef> Defs;
     std::unordered_map<EventId, uint32_t> VarOf;
     std::vector<EventId> Worklist;
+    Cone *C = nullptr;
+  };
+
+  /// Cone-restricted Φ_mhb/Φ_lock skeleton, memoized per cone signature
+  /// in the per-window cache below. MhbAtoms are pre-substitution
+  /// (root anchors, compressed per-thread chains, cross edges); the
+  /// active lock constraints are emitted from their indices so deadlock
+  /// queries can still exclude sections at emission time.
+  struct Skeleton {
+    std::vector<EventId> Events;      ///< sorted cone events (cache key)
+    std::vector<uint32_t> ActiveLcs;  ///< sorted LC indices (cache key)
+    std::vector<std::pair<OrderVar, OrderVar>> MhbAtoms;
   };
 
   NodeRef cfVar(CfState &St, EventId E) const;
@@ -136,12 +201,34 @@ private:
   NodeRef readValueFormula(CfState &St, EventId R, bool Guarded) const;
   NodeRef branchGuards(CfState &St, EventId E) const;
   NodeRef adjacency(FormulaBuilder &FB, Subst S, EventId A, EventId B) const;
+  /// Atom `S(X) < S(Y)` that also records X and Y into the cone when the
+  /// encode call is sliced.
+  NodeRef atomS(CfState &St, EventId X, EventId Y) const;
+
+  /// Looks the cone's skeleton up in the per-window cache, building and
+  /// inserting it on a miss. Concurrent-reader-safe: --jobs workers share
+  /// the cache through the encoder they already share.
+  const Skeleton &skeletonFor(Cone &C, EncodeStats *Stats) const;
+  /// Emits the skeleton's Φ_mhb ∧ Φ_lock under substitution \p S.
+  NodeRef emitSkeleton(FormulaBuilder &FB, const Skeleton &Sk, Subst S,
+                       const std::vector<EventId> &ExcludedAcquires,
+                       EncodeStats *Stats) const;
+  NodeRef encodeMaximalImpl(FormulaBuilder &FB, EventId A, EventId B,
+                            EncodeStats *Stats, ConeInfo *ConeOut) const;
 
   std::shared_ptr<const WindowEncoding> Enc;
   const Trace &T;
   Span Window;
   const EventClosure &Mhb;
   EncoderOptions Options;
+
+  /// Per-window skeleton cache keyed by cone-signature hash; values are
+  /// pointer-stable so references stay valid across inserts. Guarded by
+  /// SkelMutex (shared for lookups, exclusive for inserts); mutable
+  /// because encode calls on a shared const encoder populate it.
+  mutable std::unordered_map<uint64_t, std::vector<std::unique_ptr<Skeleton>>>
+      SkelCache;
+  mutable std::shared_mutex SkelMutex;
 };
 
 } // namespace rvp

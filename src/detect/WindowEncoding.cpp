@@ -8,6 +8,7 @@
 
 #include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <unordered_map>
 
@@ -71,27 +72,37 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     for (size_t I = 0; I + 1 < Events.size(); ++I)
       MhbEdges.emplace_back(Events[I], Events[I + 1]);
   }
+  // Cross-thread edges are mirrored into CrossEdges: the sliced encoder
+  // keeps all of them and compresses only the per-thread chains.
   for (ThreadId Tid = 0; Tid < T.numThreads(); ++Tid) {
     EventId Fork = T.forkOf(Tid);
     EventId Begin = T.beginOf(Tid);
     if (Fork != InvalidEvent && Begin != InvalidEvent &&
-        Window.contains(Fork) && Window.contains(Begin))
+        Window.contains(Fork) && Window.contains(Begin)) {
       MhbEdges.emplace_back(Fork, Begin);
+      CrossEdges.emplace_back(Fork, Begin);
+    }
     EventId End = T.endOf(Tid);
     EventId Join = T.joinOf(Tid);
     if (End != InvalidEvent && Join != InvalidEvent &&
-        Window.contains(End) && Window.contains(Join))
+        Window.contains(End) && Window.contains(Join)) {
       MhbEdges.emplace_back(End, Join);
+      CrossEdges.emplace_back(End, Join);
+    }
   }
   // wait/notify: release(wait) < notify < acquire(wait) (Section 4).
   for (const auto &[Match, W] : TriplesByMatch) {
     (void)Match;
     if (W.Notify == InvalidEvent)
       continue;
-    if (W.Release != InvalidEvent)
+    if (W.Release != InvalidEvent) {
       MhbEdges.emplace_back(W.Release, W.Notify);
-    if (W.Acquire != InvalidEvent)
+      CrossEdges.emplace_back(W.Release, W.Notify);
+    }
+    if (W.Acquire != InvalidEvent) {
       MhbEdges.emplace_back(W.Notify, W.Acquire);
+      CrossEdges.emplace_back(W.Notify, W.Acquire);
+    }
   }
 
   // Φ_lock descriptors, in encodeLock's emission order. Exclusions are
@@ -102,6 +113,32 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     EventId Rel = InvalidEvent;
     EventId SectionAcq = InvalidEvent; ///< trace-level acquire id
     ThreadId Tid = 0;
+    uint32_t SectionId = UINT32_MAX; ///< assigned on first constraint
+  };
+  // Window-clipped spans of the sections that end up in a constraint, for
+  // the EventSections index below.
+  struct SectionSpan {
+    EventId Lo = InvalidEvent;
+    EventId Hi = InvalidEvent;
+    ThreadId Tid = 0;
+  };
+  std::vector<SectionSpan> Sections;
+  auto sectionIdOf = [&](SpanPair &SP) -> uint32_t {
+    if (SP.SectionId != UINT32_MAX)
+      return SP.SectionId;
+    SP.SectionId = static_cast<uint32_t>(Sections.size());
+    SectionSpan Span;
+    Span.Lo = SP.Acq != InvalidEvent ? SP.Acq : Window.Begin;
+    Span.Hi = SP.Rel != InvalidEvent ? SP.Rel : Window.End - 1;
+    Span.Tid = SP.Tid;
+    Sections.push_back(Span);
+    SectionConstraints.emplace_back();
+    return SP.SectionId;
+  };
+  auto linkSections = [&](SpanPair &P, SpanPair &Q) {
+    uint32_t LcIndex = static_cast<uint32_t>(LockConstraints.size() - 1);
+    SectionConstraints[sectionIdOf(P)].push_back(LcIndex);
+    SectionConstraints[sectionIdOf(Q)].push_back(LcIndex);
   };
   for (LockId Lock = 0; Lock < T.numLocks(); ++Lock) {
     std::vector<SpanPair> Pairs;
@@ -118,8 +155,8 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     }
     for (size_t I = 0; I < Pairs.size(); ++I) {
       for (size_t J = I + 1; J < Pairs.size(); ++J) {
-        const SpanPair &P = Pairs[I];
-        const SpanPair &Q = Pairs[J];
+        SpanPair &P = Pairs[I];
+        SpanPair &Q = Pairs[J];
         // Same-thread critical sections are already program-ordered.
         if (P.Tid == Q.Tid)
           continue;
@@ -135,6 +172,7 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
           LC.RelQ = Q.Rel;
           LC.AcqP = P.Acq;
           LockConstraints.push_back(LC);
+          linkSections(P, Q);
           continue;
         }
         // A section missing its release holds the lock to the window end:
@@ -148,6 +186,7 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
             LC.RelP = Q.Rel;
             LC.AcqQ = P.Acq;
             LockConstraints.push_back(LC);
+            linkSections(P, Q);
           }
           continue;
         }
@@ -156,6 +195,7 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
             LC.RelP = P.Rel;
             LC.AcqQ = Q.Acq;
             LockConstraints.push_back(LC);
+            linkSections(P, Q);
           }
           continue;
         }
@@ -165,19 +205,35 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
           LC.RelP = P.Rel;
           LC.AcqQ = Q.Acq;
           LockConstraints.push_back(LC);
+          linkSections(P, Q);
           continue;
         }
         if (Q.Acq == InvalidEvent) {
           LC.RelP = Q.Rel;
           LC.AcqQ = P.Acq;
           LockConstraints.push_back(LC);
+          linkSections(P, Q);
         }
       }
     }
   }
 
+  // Invert the section spans into a per-event index so the cone fixpoint
+  // can find the constraints an event activates in O(enclosing sections).
+  EventSections.resize(S.End - S.Begin);
+  for (uint32_t Sid = 0; Sid < Sections.size(); ++Sid) {
+    if (SectionConstraints[Sid].empty())
+      continue;
+    const SectionSpan &Span = Sections[Sid];
+    const std::vector<EventId> &Events = ThreadEvents[Span.Tid];
+    auto It = std::lower_bound(Events.begin(), Events.end(), Span.Lo);
+    for (; It != Events.end() && *It <= Span.Hi; ++It)
+      EventSections[*It - Window.Begin].push_back(Sid);
+  }
+
   // Read-consistency skeletons (the COP-invariant part of the Φ_value
-  // disjunction readValueFormula emits).
+  // disjunction readValueFormula emits), indexed by window offset.
+  Reads.resize(S.End - S.Begin);
   for (EventId R : AllReads) {
     const Event &Read = T[R];
     VarId Var = Read.Target;
@@ -230,7 +286,7 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
       Info.InitialOk = !SomeWriteMustPrecede;
     }
 
-    Reads.emplace(R, std::move(Info));
+    Reads[R - Window.Begin] = std::move(Info);
   }
 
   if (Telemetry::enabled()) {
@@ -238,6 +294,7 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     // skeletons. An estimate is enough — the gauge tracks growth across
     // windows, not allocator-exact bytes.
     uint64_t Bytes = MhbEdges.size() * sizeof(MhbEdges[0]) +
+                     CrossEdges.size() * sizeof(CrossEdges[0]) +
                      LockConstraints.size() * sizeof(LockConstraint);
     for (const std::vector<EventId> &V : ThreadEvents)
       Bytes += V.size() * sizeof(EventId);
@@ -248,8 +305,12 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
     for (const std::vector<EventId> &V : VarWrites)
       Bytes += V.size() * sizeof(EventId);
     Bytes += AllReads.size() * sizeof(EventId);
-    for (const auto &[Read, Info] : Reads) {
-      Bytes += sizeof(Read) + sizeof(Info);
+    for (const std::vector<uint32_t> &V : EventSections)
+      Bytes += sizeof(V) + V.size() * sizeof(uint32_t);
+    for (const std::vector<uint32_t> &V : SectionConstraints)
+      Bytes += sizeof(V) + V.size() * sizeof(uint32_t);
+    for (const ReadInfo &Info : Reads) {
+      Bytes += sizeof(Info);
       Bytes += Info.Interfering.size() * sizeof(EventId);
       for (const ReadCandidate &C : Info.Candidates)
         Bytes += sizeof(C) + C.Others.size() * sizeof(EventId);
@@ -259,7 +320,6 @@ WindowEncoding::WindowEncoding(const Trace &T, Span S, const EventClosure &Mhb,
 }
 
 const WindowEncoding::ReadInfo &WindowEncoding::readInfo(EventId R) const {
-  auto It = Reads.find(R);
-  assert(It != Reads.end() && "read-consistency query outside the window");
-  return It->second;
+  assert(Window.contains(R) && "read-consistency query outside the window");
+  return Reads[R - Window.Begin];
 }

@@ -35,7 +35,6 @@
 #include "support/MemStats.h"
 #include "trace/Trace.h"
 
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -76,6 +75,13 @@ public:
   /// Φ_mhb as ordered (from, to) atom operands; `from` may be RootVar.
   std::vector<std::pair<OrderVar, OrderVar>> MhbEdges;
 
+  /// The cross-thread subset of Φ_mhb (fork/join and wait/notify edges,
+  /// in MhbEdges order). The cone-sliced encoder keeps every cross edge
+  /// unconditionally — they are few, and seeding their endpoints into the
+  /// cone means the per-thread chain compression can never lose an
+  /// inter-thread ordering (docs/ENCODER.md).
+  std::vector<std::pair<OrderVar, OrderVar>> CrossEdges;
+
   /// One Φ_lock conjunct: Or(RelP < AcqQ, RelQ < AcqP) when Mutex, the
   /// single atom RelP < AcqQ otherwise (one-sided sections clipped by the
   /// window). SectionAcqP/Q are the two sections' trace-level acquire
@@ -91,6 +97,20 @@ public:
     EventId SectionAcqQ = InvalidEvent;
   };
   std::vector<LockConstraint> LockConstraints;
+
+  /// Lock-section index for the cone-of-influence fixpoint
+  /// (docs/ENCODER.md): a lock constraint is relevant to a COP exactly
+  /// when some cone event lies inside (or at an endpoint of) one of its
+  /// two critical sections. Sections are the window-clipped acquire/
+  /// release spans that participate in at least one LockConstraint.
+  /// sectionsOf() maps a window event to the sections enclosing it;
+  /// SectionConstraints maps a section to the LockConstraints it is a
+  /// side of; endpoints to pull into the cone live on the constraint
+  /// itself (RelP/AcqQ/RelQ/AcqP).
+  const std::vector<uint32_t> &sectionsOf(EventId E) const {
+    return EventSections[E - Window.Begin];
+  }
+  std::vector<std::vector<uint32_t>> SectionConstraints;
 
   /// Read-consistency skeleton for one read (Section 3.2's Φ_value, minus
   /// the per-COP substitution).
@@ -114,7 +134,13 @@ public:
   const ReadInfo &readInfo(EventId R) const;
 
 private:
-  std::unordered_map<EventId, ReadInfo> Reads;
+  /// Indexed by window offset (R - Window.Begin); non-read offsets hold a
+  /// default ReadInfo. readInfo() sits on the encode hot path, so the
+  /// flat vector replaces the former hash map: one subtraction instead of
+  /// a hash lookup per read.
+  std::vector<ReadInfo> Reads;
+  /// Indexed by window offset: section ids enclosing the event.
+  std::vector<std::vector<uint32_t>> EventSections;
   /// mem.encoding_* accounting, charged once at the end of construction
   /// with the container footprint (support/MemStats.h).
   MemCharge Mem{MemPool::Encoding};

@@ -19,6 +19,7 @@ static uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
 }
 
 FormulaBuilder::FormulaBuilder() {
+  Table.assign(256, TableSlot{0, EmptySlot});
   FormulaNode TrueNode;
   TrueNode.Kind = FormulaKind::True;
   Nodes.push_back(TrueNode);
@@ -29,6 +30,20 @@ FormulaBuilder::FormulaBuilder() {
   FalseRef = 1;
 }
 
+void FormulaBuilder::growTable() {
+  std::vector<TableSlot> Old(Table.size() * 2, TableSlot{0, EmptySlot});
+  Old.swap(Table);
+  const size_t Mask = Table.size() - 1;
+  for (const TableSlot &S : Old) {
+    if (S.Ref == EmptySlot)
+      continue;
+    size_t Slot = S.Hash & Mask;
+    while (Table[Slot].Ref != EmptySlot)
+      Slot = (Slot + 1) & Mask;
+    Table[Slot] = S;
+  }
+}
+
 NodeRef FormulaBuilder::intern(FormulaNode Node,
                                const std::vector<NodeRef> &Kids) {
   uint64_t Hash = hashCombine(static_cast<uint64_t>(Node.Kind), Node.VarA);
@@ -36,23 +51,29 @@ NodeRef FormulaBuilder::intern(FormulaNode Node,
   for (NodeRef Kid : Kids)
     Hash = hashCombine(Hash, Kid);
 
-  auto &Bucket = Buckets[Hash];
-  for (NodeRef Candidate : Bucket) {
-    const FormulaNode &C = Nodes[Candidate];
-    if (C.Kind != Node.Kind || C.VarA != Node.VarA || C.VarB != Node.VarB ||
-        C.numChildren() != Kids.size())
-      continue;
-    if (std::equal(Kids.begin(), Kids.end(),
-                   Children.begin() + C.ChildBegin))
-      return Candidate;
+  const size_t Mask = Table.size() - 1;
+  size_t Slot = Hash & Mask;
+  while (Table[Slot].Ref != EmptySlot) {
+    if (Table[Slot].Hash == Hash) {
+      const FormulaNode &C = Nodes[Table[Slot].Ref];
+      if (C.Kind == Node.Kind && C.VarA == Node.VarA &&
+          C.VarB == Node.VarB && C.numChildren() == Kids.size() &&
+          std::equal(Kids.begin(), Kids.end(),
+                     Children.data() + C.ChildBegin))
+        return Table[Slot].Ref;
+    }
+    Slot = (Slot + 1) & Mask;
   }
 
   Node.ChildBegin = static_cast<uint32_t>(Children.size());
-  Children.insert(Children.end(), Kids.begin(), Kids.end());
+  Children.append(Kids.data(), Kids.data() + Kids.size());
   Node.ChildEnd = static_cast<uint32_t>(Children.size());
   NodeRef Ref = static_cast<NodeRef>(Nodes.size());
   Nodes.push_back(Node);
-  Bucket.push_back(Ref);
+  Table[Slot] = TableSlot{Hash, Ref};
+  // Resize at ~70% load so probe chains stay short.
+  if (++TableCount * 10 >= Table.size() * 7)
+    growTable();
   if (Telemetry::enabled())
     Mem.charge(sizeof(FormulaNode) + Kids.size() * sizeof(NodeRef));
   return Ref;

@@ -23,6 +23,7 @@
 #ifndef RVP_SMT_FORMULA_H
 #define RVP_SMT_FORMULA_H
 
+#include "smt/Arena.h"
 #include "support/MemStats.h"
 
 #include <cstdint>
@@ -115,10 +116,29 @@ public:
 private:
   NodeRef mkNary(FormulaKind Kind, std::vector<NodeRef> Children);
   NodeRef intern(FormulaNode Node, const std::vector<NodeRef> &Kids);
+  void growTable();
 
-  std::vector<FormulaNode> Nodes;
-  std::vector<NodeRef> Children;
-  std::unordered_map<uint64_t, std::vector<NodeRef>> Buckets;
+  /// One hash-consing table slot: full hash plus node index. Ref ==
+  /// EmptySlot marks an unused slot.
+  struct TableSlot {
+    uint64_t Hash;
+    NodeRef Ref;
+  };
+  static constexpr NodeRef EmptySlot = UINT32_MAX;
+
+  /// Bump storage for the node and child pools: interning is append-only,
+  /// so the arena replaces per-push heap reallocation with cursor bumps
+  /// and frees everything at once when the builder dies at the window
+  /// barrier (smt/Arena.h).
+  BumpArena Arena;
+  ArenaVector<FormulaNode> Nodes{Arena};
+  ArenaVector<NodeRef> Children{Arena};
+  /// Open-addressed linear-probe hash-consing index (insert-only,
+  /// power-of-two capacity, resized at ~70% load). Replaces the
+  /// unordered_map-of-vectors bucket scheme: one flat probe sequence per
+  /// intern instead of a heap-allocated vector per distinct hash.
+  std::vector<TableSlot> Table;
+  size_t TableCount = 0;
   /// mem.formula_* accounting of the node and child arenas; charged per
   /// interned node when telemetry is on (support/MemStats.h).
   MemCharge Mem{MemPool::Formula};

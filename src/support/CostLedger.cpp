@@ -90,11 +90,12 @@ std::string CostLedger::renderTable() const {
       Out += formatString(
           "    w%zu %s <-> %s on %s [%s]: %.3fs  "
           "(encode %.3fs, solve %.3fs, witness %.3fs, mem %llu B, "
-          "attempts %u)\n",
+          "attempts %u, cone %llu)\n",
           C.Window, C.LocFirst.c_str(), C.LocSecond.c_str(),
           C.Variable.c_str(), C.Outcome.c_str(), C.totalSeconds(),
           C.EncodeSeconds, C.SolveSeconds, C.WitnessSeconds,
-          static_cast<unsigned long long>(C.MemDeltaBytes), C.Attempts);
+          static_cast<unsigned long long>(C.MemDeltaBytes), C.Attempts,
+          static_cast<unsigned long long>(C.ConeEvents));
   }
   return Out;
 }
@@ -133,6 +134,7 @@ void CostLedger::addToJson(JsonObject &Json) const {
                     .field("total_seconds", C.totalSeconds())
                     .field("mem_delta_bytes", C.MemDeltaBytes)
                     .field("attempts", static_cast<uint64_t>(C.Attempts))
+                    .field("cone_events", C.ConeEvents)
                     .str();
   }
   CopsJson += "]";

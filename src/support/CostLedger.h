@@ -43,6 +43,9 @@ struct CopCost {
   double WitnessSeconds = 0;
   uint64_t MemDeltaBytes = 0;
   unsigned Attempts = 0;
+  /// Cone-of-influence size of the sliced encoding (docs/ENCODER.md);
+  /// 0 for unsliced encodes and filter outcomes.
+  uint64_t ConeEvents = 0;
 
   double totalSeconds() const {
     return EncodeSeconds + SolveSeconds + WitnessSeconds;
@@ -89,7 +92,7 @@ public:
   /// {"windows":[{index,cops,solves,seconds}...],
   ///  "cops":[{window,first,second,variable,outcome,encode_seconds,
   ///           solve_seconds,witness_seconds,total_seconds,
-  ///           mem_delta_bytes,attempts}...]}.
+  ///           mem_delta_bytes,attempts,cone_events}...]}.
   void addToJson(JsonObject &Json) const;
 
 private:

@@ -62,6 +62,8 @@ const char *rvp::memPoolName(MemPool Pool) {
     return "encoding";
   case MemPool::Trace:
     return "trace";
+  case MemPool::FormulaDag:
+    return "formula_dag";
   case MemPool::Count:
     break;
   }

@@ -32,10 +32,11 @@ class MetricsRegistry;
 
 /// The accounted subsystems. Count is the array bound, not a pool.
 enum class MemPool : uint8_t {
-  Formula,  ///< FormulaBuilder DAG nodes
-  Clauses,  ///< SAT clause database (problem + learned)
-  Encoding, ///< per-window WindowEncoding state
-  Trace,    ///< event storage of loaded traces
+  Formula,    ///< FormulaBuilder DAG nodes
+  Clauses,    ///< SAT clause database (problem + learned)
+  Encoding,   ///< per-window WindowEncoding state
+  Trace,      ///< event storage of loaded traces
+  FormulaDag, ///< FormulaBuilder arena chunks (smt/Arena.h)
   Count
 };
 

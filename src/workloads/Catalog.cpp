@@ -53,6 +53,29 @@ std::vector<BenchmarkCase> rvp::table1Benchmarks() {
     Cases.push_back(std::move(Case));
   }
 
+  // Encoding stress row: many branch-light pattern threads hammering
+  // plain and quick-check-passing pairs, so each window carries a heavy
+  // per-COP solver load whose cones are tiny next to the window. The
+  // encoding bench and scripts/bench_report.py A/B the cone slicer on it
+  // (docs/ENCODER.md).
+  {
+    BenchmarkCase Case;
+    Case.Name = "highcop";
+    Case.Group = "stress";
+    Case.CaseKind = BenchmarkCase::Kind::Synthetic;
+    SyntheticSpec Spec;
+    Spec.Name = "highcop";
+    Spec.Workers = 24;
+    Spec.TargetEvents = 40000;
+    Spec.PlainRaces = 40;
+    Spec.QcOnlyPairs = 120;
+    Spec.BranchPercent = 4;
+    Spec.SyncPercent = 8;
+    Spec.Seed = 108;
+    Case.Spec = Spec;
+    Cases.push_back(std::move(Case));
+  }
+
   return Cases;
 }
 

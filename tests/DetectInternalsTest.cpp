@@ -14,6 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 using namespace rvp;
 
 // ------------------------------------------------------------------ COPs
@@ -231,6 +234,200 @@ TEST(RaceEncoder, SaidRejectsValueChangingAdjacency) {
   NodeRef Root2 = Encoder.encodeMaximalRace(FB2, 0, 1);
   EXPECT_EQ(createIdlSolver()->solve(FB2, Root2, Deadline(), nullptr),
             SatResult::Sat);
+}
+
+// ----------------------------------------------------- cone of influence
+
+namespace {
+
+bool coneHas(const RaceEncoder::ConeInfo &Info, EventId E) {
+  return std::binary_search(Info.Events.begin(), Info.Events.end(), E);
+}
+
+/// Sliced and unsliced encodings must be equisatisfiable (docs/ENCODER.md).
+void expectEquisat(const RaceEncoder &Sliced, EventId A, EventId B) {
+  EncoderOptions NoSlice;
+  NoSlice.Slice = false;
+  RaceEncoder Unsliced(Sliced.sharedWindowEncoding(), NoSlice);
+  FormulaBuilder FbS, FbU;
+  SatResult S = createIdlSolver()->solve(
+      FbS, Sliced.encodeMaximalRace(FbS, A, B), Deadline(), nullptr);
+  SatResult U = createIdlSolver()->solve(
+      FbU, Unsliced.encodeMaximalRace(FbU, A, B), Deadline(), nullptr);
+  EXPECT_EQ(S, U) << "sliced and unsliced verdicts diverge for (" << A
+                  << "," << B << ")";
+}
+
+} // namespace
+
+TEST(RaceEncoderCone, ForkJoinEdgesStayInConeUnrelatedWritesDoNot) {
+  TraceBuilder B;
+  B.write("t1", "x", 1);  // 0: unrelated, before the fork
+  B.fork("t1", "t2");     // 1
+  B.begin("t2");          // 2
+  B.write("t2", "p0", 1); // 3: padding — never read, no locks
+  B.write("t2", "p1", 1); // 4
+  B.write("t2", "p2", 1); // 5
+  B.write("t2", "y", 1);  // 6: race event A
+  B.end("t2");            // 7
+  B.join("t1", "t2");     // 8
+  B.write("t1", "y", 2);  // 9: race event B
+  EncoderFixture F(B.build());
+
+  RaceEncoder::ConeInfo Info = F.Encoder.coneOf(6, 9);
+  // The query events and every cross-thread MHB endpoint are kept: the
+  // fork/join edges are what order the pair.
+  for (EventId E : {1u, 2u, 6u, 7u, 8u, 9u})
+    EXPECT_TRUE(coneHas(Info, E)) << "event " << E;
+  // The padding writes constrain nothing the pair can observe.
+  for (EventId E : {0u, 3u, 4u, 5u})
+    EXPECT_FALSE(coneHas(Info, E)) << "event " << E;
+  expectEquisat(F.Encoder, 6, 9);
+}
+
+TEST(RaceEncoderCone, NestedLocksActivateEnclosingSections) {
+  TraceBuilder B;
+  B.acquire("t1", "outer"); // 0
+  B.acquire("t1", "inner"); // 1
+  B.write("t1", "x", 1);    // 2: race event A
+  B.release("t1", "inner"); // 3
+  B.release("t1", "outer"); // 4
+  B.acquire("t2", "outer"); // 5
+  B.acquire("t2", "inner"); // 6
+  B.write("t2", "x", 2);    // 7: race event B
+  B.release("t2", "inner"); // 8
+  B.release("t2", "outer"); // 9
+  B.acquire("t1", "other"); // 10: unrelated lock, after the race region
+  B.write("t1", "w", 1);    // 11
+  B.release("t1", "other"); // 12
+  B.acquire("t3", "other"); // 13
+  B.write("t3", "z", 1);    // 14
+  B.release("t3", "other"); // 15
+  EncoderFixture F(B.build());
+  ASSERT_EQ(F.Encoder.windowEncoding().LockConstraints.size(), 3u)
+      << "inner, outer, other";
+
+  RaceEncoder::ConeInfo Info = F.Encoder.coneOf(2, 7);
+  // The race events sit in the inner sections; activating those pulls in
+  // the inner acquire/release endpoints, which sit in the outer sections,
+  // which activate the outer constraint in turn — but never `other`.
+  EXPECT_EQ(Info.ActiveLocks.size(), 2u);
+  for (EventId E : {0u, 1u, 3u, 4u, 5u, 6u, 8u, 9u})
+    EXPECT_TRUE(coneHas(Info, E)) << "lock endpoint " << E;
+  for (EventId E : {10u, 11u, 12u, 13u, 14u, 15u})
+    EXPECT_FALSE(coneHas(Info, E)) << "event " << E;
+  expectEquisat(F.Encoder, 2, 7);
+}
+
+TEST(RaceEncoderCone, CyclicCfDependencyTerminates) {
+  // cf(w1) guards r1 whose candidate write is w2; cf(w2) guards r2 whose
+  // candidate write is w1 — the cf dependency graph is a cycle.
+  TraceBuilder B;
+  B.read("t1", "y", 0);  // 0: r1 (initial value, or w2's)
+  B.branch("t1");        // 1
+  B.write("t1", "x", 1); // 2: w1
+  B.read("t2", "x", 1);  // 3: r2 (w1's value)
+  B.branch("t2");        // 4
+  B.write("t2", "y", 0); // 5: w2 (same value as y's initial)
+  EncoderFixture F(B.build());
+
+  RaceEncoder::ConeInfo Info = F.Encoder.coneOf(2, 3);
+  // The whole cycle is referenced: r1, w1, r2, w2 plus w1's guarding
+  // branch. t2's branch is *not* pulled in — a write's feasibility folds
+  // through its thread's reads, never through the branch event itself,
+  // and only the query events' own guarding branches become top-level
+  // guards.
+  EXPECT_EQ(Info.Events, (std::vector<EventId>{0, 1, 2, 3, 5}));
+  expectEquisat(F.Encoder, 2, 3);
+}
+
+TEST(RaceEncoderCone, UnslicedConeIsTheFullWindow) {
+  TraceBuilder B;
+  B.acquire("t1", "l");  // 0
+  B.write("t1", "x", 1); // 1
+  B.release("t1", "l");  // 2
+  B.acquire("t2", "l");  // 3
+  B.write("t2", "x", 2); // 4
+  B.release("t2", "l");  // 5
+  B.write("t3", "p", 1); // 6: unrelated
+  EncoderFixture F(B.build());
+
+  EncoderOptions NoSlice;
+  NoSlice.Slice = false;
+  RaceEncoder Unsliced(F.Encoder.sharedWindowEncoding(), NoSlice);
+  RaceEncoder::ConeInfo Full = Unsliced.coneOf(1, 4);
+  EXPECT_EQ(Full.Events.size(), F.T.size());
+  EXPECT_EQ(Full.ActiveLocks.size(),
+            F.Encoder.windowEncoding().LockConstraints.size());
+  // The sliced cone on the same pair is a strict subset.
+  RaceEncoder::ConeInfo Sliced = F.Encoder.coneOf(1, 4);
+  EXPECT_LT(Sliced.Events.size(), Full.Events.size());
+  EXPECT_FALSE(coneHas(Sliced, 6));
+}
+
+TEST(RaceEncoderCone, ConcurrentEncodesShareTheSkeletonCache) {
+  // Four workers hammer the same const encoder with their own builders —
+  // the sharing contract the parallel detect path relies on. Run under
+  // scripts/check_tsan.sh this exercises the reader/writer-locked
+  // skeleton cache for real.
+  TraceBuilder B;
+  for (int I = 0; I < 8; ++I) {
+    std::string Var = "x" + std::to_string(I);
+    B.acquire("t1", "l");
+    B.write("t1", Var, 1);
+    B.release("t1", "l");
+    B.acquire("t2", "l");
+    B.write("t2", Var, 2);
+    B.release("t2", "l");
+  }
+  EncoderFixture F(B.build());
+  std::vector<Cop> Cops = collectCops(F.T, F.T.fullSpan());
+  ASSERT_EQ(Cops.size(), 8u);
+
+  std::vector<std::thread> Workers;
+  std::vector<uint64_t> AtomTotals(4, 0);
+  for (int W = 0; W < 4; ++W)
+    Workers.emplace_back([&, W] {
+      for (int Round = 0; Round < 4; ++Round)
+        for (const Cop &C : Cops) {
+          FormulaBuilder FB;
+          EncodeStats Stats;
+          F.Encoder.encodeMaximalRace(FB, C.First, C.Second, &Stats);
+          AtomTotals[W] += Stats.SlicedAtoms;
+        }
+    });
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  // Cached or rebuilt, the emitted skeleton is the same formula.
+  EXPECT_EQ(AtomTotals[0], AtomTotals[1]);
+  EXPECT_EQ(AtomTotals[0], AtomTotals[2]);
+  EXPECT_EQ(AtomTotals[0], AtomTotals[3]);
+  // And by now every cone's skeleton is resident.
+  for (const Cop &C : Cops) {
+    FormulaBuilder FB;
+    EncodeStats Stats;
+    F.Encoder.encodeMaximalRace(FB, C.First, C.Second, &Stats);
+    EXPECT_TRUE(Stats.CacheHit);
+  }
+}
+
+TEST(RaceEncoderCone, SkeletonCacheHitsOnSecondEncode) {
+  TraceBuilder B;
+  B.fork("t1", "t2");    // 0
+  B.begin("t2");         // 1
+  B.write("t1", "x", 1); // 2
+  B.write("t2", "x", 2); // 3
+  EncoderFixture F(B.build());
+
+  EncodeStats First, Second;
+  FormulaBuilder Fb1, Fb2;
+  F.Encoder.encodeMaximalRace(Fb1, 2, 3, &First);
+  F.Encoder.encodeMaximalRace(Fb2, 2, 3, &Second);
+  EXPECT_FALSE(First.CacheHit);
+  EXPECT_TRUE(Second.CacheHit);
+  EXPECT_EQ(First.ConeEvents, Second.ConeEvents);
+  EXPECT_EQ(First.SlicedAtoms, Second.SlicedAtoms);
+  EXPECT_GT(First.SlicedAtoms, 0u);
 }
 
 // -------------------------------------------------------- witness checker

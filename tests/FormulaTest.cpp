@@ -5,6 +5,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "smt/Formula.h"
+#include "support/MemStats.h"
+#include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -102,4 +104,40 @@ TEST(Formula, HashConsingSharesNaryNodes) {
   NodeRef Second = FB.mkAnd({A, B});
   EXPECT_EQ(First, Second);
   EXPECT_EQ(FB.numNodes(), Before + 1);
+}
+
+TEST(Formula, ArenaChargesFormulaDagAndBulkFreesAtBarrier) {
+  // The builder's node storage lives in a bump arena charged to
+  // MemPool::FormulaDag; the charge must appear while the builder is
+  // alive and vanish entirely when it dies (the window barrier).
+  Telemetry::setEnabled(true);
+  uint64_t Baseline = MemStats::current(MemPool::FormulaDag);
+  {
+    FormulaBuilder FB;
+    std::vector<NodeRef> Conj;
+    for (uint32_t I = 0; I < 20000; ++I)
+      Conj.push_back(FB.mkAtom(I, I + 1));
+    FB.mkAnd(std::move(Conj));
+    EXPECT_GT(MemStats::current(MemPool::FormulaDag), Baseline)
+        << "arena chunks are charged while the builder lives";
+  }
+  EXPECT_EQ(MemStats::current(MemPool::FormulaDag), Baseline)
+      << "the builder's death releases every chunk at once";
+  Telemetry::setEnabled(false);
+}
+
+TEST(Formula, ArenaRelocationPreservesNodes) {
+  // ArenaVector growth relocates node and child storage with memcpy;
+  // NodeRefs are indices, so formulas built early must survive heavy
+  // later allocation verbatim.
+  FormulaBuilder FB;
+  NodeRef Early = FB.mkAnd({FB.mkAtom(1, 2), FB.mkAtom(3, 4)});
+  std::string Rendered = FB.toString(Early);
+  std::vector<OrderVar> Vars = FB.collectVars(Early);
+  for (uint32_t I = 10; I < 30000; ++I)
+    FB.mkAtom(I, I + 1);
+  EXPECT_EQ(FB.toString(Early), Rendered);
+  EXPECT_EQ(FB.collectVars(Early), Vars);
+  EXPECT_EQ(FB.node(Early).Kind, FormulaKind::And);
+  EXPECT_EQ(FB.node(Early).numChildren(), 2u);
 }

@@ -54,6 +54,16 @@ if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
   if(WINDOWS LESS 1 OR COPS LESS 1 OR SOLVES LESS 1)
     message(FATAL_ERROR "degenerate run: windows=${WINDOWS} cops=${COPS} solves=${SOLVES}")
   endif()
+  # Cone-of-influence slicing is on by default, so its counters must tick.
+  # (encoder.skeleton_cache_hits is intentionally NOT asserted: rv-mode
+  # cones are seeded per COP and rarely coincide — see docs/ENCODER.md.)
+  foreach(COUNTER encoder.cone_events encoder.sliced_atoms)
+    string(JSON VALUE ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" metrics
+           counters ${COUNTER})
+    if(JSON_ERR OR VALUE LESS 1)
+      message(FATAL_ERROR "${COUNTER} counter missing or zero under default slicing: ${JSON_ERR} '${VALUE}'\n${JSON_TEXT}")
+    endif()
+  endforeach()
 else()
   foreach(FIELD windows cops qc_passed solver_calls solver_timeouts)
     if(NOT JSON_TEXT MATCHES "\"${FIELD}\":")

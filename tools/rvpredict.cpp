@@ -44,6 +44,7 @@
 #include "support/StringUtils.h"
 #include "trace/Consistency.h"
 #include "trace/TraceIO.h"
+#include "workloads/Catalog.h"
 #include "workloads/Fuzzer.h"
 
 #include <cstdio>
@@ -78,11 +79,29 @@ bool endsWith(const std::string &S, const std::string &Suffix) {
          S.compare(S.size() - Suffix.size(), Suffix.size(), Suffix) == 0;
 }
 
-/// Loads a trace from a program (recording it) or a trace file. When the
-/// input was a MiniRV program, \p SourceOut (if non-null) receives its
-/// text, so callers can re-analyze the program statically.
+/// Loads a trace from a program (recording it), a trace file, or a
+/// catalog row (`bench:<name>`, e.g. `bench:highcop` — see
+/// workloads/Catalog.h). When the input was a MiniRV program, \p
+/// SourceOut (if non-null) receives its text, so callers can re-analyze
+/// the program statically.
 bool loadTrace(const std::string &Path, const OptionParser &Options,
                Trace &T, std::string *SourceOut = nullptr) {
+  if (Path.rfind("bench:", 0) == 0) {
+    std::string Name = Path.substr(6);
+    std::optional<BenchmarkCase> Case = findBenchmark(Name);
+    if (!Case) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+      return false;
+    }
+    std::string Error;
+    if (!benchmarkTrace(*Case, T, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return false;
+    }
+    if (SourceOut && Case->CaseKind == BenchmarkCase::Kind::Program)
+      *SourceOut = Case->Source;
+    return true;
+  }
   std::string Content;
   if (!readFile(Path, Content)) {
     std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
@@ -281,12 +300,14 @@ int cmdDetect(const OptionParser &Options) {
   Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Detect.Incremental = Options.getBool("incremental", true) &&
                        !Options.getBool("no-incremental", false);
+  Detect.Slice = !Options.getBool("no-slice", false);
   Detect.RetryBudgets = RetryBudgets;
   Technique Tech = parseTechnique(Options.getString("technique", "rv"));
 
   // Checkpointing: the fingerprint pins the trace contents and every
-  // result-relevant flag (jobs excluded — reports are identical for any
-  // value), so a checkpoint directory can only resume the same analysis.
+  // result-relevant flag (jobs and no-slice excluded — reports are
+  // identical for any value of either), so a checkpoint directory can
+  // only resume the same analysis.
   Detect.CheckpointDir = Options.getString("checkpoint", "");
   if (!Detect.CheckpointDir.empty()) {
     std::string Flags = formatString(
@@ -511,6 +532,11 @@ int main(int Argc, const char **Argv) {
                     "decide COPs through a persistent per-window solver "
                     "session (assumption-based incremental solving)",
                     "true");
+  Options.addOption("no-slice",
+                    "disable cone-of-influence slicing of the per-COP "
+                    "encodings (debug cross-check; reports are identical "
+                    "either way — see docs/ENCODER.md)",
+                    "false");
   Options.addOption("no-incremental",
                     "alias for --incremental=false (legacy "
                     "fresh-solver-per-COP path)",

@@ -140,21 +140,32 @@ void BM_Deadlock(benchmark::State &State) {
 /// A MiniRV workload built for the static pruner: per loop iteration the
 /// two concurrent threads touch `a` only under lock m (prunable by the
 /// common-must-lock rule), t3's and main's `c` accesses are serialized by
-/// top-level fork/join (prunable by the interval rule), and `b` carries
-/// the real races that keep the comparison honest.
+/// top-level fork/join (prunable by the interval rule), t1's nested
+/// fork/join of t4 orders the `d` accesses (prunable only by the static
+/// MHB rule — t4 is always-live to the interval analysis), the read-only
+/// `gate` guard on the racy write is a provably constant branch (dropped
+/// by the value-range fold), and `b` carries the real races that keep the
+/// comparison honest.
 std::string prunableSource(uint32_t Iters) {
   std::string N = std::to_string(Iters);
   return "shared a;\n"
          "shared b;\n"
          "shared c;\n"
+         "shared d;\n"
+         "shared gate = 1;\n"
          "lock m;\n"
+         "thread t4 { d = d + 1; }\n"
          "thread t1 {\n"
          "  local i = 0;\n"
          "  while (i < " + N + ") {\n"
          "    sync m { a = a + 1; }\n"
          "    i = i + 1;\n"
          "  }\n"
-         "  b = 1;\n"
+         "  d = 1;\n"
+         "  spawn t4;\n"
+         "  join t4;\n"
+         "  local h = d;\n"
+         "  if (gate == 1) { b = h; }\n"
          "}\n"
          "thread t2 {\n"
          "  local i = 0;\n"
@@ -225,17 +236,23 @@ void runPruneBench(benchmark::State &State, bool UsePruner) {
   Options.CollectWitnesses = false;
   Options.Jobs = JobsFlag;
   Options.StaticPruner = UsePruner ? &W.Oracle : nullptr;
+  Options.CfFold = UsePruner ? &W.Oracle : nullptr;
   DetectionStats Stats;
   size_t Races = 0;
   for (auto _ : State) {
+    W.Oracle.resetStageCounts();
     DetectionResult R = detectRaces(W.T, Technique::Maximal, Options);
     Races = R.raceCount();
     Stats = R.Stats;
     benchmark::DoNotOptimize(R);
   }
+  PruneStageCounts Stages = W.Oracle.stageCounts();
   State.counters["races"] = static_cast<double>(Races);
   State.counters["cops"] = static_cast<double>(Stats.Cops);
   State.counters["pruned"] = static_cast<double>(Stats.CopsPrunedStatic);
+  State.counters["pruned_interval"] = static_cast<double>(Stages.Interval);
+  State.counters["pruned_lockset"] = static_cast<double>(Stages.Lockset);
+  State.counters["pruned_mhb"] = static_cast<double>(Stages.Mhb);
   State.counters["solves"] = static_cast<double>(Stats.SolverCalls);
   State.counters["events/s"] = benchmark::Counter(
       static_cast<double>(W.T.size()),
@@ -332,8 +349,11 @@ int dumpStatsJson(const std::string &Path) {
 /// runs once without and once with the oracle on the prunable workload
 /// (this is the source of the checked-in BENCH_static.json). The race
 /// counts must agree — the pruner is sound — so only work and time move.
+/// 40 iterations: the unpruned baseline's cf encodings grow superlinearly
+/// with the loop count and must stay solvable within the per-COP budget,
+/// or the A/B race-count comparison degenerates to unknown-vs-unknown.
 int dumpStaticPruneJson(const std::string &Path) {
-  constexpr uint32_t Iters = 120;
+  constexpr uint32_t Iters = 40;
   Telemetry::setEnabled(true);
   PruneWorkload &W = pruneWorkload(Iters);
   DetectorOptions Options;
@@ -351,10 +371,19 @@ int dumpStaticPruneJson(const std::string &Path) {
   for (const auto &[Tech, Key] : Runs) {
     Telemetry::instance().reset();
     Options.StaticPruner = nullptr;
+    Options.CfFold = nullptr;
     DetectionResult Baseline = detectRaces(W.T, Tech, Options);
     Telemetry::instance().reset();
     Options.StaticPruner = &W.Oracle;
+    Options.CfFold = &W.Oracle;
+    W.Oracle.resetStageCounts();
     DetectionResult Pruned = detectRaces(W.T, Tech, Options);
+    PruneStageCounts Stages = W.Oracle.stageCounts();
+
+    JsonObject StageObj;
+    StageObj.field("interval", Stages.Interval)
+        .field("lockset", Stages.Lockset)
+        .field("mhb", Stages.Mhb);
 
     JsonObject Cmp;
     Cmp.field("races", static_cast<uint64_t>(Baseline.raceCount()))
@@ -362,6 +391,7 @@ int dumpStaticPruneJson(const std::string &Path) {
         .field("speedup", Pruned.Stats.Seconds > 0
                               ? Baseline.Stats.Seconds / Pruned.Stats.Seconds
                               : 0.0)
+        .raw("prune_stages", StageObj.str())
         .raw("baseline", statsToJson(Baseline.Stats, techniqueName(Tech)))
         .raw("static_prune", statsToJson(Pruned.Stats, techniqueName(Tech)));
     Techs.raw(Key, Cmp.str());
@@ -478,15 +508,15 @@ int main(int Argc, char **Argv) {
                                  [](benchmark::State &S) {
                                    runPruneBench(S, /*UsePruner=*/true);
                                  })
-        ->Arg(30)
-        ->Arg(120)
+        ->Arg(10)
+        ->Arg(40)
         ->Unit(benchmark::kMillisecond);
     benchmark::RegisterBenchmark("BM_MaximalNoPrune",
                                  [](benchmark::State &S) {
                                    runPruneBench(S, /*UsePruner=*/false);
                                  })
-        ->Arg(30)
-        ->Arg(120)
+        ->Arg(10)
+        ->Arg(40)
         ->Unit(benchmark::kMillisecond);
   }
 

@@ -10,6 +10,7 @@
 #include "analysis/Cfg.h"
 #include "analysis/StaticLockset.h"
 #include "analysis/ThreadEscape.h"
+#include "support/BuildInfo.h"
 #include "support/Stats.h"
 
 #include <algorithm>
@@ -143,10 +144,12 @@ void LintContext::checkThread(const ThreadDecl &TD) {
 
 } // namespace
 
-LintResult rvp::runLint(const Program &P) {
+LintResult rvp::runLint(const Program &P, bool WithRaces) {
   LintResult R;
   ThreadEscapeAnalysis TE(P);
   R.ThreadLocalDecls = TE.threadLocalDeclCount();
+  if (WithRaces)
+    R.Races = runRaceCheck(P).Warnings;
 
   LintContext Ctx{P, TE, R.Diags, {}};
 
@@ -173,21 +176,60 @@ LintResult rvp::runLint(const Program &P) {
   return R;
 }
 
+namespace {
+
+/// "write in thread 't1' (line 8)" — one side of a race warning.
+std::string raceSideText(const StaticAccessSite &S) {
+  return std::string(S.Write ? "write" : "read") + " in thread '" +
+         S.ThreadName + "' (line " + std::to_string(S.Line) + ")";
+}
+
+std::string raceMessage(const StaticRaceWarning &W) {
+  std::string Msg = "possible data race on '" + W.Var + "': " +
+                    raceSideText(W.A) + " vs " + raceSideText(W.B);
+  if (W.A.Locks == 0 && W.B.Locks == 0)
+    Msg += ", no locks held";
+  return Msg;
+}
+
+} // namespace
+
 void rvp::renderLintText(const LintResult &R, const std::string &File,
                          std::ostream &OS) {
   for (const Diagnostic &D : R.Diags)
     OS << File << ":" << D.Line << ":" << D.Col << ": warning: " << D.Message
        << " [" << diagKindName(D.K) << "]\n";
-  if (R.Diags.empty())
+  for (const StaticRaceWarning &W : R.Races)
+    OS << File << ":" << W.A.Line << ":" << W.A.Col
+       << ": warning: " << raceMessage(W) << " [static-race]\n";
+  size_t Total = R.Diags.size() + R.Races.size();
+  if (Total == 0)
     OS << File << ": no issues found\n";
   else
-    OS << File << ": " << R.Diags.size()
-       << (R.Diags.size() == 1 ? " warning\n" : " warnings\n");
+    OS << File << ": " << Total
+       << (Total == 1 ? " warning\n" : " warnings\n");
 }
+
+namespace {
+
+void renderRaceSiteJson(const StaticAccessSite &S, std::ostream &OS) {
+  OS << "{\"thread\": \"" << jsonEscape(S.ThreadName) << "\", "
+     << "\"line\": " << S.Line << ", "
+     << "\"col\": " << S.Col << ", "
+     << "\"write\": " << (S.Write ? "true" : "false") << ", "
+     << "\"locked\": " << (S.Locks != 0 ? "true" : "false") << "}";
+}
+
+} // namespace
 
 void rvp::renderLintJson(const LintResult &R, const std::string &File,
                          std::ostream &OS) {
   OS << "{\n";
+  // Same run-metadata header as the stats/bench emitters so downstream
+  // tooling can treat every JSON artifact uniformly.
+  OS << "  \"schema_version\": " << StatsSchemaVersion << ",\n";
+  OS << "  \"git_sha\": \"" << jsonEscape(gitSha()) << "\",\n";
+  OS << "  \"timestamp\": \"" << jsonEscape(isoTimestampUtc()) << "\",\n";
   OS << "  \"file\": \"" << jsonEscape(File) << "\",\n";
   OS << "  \"thread_local_decls\": " << R.ThreadLocalDecls << ",\n";
   OS << "  \"diagnostics\": [";
@@ -199,6 +241,19 @@ void rvp::renderLintJson(const LintResult &R, const std::string &File,
     OS << "\"col\": " << D.Col << ", ";
     OS << "\"message\": \"" << jsonEscape(D.Message) << "\"}";
   }
-  OS << (R.Diags.empty() ? "]\n" : "\n  ]\n");
+  OS << (R.Diags.empty() ? "],\n" : "\n  ],\n");
+  OS << "  \"races\": [";
+  for (size_t I = 0; I < R.Races.size(); ++I) {
+    const StaticRaceWarning &W = R.Races[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    OS << "\"var\": \"" << jsonEscape(W.Var) << "\", ";
+    OS << "\"rank\": " << W.Rank << ", ";
+    OS << "\"a\": ";
+    renderRaceSiteJson(W.A, OS);
+    OS << ", \"b\": ";
+    renderRaceSiteJson(W.B, OS);
+    OS << "}";
+  }
+  OS << (R.Races.empty() ? "]\n" : "\n  ]\n");
   OS << "}\n";
 }

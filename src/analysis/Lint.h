@@ -22,15 +22,21 @@
 ///   read-never-written  shared variable read somewhere but never assigned
 ///   release-unheld      unlock of a lock that is definitely not held — a
 ///                       guaranteed runtime error
+///   static-race         (with races enabled) ranked Eraser-style race
+///                       candidate from analysis/RaceCheck.h: concurrent
+///                       accesses, a write among them, disjoint
+///                       must-locksets, no static must-happen-before
 ///
 /// Diagnostics carry source line/column and are sorted deterministically
-/// (line, column, kind) so golden tests are stable across platforms.
+/// (line, column, kind) so golden tests are stable across platforms; race
+/// warnings keep their rank order (most urgent first).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RVP_ANALYSIS_LINT_H
 #define RVP_ANALYSIS_LINT_H
 
+#include "analysis/RaceCheck.h"
 #include "lang/Ast.h"
 
 #include <cstdint>
@@ -62,19 +68,26 @@ struct Diagnostic {
 
 struct LintResult {
   std::vector<Diagnostic> Diags; ///< sorted by (Line, Col, kind, message)
+  /// Static race warnings (rvlint --races), ranked most urgent first;
+  /// empty unless runLint ran with WithRaces.
+  std::vector<StaticRaceWarning> Races;
   /// Shared declarations proven thread-local in time (never-shared count
   /// plus supporting metric for --stats consumers).
   uint64_t ThreadLocalDecls = 0;
 };
 
-/// Runs every check over \p P.
-LintResult runLint(const Program &P);
+/// Runs every check over \p P; \p WithRaces adds the static race pass.
+LintResult runLint(const Program &P, bool WithRaces = false);
 
-/// `<file>:<line>:<col>: warning: <message> [<kind>]`, one per line.
+/// `<file>:<line>:<col>: warning: <message> [<kind>]`, one per line;
+/// race warnings follow the diagnostics and share the trailing count.
 void renderLintText(const LintResult &R, const std::string &File,
                     std::ostream &OS);
 
-/// Stable JSON: {"file": ..., "diagnostics": [{kind,line,col,message}...]}.
+/// Stable JSON: {"schema_version": ..., "git_sha": ..., "timestamp": ...,
+/// "file": ..., "thread_local_decls": N, "diagnostics": [...],
+/// "races": [...]} — the same run-metadata header as the stats/bench
+/// emitters (support/BuildInfo.h).
 void renderLintJson(const LintResult &R, const std::string &File,
                     std::ostream &OS);
 

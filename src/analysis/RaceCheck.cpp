@@ -1,0 +1,138 @@
+//===- analysis/RaceCheck.cpp - Eraser-style static race check --------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceCheck.h"
+
+#include "analysis/AstWalk.h"
+#include "analysis/Cfg.h"
+#include "analysis/StaticLockset.h"
+#include "analysis/StaticMhb.h"
+#include "analysis/ThreadEscape.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+using namespace rvp;
+
+namespace {
+
+struct Site {
+  uint32_t Thread;
+  uint32_t Line, Col;
+  bool Write;
+  uint64_t Locks;
+};
+
+/// Orders the two sites of a warning: writes first, then position — the
+/// rendering anchor is deterministic regardless of discovery order.
+bool siteBefore(const StaticAccessSite &A, const StaticAccessSite &B) {
+  return std::make_tuple(!A.Write, A.Thread, A.Line, A.Col) <
+         std::make_tuple(!B.Write, B.Thread, B.Line, B.Col);
+}
+
+} // namespace
+
+RaceCheckResult rvp::runRaceCheck(const Program &P) {
+  RaceCheckResult Result;
+  ThreadEscapeAnalysis Escape(P);
+  StaticMhbAnalysis Mhb(P);
+
+  // Collect every shared access site with its must-held lock mask. Writes
+  // are attributed to the statement line, reads to the expression line —
+  // the same attribution the compiler stamps on trace events, so warnings
+  // and dynamic reports line up.
+  std::set<std::string> Locals;
+  std::map<std::string, std::vector<Site>> Sites;
+  for (uint32_t T = 0; T < P.Threads.size(); ++T) {
+    Locals.clear();
+    forEachStmt(P.Threads[T].Body, [&](const Stmt &S) {
+      if (S.K == Stmt::Kind::LocalDecl)
+        Locals.insert(S.Name);
+    });
+    Cfg G(P.Threads[T]);
+    StaticLocksetAnalysis LS(P, G);
+    for (uint32_t Id = 0; Id < G.size(); ++Id) {
+      const CfgNode &N = G.node(Id);
+      if (!G.reachable(Id) || !N.S)
+        continue; // unreached nodes never access anything
+      uint64_t Mask = 0;
+      const std::vector<uint32_t> &Counts = LS.mustAt(Id);
+      for (size_t L = 0; L < Counts.size() && L < 64; ++L)
+        if (Counts[L] > 0)
+          Mask |= uint64_t(1) << L;
+      auto Add = [&](const std::string &Var, uint32_t Line, uint32_t Col,
+                     bool Write) {
+        const SharedDecl *D = P.findShared(Var);
+        if (!D || D->Volatile)
+          return; // volatile accesses never conflict (trace/Event.h)
+        Sites[Var].push_back(Site{T, Line, Col, Write, Mask});
+      };
+      if (N.K == CfgNode::Kind::Stmt &&
+          (N.S->K == Stmt::Kind::Assign ||
+           N.S->K == Stmt::Kind::ArrayAssign) &&
+          !Locals.count(N.S->Name))
+        Add(N.S->Name, N.Line, N.Col, /*Write=*/true);
+      forEachOwnExprNode(*N.S, [&](const Expr &E) {
+        if (E.K == Expr::Kind::Name && !Locals.count(E.Name))
+          Add(E.Name, E.Line, E.Col, /*Write=*/false);
+        else if (E.K == Expr::Kind::Index)
+          Add(E.Name, E.Line, E.Col, /*Write=*/false);
+      });
+    }
+  }
+
+  std::set<std::tuple<std::string, uint32_t, uint32_t, uint32_t, uint32_t>>
+      Seen;
+  for (const auto &[Var, List] : Sites) {
+    // Never truly shared in time: no accessor pair can overlap.
+    if (!Escape.isThreadShared(Var))
+      continue;
+    for (size_t I = 0; I < List.size(); ++I)
+      for (size_t J = I + 1; J < List.size(); ++J) {
+        const Site &SA = List[I], &SB = List[J];
+        if (SA.Thread == SB.Thread || (!SA.Write && !SB.Write))
+          continue;
+        ++Result.PairsConsidered;
+        if (Mhb.orderedBefore(SA.Thread, SA.Line, SB.Thread, SB.Line) ||
+            Mhb.orderedBefore(SB.Thread, SB.Line, SA.Thread, SA.Line)) {
+          ++Result.PairsMhbOrdered;
+          continue;
+        }
+        if ((SA.Locks & SB.Locks) != 0) {
+          ++Result.PairsLockProtected;
+          continue;
+        }
+        StaticRaceWarning W;
+        W.Var = Var;
+        W.A = StaticAccessSite{SA.Thread, P.Threads[SA.Thread].Name,
+                               SA.Line,   SA.Col,
+                               SA.Write,  SA.Locks};
+        W.B = StaticAccessSite{SB.Thread, P.Threads[SB.Thread].Name,
+                               SB.Line,   SB.Col,
+                               SB.Write,  SB.Locks};
+        if (siteBefore(W.B, W.A))
+          std::swap(W.A, W.B);
+        W.Rank = 1 + (W.A.Write && W.B.Write) +
+                 (W.A.Locks == 0 && W.B.Locks == 0);
+        if (!Seen
+                 .emplace(W.Var, W.A.Thread, W.A.Line, W.B.Thread, W.B.Line)
+                 .second)
+          continue; // same line pair seen (multi-site lines collapse)
+        Result.Warnings.push_back(std::move(W));
+      }
+  }
+
+  std::sort(Result.Warnings.begin(), Result.Warnings.end(),
+            [](const StaticRaceWarning &X, const StaticRaceWarning &Y) {
+              return std::make_tuple(-X.Rank, X.Var, X.A.Line, X.A.Col,
+                                     X.B.Line, X.B.Col) <
+                     std::make_tuple(-Y.Rank, Y.Var, Y.A.Line, Y.A.Col,
+                                     Y.B.Line, Y.B.Col);
+            });
+  return Result;
+}

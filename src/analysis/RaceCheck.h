@@ -1,0 +1,75 @@
+//===- analysis/RaceCheck.h - Eraser-style static race check -----*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Purely static race candidates, Eraser-style with the sound refinements
+/// this directory already computes: two accesses to the same shared base
+/// name from different threads, at least one a write, are a warning unless
+///
+///   * the variable is never truly shared in time (ThreadEscape — its
+///     accessor pairs cannot overlap),
+///   * the static must-happen-before relation orders the two sites in
+///     every execution (StaticMhb — fork/join dominance), or
+///   * the sites share a must-held lock (StaticLockset's must analysis).
+///
+/// Each discard is an *under*-approximation of the corresponding dynamic
+/// guarantee, so the check is complete against the dynamic tier: every
+/// race the predictive detectors can report has disjoint runtime locksets
+/// (hence disjoint must-locksets), concurrent threads, and no sound MHB —
+/// its site pair survives every filter and appears as a warning. The
+/// cross-validation test (tests/StaticRaceTest.cpp) holds the pipeline to
+/// that contract on the whole catalog.
+///
+/// Warnings are ranked: write/write pairs over write/read, lock-free pairs
+/// over pairs where some lock is held — the same triage order Eraser's
+/// users applied by hand. Surfacing is `rvlint --races` (analysis/Lint.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_ANALYSIS_RACECHECK_H
+#define RVP_ANALYSIS_RACECHECK_H
+
+#include "lang/Ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// One side of a static race candidate.
+struct StaticAccessSite {
+  uint32_t Thread = 0;    ///< Program::Threads index
+  std::string ThreadName; ///< resolved for rendering
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+  bool Write = false;
+  uint64_t Locks = 0; ///< must-held lock bitmask at the site
+};
+
+/// A ranked static race warning on shared base name Var. Site A is the
+/// write (or the lower-numbered site when the pair is symmetric).
+struct StaticRaceWarning {
+  std::string Var;
+  StaticAccessSite A, B;
+  /// 1..3: +1 when both sites write, +1 when neither holds any lock.
+  int Rank = 1;
+};
+
+struct RaceCheckResult {
+  /// Ranked descending, then by variable and site position.
+  std::vector<StaticRaceWarning> Warnings;
+  uint64_t PairsConsidered = 0;
+  uint64_t PairsMhbOrdered = 0;
+  uint64_t PairsLockProtected = 0;
+};
+
+/// Runs the static race check over \p P.
+RaceCheckResult runRaceCheck(const Program &P);
+
+} // namespace rvp
+
+#endif // RVP_ANALYSIS_RACECHECK_H

@@ -9,6 +9,7 @@
 #include "analysis/AstWalk.h"
 #include "analysis/Cfg.h"
 #include "analysis/StaticLockset.h"
+#include "support/Telemetry.h"
 
 using namespace rvp;
 
@@ -30,7 +31,7 @@ uint32_t parseLocLine(const std::string &Name) {
 } // namespace
 
 StaticPruneOracle::StaticPruneOracle(const Program &P)
-    : Escape(P), NumThreads(P.Threads.size()) {
+    : Escape(P), Mhb(P), Ranges(P), NumThreads(P.Threads.size()) {
   MustLockByLine.resize(NumThreads);
   for (uint32_t T = 0; T < P.Threads.size(); ++T) {
     Cfg G(P.Threads[T]);
@@ -86,6 +87,10 @@ uint64_t StaticPruneOracle::mustLocksAt(uint32_t Thread,
   return It == ByLine.end() ? 0 : It->second;
 }
 
+uint32_t StaticPruneOracle::lineOf(const Event &E) const {
+  return E.Loc != UnknownLoc && E.Loc < LocLine.size() ? LocLine[E.Loc] : 0;
+}
+
 bool StaticPruneOracle::prunable(const Trace &T, EventId A,
                                  EventId B) const {
   if (Bound != &T)
@@ -95,29 +100,53 @@ bool StaticPruneOracle::prunable(const Trace &T, EventId A,
   uint32_t Ta = Ea.Tid, Tb = Eb.Tid;
   if (Ta == Tb || Ta >= NumThreads || Tb >= NumThreads)
     return false;
-  uint32_t La = Ea.Loc != UnknownLoc && Ea.Loc < LocLine.size()
-                    ? LocLine[Ea.Loc]
-                    : 0;
-  uint32_t Lb = Eb.Loc != UnknownLoc && Eb.Loc < LocLine.size()
-                    ? LocLine[Eb.Loc]
-                    : 0;
+  uint32_t La = lineOf(Ea);
+  uint32_t Lb = lineOf(Eb);
 
   // 1. Temporal disjointness through main's fork/join structure: the
   // window sees the end/join/fork/begin chain between the events, so MHB
   // orders them for every technique.
-  if (!Escape.mayHappenInParallel(Ta, Tb))
+  if (!Escape.mayHappenInParallel(Ta, Tb) ||
+      (Ta == 0 && La != 0 && !Escape.lineMayOverlap(La, Tb)) ||
+      (Tb == 0 && Lb != 0 && !Escape.lineMayOverlap(Lb, Ta))) {
+    PrunedInterval.fetch_add(1, std::memory_order_relaxed);
     return true;
-  if (Ta == 0 && La != 0 && !Escape.lineMayOverlap(La, Tb))
-    return true;
-  if (Tb == 0 && Lb != 0 && !Escape.lineMayOverlap(Lb, Ta))
-    return true;
+  }
 
   // 2. Common must-held lock: the accesses sit in critical sections of
   // the same lock in every execution; mutual exclusion orders them in
   // every technique (boundary sections are closed by the encodings).
   if (La != 0 && Lb != 0 &&
-      (mustLocksAt(Ta, La) & mustLocksAt(Tb, Lb)) != 0)
+      (mustLocksAt(Ta, La) & mustLocksAt(Tb, Lb)) != 0) {
+    PrunedLockset.fetch_add(1, std::memory_order_relaxed);
     return true;
+  }
+
+  // 3. Static must-happen-before beyond stage 1's top-level intervals:
+  // fork/join dominance orders the statement pair in every execution
+  // (analysis/StaticMhb.h), and the witnessing chain of events again
+  // lies inside every window containing both.
+  if (La != 0 && Lb != 0 &&
+      (Mhb.orderedBefore(Ta, La, Tb, Lb) ||
+       Mhb.orderedBefore(Tb, Lb, Ta, La))) {
+    PrunedMhb.fetch_add(1, std::memory_order_relaxed);
+    if (Telemetry::enabled()) {
+      static Counter &MhbPruned =
+          MetricsRegistry::global().counter("analysis.pruned_static_mhb");
+      MhbPruned.add(1);
+    }
+    return true;
+  }
 
   return false;
+}
+
+bool StaticPruneOracle::foldableBranch(const Trace &T,
+                                       EventId Branch) const {
+  if (Bound != &T)
+    return false;
+  const Event &E = T[Branch];
+  if (E.Tid >= NumThreads)
+    return false;
+  return Ranges.branchConstantAt(E.Tid, lineOf(E));
 }

@@ -7,7 +7,7 @@
 /// \file
 /// StaticPruneOracle: the CopPruner implementation that lets the dynamic
 /// detectors skip conflicting operation pairs the *program text* already
-/// proves race-free. A pair is prunable when either
+/// proves race-free. A pair is prunable when any stage fires:
 ///
 ///  1. the two accesses can never overlap in time — their threads' live
 ///     intervals (top-level spawn/join in main) are disjoint, or the main
@@ -21,29 +21,54 @@
 ///     then places the two critical sections back to back inside the
 ///     window; HB and CP derive the release->acquire edge, and the SMT
 ///     encodings' mutual-exclusion constraints (with boundary critical
-///     sections closed to the window edges) make the race formula unsat.
+///     sections closed to the window edges) make the race formula unsat;
+///     or
 ///
-/// Both conditions are one-sided: any missing information — unknown trace
+///  3. the static must-happen-before relation (analysis/StaticMhb.h)
+///     orders the statement pair in every execution — this catches
+///     spawn/join issued away from main's top level, which stage 1's
+///     interval analysis cannot see. The witnessing fork/begin/end/join
+///     chain again sits inside every window containing both events.
+///
+/// The oracle is also the detectors' CfFoldOracle: its value-range pass
+/// (analysis/ValueRange.h) proves branch events whose condition or index
+/// is a compile-time constant under every interleaving, and the encoder
+/// folds their cf guards away (detect/RaceEncoder.h).
+///
+/// All conditions are one-sided: any missing information — unknown trace
 /// location, thread not in the program, line absent from the per-thread
-/// maps — answers "not prunable". Race reports with the oracle installed
-/// are byte-identical to runs without it (tests/PruneGolden.cmake).
+/// maps — answers "not prunable" / "not foldable". Race reports with the
+/// oracle installed are byte-identical to runs without it
+/// (tests/PruneGolden.cmake).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef RVP_ANALYSIS_STATICPRUNE_H
 #define RVP_ANALYSIS_STATICPRUNE_H
 
+#include "analysis/StaticMhb.h"
 #include "analysis/ThreadEscape.h"
+#include "analysis/ValueRange.h"
 #include "detect/Detect.h"
 #include "lang/Ast.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
 
 namespace rvp {
 
-class StaticPruneOracle : public CopPruner {
+/// Per-stage prune tallies since construction or the last reset (the
+/// bench's per-stage breakdown; stages are tried in order, so each COP is
+/// counted at the first stage that fires).
+struct PruneStageCounts {
+  uint64_t Interval = 0; ///< stage 1: temporal disjointness
+  uint64_t Lockset = 0;  ///< stage 2: common must-held lock
+  uint64_t Mhb = 0;      ///< stage 3: static must-happen-before
+};
+
+class StaticPruneOracle : public CopPruner, public CfFoldOracle {
 public:
   /// Runs the static analyses over \p P. The program must outlive the
   /// oracle.
@@ -56,19 +81,40 @@ public:
 
   bool prunable(const Trace &T, EventId A, EventId B) const override;
 
+  /// CfFoldOracle: branch events whose every site at (thread, line) the
+  /// value-range pass proves statically determined.
+  bool foldableBranch(const Trace &T, EventId Branch) const override;
+
   /// Shared declarations proven never concurrently accessed (the
   /// `analysis.vars_thread_local` gauge).
   uint64_t threadLocalVars() const { return Escape.threadLocalDeclCount(); }
 
   const ThreadEscapeAnalysis &escape() const { return Escape; }
+  const StaticMhbAnalysis &staticMhb() const { return Mhb; }
+  const ValueRangeAnalysis &valueRange() const { return Ranges; }
+
+  PruneStageCounts stageCounts() const {
+    return PruneStageCounts{PrunedInterval.load(std::memory_order_relaxed),
+                            PrunedLockset.load(std::memory_order_relaxed),
+                            PrunedMhb.load(std::memory_order_relaxed)};
+  }
+  void resetStageCounts() const {
+    PrunedInterval.store(0, std::memory_order_relaxed);
+    PrunedLockset.store(0, std::memory_order_relaxed);
+    PrunedMhb.store(0, std::memory_order_relaxed);
+  }
 
 private:
   /// Must-held lock bitmask for one event of (thread, line), intersected
   /// over every CFG node that line may denote. At most 64 locks are
   /// tracked; programs with more prune less (never unsoundly more).
   uint64_t mustLocksAt(uint32_t Thread, uint32_t Line) const;
+  /// Source line of event \p E in the bound trace, 0 when unknown.
+  uint32_t lineOf(const Event &E) const;
 
   ThreadEscapeAnalysis Escape;
+  StaticMhbAnalysis Mhb;
+  ValueRangeAnalysis Ranges;
   size_t NumThreads;
   /// Per program thread: line -> AND of must-held lock masks of all nodes
   /// registering that line. Lines never seen by a thread are absent
@@ -78,6 +124,12 @@ private:
   const Trace *Bound = nullptr;
   /// LocId -> source line (0 = unparsable/unknown), for the bound trace.
   std::vector<uint32_t> LocLine;
+
+  /// Stage tallies; relaxed atomics because the parallel drivers may
+  /// consult the oracle from several workers.
+  mutable std::atomic<uint64_t> PrunedInterval{0};
+  mutable std::atomic<uint64_t> PrunedLockset{0};
+  mutable std::atomic<uint64_t> PrunedMhb{0};
 };
 
 } // namespace rvp

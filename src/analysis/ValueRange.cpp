@@ -1,0 +1,445 @@
+//===- analysis/ValueRange.cpp - Interval value-range dataflow --------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueRange.h"
+
+#include "analysis/AstWalk.h"
+#include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
+
+#include <algorithm>
+#include <optional>
+
+using namespace rvp;
+
+//===----------------------------------------------------------------------===//
+// Interval arithmetic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int64_t NegInf = Interval::NegInf;
+constexpr int64_t PosInf = Interval::PosInf;
+
+bool isInf(int64_t V) { return V == NegInf || V == PosInf; }
+
+/// a + b saturating into the sentinels. Mixed infinities cannot occur in
+/// interval addition (lower bounds add lower bounds), but saturate low for
+/// safety.
+int64_t satAdd(int64_t A, int64_t B) {
+  if (A == NegInf || B == NegInf)
+    return NegInf;
+  if (A == PosInf || B == PosInf)
+    return PosInf;
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return (A > 0) ? PosInf : NegInf;
+  return R;
+}
+
+int64_t satNeg(int64_t A) {
+  if (A == NegInf)
+    return PosInf;
+  if (A == PosInf)
+    return NegInf;
+  return -A;
+}
+
+Interval negate(const Interval &V) {
+  if (V.isBottom())
+    return Interval::bottom();
+  return Interval::range(satNeg(V.Hi), satNeg(V.Lo));
+}
+
+/// Exact product or nullopt on sentinel/overflow.
+std::optional<int64_t> checkedMul(int64_t A, int64_t B) {
+  if (isInf(A) || isInf(B))
+    return std::nullopt;
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return std::nullopt;
+  return R;
+}
+
+Interval boolInterval() { return Interval::range(0, 1); }
+Interval trueInterval() { return Interval::constant(1); }
+Interval falseInterval() { return Interval::constant(0); }
+
+} // namespace
+
+bool Interval::joinWith(const Interval &O) {
+  if (O.Bottom)
+    return false;
+  if (Bottom) {
+    *this = O;
+    return true;
+  }
+  bool Changed = false;
+  if (O.Lo < Lo) {
+    Lo = O.Lo;
+    Changed = true;
+  }
+  if (O.Hi > Hi) {
+    Hi = O.Hi;
+    Changed = true;
+  }
+  return Changed;
+}
+
+void Interval::widenAgainst(const Interval &Old) {
+  if (Bottom || Old.Bottom)
+    return;
+  if (Lo < Old.Lo)
+    Lo = NegInf;
+  if (Hi > Old.Hi)
+    Hi = PosInf;
+}
+
+Interval rvp::evalUnary(UnOp Op, const Interval &V) {
+  if (V.isBottom())
+    return Interval::bottom();
+  switch (Op) {
+  case UnOp::Neg:
+    return negate(V);
+  case UnOp::Not:
+    if (V.excludesZero())
+      return falseInterval();
+    if (V.isZero())
+      return trueInterval();
+    return boolInterval();
+  }
+  return Interval::top();
+}
+
+Interval rvp::evalBinary(BinOp Op, const Interval &L, const Interval &R) {
+  if (L.isBottom() || R.isBottom())
+    return Interval::bottom();
+  switch (Op) {
+  case BinOp::Add:
+    return Interval::range(satAdd(L.Lo, R.Lo), satAdd(L.Hi, R.Hi));
+  case BinOp::Sub: {
+    Interval N = negate(R);
+    return Interval::range(satAdd(L.Lo, N.Lo), satAdd(L.Hi, N.Hi));
+  }
+  case BinOp::Mul: {
+    auto P1 = checkedMul(L.Lo, R.Lo), P2 = checkedMul(L.Lo, R.Hi);
+    auto P3 = checkedMul(L.Hi, R.Lo), P4 = checkedMul(L.Hi, R.Hi);
+    if (!P1 || !P2 || !P3 || !P4)
+      return Interval::top();
+    return Interval::range(std::min({*P1, *P2, *P3, *P4}),
+                           std::max({*P1, *P2, *P3, *P4}));
+  }
+  case BinOp::Div: {
+    // Division by zero is a runtime error; only a constant nonzero divisor
+    // keeps the quotient predictable (C++ truncation toward zero).
+    if (!R.isConstant() || R.Lo == 0 || isInf(L.Lo) || isInf(L.Hi))
+      return Interval::top();
+    int64_t Q1 = L.Lo / R.Lo, Q2 = L.Hi / R.Lo;
+    return Interval::range(std::min(Q1, Q2), std::max(Q1, Q2));
+  }
+  case BinOp::Mod:
+    if (L.isConstant() && R.isConstant() && R.Lo != 0)
+      return Interval::constant(L.Lo % R.Lo);
+    // Non-negative dividend, positive divisor: remainder in [0, Hi-1].
+    if (!isInf(R.Hi) && L.Lo >= 0 && R.Lo > 0)
+      return Interval::range(0, R.Hi - 1);
+    return Interval::top();
+  case BinOp::Eq:
+    if (L.isConstant() && R.isConstant())
+      return L.Lo == R.Lo ? trueInterval() : falseInterval();
+    if (L.Hi < R.Lo || R.Hi < L.Lo) // disjoint: never equal
+      return falseInterval();
+    return boolInterval();
+  case BinOp::Ne:
+    if (L.isConstant() && R.isConstant())
+      return L.Lo != R.Lo ? trueInterval() : falseInterval();
+    if (L.Hi < R.Lo || R.Hi < L.Lo)
+      return trueInterval();
+    return boolInterval();
+  case BinOp::Lt:
+    if (L.Hi < R.Lo)
+      return trueInterval();
+    if (L.Lo >= R.Hi)
+      return falseInterval();
+    return boolInterval();
+  case BinOp::Le:
+    if (L.Hi <= R.Lo)
+      return trueInterval();
+    if (L.Lo > R.Hi)
+      return falseInterval();
+    return boolInterval();
+  case BinOp::Gt:
+    if (L.Lo > R.Hi)
+      return trueInterval();
+    if (L.Hi <= R.Lo)
+      return falseInterval();
+    return boolInterval();
+  case BinOp::Ge:
+    if (L.Lo >= R.Hi)
+      return trueInterval();
+    if (L.Hi < R.Lo)
+      return falseInterval();
+    return boolInterval();
+  case BinOp::And:
+    if (L.isZero() || R.isZero())
+      return falseInterval();
+    if (L.excludesZero() && R.excludesZero())
+      return trueInterval();
+    return boolInterval();
+  case BinOp::Or:
+    if (L.excludesZero() || R.excludesZero())
+      return trueInterval();
+    if (L.isZero() && R.isZero())
+      return falseInterval();
+    return boolInterval();
+  }
+  return Interval::top();
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread flow-sensitive pass
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mirror of runtime/Compile.cpp's constantOf(): the compiler suppresses
+/// the index branch event exactly for these shapes, so the static branch
+/// model must agree event for event.
+std::optional<int64_t> compilerConstantOf(const Expr &E) {
+  if (E.K == Expr::Kind::IntLit)
+    return E.IntValue;
+  if (E.K == Expr::Kind::Unary && E.UOp == UnOp::Neg && E.Lhs)
+    if (auto V = compilerConstantOf(*E.Lhs))
+      return -*V;
+  return std::nullopt;
+}
+
+/// Locals-to-interval map flowing through one thread body. Meets counts
+/// re-meets at a node: past the widening threshold, any bound still moving
+/// is pushed to infinity, giving the infinite-height domain a finite
+/// effective chain (Dataflow.h leaves termination to the analysis).
+struct IntervalDomain {
+  std::map<std::string, Interval> Locals;
+  uint32_t Meets = 0;
+};
+
+class IntervalAnalysis {
+public:
+  using Domain = IntervalDomain;
+
+  IntervalAnalysis(const std::map<std::string, Interval> &SharedIv,
+                   std::set<std::string> LocalNames)
+      : SharedIv(SharedIv), LocalNames(std::move(LocalNames)) {}
+
+  Domain boundary() const { return Domain{}; }
+
+  bool meet(Domain &Out, const Domain &In) const {
+    ++Out.Meets;
+    bool Widen = Out.Meets > ValueRangeAnalysis::WidenThreshold;
+    bool Changed = false;
+    for (const auto &[Name, Iv] : In.Locals) {
+      auto [It, Fresh] = Out.Locals.try_emplace(Name, Iv);
+      if (Fresh) {
+        Changed = true;
+        continue;
+      }
+      Interval Old = It->second;
+      if (It->second.joinWith(Iv)) {
+        if (Widen)
+          It->second.widenAgainst(Old);
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  void transfer(const CfgNode &N, Domain &D) const {
+    if (!N.S || N.K == CfgNode::Kind::Acquire ||
+        N.K == CfgNode::Kind::Release)
+      return;
+    const Stmt &S = *N.S;
+    if (S.K == Stmt::Kind::LocalDecl) {
+      D.Locals[S.Name] =
+          S.Value ? eval(*S.Value, D) : Interval::constant(0);
+    } else if (S.K == Stmt::Kind::Assign && LocalNames.count(S.Name)) {
+      D.Locals[S.Name] = eval(*S.Value, D);
+    }
+  }
+
+  Interval eval(const Expr &E, const Domain &D) const;
+
+  const std::set<std::string> &locals() const { return LocalNames; }
+
+private:
+  const std::map<std::string, Interval> &SharedIv;
+  std::set<std::string> LocalNames;
+};
+
+Interval IntervalAnalysis::eval(const Expr &E, const Domain &D) const {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return Interval::constant(E.IntValue);
+  case Expr::Kind::Name: {
+    if (LocalNames.count(E.Name)) {
+      auto It = D.Locals.find(E.Name);
+      // Declared on no path reaching here: the compiler rejects reads
+      // before the declaration, so top is merely conservative.
+      return It == D.Locals.end() ? Interval::top() : It->second;
+    }
+    auto It = SharedIv.find(E.Name);
+    return It == SharedIv.end() ? Interval::top() : It->second;
+  }
+  case Expr::Kind::Index: {
+    // Base-name granularity: any cell, any interleaving.
+    auto It = SharedIv.find(E.Name);
+    return It == SharedIv.end() ? Interval::top() : It->second;
+  }
+  case Expr::Kind::Unary:
+    return evalUnary(E.UOp, eval(*E.Lhs, D));
+  case Expr::Kind::Binary:
+    return evalBinary(E.Op, eval(*E.Lhs, D), eval(*E.Rhs, D));
+  }
+  return Interval::top();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ValueRangeAnalysis
+//===----------------------------------------------------------------------===//
+
+void ValueRangeAnalysis::collectLocals(const ThreadDecl &T,
+                                       std::set<std::string> &Locals) {
+  forEachStmt(T.Body, [&](const Stmt &S) {
+    if (S.K == Stmt::Kind::LocalDecl)
+      Locals.insert(S.Name);
+  });
+}
+
+ValueRangeAnalysis::ValueRangeAnalysis(const Program &P) : Prog(P) {
+  // Seed every shared base name with its declared initializer (the
+  // compiler fills all array cells with it, runtime/Compile.cpp).
+  for (const SharedDecl &D : P.Shareds)
+    SharedIv[D.Name] = Interval::constant(D.Init);
+
+  std::vector<Cfg> Cfgs;
+  std::vector<std::set<std::string>> Locals(P.Threads.size());
+  Cfgs.reserve(P.Threads.size());
+  for (uint32_t T = 0; T < P.Threads.size(); ++T) {
+    Cfgs.emplace_back(P.Threads[T]);
+    collectLocals(P.Threads[T], Locals[T]);
+  }
+
+  // Global rounds: shared intervals only grow, and past the widening
+  // round any still-moving bound is pushed to infinity, so the loop
+  // reaches a fixpoint well inside MaxGlobalRounds.
+  for (uint32_t Round = 0; Round < MaxGlobalRounds; ++Round) {
+    std::map<std::string, Interval> Next = SharedIv;
+    for (uint32_t T = 0; T < P.Threads.size(); ++T) {
+      IntervalAnalysis A(SharedIv, Locals[T]);
+      DataflowResult<IntervalAnalysis> R = solveDataflow(Cfgs[T], A);
+      const Cfg &G = Cfgs[T];
+      for (uint32_t Id = 0; Id < G.size(); ++Id) {
+        const CfgNode &N = G.node(Id);
+        if (!G.reachable(Id) || !N.S || N.K != CfgNode::Kind::Stmt)
+          continue;
+        const Stmt &S = *N.S;
+        bool SharedWrite =
+            (S.K == Stmt::Kind::Assign && !Locals[T].count(S.Name)) ||
+            S.K == Stmt::Kind::ArrayAssign;
+        if (!SharedWrite)
+          continue;
+        auto It = Next.find(S.Name);
+        if (It == Next.end())
+          continue; // undeclared: compile error anyway
+        It->second.joinWith(A.eval(*S.Value, R.In[Id]));
+      }
+    }
+    bool Changed = false;
+    for (auto &[Name, Iv] : Next) {
+      Interval &Cur = SharedIv[Name];
+      if (Iv != Cur) {
+        if (Round >= MaxGlobalRounds / 2)
+          Iv.widenAgainst(Cur);
+        Cur = Iv;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Final flow-sensitive pass per thread: classify every branch-emitting
+  // site (runtime/Compile.cpp's emission rules, replicated here) as
+  // statically determined or not, keyed by the line the trace will carry.
+  BranchSiteByLine.resize(P.Threads.size());
+  for (uint32_t T = 0; T < P.Threads.size(); ++T) {
+    IntervalAnalysis A(SharedIv, Locals[T]);
+    const Cfg &G = Cfgs[T];
+    DataflowResult<IntervalAnalysis> R = solveDataflow(Cfgs[T], A);
+    auto RegisterSite = [&](uint32_t Line, bool Constant) {
+      if (Line == 0)
+        return;
+      SiteInfo &Info = BranchSiteByLine[T][Line];
+      ++Info.Sites;
+      ++NumBranchSites;
+      if (Constant) {
+        ++Info.Constant;
+        ++NumConstantSites;
+      }
+    };
+    for (uint32_t Id = 0; Id < G.size(); ++Id) {
+      const CfgNode &N = G.node(Id);
+      if (!G.reachable(Id) || !N.S)
+        continue; // unreached nodes never emit branch events
+      const Stmt &S = *N.S;
+      const IntervalDomain &D = R.In[Id];
+      // Non-constant array *reads* anywhere in the node's own expressions
+      // emit a branch at the Index expression's line.
+      forEachOwnExprNode(S, [&](const Expr &E) {
+        if (E.K != Expr::Kind::Index || compilerConstantOf(*E.Lhs))
+          return;
+        RegisterSite(E.Line, A.eval(*E.Lhs, D).isConstant());
+      });
+      // `if`/`while` conditions emit a branch at the statement line.
+      if (N.K == CfgNode::Kind::Branch && S.Cond) {
+        Interval C = A.eval(*S.Cond, D);
+        RegisterSite(N.Line, C.excludesZero() || C.isZero());
+      }
+      if (N.K != CfgNode::Kind::Stmt)
+        continue;
+      // Non-constant array *writes* emit a branch at the statement line.
+      if (S.K == Stmt::Kind::ArrayAssign && S.Index &&
+          !compilerConstantOf(*S.Index))
+        RegisterSite(S.Line, A.eval(*S.Index, D).isConstant());
+      // `assert` emits a branch at the statement line.
+      if (S.K == Stmt::Kind::Assert && S.Value) {
+        Interval V = A.eval(*S.Value, D);
+        RegisterSite(S.Line, V.excludesZero() || V.isZero());
+      }
+    }
+  }
+}
+
+Interval ValueRangeAnalysis::sharedRange(const std::string &Var) const {
+  auto It = SharedIv.find(Var);
+  return It == SharedIv.end() ? Interval::top() : It->second;
+}
+
+bool ValueRangeAnalysis::sharedSingleValued(const std::string &Var) const {
+  return sharedRange(Var).isConstant();
+}
+
+bool ValueRangeAnalysis::branchConstantAt(uint32_t Thread,
+                                          uint32_t Line) const {
+  if (Thread >= BranchSiteByLine.size() || Line == 0)
+    return false;
+  const auto &ByLine = BranchSiteByLine[Thread];
+  auto It = ByLine.find(Line);
+  if (It == ByLine.end())
+    return false; // line unknown: a site we failed to model — refuse
+  return It->second.Sites > 0 && It->second.Sites == It->second.Constant;
+}

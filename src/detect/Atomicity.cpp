@@ -197,6 +197,7 @@ private:
     EventClosure Mhb(T, Window, ClosureConfig::mhb());
     EncoderOptions EncOpts; // no substitution for the between-query
     EncOpts.Slice = Options.Slice;
+    EncOpts.Fold = Options.CfFold; // decision path only; rederive is full
     RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
     LocksetIndex Locksets(T, Window);
 

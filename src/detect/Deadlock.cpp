@@ -186,6 +186,7 @@ private:
     EventClosure Mhb(T, Window, ClosureConfig::mhb());
     EncoderOptions EncOpts;
     EncOpts.Slice = Options.Slice;
+    EncOpts.Fold = Options.CfFold; // decision path only; rederive is full
     RaceEncoder Encoder(T, Window, Mhb, RunningValues, EncOpts);
 
     if (Pool) {

@@ -530,6 +530,10 @@ private:
     EncoderOptions EncOpts;
     EncOpts.SubstituteRaceVars = Options.SubstituteRaceVars;
     EncOpts.Slice = Options.Slice;
+    // Statically constant branches lose their cf guards on the decision
+    // path only; rederiveModel below keeps the full guards so witness
+    // orders stay byte-identical to unfolded runs.
+    EncOpts.Fold = Options.CfFold;
     RaceEncoder Encoder(
         std::make_shared<const WindowEncoding>(T, Window, Mhb,
                                                RunningValues),

@@ -56,6 +56,26 @@ public:
   virtual bool prunable(const Trace &T, EventId A, EventId B) const = 0;
 };
 
+/// Interface for static control-flow constant folding (the analysis
+/// layer's StaticPruneOracle implements it via its value-range pass; the
+/// encoder only sees this base so rvp_detect does not depend on
+/// rvp_analysis).
+///
+/// Soundness obligation on implementations: foldableBranch(T, B) may
+/// return true only when the branch event \p B takes the recorded
+/// direction in *every* execution — its condition (or array index) is
+/// statically a constant. The encoder then omits the cf read-consistency
+/// guard for it: any model of the weakened formula still replays the
+/// recorded control flow at that branch, so folded runs can only be more
+/// maximal, never unsound. Witness re-derivation stays unfolded, keeping
+/// witness orders byte-identical to unfolded runs.
+class CfFoldOracle {
+public:
+  virtual ~CfFoldOracle() = default;
+  /// \p Branch is a branch event of the bound trace.
+  virtual bool foldableBranch(const Trace &T, EventId Branch) const = 0;
+};
+
 struct DetectorOptions {
   uint32_t WindowSize = DefaultWindowSize;
   /// Per-COP solver budget in seconds (Section 4 uses 60s).
@@ -79,6 +99,10 @@ struct DetectorOptions {
   /// Sound static pruner consulted per COP before any other filter; null
   /// disables static pruning. Not owned; must outlive the detection run.
   const CopPruner *StaticPruner = nullptr;
+  /// Static branch-constancy oracle: branches it proves data-independent
+  /// lose their cf guards in the per-COP encodings (see CfFoldOracle).
+  /// Null disables folding. Not owned; must outlive the detection run.
+  const CfFoldOracle *CfFold = nullptr;
   /// Decide COPs through a persistent per-window solver session
   /// (assumption-based incremental solving: the shared window encoding is
   /// asserted once, every COP is decided under a fresh selector literal,

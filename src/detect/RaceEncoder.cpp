@@ -6,6 +6,7 @@
 
 #include "detect/RaceEncoder.h"
 
+#include "detect/Detect.h"
 #include "support/Compiler.h"
 #include "support/Telemetry.h"
 
@@ -186,6 +187,21 @@ std::vector<EventId> RaceEncoder::guardingBranches(EventId E) const {
       } else {
         Hi = Mid - 1;
       }
+    }
+    // A statically constant branch takes the recorded direction in every
+    // execution, so cf(e) needs no guard for it; walk back to the last
+    // branch the oracle cannot fold — guarding it still covers all
+    // earlier branches (cf is monotone along the thread).
+    uint64_t Folded = 0;
+    while (Best >= 0 && Options.Fold &&
+           Options.Fold->foldableBranch(T, Branches[Best])) {
+      --Best;
+      ++Folded;
+    }
+    if (Folded > 0 && Telemetry::enabled()) {
+      static Counter &RangesFolded =
+          MetricsRegistry::global().counter("analysis.ranges_folded");
+      RangesFolded.add(Folded);
     }
     if (Best >= 0)
       Guards.push_back(Branches[Best]);

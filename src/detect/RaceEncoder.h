@@ -63,6 +63,8 @@
 
 namespace rvp {
 
+class CfFoldOracle;
+
 struct EncoderOptions {
   /// Use the `Oa := Ob` substitution (Section 4). When false, adjacency is
   /// encoded explicitly as `Oa < Ob` plus "no event between them", which
@@ -74,6 +76,13 @@ struct EncoderOptions {
   /// adjacency encoding references every window event, so slicing is
   /// ignored when SubstituteRaceVars is false.
   bool Slice = true;
+  /// Static branch-constancy oracle (detect/Detect.h): a guarding branch
+  /// it proves data-independent needs no cf constraint — the guard set
+  /// walks back to the last *non*-foldable branch of each thread, which
+  /// still covers every earlier one (cf is monotone along a thread).
+  /// Shrinks the cone before construction; null (the default) folds
+  /// nothing. Not owned; must outlive the encoder.
+  const CfFoldOracle *Fold = nullptr;
 };
 
 /// Per-encode-call statistics, filled when the caller passes one to an

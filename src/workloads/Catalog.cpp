@@ -43,6 +43,9 @@ std::vector<BenchmarkCase> rvp::table1Benchmarks() {
   addProgram("montecarlo", "grande", montecarloProgram(8), 22);
   addProgram("raytracer", "grande", raytracerProgram(8), 23);
 
+  // Static-tier exerciser: constant guard + nested fork/join.
+  addProgram("staticflow", "static", staticflowProgram(), 24);
+
   // Synthetic real-system workloads.
   for (const SyntheticSpec &Spec : realSystemSpecs()) {
     BenchmarkCase Case;

@@ -367,3 +367,28 @@ main {
 )",
                       Rows, Rows / 2, Rows / 2, Rows);
 }
+
+std::string rvp::staticflowProgram() {
+  return R"(
+// Static-tier exerciser. `gate` is read-only, so the guard on t1's write
+// is a provably constant branch (value-range fold drops it from the cf
+// encodings); t1's own fork/join of `helper` orders every `hand` access,
+// which only the static MHB stage can prune — main's top-level intervals
+// see helper as always-live. The one real race is x: t1 vs t2.
+shared x; shared gate = 1; shared hand;
+thread helper { local h = hand; hand = h + 1; }
+thread t1 {
+  hand = 1;
+  spawn helper;
+  join helper;
+  local h = hand;
+  if (gate == 1) { x = h; }
+}
+thread t2 { x = 2; }
+main {
+  spawn t1; spawn t2;
+  join t1; join t2;
+  assert x != 0;
+}
+)";
+}

@@ -53,6 +53,12 @@ std::string montecarloProgram(int Tasks = 8);
 /// Row-partitioned rendering with the classic racy checksum.
 std::string raytracerProgram(int Rows = 8);
 
+// --- Static-tier exercisers ---------------------------------------------
+
+/// Read-only guard on a racy write (value-range fold) plus a nested
+/// fork/join chain only static MHB can order; one real race remains.
+std::string staticflowProgram();
+
 } // namespace rvp
 
 #endif // RVP_WORKLOADS_PROGRAMS_H

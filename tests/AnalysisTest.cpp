@@ -5,10 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Cfg.h"
+#include "analysis/Dataflow.h"
 #include "analysis/Lint.h"
+#include "analysis/RaceCheck.h"
 #include "analysis/StaticLockset.h"
+#include "analysis/StaticMhb.h"
 #include "analysis/StaticPrune.h"
 #include "analysis/ThreadEscape.h"
+#include "analysis/ValueRange.h"
 #include "lang/Parser.h"
 #include "trace/TraceBuilder.h"
 
@@ -512,4 +516,262 @@ TEST(StaticPrune, LineOutsideLockIsNotPrunable) {
 TEST(StaticPrune, ThreadLocalVarsCounted) {
   OracleFixture F(SequentialSpawns);
   EXPECT_EQ(F.Oracle.threadLocalVars(), 1u);
+}
+
+// -------------------------------------------------------------- Dataflow
+
+namespace {
+
+uint32_t threadIndex(const Program &P, const std::string &Name) {
+  for (uint32_t I = 0; I < P.Threads.size(); ++I)
+    if (P.Threads[I].Name == Name)
+      return I;
+  ADD_FAILURE() << "no thread " << Name;
+  return 0;
+}
+
+/// Saturating step counter: transfer adds one per statement node, meet
+/// takes the max, and everything clamps at Cap — a finite-height domain
+/// whose fixpoint on a cyclic CFG must hit the clamp, not diverge.
+struct SaturatingCount {
+  static constexpr uint32_t Cap = 5;
+  using Domain = uint32_t;
+  Domain boundary() const { return 0; }
+  bool meet(Domain &Out, const Domain &In) const {
+    Domain Merged = std::max(Out, In);
+    bool Changed = Merged != Out;
+    Out = Merged;
+    return Changed;
+  }
+  void transfer(const CfgNode &N, Domain &D) const {
+    if (N.K == CfgNode::Kind::Stmt && D < Cap)
+      ++D;
+  }
+};
+
+} // namespace
+
+TEST(Dataflow, CyclicCfgTerminatesAtSaturation) {
+  Program P = parse("shared x;\n"
+                    "thread t {\n"
+                    "  local i = 0;\n"
+                    "  while (i < 100) { x = i; i = i + 1; }\n"
+                    "}\n"
+                    "main { spawn t; join t; }\n");
+  Cfg G(threadNamed(P, "t"));
+  DataflowResult<SaturatingCount> R = solveDataflow(G, SaturatingCount{});
+  // The loop pumps the counter around the back-edge until the clamp: a
+  // non-saturating domain would never leave the worklist.
+  EXPECT_TRUE(R.Reached[G.exit()]);
+  EXPECT_EQ(R.In[G.exit()], SaturatingCount::Cap);
+}
+
+TEST(Dataflow, UnreachedBranchKeepsDefaultState) {
+  Program P = parse("shared x;\n"
+                    "thread t {\n"
+                    "  if (0 == 1) { x = 1; x = 2; }\n"
+                    "  x = 3;\n"
+                    "}\n"
+                    "main { spawn t; join t; }\n");
+  Cfg G(threadNamed(P, "t"));
+  DataflowResult<SaturatingCount> R = solveDataflow(G, SaturatingCount{});
+  // The constant-false arm is never reached: its nodes keep the
+  // default-constructed domain and are flagged, and the dead state does
+  // not leak into the join after the branch.
+  bool SawDead = false;
+  for (uint32_t Id = 0; Id < G.size(); ++Id)
+    if (!G.reachable(Id)) {
+      SawDead = true;
+      EXPECT_FALSE(R.Reached[Id]);
+      EXPECT_EQ(R.In[Id], 0u);
+    }
+  EXPECT_TRUE(SawDead);
+  EXPECT_TRUE(R.Reached[G.exit()]);
+}
+
+TEST(Dataflow, BackEdgeMeetsWithLoopEntry) {
+  Program P = parse("shared x;\n"
+                    "thread t {\n"
+                    "  local i = 0;\n"
+                    "  while (i < 2) { i = i + 1; }\n"
+                    "}\n"
+                    "main { spawn t; join t; }\n");
+  Cfg G(threadNamed(P, "t"));
+  DataflowResult<SaturatingCount> R = solveDataflow(G, SaturatingCount{});
+  // The loop-head branch meets the entry path (1 statement: the decl)
+  // with the richer back-edge path; max-meet must keep the back-edge
+  // value, so the exit sees the saturated count, not the entry count.
+  for (uint32_t Id = 0; Id < G.size(); ++Id)
+    if (G.node(Id).K == CfgNode::Kind::Branch)
+      EXPECT_GT(R.In[Id], 1u);
+}
+
+// ------------------------------------------------------------ ValueRange
+
+TEST(ValueRange, IntervalArithmetic) {
+  Interval A = Interval::range(1, 2), B = Interval::range(3, 4);
+  EXPECT_EQ(evalBinary(BinOp::Add, A, B), Interval::range(4, 6));
+  EXPECT_EQ(evalBinary(BinOp::Sub, A, B), Interval::range(-3, -1));
+  EXPECT_EQ(evalBinary(BinOp::Mul, A, B), Interval::range(3, 8));
+  // Comparisons on disjoint intervals decide exactly.
+  EXPECT_TRUE(evalBinary(BinOp::Lt, A, B).isConstant());
+  EXPECT_TRUE(evalBinary(BinOp::Eq, A, B).isZero());
+  // Overflow saturates to infinity instead of wrapping.
+  Interval Big = Interval::constant(INT64_MAX);
+  EXPECT_EQ(evalBinary(BinOp::Add, Big, Interval::constant(1)).Hi,
+            Interval::PosInf);
+  // Division by a zero-containing divisor stays top (runtime error path).
+  EXPECT_TRUE(
+      evalBinary(BinOp::Div, A, Interval::range(0, 4)).isTop());
+  EXPECT_EQ(evalUnary(UnOp::Neg, A), Interval::range(-2, -1));
+}
+
+TEST(ValueRange, ReadOnlySharedIsSingleValued) {
+  Program P = parse("shared gate = 7; shared x;\n"
+                    "thread t { if (gate == 7) { x = 1; } }\n"
+                    "main { spawn t; x = 2; join t; }\n");
+  ValueRangeAnalysis VR(P);
+  EXPECT_TRUE(VR.sharedSingleValued("gate"));
+  EXPECT_EQ(VR.sharedRange("gate"), Interval::constant(7));
+  EXPECT_FALSE(VR.sharedSingleValued("x"));
+}
+
+TEST(ValueRange, BranchOnReadOnlySharedIsConstant) {
+  Program P = parse("shared gate = 1; shared x;\n"
+                    "thread t {\n"
+                    "  if (gate == 1) { x = 1; }\n"
+                    "}\n"
+                    "main { spawn t; join t; }\n");
+  ValueRangeAnalysis VR(P);
+  // Line 3 is the `if` — its branch event is provably taken.
+  EXPECT_TRUE(VR.branchConstantAt(threadIndex(P, "t"), 3));
+  EXPECT_GE(VR.branchSites(), 1u);
+  EXPECT_GE(VR.constantBranchSites(), 1u);
+}
+
+TEST(ValueRange, BranchOnWrittenSharedIsNotConstant) {
+  Program P = parse("shared flag; shared x;\n"
+                    "thread t {\n"
+                    "  if (flag == 1) { x = 1; }\n"
+                    "}\n"
+                    "thread u { flag = 1; }\n"
+                    "main { spawn t; spawn u; join t; join u; }\n");
+  ValueRangeAnalysis VR(P);
+  // flag may be 0 or 1 depending on interleaving: never foldable.
+  EXPECT_FALSE(VR.branchConstantAt(threadIndex(P, "t"), 3));
+}
+
+TEST(ValueRange, LoopCounterWidensWithoutDivergence) {
+  Program P = parse("shared x;\n"
+                    "thread t {\n"
+                    "  local i = 0;\n"
+                    "  while (i < 1000000) { x = x + i; i = i + 1; }\n"
+                    "}\n"
+                    "main { spawn t; join t; }\n");
+  // Construction is the assertion: the two-level fixpoint must terminate
+  // on an unbounded-looking accumulation (widening, not enumeration).
+  ValueRangeAnalysis VR(P);
+  EXPECT_FALSE(VR.branchConstantAt(threadIndex(P, "t"), 4));
+}
+
+// ------------------------------------------------------------- StaticMhb
+
+TEST(StaticMhb, NestedForkJoinOrdersParentAccesses) {
+  Program P = parse("shared hand; shared x;\n"
+                    "thread helper { hand = hand + 1; }\n"
+                    "thread t1 {\n"
+                    "  hand = 1;\n"
+                    "  spawn helper;\n"
+                    "  join helper;\n"
+                    "  x = hand;\n"
+                    "}\n"
+                    "thread t2 { x = 2; }\n"
+                    "main { spawn t1; spawn t2; join t1; join t2; }\n");
+  StaticMhbAnalysis Mhb(P);
+  uint32_t T1 = threadIndex(P, "t1"), T2 = threadIndex(P, "t2");
+  uint32_t Helper = threadIndex(P, "helper");
+  // t1's pre-spawn write precedes every helper statement; helper's write
+  // precedes t1's post-join read.
+  EXPECT_TRUE(Mhb.orderedBefore(T1, 4, Helper, 2));
+  EXPECT_TRUE(Mhb.orderedBefore(Helper, 2, T1, 7));
+  // The post-join read is NOT ordered the other way around.
+  EXPECT_FALSE(Mhb.orderedBefore(T1, 7, Helper, 2));
+  // Siblings t1/t2 overlap: nothing orders their bodies.
+  EXPECT_FALSE(Mhb.orderedBefore(T1, 7, T2, 9));
+  EXPECT_FALSE(Mhb.orderedBefore(T2, 9, T1, 7));
+  EXPECT_TRUE(Mhb.threadOrdered(Helper, T1) ||
+              Mhb.orderedBefore(Helper, 2, T1, 7));
+}
+
+TEST(StaticMhb, ConditionalJoinDoesNotOrder) {
+  Program P = parse("shared x; shared c;\n"
+                    "thread t { x = 1; }\n"
+                    "main {\n"
+                    "  spawn t;\n"
+                    "  if (c == 1) { join t; }\n"
+                    "  x = 2;\n"
+                    "}\n");
+  StaticMhbAnalysis Mhb(P);
+  uint32_t T = threadIndex(P, "t");
+  // The join happens on one path only: it cannot prove main's late write
+  // ordered after t's write.
+  EXPECT_FALSE(Mhb.orderedBefore(T, 2, 0, 6));
+}
+
+TEST(StaticMhb, SequentialSpawnJoinChains) {
+  Program P = parse("shared x;\n"
+                    "thread a { x = 1; }\n"
+                    "thread b { x = 2; }\n"
+                    "main { spawn a; join a; spawn b; join b; }\n");
+  StaticMhbAnalysis Mhb(P);
+  uint32_t A = threadIndex(P, "a"), B = threadIndex(P, "b");
+  // a fully precedes b through main's join-then-spawn.
+  EXPECT_TRUE(Mhb.threadOrdered(A, B));
+  EXPECT_TRUE(Mhb.orderedBefore(A, 2, B, 3));
+  EXPECT_FALSE(Mhb.orderedBefore(B, 3, A, 2));
+}
+
+// ------------------------------------------------------------- RaceCheck
+
+TEST(RaceCheck, FindsAndRanksTrueRace) {
+  Program P = parse("shared x;\n"
+                    "thread t1 { x = 1; }\n"
+                    "thread t2 { x = 2; }\n"
+                    "main { spawn t1; spawn t2; join t1; join t2; }\n");
+  RaceCheckResult R = runRaceCheck(P);
+  ASSERT_EQ(R.Warnings.size(), 1u);
+  const StaticRaceWarning &W = R.Warnings[0];
+  EXPECT_EQ(W.Var, "x");
+  // Both writes, neither locked: maximal rank.
+  EXPECT_EQ(W.Rank, 3);
+  EXPECT_TRUE(W.A.Write);
+  EXPECT_TRUE(W.B.Write);
+}
+
+TEST(RaceCheck, CommonMustLockFiltersPair) {
+  Program P = parse("shared x; lock l;\n"
+                    "thread t1 { sync l { x = 1; } }\n"
+                    "thread t2 { sync l { x = x + 1; } }\n"
+                    "main { spawn t1; spawn t2; join t1; join t2; }\n");
+  RaceCheckResult R = runRaceCheck(P);
+  EXPECT_TRUE(R.Warnings.empty());
+  EXPECT_GT(R.PairsLockProtected, 0u);
+}
+
+TEST(RaceCheck, StaticMhbFiltersForkJoinPairs) {
+  Program P = parse("shared x;\n"
+                    "thread t { x = 1; }\n"
+                    "main { spawn t; join t; x = 2; }\n");
+  RaceCheckResult R = runRaceCheck(P);
+  // main's post-join write is ordered after t's write in every run.
+  EXPECT_TRUE(R.Warnings.empty());
+}
+
+TEST(RaceCheck, VolatileAccessesNeverWarn) {
+  Program P = parse("shared volatile x;\n"
+                    "thread t1 { x = 1; }\n"
+                    "thread t2 { x = 2; }\n"
+                    "main { spawn t1; spawn t2; join t1; join t2; }\n");
+  RaceCheckResult R = runRaceCheck(P);
+  EXPECT_TRUE(R.Warnings.empty());
 }

@@ -2,7 +2,9 @@
 # tests/golden/ must produce byte-identical text output to its .expected
 # file (rvlint prints basenames, so the goldens are path-independent), the
 # right exit code (1 with diagnostics, 0 clean), and JSON output that
-# parses with a matching diagnostic count. Invoked by CTest as
+# parses with a matching diagnostic count and carries the run-metadata
+# header (schema_version/git_sha/timestamp). lint_races_* cases run with
+# --races so the static race pass is covered end to end. Invoked by CTest
 #   cmake -DRVLINT=<tool> -DGOLDEN_DIR=<dir> -P LintGolden.cmake
 
 if(NOT DEFINED RVLINT OR NOT DEFINED GOLDEN_DIR)
@@ -24,8 +26,14 @@ foreach(CASE ${CASES})
   endif()
   file(READ "${EXPECTED_FILE}" EXPECTED)
 
+  # The lint_races_* fixtures exercise the static race pass.
+  set(FLAGS "")
+  if(NAME MATCHES "^lint_races_")
+    set(FLAGS "--races")
+  endif()
+
   execute_process(
-    COMMAND "${RVLINT}" "${CASE}"
+    COMMAND "${RVLINT}" "${CASE}" ${FLAGS}
     RESULT_VARIABLE RC
     OUTPUT_VARIABLE STDOUT
     ERROR_VARIABLE STDERR)
@@ -34,8 +42,8 @@ foreach(CASE ${CASES})
             "--- expected ---\n${EXPECTED}\n--- actual ---\n${STDOUT}\n${STDERR}")
   endif()
 
-  # Exit code discipline: 0 only for the clean program.
-  if(NAME STREQUAL "lint_clean")
+  # Exit code discipline: 0 exactly when the expected report is clean.
+  if(EXPECTED MATCHES "no issues found")
     if(NOT RC EQUAL 0)
       message(FATAL_ERROR "rvlint ${NAME} exited ${RC}, expected 0")
     endif()
@@ -43,9 +51,10 @@ foreach(CASE ${CASES})
     message(FATAL_ERROR "rvlint ${NAME} exited ${RC}, expected 1")
   endif()
 
-  # The JSON rendering must parse and agree on the diagnostic count.
+  # The JSON rendering must parse, agree on the warning count
+  # (diagnostics plus race warnings), and carry the run-metadata header.
   execute_process(
-    COMMAND "${RVLINT}" "${CASE}" --json
+    COMMAND "${RVLINT}" "${CASE}" ${FLAGS} --json
     RESULT_VARIABLE JSON_RC
     OUTPUT_VARIABLE JSON_TEXT)
   if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
@@ -54,11 +63,24 @@ foreach(CASE ${CASES})
     if(JSON_ERR)
       message(FATAL_ERROR "unparsable rvlint --json for ${NAME}: ${JSON_ERR}\n${JSON_TEXT}")
     endif()
+    string(JSON NRACES ERROR_VARIABLE JSON_ERR LENGTH "${JSON_TEXT}" races)
+    if(JSON_ERR)
+      message(FATAL_ERROR "rvlint --json for ${NAME} lacks races array: ${JSON_ERR}")
+    endif()
     string(REGEX MATCHALL "warning:" TEXT_WARNINGS "${EXPECTED}")
     list(LENGTH TEXT_WARNINGS NTEXT)
-    if(NOT NDIAGS EQUAL NTEXT)
-      message(FATAL_ERROR "${NAME}: ${NDIAGS} JSON diagnostics vs ${NTEXT} text warnings")
+    math(EXPR NTOTAL "${NDIAGS} + ${NRACES}")
+    if(NOT NTOTAL EQUAL NTEXT)
+      message(FATAL_ERROR "${NAME}: ${NDIAGS} JSON diagnostics + ${NRACES} "
+              "races vs ${NTEXT} text warnings")
     endif()
+    foreach(KEY schema_version git_sha timestamp)
+      string(JSON META ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" ${KEY})
+      if(JSON_ERR OR META STREQUAL "")
+        message(FATAL_ERROR "rvlint --json for ${NAME} lacks run metadata "
+                "key '${KEY}': ${JSON_ERR}")
+      endif()
+    endforeach()
   endif()
 
   # Collect the [kind] tags so the suite provably covers every checker.

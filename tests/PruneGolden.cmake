@@ -52,3 +52,41 @@ endif()
 
 message(STATUS "static-prune soundness check passed "
         "(4 techniques x 2 schedules, pruned_static=${CMAKE_MATCH_1})")
+
+# The staticflow catalog row exercises the deeper stages: the MHB stage
+# must prune its nested fork/join pairs and the value-range fold must
+# drop its constant guard — all without changing any report byte.
+set(SAVED_WORKLOAD "${WORKLOAD}")
+set(WORKLOAD "bench:staticflow")
+foreach(TECHNIQUE rv said hb)
+  run_detect(${TECHNIQUE} rr false "" BASELINE)
+  run_detect(${TECHNIQUE} rr true "" PRUNED)
+  if(NOT BASELINE STREQUAL PRUNED)
+    message(FATAL_ERROR "--static-prune changed staticflow output for "
+            "technique=${TECHNIQUE}:\n"
+            "--- without ---\n${BASELINE}\n--- with ---\n${PRUNED}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${RVPREDICT}" detect bench:staticflow --static-prune
+          --stats-json=-
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STATS_JSON
+  ERROR_VARIABLE STDERR)
+if(RC GREATER 1)
+  message(FATAL_ERROR "staticflow stats run failed (${RC}):\n${STDERR}")
+endif()
+string(REGEX MATCH "\"analysis.pruned_static_mhb\":([0-9]+)" _ "${STATS_JSON}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "MHB prune stage never fired on staticflow:\n${STATS_JSON}")
+endif()
+set(MHB_PRUNED ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"analysis.ranges_folded\":([0-9]+)" _ "${STATS_JSON}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+  message(FATAL_ERROR "value-range fold never fired on staticflow:\n${STATS_JSON}")
+endif()
+set(WORKLOAD "${SAVED_WORKLOAD}")
+
+message(STATUS "staticflow stage check passed (pruned_static_mhb="
+        "${MHB_PRUNED}, ranges_folded=${CMAKE_MATCH_1})")

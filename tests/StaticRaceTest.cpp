@@ -1,0 +1,67 @@
+//===- tests/StaticRaceTest.cpp - Static tier vs dynamic tier ---------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validation of the static race tier against the dynamic one: every
+/// race the predictive detector reports on a catalog program must be
+/// covered by an `rvlint --races` warning on the same variable. This is
+/// the completeness contract of analysis/RaceCheck.h — each static filter
+/// (thread-escape, static MHB, must-locksets) under-approximates the
+/// dynamic condition it discharges, so a dynamically real race can never
+/// be filtered away statically.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceCheck.h"
+#include "detect/Detect.h"
+#include "lang/Parser.h"
+#include "workloads/Catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace rvp;
+
+namespace {
+
+/// The detector reports array cells as "a[3]"; the static tier works on
+/// base names.
+std::string baseName(const std::string &Var) {
+  size_t Bracket = Var.find('[');
+  return Bracket == std::string::npos ? Var : Var.substr(0, Bracket);
+}
+
+} // namespace
+
+TEST(StaticRace, CoversEveryDynamicCatalogRace) {
+  for (const BenchmarkCase &Case : table1Benchmarks()) {
+    if (Case.CaseKind != BenchmarkCase::Kind::Program)
+      continue; // synthetic rows have no program to analyze
+
+    std::string Error;
+    std::optional<Program> P = parseProgram(Case.Source, Error);
+    ASSERT_TRUE(P.has_value()) << Case.Name << ": " << Error;
+
+    std::set<std::string> Warned;
+    for (const StaticRaceWarning &W : runRaceCheck(*P).Warnings)
+      Warned.insert(W.Var);
+
+    Trace T;
+    ASSERT_TRUE(benchmarkTrace(Case, T, Error)) << Case.Name << ": "
+                                                << Error;
+    DetectorOptions Options;
+    Options.CollectWitnesses = false;
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    EXPECT_TRUE(R.Unknowns.empty()) << Case.Name;
+
+    for (const RaceReport &Race : R.Races)
+      EXPECT_TRUE(Warned.count(baseName(Race.Variable)))
+          << Case.Name << ": dynamic race on '" << Race.Variable
+          << "' has no static warning (static tier lost completeness)";
+  }
+}

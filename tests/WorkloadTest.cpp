@@ -205,10 +205,11 @@ TEST(Synthetic, PaperCalibration) {
 
 TEST(Catalog, AllRowsResolve) {
   std::vector<BenchmarkCase> Cases = table1Benchmarks();
-  EXPECT_EQ(Cases.size(), 20u);
+  EXPECT_EQ(Cases.size(), 21u);
   EXPECT_FALSE(findBenchmark("nonexistent").has_value());
   EXPECT_TRUE(findBenchmark("derby").has_value());
   EXPECT_TRUE(findBenchmark("highcop").has_value());
+  EXPECT_TRUE(findBenchmark("staticflow").has_value());
 }
 
 TEST(Fuzzer, GeneratedProgramsCompileAndTerminate) {

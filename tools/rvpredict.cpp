@@ -342,6 +342,7 @@ int cmdDetect(const OptionParser &Options) {
       Oracle = std::make_unique<StaticPruneOracle>(*PruneProgram);
       Oracle->bind(T);
       Detect.StaticPruner = Oracle.get();
+      Detect.CfFold = Oracle.get();
       if (Telemetry::enabled())
         MetricsRegistry::global()
             .gauge("analysis.vars_thread_local")

@@ -20,6 +20,7 @@
 #include "lang/Parser.h"
 #include "runtime/Interpreter.h"
 #include "runtime/Scheduler.h"
+#include "workloads/Catalog.h"
 #include "workloads/Synthetic.h"
 
 #include <benchmark/benchmark.h>
@@ -47,6 +48,11 @@ bool StaticPruneFlag = false;
 /// the --stats-json dump to the incremental-solving A/B comparison (the
 /// source of the checked-in BENCH_incremental.json).
 bool IncrementalFlag = false;
+
+/// --wcp: adds the BM_MaximalHybridTier/BM_MaximalSmtTier pair and
+/// switches the --stats-json dump to the tier A/B comparison (the source
+/// of the checked-in BENCH_wcp.json).
+bool WcpFlag = false;
 
 Trace makeTrace(uint64_t Events) {
   SyntheticSpec Spec;
@@ -287,6 +293,38 @@ void runIncrementalBench(benchmark::State &State, bool Incremental) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 
+// ------------------------------------------------------- WCP tier A/B
+
+/// Times the maximal detector with the solver-only and hybrid tiers on
+/// the same multi-COP synthetic trace. Witnesses stay off, so the hybrid
+/// tier reports its WCP verdicts directly (trust mode, docs/TIERS.md) —
+/// the maximum solver saving; byte-identity of the verified configuration
+/// is the WcpGolden test's job.
+void runTierBench(benchmark::State &State, DetectTier Tier) {
+  Trace T = makeTrace(static_cast<uint64_t>(State.range(0)));
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+  Options.Tier = Tier;
+  DetectionStats Stats;
+  size_t Races = 0;
+  for (auto _ : State) {
+    DetectionResult R = detectRaces(T, Technique::Maximal, Options);
+    Races = R.raceCount();
+    Stats = R.Stats;
+    benchmark::DoNotOptimize(R);
+  }
+  State.counters["races"] = static_cast<double>(Races);
+  State.counters["solves"] = static_cast<double>(Stats.SolverCalls);
+  State.counters["wcp_pruned"] = static_cast<double>(Stats.WcpPruned);
+  State.counters["solves_saved"] =
+      static_cast<double>(Stats.WcpShortCircuits);
+  State.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(T.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 } // namespace
 
 BENCHMARK(BM_Hb)->Arg(2000)->Arg(8000)->Arg(32000)->Unit(benchmark::kMillisecond);
@@ -478,11 +516,80 @@ int dumpIncrementalJson(const std::string &Path) {
   return 0;
 }
 
+/// A/B dump behind --wcp --stats-json=<path>: the maximal detector runs
+/// once per tier (smt, then hybrid) on the highcop catalog stress row and
+/// the prunable loop workload (this is the source of the checked-in
+/// BENCH_wcp.json). Witnesses stay off (trust mode — the maximum saving);
+/// races must agree anyway on these workloads, and the solver_calls delta
+/// is the tier's measurable win.
+int dumpWcpJson(const std::string &Path) {
+  Telemetry::setEnabled(true);
+  DetectorOptions Options;
+  Options.PerCopBudgetSeconds = 30;
+  Options.CollectWitnesses = false;
+  Options.Jobs = JobsFlag;
+
+  JsonObject Workloads;
+  auto runPair = [&](const std::string &Key, const Trace &T) {
+    Telemetry::instance().reset();
+    Options.Tier = DetectTier::Smt;
+    DetectionResult Smt = detectRaces(T, Technique::Maximal, Options);
+    Telemetry::instance().reset();
+    Options.Tier = DetectTier::Hybrid;
+    DetectionResult Hybrid = detectRaces(T, Technique::Maximal, Options);
+
+    JsonObject Cmp;
+    Cmp.field("events", static_cast<uint64_t>(T.size()))
+        .field("races", static_cast<uint64_t>(Smt.raceCount()))
+        .field("races_agree", Smt.raceCount() == Hybrid.raceCount())
+        .field("solver_calls_smt", Smt.Stats.SolverCalls)
+        .field("solver_calls_hybrid", Hybrid.Stats.SolverCalls)
+        .field("solver_calls_saved", Hybrid.Stats.WcpShortCircuits)
+        .field("wcp_pruned_cops", Hybrid.Stats.WcpPruned)
+        .field("speedup", Hybrid.Stats.Seconds > 0
+                              ? Smt.Stats.Seconds / Hybrid.Stats.Seconds
+                              : 0.0)
+        .raw("smt", statsToJson(Smt.Stats, "RV"))
+        .raw("hybrid", statsToJson(Hybrid.Stats, "RV"));
+    Workloads.raw(Key, Cmp.str());
+  };
+
+  std::optional<BenchmarkCase> HighCop = findBenchmark("highcop");
+  if (HighCop) {
+    Trace T;
+    std::string Error;
+    if (!benchmarkTrace(*HighCop, T, Error)) {
+      std::fprintf(stderr, "highcop workload error: %s\n", Error.c_str());
+      return 1;
+    }
+    runPair("highcop", T);
+  }
+  runPair("prune-loop-40", pruneWorkload(40).T);
+  Telemetry::setEnabled(false);
+
+  JsonObject Out;
+  appendRunMetadata(Out);
+  Out.field("jobs", static_cast<uint64_t>(JobsFlag))
+      .raw("workloads", Workloads.str());
+  std::string Json = Out.str() + "\n";
+  if (Path == "-") {
+    std::fputs(Json.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return 1;
+  }
+  File << Json;
+  return 0;
+}
+
 } // namespace
 
 // Custom main: peel off --stats-json=<path>, --jobs=<n>, --static-prune,
-// and --incremental (google-benchmark rejects unknown flags), run the
-// benchmarks, then do the one-shot stats dump.
+// --incremental, and --wcp (google-benchmark rejects unknown flags), run
+// the benchmarks, then do the one-shot stats dump.
 int main(int Argc, char **Argv) {
   std::string StatsJsonPath;
   int Kept = 1;
@@ -498,6 +605,8 @@ int main(int Argc, char **Argv) {
       StaticPruneFlag = true;
     else if (std::strcmp(Argv[I], "--incremental") == 0)
       IncrementalFlag = true;
+    else if (std::strcmp(Argv[I], "--wcp") == 0)
+      WcpFlag = true;
     else
       Argv[Kept++] = Argv[I];
   }
@@ -538,6 +647,23 @@ int main(int Argc, char **Argv) {
         ->Unit(benchmark::kMillisecond);
   }
 
+  if (WcpFlag) {
+    benchmark::RegisterBenchmark("BM_MaximalHybridTier",
+                                 [](benchmark::State &S) {
+                                   runTierBench(S, DetectTier::Hybrid);
+                                 })
+        ->Arg(2000)
+        ->Arg(8000)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark("BM_MaximalSmtTier",
+                                 [](benchmark::State &S) {
+                                   runTierBench(S, DetectTier::Smt);
+                                 })
+        ->Arg(2000)
+        ->Arg(8000)
+        ->Unit(benchmark::kMillisecond);
+  }
+
   benchmark::Initialize(&Argc, Argv);
   if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
     return 1;
@@ -545,6 +671,8 @@ int main(int Argc, char **Argv) {
   benchmark::Shutdown();
 
   if (!StatsJsonPath.empty()) {
+    if (WcpFlag)
+      return dumpWcpJson(StatsJsonPath);
     if (IncrementalFlag)
       return dumpIncrementalJson(StatsJsonPath);
     return StaticPruneFlag ? dumpStaticPruneJson(StatsJsonPath)

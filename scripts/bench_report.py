@@ -69,19 +69,23 @@ def measure(args, detect_args):
     return best
 
 
-def make_record(stats, workload, runs, slowdown):
+def make_record(stats, workload, runs, slowdown, tier):
     gauges = stats.get("metrics", {}).get("gauges", {})
     return {
         "schema_version": stats.get("schema_version"),
         "git_sha": stats.get("git_sha", "unknown"),
         "timestamp": stats.get("timestamp"),
         "workload": workload,
+        "tier": tier,
         "runs": runs,
         "metrics": {
             "seconds": stats["seconds"] * slowdown,
             "windows": stats.get("windows", 0),
             "cops": stats.get("cops", 0),
             "solver_calls": stats.get("solver_calls", 0),
+            "wcp_races": stats.get("wcp_races", 0),
+            "wcp_pruned": stats.get("wcp_pruned_cops", 0),
+            "solver_calls_saved": stats.get("solver_calls_saved", 0),
             "peak_rss_bytes": gauges.get("mem.peak_rss_bytes", 0),
         },
     }
@@ -117,7 +121,8 @@ def compare(prev, new, tolerance):
                  (prev["workload"], p["seconds"], prev.get("git_sha")))
     lines.append("current:  %s  %.6fs  (sha %s)  ratio %.2fx" %
                  (new["workload"], n["seconds"], new.get("git_sha"), ratio))
-    for key in ("windows", "cops", "solver_calls"):
+    for key in ("windows", "cops", "solver_calls", "wcp_pruned",
+                "solver_calls_saved"):
         if p.get(key) != n.get(key):
             lines.append("note: %s changed %s -> %s — the workload's work "
                          "changed, timing may not be comparable" %
@@ -133,7 +138,7 @@ def self_test(args, detect_args):
     """Measure once, then drive append/reload/compare with a synthetic 2x
     record — deterministic, no second measurement to race against."""
     stats = measure(args, detect_args)
-    base = make_record(stats, args.workload, args.runs, 1.0)
+    base = make_record(stats, args.workload, args.runs, 1.0, args.tier)
     with tempfile.TemporaryDirectory() as tmp:
         history_path = os.path.join(tmp, "trajectory.json")
         history = load_history(history_path)
@@ -142,13 +147,14 @@ def self_test(args, detect_args):
         history = load_history(history_path)
         if len(history["records"]) != 1:
             fail("self-test: record did not round-trip")
-        slow = make_record(stats, args.workload, args.runs, 2.0)
+        slow = make_record(stats, args.workload, args.runs, 2.0, args.tier)
         regressed, lines = compare(history["records"][-1], slow,
                                    args.tolerance)
         if not regressed:
             fail("self-test: synthetic 2x slowdown was not flagged "
                  "(tolerance %.2f)" % args.tolerance)
-        ok_rec = make_record(stats, args.workload, args.runs, 1.0)
+        ok_rec = make_record(stats, args.workload, args.runs, 1.0,
+                             args.tier)
         regressed, _ = compare(history["records"][-1], ok_rec,
                                args.tolerance)
         if regressed:
@@ -166,6 +172,11 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.5,
                     help="allowed relative slowdown before exit 2 "
                          "(0.5 = 50%%)")
+    ap.add_argument("--tier", default="hybrid",
+                    choices=["vc", "smt", "hybrid"],
+                    help="race pipeline tier passed to rvpredict detect "
+                         "(docs/TIERS.md); records only compare against "
+                         "previous records of the same tier")
     ap.add_argument("--runs", type=int, default=3,
                     help="measurements per record; the fastest is kept")
     ap.add_argument("--simulate-slowdown", type=float, default=1.0,
@@ -179,7 +190,7 @@ def main():
     args = ap.parse_args()
 
     detect_args = ["--technique=rv", "--schedule=rr", "--seed=1",
-                   "--jobs=1"]
+                   "--jobs=1", "--tier=%s" % args.tier]
     if args.runs < 1:
         fail("--runs must be >= 1")
 
@@ -189,12 +200,15 @@ def main():
 
     stats = measure(args, detect_args)
     record = make_record(stats, args.workload, args.runs,
-                         args.simulate_slowdown)
+                         args.simulate_slowdown, args.tier)
 
     history = load_history(args.history)
     prev = None
     for r in reversed(history["records"]):
-        if r.get("workload") == record["workload"]:
+        # Records predating the tier field were measured before the WCP
+        # tier existed, i.e. on the solver-only pipeline.
+        if (r.get("workload") == record["workload"]
+                and r.get("tier", "smt") == record["tier"]):
             prev = r
             break
 

@@ -21,4 +21,18 @@ cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'ThreadPool|ParallelDetect|Stats\.Concurrent|DetectDeterminism|RaceEncoderCone|SliceGolden'
 
+# The hybrid WCP tier under parallel solving: the vector-clock index is
+# built once and read by every worker, and the per-COP WcpPruned/WcpRacy
+# verdicts are mirrored back from the worker tasks (docs/TIERS.md). Exit
+# 1 just means races were reported; >=2 (incl. TSan's abort) fails.
+for w in tests/golden/prune_workload.rv tests/golden/stats_workload.rv; do
+  rc=0
+  "$BUILD_DIR"/tools/rvpredict detect "$w" --seed=1 --schedule=rr \
+    --technique=rv --tier=hybrid --jobs=4 >/dev/null || rc=$?
+  if [ "$rc" -gt 1 ]; then
+    echo "check_tsan: --tier=hybrid --jobs=4 on $w exited $rc" >&2
+    exit 1
+  fi
+done
+
 echo "check_tsan: all thread-sanitized checks passed"

@@ -102,6 +102,11 @@ struct AtomCandidate {
   /// Rejected by the lockset / MHB quick check (signature-independent, so
   /// it is safe to precompute before the solving phase).
   bool QcRejected = false;
+  /// The MHB component rejected the candidate — under the WCP tier
+  /// (--tier != smt) those rejects are tallied as the wcp prune stage
+  /// (docs/TIERS.md). Counted in the sequential collection phase so the
+  /// tally matches --jobs=1 exactly.
+  bool MhbOrdered = false;
 };
 
 /// What a parallel solve task produced for one candidate.
@@ -185,6 +190,8 @@ public:
         Reg.counter("solver.backend_fallbacks").add(BackendFallbacks);
       if (Result.Stats.UnknownCops)
         Reg.counter("detect.unknown_cops").add(Result.Stats.UnknownCops);
+      if (Result.Stats.WcpPruned)
+        Reg.counter("wcp.pruned_cops").add(Result.Stats.WcpPruned);
       if (SkipWindows)
         Reg.counter("detect.resumed_windows").add(SkipWindows);
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
@@ -309,10 +316,11 @@ private:
               C.Sig = signatureOf(T, A1, B, A2);
               if (Options.UseQuickCheck) {
                 const std::vector<LockId> &Held = Locksets.heldAt(B);
+                C.MhbOrdered = Mhb.ordered(B, A1) || Mhb.ordered(A2, B);
                 C.QcRejected =
                     std::find(Held.begin(), Held.end(), Lock) !=
                         Held.end() ||
-                    Mhb.ordered(B, A1) || Mhb.ordered(A2, B);
+                    C.MhbOrdered;
               }
               Candidates.push_back(C);
             }
@@ -361,8 +369,11 @@ private:
           ++SpeculativeSolves;
         continue;
       }
-      if (C.QcRejected)
+      if (C.QcRejected) {
+        if (Options.Tier != DetectTier::Smt && C.MhbOrdered)
+          ++Result.Stats.WcpPruned;
         continue;
+      }
       if (Options.UseQuickCheck)
         ++Result.Stats.QcPassed;
       ++Result.Stats.SolverCalls;
@@ -456,11 +467,19 @@ private:
             continue;
           // Quick filters: holding the region's lock, or an MHB order
           // incompatible with "between", make the query unsatisfiable.
+          // Under the WCP tier the MHB component runs first as its own
+          // counted prune stage (docs/TIERS.md); the reject set and
+          // QcPassed are identical either way since rejects emit nothing.
           if (Options.UseQuickCheck) {
+            bool MhbOrdered = Mhb.ordered(B, A1) || Mhb.ordered(A2, B);
+            if (Options.Tier != DetectTier::Smt && MhbOrdered) {
+              ++Result.Stats.WcpPruned;
+              continue;
+            }
             const std::vector<LockId> &Held = Locksets.heldAt(B);
             if (std::find(Held.begin(), Held.end(), Lock) != Held.end())
               continue;
-            if (Mhb.ordered(B, A1) || Mhb.ordered(A2, B))
+            if (MhbOrdered)
               continue;
             ++Result.Stats.QcPassed;
           }
@@ -573,9 +592,11 @@ private:
         static_cast<unsigned long long>(Result.Stats.SolverTimeouts),
         static_cast<unsigned long long>(Result.Stats.SolverRetries),
         static_cast<unsigned long long>(Result.Stats.DegradedSessions));
-    Out += formatString("tallies %llu %llu\n",
-                        static_cast<unsigned long long>(SpeculativeSolves),
-                        static_cast<unsigned long long>(BackendFallbacks));
+    Out += formatString(
+        "tallies %llu %llu %llu\n",
+        static_cast<unsigned long long>(SpeculativeSolves),
+        static_cast<unsigned long long>(BackendFallbacks),
+        static_cast<unsigned long long>(Result.Stats.WcpPruned));
     Out += "values";
     for (Value V : RunningValues)
       Out += formatString(" %lld", static_cast<long long>(V));
@@ -654,7 +675,7 @@ private:
     std::vector<uint64_t> NewUnknownSigs;
     std::vector<Value> NewValues;
     std::unordered_set<uint64_t> NewSeen, NewUnkSet;
-    uint64_t S[7] = {0}, Tally[2] = {0};
+    uint64_t S[7] = {0}, Tally[3] = {0};
     bool SawStats = false, SawTallies = false, SawValues = false;
 
     for (std::string_view Line : split(Payload, '\n')) {
@@ -670,9 +691,9 @@ private:
             return false;
         SawStats = true;
       } else if (F[0] == "tallies") {
-        if (F.size() != 3)
+        if (F.size() != 4)
           return false;
-        for (size_t I = 0; I < 2; ++I)
+        for (size_t I = 0; I < 3; ++I)
           if (!parseU64(F[I + 1], Tally[I]))
             return false;
         SawTallies = true;
@@ -753,6 +774,7 @@ private:
     Result.Stats.DegradedSessions = S[6];
     SpeculativeSolves = Tally[0];
     BackendFallbacks = Tally[1];
+    Result.Stats.WcpPruned = Tally[2];
     RunningValues = std::move(NewValues);
     SeenSignatures = std::move(NewSeen);
     UnknownSigs = std::move(NewUnkSet);

@@ -11,6 +11,7 @@
 #include "detect/Lockset.h"
 #include "detect/RaceEncoder.h"
 #include "detect/Resilience.h"
+#include "detect/Wcp.h"
 #include "detect/WindowEncoding.h"
 #include "detect/WitnessChecker.h"
 #include "smt/Solver.h"
@@ -47,6 +48,18 @@ const char *rvp::techniqueName(Technique Tech) {
   RVP_UNREACHABLE("unknown technique");
 }
 
+const char *rvp::tierName(DetectTier Tier) {
+  switch (Tier) {
+  case DetectTier::Vc:
+    return "vc";
+  case DetectTier::Smt:
+    return "smt";
+  case DetectTier::Hybrid:
+    return "hybrid";
+  }
+  RVP_UNREACHABLE("unknown tier");
+}
+
 std::string rvp::renderStatsTable(const DetectionStats &Stats,
                                   const char *What) {
   std::string Out = formatString(
@@ -67,6 +80,16 @@ std::string rvp::renderStatsTable(const DetectionStats &Stats,
         static_cast<unsigned long long>(Stats.SolverRetries),
         static_cast<unsigned long long>(Stats.DegradedSessions),
         static_cast<unsigned long long>(Stats.UnknownCops));
+  // Tier line only when the WCP tier ran (docs/TIERS.md): --tier=smt runs
+  // print the classic summary unchanged.
+  if (Stats.WcpRaces || Stats.WcpPruned || Stats.WcpResidue ||
+      Stats.WcpShortCircuits || Stats.WcpMismatches)
+    Out += formatString(
+        "wcp: races=%llu pruned=%llu residue=%llu short_circuits=%llu\n",
+        static_cast<unsigned long long>(Stats.WcpRaces),
+        static_cast<unsigned long long>(Stats.WcpPruned),
+        static_cast<unsigned long long>(Stats.WcpResidue),
+        static_cast<unsigned long long>(Stats.WcpShortCircuits));
   if (!Stats.Telemetry.Captured)
     return Out;
   Out += formatString("phases (%s, wall seconds):\n", What);
@@ -95,6 +118,11 @@ std::string rvp::statsToJson(const DetectionStats &Stats, const char *What) {
       .field("solver_retries", Stats.SolverRetries)
       .field("degraded_sessions", Stats.DegradedSessions)
       .field("unknown_cops", Stats.UnknownCops)
+      .field("wcp_races", Stats.WcpRaces)
+      .field("wcp_pruned_cops", Stats.WcpPruned)
+      .field("wcp_residue_cops", Stats.WcpResidue)
+      .field("solver_calls_saved", Stats.WcpShortCircuits)
+      .field("wcp_mismatches", Stats.WcpMismatches)
       .field("jobs", static_cast<uint64_t>(Stats.Jobs));
   if (Stats.Telemetry.Captured) {
     O.raw("metrics", metricsToJson(Stats.Telemetry.Metrics));
@@ -287,7 +315,10 @@ public:
     for (VarId Var = 0; Var < T.numVars(); ++Var)
       RunningValues[Var] = T.initialValueOf(Var);
 
-    if (Tech == Technique::Said || Tech == Technique::Maximal) {
+    // The Vc tier replaces the whole encode+solve machinery with the WCP
+    // pass: no solver, no pool, no incremental sessions (docs/TIERS.md).
+    if ((Tech == Technique::Said || Tech == Technique::Maximal) &&
+        Options.Tier != DetectTier::Vc) {
       Solver = createSolverByName(Options.SolverName);
       if (!Solver)
         Solver = createIdlSolver();
@@ -474,6 +505,22 @@ private:
     }
     Result.Stats.QcPassed = QcSignatures.size();
 
+    // The WCP tier (docs/TIERS.md): one linear vector-clock pass per
+    // window. Hybrid uses it to prune MHB-ordered COPs and short-circuit
+    // WCP-provable races past the solver; Vc replaces the solver with it
+    // entirely. --check-tiers keeps the full SMT semantics (no fast
+    // paths) and compares WCP's verdict against every solver decision.
+    std::optional<WcpIndex> WcpStorage;
+    if (wcpActive()) {
+      ScopedPhaseTimer WcpPhase("wcp");
+      Timer WcpClock;
+      WcpStorage.emplace(T, Window);
+      if (Telemetry::enabled())
+        MetricsRegistry::global()
+            .histogram("wcp.latency_seconds")
+            .record(WcpClock.seconds());
+    }
+
     switch (Tech) {
     case Technique::Hb: {
       EventClosure Hb(T, Window, ClosureConfig::hb());
@@ -524,6 +571,42 @@ private:
       break;
     }
 
+    // --tier=vc: the WCP detector alone decides every COP, like the
+    // Hb/Cp branches above — no encoder, no solver, no witnesses. Sound
+    // in the same weak sense as those detectors (every reported pair is
+    // WCP-unordered; the first one is guaranteed predictable).
+    if (WcpStorage && Options.Tier == DetectTier::Vc) {
+      WcpIndex &Wcp = *WcpStorage;
+      for (size_t I = 0; I < Cops.size(); ++I) {
+        const Cop &C = Cops[I];
+        if (Pruned[I]) {
+          emitCopEvent(Window, C, "static-pruned", "static-prune");
+          continue;
+        }
+        if (RacySignatures.count(
+                RaceSignature::of(T, C.First, C.Second).key())) {
+          ++SigPruned;
+          continue;
+        }
+        // The quick check's lockset/weak-HB components are implied by the
+        // WCP rules, but gating on them keeps the Vc loop shaped like the
+        // other tiers and guards the windowed approximations.
+        if (Options.UseQuickCheck && !Qc.pass(C)) {
+          emitCopEvent(Window, C, "qc-fail", Qc.failStage(C));
+          continue;
+        }
+        bool Racy = Wcp.racy(C.First, C.Second);
+        if (Racy) {
+          ++Result.Stats.WcpRaces;
+          report(C.First, C.Second, {}, false);
+        }
+        const char *Outcome = Racy ? "race" : "ordered";
+        emitCopEvent(Window, C, Outcome, Racy ? "wcp"
+                                              : stageForOutcome(Outcome));
+      }
+      return Cops.size();
+    }
+
     // SMT-based techniques. The COP-invariant encoding state is built
     // once per window and shared read-only by every encode+solve — the
     // sequential loop and the parallel workers alike.
@@ -539,8 +622,13 @@ private:
                                                RunningValues),
         EncOpts);
 
+    // Hybrid fast paths, disabled under --check-tiers so the cross
+    // validation compares WCP against the full SMT semantics.
+    const WcpIndex *Wcp = WcpStorage ? &*WcpStorage : nullptr;
+    const bool WcpFastPath = Wcp && !Options.CheckTiers;
+
     if (Pool) {
-      processCopsParallel(Window, Cops, Pruned, Qc, Mhb, Encoder);
+      processCopsParallel(Window, Cops, Pruned, Qc, Mhb, Encoder, Wcp);
       return Cops.size();
     }
 
@@ -563,6 +651,15 @@ private:
         emitCopEvent(Window, C, "static-pruned", "static-prune");
         continue;
       }
+      // WCP/MHB prune: exact mirror of the closure the quick check uses,
+      // so every pair pruned here would have been a qc-fail in the Smt
+      // tier — reports are identical, the weak-HB recheck is skipped.
+      if (WcpFastPath && (Wcp->mhbOrdered(C.First, C.Second) ||
+                          Wcp->mhbOrdered(C.Second, C.First))) {
+        ++Result.Stats.WcpPruned;
+        emitCopEvent(Window, C, "wcp-ordered", "wcp");
+        continue;
+      }
       if (RacySignatures.count(
               RaceSignature::of(T, C.First, C.Second).key())) {
         ++SigPruned; // signature pruning (Section 4)
@@ -573,6 +670,20 @@ private:
         emitCopEvent(Window, C, "qc-fail", Qc.failStage(C));
         continue;
       }
+      // WCP short-circuit (Maximal only): a pair WCP proves racy skips
+      // the sliced encode and the session solve. With witnesses on the
+      // race is verified through the same unsliced one-shot re-derivation
+      // the Smt tier uses for witness models, so reports stay
+      // byte-identical; with witnesses off the WCP verdict is trusted
+      // (the Vc-tier semantics; --check-tiers is the standing oracle).
+      if (WcpFastPath && Tech == Technique::Maximal &&
+          Wcp->racy(C.First, C.Second)) {
+        ++Result.Stats.WcpShortCircuits;
+        shortCircuitCop(Window, C, Encoder, Mhb);
+        continue;
+      }
+      if (WcpFastPath)
+        ++Result.Stats.WcpResidue;
 
       FormulaBuilder CopFB;
       FormulaBuilder &FB = UseIncremental ? WindowFB : CopFB;
@@ -604,6 +715,12 @@ private:
         SolveSeconds = SolveClock.seconds();
       }
       SatResult Sat = Decided.Sat;
+      // --check-tiers: WCP claimed a race the full pipeline refutes —
+      // the windowed over-report weak soundness permits beyond the first
+      // race. Counted here, surfaced as an error by the front end.
+      if (Options.CheckTiers && Wcp && Sat == SatResult::Unsat &&
+          Wcp->racy(C.First, C.Second))
+        ++Result.Stats.WcpMismatches;
       if (Telemetry::enabled())
         MetricsRegistry::global()
             .histogram("solver.latency_seconds")
@@ -683,13 +800,18 @@ private:
         static_cast<unsigned long long>(Result.Stats.SolverRetries),
         static_cast<unsigned long long>(Result.Stats.DegradedSessions));
     Out += formatString(
-        "tallies %llu %llu %llu %llu %llu %llu\n",
+        "tallies %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu %llu\n",
         static_cast<unsigned long long>(QcHits),
         static_cast<unsigned long long>(QcMisses),
         static_cast<unsigned long long>(SigPruned),
         static_cast<unsigned long long>(StaticPruned),
         static_cast<unsigned long long>(SpeculativeSolves),
-        static_cast<unsigned long long>(BackendFallbacks));
+        static_cast<unsigned long long>(BackendFallbacks),
+        static_cast<unsigned long long>(Result.Stats.WcpRaces),
+        static_cast<unsigned long long>(Result.Stats.WcpPruned),
+        static_cast<unsigned long long>(Result.Stats.WcpResidue),
+        static_cast<unsigned long long>(Result.Stats.WcpShortCircuits),
+        static_cast<unsigned long long>(Result.Stats.WcpMismatches));
     Out += "values";
     for (Value V : RunningValues)
       Out += formatString(" %lld", static_cast<long long>(V));
@@ -764,7 +886,7 @@ private:
     std::vector<UnknownReport> NewUnknowns;
     std::vector<Value> NewValues;
     std::unordered_set<uint64_t> NewRacy, NewQc, NewUnkSigs;
-    uint64_t S[8] = {0}, Tally[6] = {0};
+    uint64_t S[8] = {0}, Tally[11] = {0};
     bool SawStats = false, SawTallies = false, SawValues = false;
 
     for (std::string_view Line : split(Payload, '\n')) {
@@ -780,9 +902,12 @@ private:
             return false;
         SawStats = true;
       } else if (F[0] == "tallies") {
-        if (F.size() != 7)
+        // 12 fields since the WCP tier landed; older 7-field snapshots
+        // (written by a pre-tier build) are rejected wholesale, which is
+        // always sound — the run just starts from scratch.
+        if (F.size() != 12)
           return false;
-        for (size_t I = 0; I < 6; ++I)
+        for (size_t I = 0; I < 11; ++I)
           if (!parseU64(F[I + 1], Tally[I]))
             return false;
         SawTallies = true;
@@ -858,6 +983,11 @@ private:
     StaticPruned = Tally[3];
     SpeculativeSolves = Tally[4];
     BackendFallbacks = Tally[5];
+    Result.Stats.WcpRaces = Tally[6];
+    Result.Stats.WcpPruned = Tally[7];
+    Result.Stats.WcpResidue = Tally[8];
+    Result.Stats.WcpShortCircuits = Tally[9];
+    Result.Stats.WcpMismatches = Tally[10];
     RunningValues = std::move(NewValues);
     RacySignatures = std::move(NewRacy);
     QcSignatures = std::move(NewQc);
@@ -883,8 +1013,63 @@ private:
     return Options.Slice && Options.SubstituteRaceVars;
   }
 
-  bool rederiveModel(const RaceEncoder &Encoder, const Cop &C,
-                     OrderModel &Model) const {
+  /// Whether the WCP tier runs at all: Hybrid/Vc, SMT-based techniques
+  /// only (the Hb/Cp detectors are already linear-time).
+  bool wcpActive() const {
+    return Options.Tier != DetectTier::Smt &&
+           (Tech == Technique::Said || Tech == Technique::Maximal);
+  }
+
+  /// Hybrid short-circuit of one WCP-racy COP (sequential path). With
+  /// witnesses on, the race is verified and its model derived through the
+  /// same unsliced one-shot solve the Smt tier's witness path runs, so
+  /// every outcome — the report, an unsat's silence, an unknown entry —
+  /// matches the Smt tier byte for byte. With witnesses off the WCP
+  /// verdict is reported directly: zero solver work (the measured
+  /// speedup), sound in the Vc-tier sense, auditable via --check-tiers.
+  void shortCircuitCop(Span Window, const Cop &C,
+                       const RaceEncoder &Encoder,
+                       const EventClosure &Mhb) {
+    if (!Options.CollectWitnesses) {
+      ++Result.Stats.WcpRaces;
+      CopEventExtra Extra;
+      Extra.Stage = "wcp";
+      emitCopEvent(Window, C, "race", "wcp");
+      recordCopCost(C, "race", 0, Extra);
+      report(C.First, C.Second, {}, false);
+      return;
+    }
+    ScopedPhaseTimer WitnessPhase("witness");
+    Timer WitnessClock;
+    OrderModel Model;
+    SatResult Sat = rederiveModel(Encoder, C, Model);
+    CopEventExtra Extra;
+    if (Sat != SatResult::Sat) {
+      const char *Outcome = Sat == SatResult::Unsat ? "unsat" : "timeout";
+      if (Sat == SatResult::Unknown) {
+        ++Result.Stats.SolverTimeouts;
+        recordUnknown(C, 1);
+      }
+      Extra.Stage = stageForOutcome(Outcome);
+      Extra.WitnessSeconds = WitnessClock.seconds();
+      emitCopEvent(Window, C, Outcome, Extra.Stage);
+      recordCopCost(C, Outcome, 0, Extra);
+      return;
+    }
+    std::vector<EventId> Witness = buildWitness(Window, Model, C);
+    bool WitnessValid = checkWitness(T, Window, Witness, C.First, C.Second,
+                                     Encoder, Mhb, RunningValues)
+                            .Ok;
+    ++Result.Stats.WcpRaces;
+    Extra.Stage = "wcp";
+    Extra.WitnessSeconds = WitnessClock.seconds();
+    emitCopEvent(Window, C, "sat", "wcp");
+    recordCopCost(C, "sat", 0, Extra);
+    report(C.First, C.Second, std::move(Witness), WitnessValid);
+  }
+
+  SatResult rederiveModel(const RaceEncoder &Encoder, const Cop &C,
+                          OrderModel &Model) const {
     // Witness models come from the unsliced formula: a sliced model has
     // no positions for events outside the cone, and buildWitness orders
     // the whole window. Sharing the WindowEncoding makes the unsliced
@@ -906,7 +1091,7 @@ private:
       MetricsRegistry::global().counter("solver.witness_resolves").inc();
     return Fresh->solve(FreshFB, Root,
                         Deadline::after(Options.PerCopBudgetSeconds),
-                        &Model) == SatResult::Sat;
+                        &Model);
   }
 
   // -------------------------------------------------- parallel solving
@@ -928,8 +1113,13 @@ private:
   struct CopTaskResult {
     uint64_t SigKey = 0;
     bool StaticPruned = false; ///< skipped by the static oracle
+    bool WcpPruned = false;    ///< MHB-ordered per the WCP tier's clocks
     bool PreFiltered = false;  ///< signature racy at window start
     bool QcFail = false;
+    /// WCP proved the pair racy (hybrid fast path): the task re-derives
+    /// the witness model instead of encode+solve; with witnesses off it
+    /// does nothing and phase C reports the WCP verdict directly.
+    bool WcpRacy = false;
     /// Which quick-check component rejected the COP (set iff QcFail).
     const char *QcStage = nullptr;
     bool Solved = false;
@@ -969,7 +1159,9 @@ private:
   void processCopsParallel(Span Window, const std::vector<Cop> &Cops,
                            const std::vector<bool> &Pruned,
                            const QuickCheck &Qc, const EventClosure &Mhb,
-                           const RaceEncoder &Encoder) {
+                           const RaceEncoder &Encoder,
+                           const WcpIndex *Wcp) {
+    const bool WcpFastPath = Wcp && !Options.CheckTiers;
     std::vector<CopTaskResult> Results(Cops.size());
     for (size_t I = 0; I < Cops.size(); ++I) {
       CopTaskResult &R = Results[I];
@@ -977,12 +1169,21 @@ private:
       R.StaticPruned = Pruned[I];
       if (R.StaticPruned)
         continue;
+      R.WcpPruned =
+          WcpFastPath && (Wcp->mhbOrdered(Cops[I].First, Cops[I].Second) ||
+                          Wcp->mhbOrdered(Cops[I].Second, Cops[I].First));
+      if (R.WcpPruned)
+        continue;
       R.PreFiltered = RacySignatures.count(R.SigKey) != 0;
       if (R.PreFiltered)
         continue;
       R.QcFail = Options.UseQuickCheck && !Qc.pass(Cops[I]);
-      if (R.QcFail)
+      if (R.QcFail) {
         R.QcStage = Qc.failStage(Cops[I]);
+        continue;
+      }
+      R.WcpRacy = WcpFastPath && Tech == Technique::Maximal &&
+                  Wcp->racy(Cops[I].First, Cops[I].Second);
     }
 
     const bool Observing = Telemetry::enabled();
@@ -994,7 +1195,7 @@ private:
     std::vector<WorkerSolveCtx> Contexts(Pool->numWorkers() + 1);
     Pool->parallelFor(0, Cops.size(), [&](size_t I) {
       CopTaskResult &R = Results[I];
-      if (R.StaticPruned || R.PreFiltered || R.QcFail)
+      if (R.StaticPruned || R.WcpPruned || R.PreFiltered || R.QcFail)
         return;
       int W = Pool->currentWorkerIndex();
       std::optional<ThreadPhaseScope> PhaseScope;
@@ -1023,6 +1224,11 @@ private:
         emitCopEvent(Window, C, "static-pruned", "static-prune");
         continue;
       }
+      if (R.WcpPruned) {
+        ++Result.Stats.WcpPruned;
+        emitCopEvent(Window, C, "wcp-ordered", "wcp");
+        continue;
+      }
       if (RacySignatures.count(R.SigKey)) {
         ++SigPruned; // signature pruning (Section 4)
         if (R.Solved)
@@ -1034,7 +1240,44 @@ private:
         emitCopEvent(Window, C, "qc-fail", R.QcStage);
         continue;
       }
+      if (R.WcpRacy) {
+        // Mirrors the sequential shortCircuitCop, consuming the witness
+        // work phase B already did.
+        ++Result.Stats.WcpShortCircuits;
+        if (!Options.CollectWitnesses) {
+          ++Result.Stats.WcpRaces;
+          CopEventExtra Extra;
+          Extra.Stage = "wcp";
+          emitCopEvent(Window, C, "race", "wcp");
+          recordCopCost(C, "race", 0, Extra);
+          report(C.First, C.Second, {}, false);
+          continue;
+        }
+        const char *ScOutcome = R.Sat == SatResult::Sat     ? "sat"
+                                : R.Sat == SatResult::Unsat ? "unsat"
+                                                            : "timeout";
+        CopEventExtra Extra;
+        Extra.Stage = R.Sat == SatResult::Sat ? "wcp"
+                                              : stageForOutcome(ScOutcome);
+        Extra.WitnessSeconds = R.WitnessSeconds;
+        if (R.Sat == SatResult::Unknown) {
+          ++Result.Stats.SolverTimeouts;
+          recordUnknown(C, 1);
+        }
+        emitCopEvent(Window, C, ScOutcome, Extra.Stage);
+        recordCopCost(C, ScOutcome, 0, Extra);
+        if (R.Sat == SatResult::Sat) {
+          ++Result.Stats.WcpRaces;
+          report(C.First, C.Second, std::move(R.Witness), R.WitnessValid);
+        }
+        continue;
+      }
       ++Result.Stats.SolverCalls;
+      if (WcpFastPath)
+        ++Result.Stats.WcpResidue;
+      if (Options.CheckTiers && Wcp && R.Sat == SatResult::Unsat &&
+          Wcp->racy(C.First, C.Second))
+        ++Result.Stats.WcpMismatches;
       const char *Outcome = R.Sat == SatResult::Sat     ? "sat"
                             : R.Sat == SatResult::Unsat ? "unsat"
                                                         : "timeout";
@@ -1066,6 +1309,27 @@ private:
                     const EventClosure &Mhb, Span Window,
                     bool WantEventMetrics, WorkerSolveCtx &Ctx,
                     CopTaskResult &R) {
+    if (R.WcpRacy) {
+      // WCP short-circuit: no encode, no session solve. With witnesses
+      // on, verify + derive the model exactly like the Smt tier's
+      // witness path (unsliced one-shot; thread-safe — fresh solver per
+      // call); with witnesses off there is nothing to compute here.
+      if (!Options.CollectWitnesses)
+        return;
+      ScopedPhaseTimer WitnessPhase("witness");
+      Timer WitnessClock;
+      OrderModel Model;
+      R.Sat = rederiveModel(Encoder, C, Model);
+      if (R.Sat == SatResult::Sat) {
+        R.Witness = buildWitness(Window, Model, C);
+        R.WitnessValid = checkWitness(T, Window, R.Witness, C.First,
+                                      C.Second, Encoder, Mhb,
+                                      RunningValues)
+                             .Ok;
+      }
+      R.WitnessSeconds = WitnessClock.seconds();
+      return;
+    }
     if (!Ctx.Host)
       Ctx.Host = std::make_unique<SolveHost>(
           Options.SolverName, UseIncremental, Options.PerCopBudgetSeconds,
@@ -1149,6 +1413,12 @@ private:
     Reg.counter("detect.unknown_cops").add(Result.Stats.UnknownCops);
     Reg.counter("detect.resumed_windows").add(ResumedWindows);
     Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
+    if (wcpActive()) {
+      Reg.counter("wcp.races").add(Result.Stats.WcpRaces);
+      Reg.counter("wcp.pruned_cops").add(Result.Stats.WcpPruned);
+      Reg.counter("wcp.residue_cops").add(Result.Stats.WcpResidue);
+      Reg.counter("wcp.check_mismatches").add(Result.Stats.WcpMismatches);
+    }
     Reg.gauge("detect.jobs").set(Result.Stats.Jobs);
     // Memory gauges: the accounted pools plus process RSS. Trace storage
     // is owned outside the detectors, so its gauge is set directly from

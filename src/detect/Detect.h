@@ -39,6 +39,20 @@ enum class Technique : uint8_t { Hb, Cp, Said, Maximal };
 
 const char *techniqueName(Technique Tech);
 
+/// Which detection tiers run (docs/TIERS.md):
+///  * Vc     — the linear-time WCP vector-clock detector alone; no
+///             encoder, no solver. Sound (every reported race is one the
+///             maximal detector reports) but not maximal.
+///  * Smt    — the historical pipeline: static prune, signature,
+///             quick check, SMT solve per residual COP.
+///  * Hybrid — the default ladder: the WCP pass first prunes
+///             MHB-ordered COPs and short-circuits WCP-provable races
+///             past the solver; only the residue is encoded and solved.
+///             Reports are byte-identical to Smt.
+enum class DetectTier : uint8_t { Vc, Smt, Hybrid };
+
+const char *tierName(DetectTier Tier);
+
 /// Interface for sound static COP pruning (the analysis layer's
 /// StaticPruneOracle implements it; the detectors only see this base so
 /// rvp_detect does not depend on rvp_analysis).
@@ -134,6 +148,16 @@ struct DetectorOptions {
   /// by the front end via checkpointHash); snapshots with a different
   /// fingerprint are ignored.
   uint64_t CheckpointFingerprint = 0;
+  /// Tier ladder (`--tier`, docs/TIERS.md). Hybrid (the default) runs the
+  /// WCP vector-clock pass before the SMT stages; Smt is the historical
+  /// solver-only pipeline; Vc is the vector-clock detector alone.
+  DetectTier Tier = DetectTier::Hybrid;
+  /// Cross-validation oracle (`--check-tiers`, Hybrid + Maximal only):
+  /// every solved COP additionally gets a WCP verdict, a WCP-racy COP the
+  /// solver decided Unsat counts as a mismatch (DetectionStats::
+  /// WcpMismatches), and the fast paths are disabled so the full SMT
+  /// semantics is what WCP is checked against.
+  bool CheckTiers = false;
 };
 
 /// One reported race (first COP found per signature).
@@ -182,6 +206,21 @@ struct DetectionStats {
   /// Distinct signatures left undecided after all retry tiers — the
   /// entries of DetectionResult::Unknowns.
   uint64_t UnknownCops = 0;
+  /// Races the WCP tier proved without a solver call (Vc tier reports;
+  /// Hybrid short-circuits past the solver, Maximal only).
+  uint64_t WcpRaces = 0;
+  /// COPs the WCP tier pruned as MHB-ordered before signature/quick-check
+  /// (Hybrid/Vc; a new prune stage ahead of the historical ones).
+  uint64_t WcpPruned = 0;
+  /// COPs the WCP tier could not decide — the residue that reached the
+  /// signature/quick-check/SMT stages (Hybrid only).
+  uint64_t WcpResidue = 0;
+  /// Solver calls the Hybrid tier skipped because WCP already proved the
+  /// COP racy (the `solver_calls_saved` JSON field).
+  uint64_t WcpShortCircuits = 0;
+  /// --check-tiers: WCP-racy COPs the solver decided Unsat. Always 0 when
+  /// the tier is sound; any nonzero value fails the run (exit 2).
+  uint64_t WcpMismatches = 0;
   /// Effective worker count used for per-COP solving (1 when the
   /// technique has no solver loop or the run was sequential).
   uint32_t Jobs = 1;

@@ -6,7 +6,13 @@
 ///
 /// \file
 /// Fixed-width vector clocks over the threads of one trace, used by the
-/// MHB closure, the HB detector, and the CP detector.
+/// MHB closure, the HB detector, the CP detector, and the WCP tier.
+///
+/// Clocks may be narrower than the thread universe (a clock built before a
+/// late spawn, or default-constructed empty): every operation treats the
+/// missing components as 0, and the mutating ones widen the clock first,
+/// so mixed-width algebra is well-defined instead of indexing out of the
+/// shorter vector.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +27,14 @@
 
 namespace rvp {
 
+/// One component of a vector clock: thread \p Tid at local time \p Time.
+/// The WCP tier's release publications and ordering queries pass these
+/// around instead of full clocks (the FastTrack-style epoch idiom).
+struct Epoch {
+  ThreadId Tid = 0;
+  uint64_t Time = 0;
+};
+
 class VectorClock {
 public:
   VectorClock() = default;
@@ -28,26 +42,67 @@ public:
 
   uint32_t size() const { return static_cast<uint32_t>(Clock.size()); }
 
-  uint64_t get(ThreadId Tid) const { return Clock[Tid]; }
-  void set(ThreadId Tid, uint64_t Value) { Clock[Tid] = Value; }
-  void tick(ThreadId Tid) { ++Clock[Tid]; }
+  /// Components past the clock's width read as 0 (nothing of that thread
+  /// is covered yet).
+  uint64_t get(ThreadId Tid) const {
+    return Tid < Clock.size() ? Clock[Tid] : 0;
+  }
+  void set(ThreadId Tid, uint64_t Value) {
+    ensure(Tid + 1);
+    Clock[Tid] = Value;
+  }
+  void tick(ThreadId Tid) {
+    ensure(Tid + 1);
+    ++Clock[Tid];
+  }
 
-  /// Pointwise maximum.
+  /// Widens the clock to at least \p NumThreads components (new ones 0).
+  void ensure(uint32_t NumThreads) {
+    if (Clock.size() < NumThreads)
+      Clock.resize(NumThreads, 0);
+  }
+
+  /// Pointwise maximum. A narrower operand contributes 0 for its missing
+  /// components; a wider one widens this clock first, so no component of
+  /// either side is ever dropped (late-spawned threads).
   void join(const VectorClock &Other) {
-    for (uint32_t I = 0; I < Clock.size(); ++I)
+    ensure(Other.size());
+    for (uint32_t I = 0; I < Other.Clock.size(); ++I)
       Clock[I] = std::max(Clock[I], Other.Clock[I]);
   }
 
+  /// Join with one component raised to at least E.Time — the
+  /// increment-join of the WCP release publications (send = clock joined
+  /// with the sender's own release time).
+  void joinEpoch(const Epoch &E) {
+    ensure(E.Tid + 1);
+    Clock[E.Tid] = std::max(Clock[E.Tid], E.Time);
+  }
+
+  /// True iff this clock covers thread E.Tid up to time E.Time.
+  bool covers(const Epoch &E) const { return get(E.Tid) >= E.Time; }
+
   /// True iff this <= Other pointwise (this happens-before-or-equals).
+  /// Missing components on either side compare as 0.
   bool lessOrEqual(const VectorClock &Other) const {
     for (uint32_t I = 0; I < Clock.size(); ++I)
-      if (Clock[I] > Other.Clock[I])
+      if (Clock[I] > Other.get(I))
         return false;
     return true;
   }
 
+  /// Width-insensitive equality: clocks differing only in trailing zero
+  /// components are equal.
   bool operator==(const VectorClock &Other) const {
-    return Clock == Other.Clock;
+    const VectorClock &Short = size() <= Other.size() ? *this : Other;
+    const VectorClock &Long = size() <= Other.size() ? Other : *this;
+    for (uint32_t I = 0; I < Short.size(); ++I)
+      if (Short.Clock[I] != Long.Clock[I])
+        return false;
+    for (uint32_t I = Short.size(); I < Long.size(); ++I)
+      if (Long.Clock[I] != 0)
+        return false;
+    return true;
   }
 
 private:

@@ -326,6 +326,10 @@ TEST(Options, NaiveAdjacencyEncodingAgrees) {
 TEST(Options, QuickCheckOffAgrees) {
   DetectorOptions Options;
   Options.UseQuickCheck = false;
+  // Pin the solver-only tier: the point is that every COP reaches the
+  // solver without the quick check, and the hybrid WCP prune would
+  // intercept the MHB-ordered ones first.
+  Options.Tier = DetectTier::Smt;
   Trace T = figure4Trace();
   DetectionResult R = detectRaces(T, Technique::Maximal, Options);
   EXPECT_EQ(R.raceCount(), 1u);

@@ -85,6 +85,30 @@ run_tool(detect "${GOLDEN_DIR}/does_not_exist.txt")
 expect_rc(2 "missing input file")
 expect_stderr("cannot open" "missing-file diagnostic")
 
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --tier=turbo)
+expect_rc(2 "--tier=turbo")
+expect_stderr("--tier must be vc, smt, or hybrid" "--tier diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --check-tiers)
+# --check-tiers alone is fine: the default tier is hybrid.
+expect_rc(0 "--check-tiers with the default (hybrid) tier")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --tier=smt --check-tiers)
+expect_rc(2 "--check-tiers with --tier=smt")
+expect_stderr("requires --tier=hybrid" "--check-tiers tier diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --check-tiers --technique=hb)
+expect_rc(2 "--check-tiers with --technique=hb")
+expect_stderr("solver-backed race pipeline" "--check-tiers technique diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --tier=vc --property=deadlock)
+expect_rc(2 "--tier=vc with --property=deadlock")
+expect_stderr("--tier=vc detects races only" "--tier=vc property diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/quiet.txt" --tier=vc --technique=cp)
+expect_rc(2 "--tier=vc with --technique=cp")
+expect_stderr("has its own dedicated detector" "--tier=vc technique diagnostic")
+
 # --- Exit-code taxonomy -------------------------------------------------
 
 run_tool(detect "${GOLDEN_DIR}/quiet.txt")

@@ -62,8 +62,11 @@ endforeach()
 
 # Non-vacuity: the sliced run must report the workload's race AND actually
 # restrict the encodings — the cone counters only tick on the sliced path.
-run_detect(false "--technique=rv;--schedule=rr;--jobs=1;--stats-json=-" SLC_STATS)
-run_detect(true "--technique=rv;--schedule=rr;--jobs=1;--stats-json=-" UNS_STATS)
+# Pinned to --tier=smt: the default hybrid tier short-circuits this
+# workload's COPs before the encoder runs (docs/TIERS.md), which would
+# make the cone counters legitimately zero.
+run_detect(false "--technique=rv;--schedule=rr;--jobs=1;--tier=smt;--stats-json=-" SLC_STATS)
+run_detect(true "--technique=rv;--schedule=rr;--jobs=1;--tier=smt;--stats-json=-" UNS_STATS)
 if(NOT SLC_STATS MATCHES "1 race")
   message(FATAL_ERROR "sliced run lost the workload's race:\n${SLC_STATS}")
 endif()

@@ -9,9 +9,13 @@ endif()
 
 set(OUT "${CMAKE_CURRENT_BINARY_DIR}/stats_golden.json")
 
+# Pinned to --tier=smt: the solver/encoder assertions below (solves >= 1,
+# cone counters) describe the solver pipeline, which the default hybrid
+# tier legitimately short-circuits on this workload (docs/TIERS.md). The
+# hybrid tier's own fields are checked in a separate run further down.
 execute_process(
   COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
-          --seed=1 --stats-json=${OUT}
+          --seed=1 --tier=smt --stats-json=${OUT}
   RESULT_VARIABLE RC
   OUTPUT_VARIABLE STDOUT
   ERROR_VARIABLE STDERR)
@@ -106,6 +110,41 @@ if(DEFINED PRUNE_WORKLOAD)
   elseif(NOT JSON_TEXT MATCHES "\"cops_pruned_static\":")
     message(FATAL_ERROR "missing field 'cops_pruned_static':\n${JSON_TEXT}")
   endif()
+endif()
+
+# Third run under the default hybrid tier: the WCP fields must be present,
+# and on this workload the tier must actually save solver work
+# (solver_calls_saved > 0 with solver_calls = 0 — every COP that survives
+# the filters is WCP-racy and short-circuits past the solver).
+set(WCP_OUT "${CMAKE_CURRENT_BINARY_DIR}/stats_golden_wcp.json")
+execute_process(
+  COMMAND "${RVPREDICT}" detect "${WORKLOAD}" --technique=rv --schedule=rr
+          --seed=1 --tier=hybrid --stats-json=${WCP_OUT}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE STDOUT
+  ERROR_VARIABLE STDERR)
+if(RC GREATER 1)
+  message(FATAL_ERROR "rvpredict detect --tier=hybrid failed (${RC}):\n${STDOUT}\n${STDERR}")
+endif()
+file(READ "${WCP_OUT}" JSON_TEXT)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  foreach(FIELD wcp_races wcp_pruned_cops wcp_residue_cops solver_calls_saved
+          wcp_mismatches)
+    string(JSON VALUE ERROR_VARIABLE JSON_ERR GET "${JSON_TEXT}" ${FIELD})
+    if(JSON_ERR)
+      message(FATAL_ERROR "missing or unparsable field '${FIELD}': ${JSON_ERR}\n${JSON_TEXT}")
+    endif()
+  endforeach()
+  string(JSON SAVED GET "${JSON_TEXT}" solver_calls_saved)
+  string(JSON SOLVES GET "${JSON_TEXT}" solver_calls)
+  if(SAVED LESS 1)
+    message(FATAL_ERROR "hybrid tier saved no solver calls on the fixed workload: solver_calls_saved=${SAVED}\n${JSON_TEXT}")
+  endif()
+  if(SOLVES GREATER 0)
+    message(FATAL_ERROR "hybrid tier still called the solver on the fixed workload: solver_calls=${SOLVES}\n${JSON_TEXT}")
+  endif()
+elseif(NOT JSON_TEXT MATCHES "\"solver_calls_saved\":")
+  message(FATAL_ERROR "missing field 'solver_calls_saved':\n${JSON_TEXT}")
 endif()
 
 message(STATUS "stats-json golden check passed: ${OUT}")

@@ -18,7 +18,7 @@ if(NOT DEFINED RVPREDICT OR NOT DEFINED WORKLOAD OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "usage: cmake -DRVPREDICT=... -DWORKLOAD=... -DOUT_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
 endif()
 
-set(STAGES "static-prune;signature;lockset;quick-check;unsat;budget;ordered;none")
+set(STAGES "static-prune;wcp;signature;lockset;quick-check;unsat;budget;ordered;none")
 
 function(require_fields LINE TYPE FIELDS LABEL)
   foreach(FIELD ${FIELDS})

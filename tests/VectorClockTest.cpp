@@ -1,0 +1,127 @@
+//===- tests/VectorClockTest.cpp - Vector-clock algebra tests ---------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/VectorClock.h"
+
+#include <gtest/gtest.h>
+
+using namespace rvp;
+
+TEST(VectorClock, GetSetTick) {
+  VectorClock C(3);
+  EXPECT_EQ(C.get(0), 0u);
+  C.set(1, 7);
+  EXPECT_EQ(C.get(1), 7u);
+  C.tick(1);
+  EXPECT_EQ(C.get(1), 8u);
+  C.tick(2);
+  EXPECT_EQ(C.get(2), 1u);
+}
+
+TEST(VectorClock, GetPastWidthReadsZero) {
+  VectorClock C(2);
+  C.set(0, 5);
+  EXPECT_EQ(C.get(7), 0u) << "missing components read as 0, not OOB";
+}
+
+TEST(VectorClock, SetAndTickWiden) {
+  VectorClock C; // default-constructed: width 0
+  C.set(3, 4);
+  EXPECT_EQ(C.size(), 4u);
+  EXPECT_EQ(C.get(3), 4u);
+  EXPECT_EQ(C.get(0), 0u);
+  C.tick(5);
+  EXPECT_EQ(C.get(5), 1u);
+}
+
+TEST(VectorClock, JoinPointwiseMax) {
+  VectorClock A(3), B(3);
+  A.set(0, 5);
+  A.set(1, 1);
+  B.set(1, 9);
+  B.set(2, 2);
+  A.join(B);
+  EXPECT_EQ(A.get(0), 5u);
+  EXPECT_EQ(A.get(1), 9u);
+  EXPECT_EQ(A.get(2), 2u);
+}
+
+// Regression: join with a wider operand used to iterate only over this
+// clock's components, silently dropping the wider clock's tail — a
+// late-spawned thread's history would vanish from the join.
+TEST(VectorClock, JoinWidensToWiderOperand) {
+  VectorClock Narrow(1), Wide(4);
+  Narrow.set(0, 3);
+  Wide.set(3, 8);
+  Narrow.join(Wide);
+  EXPECT_EQ(Narrow.size(), 4u);
+  EXPECT_EQ(Narrow.get(0), 3u);
+  EXPECT_EQ(Narrow.get(3), 8u) << "the wider operand's tail must survive";
+}
+
+TEST(VectorClock, JoinWithNarrowerOperandKeepsTail) {
+  VectorClock Wide(4), Narrow(1);
+  Wide.set(3, 8);
+  Narrow.set(0, 3);
+  Wide.join(Narrow);
+  EXPECT_EQ(Wide.get(0), 3u);
+  EXPECT_EQ(Wide.get(3), 8u);
+}
+
+TEST(VectorClock, JoinEpoch) {
+  VectorClock C(2);
+  C.set(1, 5);
+  C.joinEpoch({1, 3});
+  EXPECT_EQ(C.get(1), 5u) << "joinEpoch never lowers a component";
+  C.joinEpoch({1, 9});
+  EXPECT_EQ(C.get(1), 9u);
+  C.joinEpoch({4, 2});
+  EXPECT_EQ(C.get(4), 2u) << "joinEpoch widens for unseen threads";
+}
+
+TEST(VectorClock, Covers) {
+  VectorClock C(2);
+  C.set(1, 5);
+  EXPECT_TRUE(C.covers({1, 5}));
+  EXPECT_TRUE(C.covers({1, 4}));
+  EXPECT_FALSE(C.covers({1, 6}));
+  EXPECT_TRUE(C.covers({7, 0})) << "time 0 is vacuously covered";
+  EXPECT_FALSE(C.covers({7, 1}));
+}
+
+TEST(VectorClock, LessOrEqual) {
+  VectorClock A(2), B(2);
+  A.set(0, 1);
+  B.set(0, 2);
+  B.set(1, 1);
+  EXPECT_TRUE(A.lessOrEqual(B));
+  EXPECT_FALSE(B.lessOrEqual(A));
+  EXPECT_TRUE(A.lessOrEqual(A));
+}
+
+// Regression: lessOrEqual across widths used to index out of the shorter
+// clock; missing components must compare as 0 on either side.
+TEST(VectorClock, LessOrEqualMismatchedWidths) {
+  VectorClock Narrow(1), Wide(3);
+  Narrow.set(0, 1);
+  Wide.set(0, 1);
+  Wide.set(2, 4);
+  EXPECT_TRUE(Narrow.lessOrEqual(Wide));
+  EXPECT_FALSE(Wide.lessOrEqual(Narrow)) << "the wide tail exceeds 0";
+  VectorClock ZeroTail(3);
+  ZeroTail.set(0, 1);
+  EXPECT_TRUE(ZeroTail.lessOrEqual(Narrow))
+      << "a zero tail compares equal to missing components";
+}
+
+TEST(VectorClock, EqualityIsWidthInsensitive) {
+  VectorClock A(1), B(4);
+  A.set(0, 2);
+  B.set(0, 2);
+  EXPECT_TRUE(A == B);
+  B.set(3, 1);
+  EXPECT_FALSE(A == B);
+}

@@ -11,6 +11,7 @@
 ///                     [--out=trace.txt]
 ///   rvpredict detect  <trace.txt|prog.rv> [--technique=rv|said|cp|hb]
 ///                     [--property=race|atomicity|deadlock] [--window=N]
+///                     [--tier=vc|smt|hybrid] [--check-tiers]
 ///                     [--solver=idl|z3] [--budget=S] [--witness] [--stats]
 ///                     [--stats-json=out.json] [--trace-events=events.jsonl]
 ///                     [--profile=out.trace.json]
@@ -248,6 +249,54 @@ int cmdDetect(const OptionParser &Options) {
       return ExitUsage;
     }
   }
+  // Tier selection and its combination rules (docs/TIERS.md): the WCP
+  // vector-clock tier covers races under the solver-backed techniques
+  // only, and --check-tiers is meaningful exactly when both tiers run.
+  const std::string TierName = Options.getString("tier", "hybrid");
+  DetectTier Tier = DetectTier::Hybrid;
+  if (TierName == "vc")
+    Tier = DetectTier::Vc;
+  else if (TierName == "smt")
+    Tier = DetectTier::Smt;
+  else if (TierName != "hybrid") {
+    std::fprintf(stderr,
+                 "error: --tier must be vc, smt, or hybrid (got '%s')\n",
+                 TierName.c_str());
+    return ExitUsage;
+  }
+  const bool CheckTiers = Options.getBool("check-tiers", false);
+  const std::string PropertyName = Options.getString("property", "race");
+  const std::string TechName = Options.getString("technique", "rv");
+  if (CheckTiers && Tier != DetectTier::Hybrid) {
+    std::fprintf(stderr,
+                 "error: --check-tiers cross-validates the WCP tier "
+                 "against the solver, so it requires --tier=hybrid (got "
+                 "--tier=%s)\n",
+                 TierName.c_str());
+    return ExitUsage;
+  }
+  if (CheckTiers && (PropertyName != "race" ||
+                     (TechName != "rv" && TechName != "said"))) {
+    std::fprintf(stderr,
+                 "error: --check-tiers needs the solver-backed race "
+                 "pipeline (--property=race with --technique=rv or said)\n");
+    return ExitUsage;
+  }
+  if (Tier == DetectTier::Vc && PropertyName != "race") {
+    std::fprintf(stderr,
+                 "error: --tier=vc detects races only; --property=%s "
+                 "needs the solver (use --tier=hybrid or --tier=smt)\n",
+                 PropertyName.c_str());
+    return ExitUsage;
+  }
+  if (Tier == DetectTier::Vc && TechName != "rv" && TechName != "said") {
+    std::fprintf(stderr,
+                 "error: --tier=vc replaces the solver pipeline of the rv "
+                 "and said techniques; --technique=%s has its own "
+                 "dedicated detector (drop --tier=vc)\n",
+                 TechName.c_str());
+    return ExitUsage;
+  }
 
   std::string StatsJsonPath = Options.getString("stats-json", "");
   std::string TraceEventsPath = Options.getString("trace-events", "");
@@ -296,7 +345,12 @@ int cmdDetect(const OptionParser &Options) {
   Detect.WindowSize = static_cast<uint32_t>(Options.getInt("window", 10000));
   Detect.PerCopBudgetSeconds = Options.getDouble("budget", 60);
   Detect.SolverName = Options.getString("solver", "idl");
-  Detect.CollectWitnesses = Options.getBool("witness", true);
+  // The vc tier never talks to a solver, so it cannot derive witness
+  // models; everything it prints is an unwitnessed (weakly sound) report.
+  Detect.CollectWitnesses =
+      Tier != DetectTier::Vc && Options.getBool("witness", true);
+  Detect.Tier = Tier;
+  Detect.CheckTiers = CheckTiers;
   Detect.Jobs = static_cast<uint32_t>(Options.getInt("jobs", 0));
   Detect.Incremental = Options.getBool("incremental", true) &&
                        !Options.getBool("no-incremental", false);
@@ -312,13 +366,15 @@ int cmdDetect(const OptionParser &Options) {
   if (!Detect.CheckpointDir.empty()) {
     std::string Flags = formatString(
         "technique=%s property=%s window=%u solver=%s budget=%g "
-        "incremental=%d witness=%d static-prune=%d retry-budgets=%s",
+        "incremental=%d witness=%d static-prune=%d retry-budgets=%s "
+        "tier=%s check-tiers=%d",
         Options.getString("technique", "rv").c_str(),
         Options.getString("property", "race").c_str(), Detect.WindowSize,
         Detect.SolverName.c_str(), Detect.PerCopBudgetSeconds,
         Detect.Incremental ? 1 : 0, Detect.CollectWitnesses ? 1 : 0,
         Options.getBool("static-prune") ? 1 : 0,
-        Options.getString("retry-budgets", "").c_str());
+        Options.getString("retry-budgets", "").c_str(),
+        tierName(Tier), CheckTiers ? 1 : 0);
     Detect.CheckpointFingerprint =
         checkpointHash(Flags, checkpointHash(writeTraceText(T)));
   }
@@ -441,7 +497,10 @@ int cmdDetect(const OptionParser &Options) {
   }
 
   DetectionResult R = detectRaces(T, Tech, Detect);
-  std::printf("%s: %zu race(s) in %.2fs\n", techniqueName(Tech),
+  // The vc tier answers with WCP, not the requested maximal technique;
+  // say so in the header rather than implying solver-grade precision.
+  std::printf("%s: %zu race(s) in %.2fs\n",
+              Detect.Tier == DetectTier::Vc ? "WCP" : techniqueName(Tech),
               R.raceCount(), R.Stats.Seconds);
   for (const RaceReport &Race : R.Races) {
     std::printf("  race on %-12s %s <-> %s", Race.Variable.c_str(),
@@ -461,6 +520,18 @@ int cmdDetect(const OptionParser &Options) {
   printUnknowns(R.Unknowns, "pair");
   if (!emitStats(R.Stats, techniqueName(Tech)) || !finishProfile())
     return ExitInternal;
+  // A mismatch means the WCP tier called a pair racy that the solver
+  // refuted — exactly the weak-soundness gap docs/TIERS.md describes. The
+  // report above is still the solver's (check-tiers solves every COP), but
+  // the run fails loudly so catalogs can gate on tier agreement.
+  if (R.Stats.WcpMismatches) {
+    std::fprintf(stderr,
+                 "error: --check-tiers found %llu WCP-racy pair(s) the "
+                 "solver refutes; the vc tier would over-report on this "
+                 "trace (see docs/TIERS.md)\n",
+                 static_cast<unsigned long long>(R.Stats.WcpMismatches));
+    return ExitUsage;
+  }
   return exitCode(R.raceCount(), R.Unknowns.size());
 }
 
@@ -545,6 +616,16 @@ int main(int Argc, const char **Argv) {
   Options.addOption("static-prune",
                     "skip COPs a static analysis of the program proves "
                     "race-free (.rv inputs only)",
+                    "false");
+  Options.addOption("tier",
+                    "race pipeline tier: vc (WCP vector clocks only), smt "
+                    "(solver only), or hybrid (WCP prunes and "
+                    "short-circuits ahead of the solver)",
+                    "hybrid");
+  Options.addOption("check-tiers",
+                    "cross-validate the WCP tier against the solver on "
+                    "every COP; mismatches fail the run with exit 2 "
+                    "(requires --tier=hybrid)",
                     "false");
   Options.addOption("witness", "print witness reorderings", "false");
   Options.addOption("stats", "print detection statistics", "false");

@@ -163,6 +163,91 @@ def self_test(args, detect_args):
           "1x record clean)" % base["metrics"]["seconds"])
 
 
+def measure_serve(args):
+    """One `bench:serve` measurement: N concurrent rvpclient sessions
+    replay the recorded workload into a fresh rvpredictd, and the record
+    keeps the end-to-end wall seconds (the comparable metric) plus the
+    daemon's own counters (windows, degraded fraction, backpressure)."""
+    import shutil
+    import signal
+    import time
+
+    workdir = tempfile.mkdtemp(prefix="rvp-serve-")
+    try:
+        trace = os.path.join(workdir, "trace.txt")
+        proc = subprocess.run(
+            [args.binary, "record", args.workload, "--schedule=rr",
+             "--seed=1", "--out=%s" % trace],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            fail("recording '%s' failed:\n%s" % (args.workload,
+                                                 proc.stderr))
+        best_seconds, best_stats = None, None
+        for _ in range(args.runs):
+            sock = os.path.join(workdir, "bench.sock")
+            stats_path = os.path.join(workdir, "stats.json")
+            if os.path.exists(sock):
+                os.unlink(sock)
+            daemon = subprocess.Popen(
+                [args.serve_daemon, "--socket=%s" % sock,
+                 "--jobs=%d" % args.serve_connections,
+                 "--stats-json=%s" % stats_path],
+                stderr=subprocess.DEVNULL)
+            try:
+                for _ in range(100):
+                    if os.path.exists(sock):
+                        break
+                    time.sleep(0.1)
+                else:
+                    fail("rvpredictd never bound %s" % sock)
+                start = time.monotonic()
+                client = subprocess.run(
+                    [args.serve_client, trace, "--socket=%s" % sock,
+                     "--window=%d" % args.serve_window,
+                     "--connections=%d" % args.serve_connections,
+                     "--summary-only"],
+                    capture_output=True, text=True)
+                seconds = time.monotonic() - start
+                if client.returncode != 0:
+                    fail("rvpclient exited %d:\n%s" % (client.returncode,
+                                                       client.stderr))
+            finally:
+                daemon.send_signal(signal.SIGTERM)
+                if daemon.wait(timeout=60) != 0:
+                    fail("rvpredictd drain exited %d" % daemon.returncode)
+            with open(stats_path) as f:
+                stats = json.load(f)
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds, best_stats = seconds, stats
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    counters = best_stats.get("counters", {})
+    gauges = best_stats.get("gauges", {})
+    windows = counters.get("server.windows_analyzed", 0)
+    degraded = counters.get("server.degraded_windows", 0)
+    sha = subprocess.run(["git", "rev-parse", "--short=12", "HEAD"],
+                         capture_output=True, text=True)
+    return {
+        "schema_version": 2,
+        "git_sha": sha.stdout.strip() if sha.returncode == 0 else "unknown",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": "bench:serve",
+        "tier": args.tier,
+        "runs": args.runs,
+        "metrics": {
+            "seconds": best_seconds * args.simulate_slowdown,
+            "windows": windows,
+            "degraded_windows": degraded,
+            "degraded_fraction": degraded / windows if windows else 0.0,
+            "backpressure_events":
+                counters.get("server.backpressure_events", 0),
+            "sessions": args.serve_connections,
+            "peak_rss_bytes": gauges.get("mem.peak_rss_bytes", 0),
+        },
+    }
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--binary", required=True,
@@ -187,6 +272,19 @@ def main():
     ap.add_argument("--self-test", action="store_true",
                     help="validate the measure/append/compare pipeline in "
                          "a temporary history and exit")
+    ap.add_argument("--serve", action="store_true",
+                    help="measure the rvpredictd daemon path instead: N "
+                         "concurrent rvpclient sessions replay the "
+                         "recorded workload; the record lands under "
+                         "workload 'bench:serve'")
+    ap.add_argument("--serve-daemon", default="build/tools/rvpredictd",
+                    help="path to the rvpredictd executable (--serve)")
+    ap.add_argument("--serve-client", default="build/tools/rvpclient",
+                    help="path to the rvpclient executable (--serve)")
+    ap.add_argument("--serve-connections", type=int, default=4,
+                    help="concurrent client sessions for --serve")
+    ap.add_argument("--serve-window", type=int, default=1000,
+                    help="window size streamed sessions ask for (--serve)")
     args = ap.parse_args()
 
     detect_args = ["--technique=rv", "--schedule=rr", "--seed=1",
@@ -198,9 +296,12 @@ def main():
         self_test(args, detect_args)
         return
 
-    stats = measure(args, detect_args)
-    record = make_record(stats, args.workload, args.runs,
-                         args.simulate_slowdown, args.tier)
+    if args.serve:
+        record = measure_serve(args)
+    else:
+        stats = measure(args, detect_args)
+        record = make_record(stats, args.workload, args.runs,
+                             args.simulate_slowdown, args.tier)
 
     history = load_history(args.history)
     prev = None

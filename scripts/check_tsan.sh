@@ -16,7 +16,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DRV_SANITIZE=thread
 cmake --build "$BUILD_DIR" -j "$(nproc 2>/dev/null || echo 2)" \
-  --target rvp_tests rvpredict
+  --target rvp_tests rvpredict rvpredictd rvpclient
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure \
   -R 'ThreadPool|ParallelDetect|Stats\.Concurrent|DetectDeterminism|RaceEncoderCone|SliceGolden'
@@ -34,5 +34,31 @@ for w in tests/golden/prune_workload.rv tests/golden/stats_workload.rv; do
     exit 1
   fi
 done
+
+# The daemon under concurrent ingest: 4 clients stream the same workload
+# into a --jobs=4 rvpredictd at once, exercising the I/O-thread/worker
+# handoff (Inbox swap, completion deque, self-pipe wake) and the shared
+# ThreadPool under TSan. The drain must still exit 0.
+SOCK="$BUILD_DIR/tsan-server.sock"
+rm -f "$SOCK"
+"$BUILD_DIR"/tools/rvpredict record bench:bufwriter \
+  --out="$BUILD_DIR/tsan-server-trace.txt" >/dev/null
+"$BUILD_DIR"/tools/rvpredictd --socket="$SOCK" --jobs=4 &
+SERVER_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -gt 100 ] && { echo "check_tsan: daemon never bound" >&2; exit 1; }
+  sleep 0.1
+done
+"$BUILD_DIR"/tools/rvpclient "$BUILD_DIR/tsan-server-trace.txt" \
+  --socket="$SOCK" --window=30 --connections=4 --summary-only >/dev/null
+kill -TERM "$SERVER_PID"
+rc=0
+wait "$SERVER_PID" || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "check_tsan: rvpredictd drain exited $rc under TSan" >&2
+  exit 1
+fi
 
 echo "check_tsan: all thread-sanitized checks passed"

@@ -152,17 +152,28 @@ public:
     uint64_t SkipWindows = 0;
     if (Ckpt.enabled()) {
       std::string Payload;
-      int64_t Last = Ckpt.loadLatest(Payload);
+      CheckpointLoad Outcome = CheckpointLoad::None;
+      int64_t Last = Ckpt.loadLatest(Payload, &Outcome);
+      if (Outcome == CheckpointLoad::FingerprintMismatch)
+        CheckpointStore::refuseMismatch(Ckpt);
       if (Last >= 0 && restoreState(Payload))
         SkipWindows = static_cast<uint64_t>(Last) + 1;
     }
+    // In-memory resume (the streaming front end) — same contract as the
+    // race driver: the caller-held state is authoritative.
+    if (Options.ResumeState && !Options.ResumeState->empty() &&
+        restoreState(*Options.ResumeState))
+      SkipWindows = Result.Stats.Windows;
 
     {
       ScopedPhaseTimer DetectPhase("atomicity");
-      uint64_t Index = 0;
+      uint64_t Index = 0, Processed = 0;
       for (Span Window : splitWindows(T, Options.WindowSize)) {
         if (Index++ < SkipWindows)
           continue;
+        if (Options.MaxWindows && Processed == Options.MaxWindows)
+          break;
+        ++Processed;
         ++Result.Stats.Windows;
         processWindow(Window);
         for (EventId Id = Window.Begin; Id < Window.End; ++Id)
@@ -177,7 +188,9 @@ public:
     }
     Result.Stats.UnknownCops = Result.Unknowns.size();
     Result.Stats.Seconds = Clock.seconds();
-    if (Telemetry::enabled()) {
+    if (Options.SaveState)
+      *Options.SaveState = serializeState();
+    if (Telemetry::enabled() && Options.FlushTelemetry) {
       MetricsRegistry &Reg = MetricsRegistry::global();
       if (SpeculativeSolves)
         Reg.counter("detect.speculative_solves").add(SpeculativeSolves);
@@ -762,8 +775,13 @@ private:
       }
     }
     if (!SawStats || !SawTallies || !SawValues ||
-        NewValues.size() != T.numVars())
+        NewValues.size() > T.numVars())
       return false;
+    // Prefix snapshots (streaming steps) can predate variables first seen
+    // in later windows; they still hold their initial values.
+    while (NewValues.size() < T.numVars())
+      NewValues.push_back(
+          T.initialValueOf(static_cast<VarId>(NewValues.size())));
 
     Result.Stats.Windows = S[0];
     Result.Stats.Cops = S[1];

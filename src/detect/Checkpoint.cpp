@@ -6,9 +6,11 @@
 
 #include "detect/Checkpoint.h"
 
+#include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -39,8 +41,11 @@ std::string CheckpointStore::fileFor(uint64_t Index) const {
                       static_cast<unsigned long long>(Index));
 }
 
-int64_t CheckpointStore::loadLatest(std::string &Payload) const {
+int64_t CheckpointStore::loadLatest(std::string &Payload,
+                                    CheckpointLoad *Outcome) const {
   Payload.clear();
+  if (Outcome)
+    *Outcome = CheckpointLoad::None;
   if (!enabled())
     return -1;
   int64_t Best = -1;
@@ -67,15 +72,33 @@ int64_t CheckpointStore::loadLatest(std::string &Payload) const {
   if (!std::getline(In, Header))
     return -1;
   std::vector<std::string_view> Parts = split(trim(Header), ' ');
+  if (Parts.size() != 3 || Parts[0] != "rvpckpt" || Parts[1] != "1")
+    return -1; // unknown format/version: start from scratch
   std::string Stamp =
       formatString("%016llx", static_cast<unsigned long long>(Fingerprint));
-  if (Parts.size() != 3 || Parts[0] != "rvpckpt" || Parts[1] != "1" ||
-      Parts[2] != Stamp)
-    return -1; // different trace/flags or format: start from scratch
+  if (Parts[2] != Stamp) {
+    // Well-formed snapshot from a different trace or flag set. Callers
+    // decide whether that is fatal (the drivers make it exit 2).
+    if (Outcome)
+      *Outcome = CheckpointLoad::FingerprintMismatch;
+    return -1;
+  }
   std::ostringstream Rest;
   Rest << In.rdbuf();
   Payload = Rest.str();
+  if (Outcome)
+    *Outcome = CheckpointLoad::Loaded;
   return Best;
+}
+
+void CheckpointStore::refuseMismatch(const CheckpointStore &Store) {
+  std::fprintf(stderr,
+               "error: checkpoint directory '%s' holds snapshots from a "
+               "different analysis (the trace or the detection flags "
+               "changed); rerun with the original flags or point "
+               "--checkpoint at a fresh directory\n",
+               Store.directory().c_str());
+  std::exit(ExitUsage);
 }
 
 bool CheckpointStore::save(uint64_t Index, const std::string &Payload) const {

@@ -43,6 +43,15 @@ namespace rvp {
 /// across platforms and runs, unlike std::hash).
 uint64_t checkpointHash(std::string_view Data, uint64_t Seed = 0xcbf29ce484222325ULL);
 
+/// What loadLatest found in the directory, beyond the snapshot itself.
+/// FingerprintMismatch means the newest well-formed snapshot was written
+/// by a *different* analysis (other trace or flags): resuming over it
+/// would silently reanalyze and then overwrite someone else's snapshots,
+/// so the drivers refuse with a usage error instead (docs/ROBUSTNESS.md).
+/// Stale-version files (a pre-`rvpckpt 1` build) still count as None —
+/// overwriting an obsolete format is the upgrade path, not an error.
+enum class CheckpointLoad : uint8_t { None, Loaded, FingerprintMismatch };
+
 class CheckpointStore {
 public:
   /// Opens (creating if needed) \p Dir for snapshots guarded by
@@ -53,8 +62,19 @@ public:
 
   /// Loads the newest snapshot whose header matches the fingerprint.
   /// Returns the window index it covers and fills \p Payload (the bytes
-  /// after the header line); -1 when there is none.
-  int64_t loadLatest(std::string &Payload) const;
+  /// after the header line); -1 when there is none. \p Outcome (when
+  /// non-null) distinguishes an empty directory from one holding another
+  /// analysis' snapshots (CheckpointLoad::FingerprintMismatch).
+  int64_t loadLatest(std::string &Payload,
+                     CheckpointLoad *Outcome = nullptr) const;
+
+  const std::string &directory() const { return Dir; }
+
+  /// Shared driver reaction to CheckpointLoad::FingerprintMismatch:
+  /// diagnose on stderr and exit with the usage code (2). Resuming would
+  /// silently reanalyze from scratch and overwrite another analysis'
+  /// snapshots — a clear operator error, never something to paper over.
+  [[noreturn]] static void refuseMismatch(const CheckpointStore &Store);
 
   /// Atomically writes the cumulative \p Payload for completed window
   /// \p Index. Returns false on I/O failure (the run continues without

@@ -340,18 +340,31 @@ public:
     uint64_t SkipWindows = 0;
     if (Ckpt.enabled()) {
       std::string Payload;
-      int64_t Last = Ckpt.loadLatest(Payload);
+      CheckpointLoad Outcome = CheckpointLoad::None;
+      int64_t Last = Ckpt.loadLatest(Payload, &Outcome);
+      if (Outcome == CheckpointLoad::FingerprintMismatch)
+        CheckpointStore::refuseMismatch(Ckpt);
       if (Last >= 0 && restoreState(Payload))
         SkipWindows = static_cast<uint64_t>(Last) + 1;
       ResumedWindows = SkipWindows;
     }
+    // In-memory resume (the streaming front end): the caller-held state is
+    // restored last, so it is authoritative during streaming; the
+    // directory path above only wins after a daemon restart, when the
+    // caller has no state yet.
+    if (Options.ResumeState && !Options.ResumeState->empty() &&
+        restoreState(*Options.ResumeState))
+      SkipWindows = Result.Stats.Windows;
 
     {
       ScopedPhaseTimer DetectPhase("detect");
-      uint64_t Index = 0;
+      uint64_t Index = 0, Processed = 0;
       for (Span Window : splitWindows(T, Options.WindowSize)) {
         if (Index++ < SkipWindows)
           continue;
+        if (Options.MaxWindows && Processed == Options.MaxWindows)
+          break;
+        ++Processed;
         ++Result.Stats.Windows;
         processWindow(Window);
         advanceValues(Window);
@@ -368,7 +381,9 @@ public:
     }
     Result.Stats.UnknownCops = Result.Unknowns.size();
     Result.Stats.Seconds = Clock.seconds();
-    if (Telemetry::enabled()) {
+    if (Options.SaveState)
+      *Options.SaveState = serializeState();
+    if (Telemetry::enabled() && Options.FlushTelemetry) {
       flushTelemetryCounters();
       Result.Stats.Telemetry = Telemetry::instance().snapshot();
     }
@@ -966,8 +981,14 @@ private:
       }
     }
     if (!SawStats || !SawTallies || !SawValues ||
-        NewValues.size() != T.numVars())
+        NewValues.size() > T.numVars())
       return false;
+    // A snapshot taken over a prefix of the trace (streaming steps) can
+    // predate variables first seen in later windows; they still hold
+    // their initial values. Batch snapshots always match exactly.
+    while (NewValues.size() < T.numVars())
+      NewValues.push_back(
+          T.initialValueOf(static_cast<VarId>(NewValues.size())));
 
     Result.Stats.Windows = S[0];
     Result.Stats.Cops = S[1];

@@ -1,0 +1,86 @@
+//===- detect/Report.h - Textual finding renderers --------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// One place that turns findings into report text. `rvpredict detect` has
+// always printed these lines; the daemon streams the same findings one
+// window at a time, and the ServerGolden gate compares the two byte for
+// byte — which only works if both sides share the renderer instead of
+// each keeping a private copy of the printf formats.
+//
+// Every function returns the exact bytes the batch CLI writes, including
+// the trailing newline. Headers (the "<technique>: N race(s) in Ss"
+// lines) and finding lines are separate so the daemon can emit per-window
+// deltas without a header, then a batch-identical summary at FIN.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_REPORT_H
+#define RVP_DETECT_REPORT_H
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "detect/Detect.h"
+
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+/// Presentation switches mirroring the CLI flags that shape the report.
+struct ReportRenderOptions {
+  /// The run answered from the WCP tier: the race header says "WCP"
+  /// instead of the requested technique (which the tier did not run).
+  bool VcTier = false;
+  /// Tag race lines with "  [witness validated|UNVALIDATED]" (Maximal
+  /// technique with witness collection on).
+  bool WitnessTag = false;
+  /// Print the reordered witness schedule under each race (--witness).
+  bool WitnessEvents = false;
+};
+
+/// "Maximal: 3 race(s) in 0.12s\n" (or "WCP: ..." under the vc tier).
+std::string renderRaceHeader(Technique Tech, size_t Count, double Seconds,
+                             const ReportRenderOptions &Opts);
+
+/// "  race on x  loc1 <-> loc2[  [witness ...]]\n" plus, when
+/// WitnessEvents is set, the indented witness schedule.
+std::string renderRaceLine(const Trace &T, const RaceReport &Race,
+                           const ReportRenderOptions &Opts);
+
+/// "atomicity: 2 violation(s) in 0.12s\n".
+std::string renderAtomicityHeader(size_t Count, double Seconds);
+
+/// "  x  read-write-read: a .. [b] .. c  [witness validated]\n".
+std::string renderAtomicityLine(const AtomicityReport &V);
+
+/// "deadlock: 1 potential deadlock(s) in 0.12s\n".
+std::string renderDeadlockHeader(size_t Count, double Seconds);
+
+/// "  t1 holds l1 and requests l2 at a; t2 holds ...  [witness ...]\n".
+std::string renderDeadlockLine(const Trace &T, const DeadlockReport &D);
+
+/// One entry of the `unknown` section, without the section header. The
+/// daemon's per-window delta frames use this; the batch section is
+/// renderUnknowns below.
+std::string renderUnknownLine(const UnknownReport &U);
+
+/// The whole `unknown` section, or "" when there are no unknowns. \p Pair
+/// names the undecided thing: "pair" (race), "candidate" (atomicity),
+/// "lock pair" (deadlock).
+std::string renderUnknowns(const std::vector<UnknownReport> &Unknowns,
+                           const char *Pair);
+
+/// Full batch reports: header + one line per finding + unknown section.
+/// Byte-identical to what `rvpredict detect` prints for the result.
+std::string renderRaceReport(const Trace &T, Technique Tech,
+                             const DetectionResult &R,
+                             const ReportRenderOptions &Opts);
+std::string renderAtomicityReport(const AtomicityResult &R);
+std::string renderDeadlockReport(const Trace &T, const DeadlockResult &R);
+
+} // namespace rvp
+
+#endif // RVP_DETECT_REPORT_H

@@ -1,0 +1,244 @@
+//===- detect/Stream.cpp - Incremental window-at-a-time detection ---------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "detect/Stream.h"
+
+#include "detect/Atomicity.h"
+#include "detect/Deadlock.h"
+#include "trace/Window.h"
+
+using namespace rvp;
+
+bool rvp::parseStreamProperty(std::string_view Name, StreamProperty &Out) {
+  if (Name == "race")
+    Out = StreamProperty::Race;
+  else if (Name == "atomicity")
+    Out = StreamProperty::Atomicity;
+  else if (Name == "deadlock")
+    Out = StreamProperty::Deadlock;
+  else
+    return false;
+  return true;
+}
+
+void StreamDetector::feed(std::string_view Text) {
+  if (Run.Finished || Text.empty())
+    return;
+  // Chunks can end mid-line; only complete lines move into the parse
+  // buffer, so the parser never sees a torn event.
+  Run.Pending.append(Text);
+  size_t Cut = Run.Pending.rfind('\n');
+  if (Cut == std::string::npos)
+    return;
+  Run.Buffer.append(Run.Pending, 0, Cut + 1);
+  Run.Pending.erase(0, Cut + 1);
+  Run.Dirty = true;
+}
+
+bool StreamDetector::ensureParsed(std::string &Error) {
+  if (!Run.Dirty && Run.Parsed)
+    return true;
+  // Re-parsing the whole prefix keeps interning byte-identical to the
+  // batch parse of the full trace (intern order is prefix-stable), which
+  // is what makes streamed window K equal batch window K.
+  std::string ParseError;
+  TraceParseStats Stats;
+  std::optional<Trace> T =
+      parseTraceText(Run.Buffer, ParseError, Opts.Parse, &Stats);
+  if (!T) {
+    Error = ParseError;
+    return false;
+  }
+  Run.SkippedEvents = Stats.SkippedEvents;
+  Run.Parsed = std::move(T);
+  Run.Dirty = false;
+  return true;
+}
+
+uint32_t StreamDetector::windowSize() const { return Opts.Detect.WindowSize; }
+
+uint64_t StreamDetector::totalWindows(const Trace &T, bool Final) const {
+  uint32_t WS = windowSize();
+  if (WS == 0) // one window over the whole trace: only FIN closes it
+    return Final ? 1 : 0;
+  if (Final)
+    return (T.size() + WS - 1) / WS;
+  return T.size() / WS; // full windows only; the tail waits for FIN
+}
+
+uint64_t StreamDetector::pendingWindows() {
+  std::string Error;
+  if (!ensureParsed(Error))
+    return 0;
+  uint64_t Total = totalWindows(*Run.Parsed, Run.Finished);
+  return Total > Run.WindowsDone ? Total - Run.WindowsDone : 0;
+}
+
+bool StreamDetector::windowReady() {
+  if (Run.Finished)
+    return false;
+  std::string Error;
+  if (!ensureParsed(Error))
+    return false; // the parse error surfaces from the next step()
+  return Run.WindowsDone < totalWindows(*Run.Parsed, false);
+}
+
+bool StreamDetector::step(StreamStep &Out, bool Degrade,
+                          std::string &Error) {
+  return analyzeOne(Out, Degrade, /*Final=*/Run.Finished, Error);
+}
+
+bool StreamDetector::analyzeOne(StreamStep &Out, bool Degrade, bool Final,
+                                std::string &Error) {
+  Error.clear();
+  if (!ensureParsed(Error))
+    return false;
+  const Trace &T = *Run.Parsed;
+  if (Run.WindowsDone >= totalWindows(T, Final))
+    return false;
+
+  DetectorOptions D = Opts.Detect;
+  D.ResumeState = &Run.State;
+  D.SaveState = &Run.State;
+  D.MaxWindows = 1;
+  D.FlushTelemetry = false; // exactly once per session, in finish()
+  D.CheckpointDir.clear();  // the daemon checkpoints Run.State itself
+  bool Degraded = Degrade && Opts.Property == StreamProperty::Race;
+  if (Degraded) {
+    // Load shedding: answer this window from the linear WCP tier. The
+    // verdicts are weakly sound (docs/TIERS.md) and carry no witnesses;
+    // the caller marks the window `degraded` so consumers know.
+    D.Tier = DetectTier::Vc;
+    D.CheckTiers = false;
+    D.CollectWitnesses = false;
+  }
+
+  Out = StreamStep();
+  Out.Window = Run.WindowsDone;
+  Out.Degraded = Degraded;
+  size_t PrevFindings = Run.Findings, PrevUnknowns = Run.Unknowns;
+
+  switch (Opts.Property) {
+  case StreamProperty::Race: {
+    DetectionResult R = detectRaces(T, Opts.Tech, D);
+    for (size_t I = PrevFindings; I < R.Races.size(); ++I)
+      Out.Delta += renderRaceLine(T, R.Races[I], Opts.Render);
+    for (size_t I = PrevUnknowns; I < R.Unknowns.size(); ++I)
+      Out.Delta += renderUnknownLine(R.Unknowns[I]);
+    Run.Findings = R.Races.size();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  case StreamProperty::Atomicity: {
+    AtomicityResult R = detectAtomicityViolations(T, D);
+    for (size_t I = PrevFindings; I < R.Violations.size(); ++I)
+      Out.Delta += renderAtomicityLine(R.Violations[I]);
+    for (size_t I = PrevUnknowns; I < R.Unknowns.size(); ++I)
+      Out.Delta += renderUnknownLine(R.Unknowns[I]);
+    Run.Findings = R.Violations.size();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  case StreamProperty::Deadlock: {
+    DeadlockResult R = detectDeadlocks(T, D);
+    for (size_t I = PrevFindings; I < R.Deadlocks.size(); ++I)
+      Out.Delta += renderDeadlockLine(T, R.Deadlocks[I]);
+    for (size_t I = PrevUnknowns; I < R.Unknowns.size(); ++I)
+      Out.Delta += renderUnknownLine(R.Unknowns[I]);
+    Run.Findings = R.Deadlocks.size();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  }
+  Out.NewFindings = Run.Findings > PrevFindings
+                        ? Run.Findings - PrevFindings
+                        : 0;
+  Out.NewUnknowns = Run.Unknowns > PrevUnknowns
+                        ? Run.Unknowns - PrevUnknowns
+                        : 0;
+  if (Degraded)
+    ++Run.DegradedWindows;
+  Run.WindowsDone = Run.Stats.Windows;
+  return true;
+}
+
+bool StreamDetector::finish(std::string &Summary, std::string &Error,
+                            std::vector<StreamStep> *Steps) {
+  Error.clear();
+  if (Run.Complete) {
+    Summary = Run.SummaryText;
+    return true;
+  }
+  if (!Run.Finished) {
+    if (!Run.Pending.empty()) { // the input need not end with a newline
+      Run.Buffer += Run.Pending;
+      Run.Pending.clear();
+      Run.Dirty = true;
+    }
+    Run.Finished = true;
+  }
+
+  // Drain the tail one window at a time so callers still get per-window
+  // deltas for everything that arrived after the last step().
+  for (;;) {
+    StreamStep S;
+    if (!analyzeOne(S, /*Degrade=*/false, /*Final=*/true, Error)) {
+      if (!Error.empty())
+        return false;
+      break;
+    }
+    if (Steps)
+      Steps->push_back(std::move(S));
+  }
+
+  // Closing call: MaxWindows=0 sweeps any splitWindows edge case the
+  // counting above missed (e.g. the empty trace), and FlushTelemetry
+  // lands this session's counters in the registry exactly once. With no
+  // windows left it restores, re-serializes, and renders — cheap.
+  if (!ensureParsed(Error))
+    return false;
+  const Trace &T = *Run.Parsed;
+  DetectorOptions D = Opts.Detect;
+  D.ResumeState = &Run.State;
+  D.SaveState = &Run.State;
+  D.MaxWindows = 0;
+  D.FlushTelemetry = true;
+  D.CheckpointDir.clear();
+
+  switch (Opts.Property) {
+  case StreamProperty::Race: {
+    DetectionResult R = detectRaces(T, Opts.Tech, D);
+    Summary = renderRaceReport(T, Opts.Tech, R, Opts.Render);
+    Run.Findings = R.raceCount();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  case StreamProperty::Atomicity: {
+    AtomicityResult R = detectAtomicityViolations(T, D);
+    Summary = renderAtomicityReport(R);
+    Run.Findings = R.Violations.size();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  case StreamProperty::Deadlock: {
+    DeadlockResult R = detectDeadlocks(T, D);
+    Summary = renderDeadlockReport(T, R);
+    Run.Findings = R.Deadlocks.size();
+    Run.Unknowns = R.Unknowns.size();
+    Run.Stats = R.Stats;
+    break;
+  }
+  }
+  Run.WindowsDone = Run.Stats.Windows;
+  Run.SummaryText = Summary;
+  Run.Complete = true;
+  return true;
+}

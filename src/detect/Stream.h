@@ -1,0 +1,157 @@
+//===- detect/Stream.h - Incremental window-at-a-time detection -*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// StreamDetector runs the batch detectors one window at a time over a
+// trace that arrives incrementally — the analysis core of rvpredictd.
+// Each step re-parses the accumulated text prefix (interning is
+// prefix-stable, so window K's events and name tables are byte-identical
+// to the batch parse) and resumes the driver from the serialized state of
+// the previous step via DetectorOptions::{ResumeState, MaxWindows,
+// SaveState}. The cumulative result after the last step is therefore the
+// batch result, and finish() renders it with the shared Report renderers
+// — the property the ServerGolden gate checks byte for byte.
+//
+// All per-session state lives in one DetectorRun value; reset() replaces
+// it wholesale, so a recycled detector inherits no interned strings,
+// stats, or clock state from the previous session. Telemetry flushes to
+// the process-wide registry exactly once per session, at finish(), under
+// the drivers' FlushTelemetry gate.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_DETECT_STREAM_H
+#define RVP_DETECT_STREAM_H
+
+#include "detect/Report.h"
+#include "trace/TraceIO.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rvp {
+
+enum class StreamProperty : uint8_t { Race, Atomicity, Deadlock };
+
+/// Maps "race"/"atomicity"/"deadlock" (the daemon's HELLO `property` key);
+/// returns false on anything else.
+bool parseStreamProperty(std::string_view Name, StreamProperty &Out);
+
+struct StreamOptions {
+  StreamProperty Property = StreamProperty::Race;
+  Technique Tech = Technique::Maximal;
+  /// Base driver options for every step. ResumeState/SaveState/MaxWindows/
+  /// FlushTelemetry are owned by the detector and overwritten per step.
+  DetectorOptions Detect;
+  TraceParseOptions Parse;
+  ReportRenderOptions Render;
+};
+
+/// What one analyzed window produced (the daemon's REPORT frame body).
+struct StreamStep {
+  uint64_t Window = 0;   ///< index of the window just analyzed
+  bool Degraded = false; ///< answered by the WCP tier under load shedding
+  /// Rendered lines for findings and unknowns new in this window. Deltas
+  /// are additive-only (a later window can retire an unknown by deciding
+  /// its signature; only the summary reflects that), so the cumulative
+  /// summary — not the concatenation of deltas — is authoritative.
+  std::string Delta;
+  size_t NewFindings = 0;
+  size_t NewUnknowns = 0;
+};
+
+/// All state one streaming session accumulates. Sessions never share one
+/// of these, and reset() swaps in a fresh value, which is what guarantees
+/// session isolation (no interned-string, value, or signature bleed).
+struct DetectorRun {
+  std::string Buffer;   ///< complete lines received so far
+  std::string Pending;  ///< trailing partial line (no newline yet)
+  std::string State;    ///< serialized cumulative driver state
+  std::optional<Trace> Parsed; ///< cache of parseTraceText(Buffer)
+  bool Dirty = true;    ///< Buffer changed since Parsed was built
+  bool Finished = false;
+  uint64_t WindowsDone = 0;
+  uint64_t DegradedWindows = 0;
+  uint64_t SkippedEvents = 0;
+  size_t Findings = 0;
+  size_t Unknowns = 0;
+  /// Stats of the most recent driver call (cumulative via resume).
+  DetectionStats Stats;
+  /// finish() ran; SummaryText caches its report so a second finish()
+  /// cannot double-flush telemetry.
+  bool Complete = false;
+  std::string SummaryText;
+};
+
+class StreamDetector {
+public:
+  explicit StreamDetector(StreamOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// Appends raw trace text; chunks may end mid-line.
+  void feed(std::string_view Text);
+
+  /// True when at least one full unanalyzed window is buffered. Parses
+  /// the buffer if it changed; a parse error reports false here and
+  /// surfaces from the next step()/finish().
+  bool windowReady();
+
+  /// Analyzes the next pending window (one full window; partial tails
+  /// wait for finish()). \p Degrade answers this window from the WCP
+  /// vector-clock tier instead of the solver pipeline — race property
+  /// only; atomicity/deadlock steps ignore it and run normally. Returns
+  /// false with \p Error set on parse failure, false with \p Error empty
+  /// when no full window is pending.
+  bool step(StreamStep &Out, bool Degrade, std::string &Error);
+
+  /// End of input: analyzes any residual partial window (each step
+  /// appended to \p Steps when non-null), flushes telemetry, and renders
+  /// the cumulative report — byte-identical to `rvpredict detect` on the
+  /// full trace when no window was degraded. Idempotent per session.
+  bool finish(std::string &Summary, std::string &Error,
+              std::vector<StreamStep> *Steps = nullptr);
+
+  /// Discards every trace of the previous session (satellite of the
+  /// daemon work: recycled detectors must behave like new ones).
+  void reset() { Run = DetectorRun(); }
+
+  /// Crash recovery: installs a state payload (CheckpointStore format,
+  /// sans header) covering the first \p WindowsDone windows. Analysis
+  /// stays suspended until the replayed trace covers those windows again,
+  /// then resumes after them. Call before the first feed().
+  void restore(std::string Payload, uint64_t WindowsDone) {
+    Run.State = std::move(Payload);
+    Run.WindowsDone = WindowsDone;
+  }
+
+  /// Full windows buffered but not yet analyzed (the backpressure and
+  /// load-shedding signal). 0 while the buffer fails to parse.
+  uint64_t pendingWindows();
+
+  /// Eager parse check so the daemon can fail a session on the first bad
+  /// DATA chunk instead of waiting for the next analysis step.
+  bool checkParse(std::string &Error) { return ensureParsed(Error); }
+
+  const DetectorRun &run() const { return Run; }
+  const StreamOptions &options() const { return Opts; }
+  /// Serialized cumulative state (checkpoint payload format) — what the
+  /// daemon persists for crash recovery.
+  const std::string &state() const { return Run.State; }
+
+private:
+  bool ensureParsed(std::string &Error);
+  uint32_t windowSize() const;
+  /// Windows the batch run would analyze for the current buffer.
+  uint64_t totalWindows(const Trace &T, bool Final) const;
+  bool analyzeOne(StreamStep &Out, bool Degrade, bool Final,
+                  std::string &Error);
+
+  StreamOptions Opts;
+  DetectorRun Run;
+};
+
+} // namespace rvp
+
+#endif // RVP_DETECT_STREAM_H

@@ -1,0 +1,92 @@
+//===- server/Framing.cpp - rvpredictd wire protocol ----------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Framing.h"
+
+#include "support/FaultInjector.h"
+#include "support/StringUtils.h"
+
+using namespace rvp;
+
+static bool knownType(char C) {
+  switch (static_cast<FrameType>(C)) {
+  case FrameType::Hello:
+  case FrameType::Data:
+  case FrameType::Fin:
+  case FrameType::Welcome:
+  case FrameType::Report:
+  case FrameType::Summary:
+  case FrameType::Error:
+    return true;
+  }
+  return false;
+}
+
+std::string rvp::encodeFrame(FrameType Type, std::string_view Payload) {
+  std::string Out;
+  Out.reserve(Payload.size() + 5);
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  Out.push_back(static_cast<char>(Len >> 24 & 0xff));
+  Out.push_back(static_cast<char>(Len >> 16 & 0xff));
+  Out.push_back(static_cast<char>(Len >> 8 & 0xff));
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.push_back(static_cast<char>(Type));
+  Out.append(Payload);
+  return Out;
+}
+
+void FrameDecoder::feed(std::string_view Bytes) {
+  if (Bytes.empty())
+    return;
+  size_t Start = Buf.size();
+  Buf.append(Bytes);
+  // Deterministic corruption upstream of all validation: the drills prove
+  // a garbled stream kills one session with a typed error, not the server.
+  if (FaultInjector::shouldFail(faults::NetFrameGarble))
+    Buf[Start + Buf.size() % Bytes.size()] ^= 0x20;
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its receive buffer without bound.
+  if (Off > 4096 && Off > Buf.size() / 2) {
+    Buf.erase(0, Off);
+    Off = 0;
+  }
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame &Out, std::string &Error) {
+  if (Poisoned) {
+    Error = PoisonError;
+    return Result::Malformed;
+  }
+  size_t Have = Buf.size() - Off;
+  if (Have < 5)
+    return Result::NeedMore;
+  const unsigned char *P =
+      reinterpret_cast<const unsigned char *>(Buf.data()) + Off;
+  uint32_t Len = static_cast<uint32_t>(P[0]) << 24 |
+                 static_cast<uint32_t>(P[1]) << 16 |
+                 static_cast<uint32_t>(P[2]) << 8 | static_cast<uint32_t>(P[3]);
+  char Tag = static_cast<char>(P[4]);
+  if (Len > MaxFramePayload) {
+    Poisoned = true;
+    PoisonError = formatString("frame length %u exceeds the %zu-byte limit",
+                               Len, MaxFramePayload);
+    Error = PoisonError;
+    return Result::Malformed;
+  }
+  if (!knownType(Tag)) {
+    Poisoned = true;
+    PoisonError = formatString("unknown frame type 0x%02x",
+                               static_cast<unsigned>(P[4]));
+    Error = PoisonError;
+    return Result::Malformed;
+  }
+  if (Have < 5 + static_cast<size_t>(Len))
+    return Result::NeedMore;
+  Out.Type = static_cast<FrameType>(Tag);
+  Out.Payload.assign(Buf, Off + 5, Len);
+  Off += 5 + static_cast<size_t>(Len);
+  return Result::Ready;
+}

@@ -1,0 +1,91 @@
+//===- server/Framing.h - rvpredictd wire protocol --------------*- C++ -*-===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The daemon's framed protocol (docs/SERVER.md): every message is a
+// 4-byte big-endian payload length, a 1-byte type tag, then the payload.
+//
+//   client -> server   H  HELLO    "key=value" lines of session options
+//                      D  DATA     a chunk of trace text (may split lines)
+//                      F  FIN      end of input, request the summary
+//   server -> client   W  WELCOME  protocol banner
+//                      R  REPORT   one analyzed window's delta
+//                      S  SUMMARY  cumulative batch-identical report
+//                      E  ERROR    one-line diagnostic; session is dead
+//
+// Decoding is strict: an unknown type tag or a length above
+// MaxFramePayload poisons the decoder permanently — the daemon answers
+// with one ERROR frame and tears down that session (never the server).
+// The `net.frame_garble` fault site corrupts one received byte inside
+// feed(), upstream of all validation, so the fault drills exercise the
+// same rejection path a hostile client would hit.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef RVP_SERVER_FRAMING_H
+#define RVP_SERVER_FRAMING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rvp {
+
+enum class FrameType : char {
+  Hello = 'H',
+  Data = 'D',
+  Fin = 'F',
+  Welcome = 'W',
+  Report = 'R',
+  Summary = 'S',
+  Error = 'E',
+};
+
+/// Frames above this are rejected as malformed (a DATA chunk never needs
+/// to be this large — clients split their trace into smaller frames).
+constexpr size_t MaxFramePayload = 1u << 20;
+
+struct Frame {
+  FrameType Type = FrameType::Error;
+  std::string Payload;
+};
+
+/// Length + tag + payload, ready to write to the socket.
+std::string encodeFrame(FrameType Type, std::string_view Payload);
+
+/// Incremental decoder over a byte stream; frames may arrive split or
+/// coalesced arbitrarily.
+class FrameDecoder {
+public:
+  enum class Result : uint8_t {
+    Ready,    ///< a complete frame was produced
+    NeedMore, ///< not enough buffered bytes yet
+    Malformed ///< protocol violation; the decoder stays poisoned
+  };
+
+  /// Appends received bytes. The `net.frame_garble` fault site flips one
+  /// byte of \p Bytes here.
+  void feed(std::string_view Bytes);
+
+  /// Extracts the next complete frame. After Malformed every further call
+  /// returns Malformed with the same diagnostic.
+  Result next(Frame &Out, std::string &Error);
+
+  /// True while a frame is partially buffered — the stall-timeout
+  /// criterion: a client sitting mid-frame is stalled, one sitting
+  /// between frames is merely idle.
+  bool midFrame() const { return !Poisoned && Buf.size() - Off > 0; }
+
+private:
+  std::string Buf;
+  size_t Off = 0; ///< consumed prefix of Buf
+  bool Poisoned = false;
+  std::string PoisonError;
+};
+
+} // namespace rvp
+
+#endif // RVP_SERVER_FRAMING_H

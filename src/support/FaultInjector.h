@@ -29,6 +29,10 @@
 ///   trace.short_read   trace file reads truncate mid-stream
 ///   trace.garble       one trace line is corrupted on read
 ///   detect.abort       the detector process dies after a window barrier
+///   net.short_write    a socket write fails mid-frame (peer gone)
+///   net.client_stall   rvpclient stalls mid-frame instead of sending
+///   net.frame_garble   one received byte is corrupted before framing
+///   server.worker_abort  a daemon analysis task dies mid-window
 ///
 /// Everything is deterministic given the spec: per-site hit counters plus
 /// a seeded xorshift RNG for the '%' trigger. The disabled fast path is a
@@ -55,6 +59,10 @@ inline constexpr const char *SatDbAlloc = "satdb.alloc";
 inline constexpr const char *TraceShortRead = "trace.short_read";
 inline constexpr const char *TraceGarble = "trace.garble";
 inline constexpr const char *DetectAbort = "detect.abort";
+inline constexpr const char *NetShortWrite = "net.short_write";
+inline constexpr const char *NetClientStall = "net.client_stall";
+inline constexpr const char *NetFrameGarble = "net.frame_garble";
+inline constexpr const char *ServerWorkerAbort = "server.worker_abort";
 } // namespace faults
 
 /// All known site names (used by `--inject-faults=help` and the spec

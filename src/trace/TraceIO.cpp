@@ -8,6 +8,9 @@
 
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
+#include "trace/Consistency.h"
+
+#include <unordered_set>
 
 using namespace rvp;
 
@@ -199,25 +202,53 @@ std::optional<Trace>
 rvp::parseTraceText(std::string_view Text, std::string &Error,
                     const TraceParseOptions &Options,
                     TraceParseStats *Stats) {
-  LineParser P(Options);
-  size_t LineNo = 0;
-  for (std::string_view Raw : split(Text, '\n')) {
-    ++LineNo;
-    std::string_view Line = trim(Raw);
-    if (Line.empty() || Line[0] == '#')
-      continue;
-    if (!P.parseLine(LineNo, Raw, Line)) {
-      if (Options.SkipBadEvents) {
-        if (Stats)
-          ++Stats->SkippedEvents;
+  // Under SkipBadEvents the parse may run several passes: grammar-level
+  // skips happen inline, and each pass then validates the surviving
+  // events semantically (checkConsistency in Fragment mode — unmatched
+  // releases, reads of impossible values, double acquires). The first
+  // offending event's line joins DroppedLines and the text is reparsed
+  // without it, so the result is always exactly "the input with the bad
+  // lines deleted" — the same contract grammar skips have, now covering
+  // garbage that parses but cannot have happened (docs/ROBUSTNESS.md).
+  std::unordered_set<size_t> DroppedLines;
+  for (;;) {
+    LineParser P(Options);
+    std::vector<size_t> EventLines; // line that produced each event
+    size_t LineNo = 0;
+    uint64_t GrammarSkips = 0;
+    for (std::string_view Raw : split(Text, '\n')) {
+      ++LineNo;
+      std::string_view Line = trim(Raw);
+      if (Line.empty() || Line[0] == '#')
         continue;
+      if (!DroppedLines.empty() && DroppedLines.count(LineNo))
+        continue;
+      uint64_t Before = P.T.size();
+      if (!P.parseLine(LineNo, Raw, Line)) {
+        if (Options.SkipBadEvents) {
+          ++GrammarSkips;
+          continue;
+        }
+        Error = P.Error;
+        return std::nullopt;
       }
-      Error = P.Error;
-      return std::nullopt;
+      if (P.T.size() > Before)
+        EventLines.push_back(LineNo);
     }
+    P.T.finalize();
+    if (Options.SkipBadEvents) {
+      ConsistencyResult C =
+          checkConsistency(P.T, ConsistencyMode::Fragment);
+      if (!C.Ok && C.Offender != InvalidEvent &&
+          C.Offender < EventLines.size()) {
+        DroppedLines.insert(EventLines[C.Offender]);
+        continue; // reparse without the offender
+      }
+    }
+    if (Stats)
+      Stats->SkippedEvents = GrammarSkips + DroppedLines.size();
+    return std::move(P.T);
   }
-  P.T.finalize();
-  return std::move(P.T);
 }
 
 std::optional<Trace> rvp::parseTraceText(std::string_view Text,

@@ -217,15 +217,25 @@ TEST(Checkpoint, StoreRoundTripsNewestSnapshot) {
   EXPECT_EQ(Payload, "state after seven\n");
 }
 
-TEST(Checkpoint, FingerprintMismatchIsIgnored) {
+TEST(Checkpoint, FingerprintMismatchIsReportedDistinctly) {
   std::string Dir = freshDir("rvp_ckpt_fingerprint");
   CheckpointStore Writer(Dir, 0xaaaa);
-  ASSERT_TRUE(Writer.save(2, "payload\n"));
   std::string Payload;
+  CheckpointLoad Outcome = CheckpointLoad::Loaded;
+  // Empty directory: no snapshot, and explicitly *not* a mismatch.
+  EXPECT_EQ(Writer.loadLatest(Payload, &Outcome), -1);
+  EXPECT_EQ(Outcome, CheckpointLoad::None);
+  ASSERT_TRUE(Writer.save(2, "payload\n"));
+  // Another analysis' fingerprint: refused, and the caller can tell the
+  // difference from "nothing there" (the drivers turn this into exit 2
+  // instead of silently reanalyzing — docs/ROBUSTNESS.md).
   CheckpointStore Other(Dir, 0xbbbb);
-  EXPECT_EQ(Other.loadLatest(Payload), -1);
+  EXPECT_EQ(Other.loadLatest(Payload, &Outcome), -1);
+  EXPECT_EQ(Outcome, CheckpointLoad::FingerprintMismatch);
   CheckpointStore Same(Dir, 0xaaaa);
-  EXPECT_EQ(Same.loadLatest(Payload), 2);
+  EXPECT_EQ(Same.loadLatest(Payload, &Outcome), 2);
+  EXPECT_EQ(Outcome, CheckpointLoad::Loaded);
+  EXPECT_EQ(Payload, "payload\n");
 }
 
 TEST(Checkpoint, EmptyDirDisablesTheStore) {

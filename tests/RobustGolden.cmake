@@ -52,7 +52,8 @@ expect_stderr("(offending token 'banana')" "bad-value token")
 
 run_tool(detect "${GOLDEN_DIR}/corrupt_kind.txt" --skip-bad-events=true)
 expect_rc(1 "detect with --skip-bad-events (the surviving pair races)")
-expect_stderr("skipped 2 malformed event line(s)" "skip counter note")
+expect_stderr("skipped 2 malformed or inconsistent event line(s)"
+              "skip counter note")
 string(REGEX REPLACE " in [0-9.]+s" "" SKIPPED_OUT "${STDOUT}")
 
 run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt")
@@ -62,6 +63,52 @@ if(NOT SKIPPED_OUT STREQUAL CLEANED_OUT)
   message(FATAL_ERROR "--skip-bad-events diverged from the cleaned trace:\n"
           "--- skipped ---\n${SKIPPED_OUT}\n--- cleaned ---\n${CLEANED_OUT}")
 endif()
+
+# --- --skip-bad-events covers semantic validation too -------------------
+# Every line of inconsistent.txt parses; two of them are semantically
+# impossible (a release by a non-holder, a read of a never-written value).
+# The sanitizer must drop exactly those two and match the cleaned trace.
+
+run_tool(detect "${GOLDEN_DIR}/inconsistent.txt")
+expect_rc(2 "strict parse of inconsistent.txt")
+expect_stderr("inconsistent input trace" "semantic-reject diagnostic")
+
+run_tool(detect "${GOLDEN_DIR}/inconsistent.txt" --skip-bad-events=true)
+expect_rc(1 "detect with --skip-bad-events (semantic rejects)")
+expect_stderr("skipped 2 malformed or inconsistent event line(s)"
+              "semantic skip counter note")
+string(REGEX REPLACE " in [0-9.]+s" "" SKIPPED_OUT "${STDOUT}")
+
+run_tool(detect "${GOLDEN_DIR}/inconsistent_cleaned.txt")
+expect_rc(1 "detect on the pre-cleaned semantic trace")
+string(REGEX REPLACE " in [0-9.]+s" "" CLEANED_OUT "${STDOUT}")
+if(NOT SKIPPED_OUT STREQUAL CLEANED_OUT)
+  message(FATAL_ERROR "--skip-bad-events diverged on semantic rejects:\n"
+          "--- skipped ---\n${SKIPPED_OUT}\n--- cleaned ---\n${CLEANED_OUT}")
+endif()
+
+# --- Checkpoint fingerprint mismatch ------------------------------------
+# Resuming a checkpoint directory with different flags must refuse with a
+# clear diagnostic (exit 2), never silently resume the wrong analysis.
+
+set(CKPT_DIR "robust_ckpt_dir")
+file(REMOVE_RECURSE "${CKPT_DIR}")
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt"
+         "--checkpoint=${CKPT_DIR}")
+expect_rc(1 "checkpointed run with findings")
+
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt"
+         "--checkpoint=${CKPT_DIR}" --tier=smt)
+expect_rc(2 "resume with a different --tier")
+expect_stderr("holds snapshots from a different analysis"
+              "fingerprint-mismatch diagnostic")
+expect_stderr("rerun with the original flags" "fingerprint-mismatch advice")
+
+# Same flags still resume fine after the refusal.
+run_tool(detect "${GOLDEN_DIR}/corrupt_kind_cleaned.txt"
+         "--checkpoint=${CKPT_DIR}")
+expect_rc(1 "resume with the original flags")
+file(REMOVE_RECURSE "${CKPT_DIR}")
 
 # --- CLI validation: misuse is exit 2 with a diagnostic -----------------
 

@@ -36,6 +36,7 @@
 #include "detect/Checkpoint.h"
 #include "detect/Deadlock.h"
 #include "detect/Detect.h"
+#include "detect/Report.h"
 #include "detect/Resilience.h"
 #include "lang/Parser.h"
 #include "runtime/Interpreter.h"
@@ -149,7 +150,8 @@ bool loadTrace(const std::string &Path, const OptionParser &Options,
   }
   if (ParseStats.SkippedEvents) {
     std::fprintf(stderr,
-                 "note: skipped %llu malformed event line(s) in '%s'\n",
+                 "note: skipped %llu malformed or inconsistent event "
+                 "line(s) in '%s'\n",
                  static_cast<unsigned long long>(ParseStats.SkippedEvents),
                  Path.c_str());
     if (Telemetry::enabled())
@@ -432,25 +434,6 @@ int cmdDetect(const OptionParser &Options) {
     return true;
   };
 
-  // The `unknown` section: candidates no retry tier decided. Printed only
-  // when non-empty, so healthy runs are byte-identical to builds without
-  // the resilience layer; these are maybe-findings, never merged into the
-  // sound report above (docs/ROBUSTNESS.md).
-  auto printUnknowns = [](const std::vector<UnknownReport> &Unknowns,
-                          const char *Pair) {
-    if (Unknowns.empty())
-      return;
-    std::printf("unknown: %zu undecided %s(s) (exhausted every solver "
-                "budget; NOT findings)\n",
-                Unknowns.size(), Pair);
-    for (const UnknownReport &U : Unknowns) {
-      std::printf("  unknown");
-      if (!U.Variable.empty())
-        std::printf(" on %-12s", U.Variable.c_str());
-      std::printf(" %s <-> %s  [%u attempt(s)]\n", U.LocFirst.c_str(),
-                  U.LocSecond.c_str(), U.Attempts);
-    }
-  };
   // Exit code: findings → 1; a degraded run that left candidates
   // undecided → 3 (the report may be incomplete); clean and empty → 0.
   auto exitCode = [](size_t Findings, size_t Unknowns) {
@@ -461,20 +444,7 @@ int cmdDetect(const OptionParser &Options) {
 
   if (Options.getString("property", "race") == "deadlock") {
     DeadlockResult R = detectDeadlocks(T, Detect);
-    std::printf("deadlock: %zu potential deadlock(s) in %.2fs\n",
-                R.Deadlocks.size(), R.Stats.Seconds);
-    for (const DeadlockReport &D : R.Deadlocks)
-      std::printf("  %s holds %s and requests %s at %s; %s holds %s and "
-                  "requests %s at %s  [witness %s]\n",
-                  T.threadName(D.ThreadA).c_str(),
-                  T.lockName(D.LockHeldByA).c_str(),
-                  T.lockName(D.LockHeldByB).c_str(),
-                  D.LocRequestA.c_str(), T.threadName(D.ThreadB).c_str(),
-                  T.lockName(D.LockHeldByB).c_str(),
-                  T.lockName(D.LockHeldByA).c_str(),
-                  D.LocRequestB.c_str(),
-                  D.WitnessValid ? "validated" : "UNVALIDATED");
-    printUnknowns(R.Unknowns, "lock pair");
+    std::fputs(renderDeadlockReport(T, R).c_str(), stdout);
     if (!emitStats(R.Stats, "deadlock") || !finishProfile())
       return ExitInternal;
     return exitCode(R.Deadlocks.size(), R.Unknowns.size());
@@ -482,42 +452,18 @@ int cmdDetect(const OptionParser &Options) {
 
   if (Options.getString("property", "race") == "atomicity") {
     AtomicityResult R = detectAtomicityViolations(T, Detect);
-    std::printf("atomicity: %zu violation(s) in %.2fs\n",
-                R.Violations.size(), R.Stats.Seconds);
-    for (const AtomicityReport &V : R.Violations)
-      std::printf("  %-10s %s: %s .. [%s] .. %s  [witness %s]\n",
-                  V.Variable.c_str(), atomicityPatternName(V.Pattern),
-                  V.LocFirst.c_str(), V.LocRemote.c_str(),
-                  V.LocSecond.c_str(),
-                  V.WitnessValid ? "validated" : "UNVALIDATED");
-    printUnknowns(R.Unknowns, "candidate");
+    std::fputs(renderAtomicityReport(R).c_str(), stdout);
     if (!emitStats(R.Stats, "atomicity") || !finishProfile())
       return ExitInternal;
     return exitCode(R.Violations.size(), R.Unknowns.size());
   }
 
   DetectionResult R = detectRaces(T, Tech, Detect);
-  // The vc tier answers with WCP, not the requested maximal technique;
-  // say so in the header rather than implying solver-grade precision.
-  std::printf("%s: %zu race(s) in %.2fs\n",
-              Detect.Tier == DetectTier::Vc ? "WCP" : techniqueName(Tech),
-              R.raceCount(), R.Stats.Seconds);
-  for (const RaceReport &Race : R.Races) {
-    std::printf("  race on %-12s %s <-> %s", Race.Variable.c_str(),
-                Race.LocFirst.c_str(), Race.LocSecond.c_str());
-    if (Tech == Technique::Maximal && Detect.CollectWitnesses)
-      std::printf("  [witness %s]",
-                  Race.WitnessValid ? "validated" : "UNVALIDATED");
-    std::printf("\n");
-    if (Options.getBool("witness") && !Race.Witness.empty()) {
-      for (EventId Id : Race.Witness) {
-        const char *Mark =
-            Id == Race.First || Id == Race.Second ? " <== race" : "";
-        std::printf("      %s%s\n", toString(T[Id]).c_str(), Mark);
-      }
-    }
-  }
-  printUnknowns(R.Unknowns, "pair");
+  ReportRenderOptions Render;
+  Render.VcTier = Detect.Tier == DetectTier::Vc;
+  Render.WitnessTag = Tech == Technique::Maximal && Detect.CollectWitnesses;
+  Render.WitnessEvents = Options.getBool("witness");
+  std::fputs(renderRaceReport(T, Tech, R, Render).c_str(), stdout);
   if (!emitStats(R.Stats, techniqueName(Tech)) || !finishProfile())
     return ExitInternal;
   // A mismatch means the WCP tier called a pair racy that the solver

@@ -1,0 +1,306 @@
+//===- tools/rvpredictd.cpp - Trace-ingest daemon -----------------------------===//
+//
+// Part of the rvpredict-cpp project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The long-running ingest daemon (docs/SERVER.md): accepts trace streams
+/// from many concurrent clients over a Unix-domain socket (and optionally
+/// TCP on 127.0.0.1), analyzes them window by window on a shared worker
+/// pool, and streams per-window REPORT frames plus a batch-identical
+/// SUMMARY back to each client.
+///
+///   rvpredictd --socket=/tmp/rvp.sock [--port=N] [--jobs=N]
+///              [--max-sessions=N] [--max-queued-windows=N]
+///              [--high-watermark=BYTES] [--low-watermark=BYTES]
+///              [--degrade-threshold=N] [--window-deadline=S]
+///              [--idle-timeout=S] [--stall-timeout=S]
+///              [--checkpoint-root=DIR]
+///              [--technique=rv|said|cp|hb] [--property=race|...]
+///              [--window=N] [--tier=vc|smt|hybrid] [--budget=S]
+///              [--solver=idl|z3] [--retry-budgets=50ms,250ms,1s]
+///              [--skip-bad-events] [--stats] [--stats-json=-]
+///              [--inject-faults=spec]
+///
+/// The --technique/--property/... flags are session *defaults*; each
+/// client's HELLO frame may override them per session. SIGTERM and SIGINT
+/// begin a clean drain: stop accepting, finish every queued window, send
+/// each session its SUMMARY, exit 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "detect/Detect.h"
+#include "detect/Resilience.h"
+#include "server/Server.h"
+#include "support/CommandLine.h"
+#include "support/FaultInjector.h"
+#include "support/Stats.h"
+#include "support/Telemetry.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace rvp;
+
+namespace {
+
+Server *GServer = nullptr;
+
+void onSignal(int) {
+  if (GServer)
+    GServer->requestStop(); // async-signal-safe: flag + self-pipe write
+}
+
+Technique parseTechnique(const std::string &Name) {
+  if (Name == "hb")
+    return Technique::Hb;
+  if (Name == "cp")
+    return Technique::Cp;
+  if (Name == "said")
+    return Technique::Said;
+  return Technique::Maximal;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  OptionParser Options(
+      "rvpredictd: multi-client trace-ingest daemon (docs/SERVER.md)");
+  Options.addOption("socket", "Unix-domain socket path to listen on", "");
+  Options.addOption("port",
+                    "also listen on this TCP port on 127.0.0.1 "
+                    "(0 = unix socket only)",
+                    "0");
+  Options.addOption("jobs",
+                    "analysis worker threads (0 = one per hardware thread)",
+                    "1");
+  Options.addOption("max-sessions", "concurrent session budget", "32");
+  Options.addOption("max-queued-windows",
+                    "pending windows per session before its socket reads "
+                    "pause",
+                    "8");
+  Options.addOption("high-watermark",
+                    "buffered ingest bytes per session before reads pause",
+                    "1048576");
+  Options.addOption("low-watermark",
+                    "buffered ingest bytes at which paused reads resume",
+                    "65536");
+  Options.addOption("degrade-threshold",
+                    "pending windows across all sessions beyond which new "
+                    "race windows are shed to the WCP tier (0 = never)",
+                    "0");
+  Options.addOption("window-deadline",
+                    "per-window solve deadline in seconds, capping every "
+                    "session's --budget (0 = no cap)",
+                    "0");
+  Options.addOption("idle-timeout",
+                    "seconds a drained session may sit idle between frames "
+                    "before it is closed (0 = never)",
+                    "0");
+  Options.addOption("stall-timeout",
+                    "seconds a session may stall mid-frame before it is "
+                    "closed (0 = never)",
+                    "0");
+  Options.addOption("checkpoint-root",
+                    "directory for per-session crash-recovery checkpoints; "
+                    "clients opt in with ckpt=<key> in HELLO",
+                    "");
+  // Session defaults — HELLO key=value options override these per client.
+  Options.addOption("technique", "default technique (rv, said, cp, hb)",
+                    "rv");
+  Options.addOption("property",
+                    "default property (race, atomicity, deadlock)", "race");
+  Options.addOption("window", "default window size in events", "10000");
+  Options.addOption("tier", "default race tier (vc, smt, hybrid)", "hybrid");
+  Options.addOption("budget", "default per-COP solver budget (s)", "60");
+  Options.addOption("solver", "solver backend: idl or z3", "idl");
+  Options.addOption("retry-budgets",
+                    "escalating per-COP retry budgets for unknown results, "
+                    "e.g. 50ms,250ms,1s (empty = no retries)",
+                    "");
+  Options.addOption("skip-bad-events",
+                    "default: skip malformed trace lines instead of "
+                    "failing the session",
+                    "false");
+  Options.addOption("stats", "print server counters on exit", "false");
+  Options.addOption("stats-json",
+                    "write server counters as JSON on exit ('-' for "
+                    "stdout)",
+                    "");
+  Options.addOption("inject-faults",
+                    "deterministic fault injection spec, e.g. "
+                    "'seed=7,net.frame_garble=3' (also read from RV_FAULTS)",
+                    "");
+  if (!Options.parse(Argc, Argv))
+    return ExitUsage;
+
+  std::string FaultSpec = Options.getString("inject-faults", "");
+  if (FaultSpec.empty())
+    if (const char *Env = std::getenv("RV_FAULTS"))
+      FaultSpec = Env;
+  if (!FaultSpec.empty()) {
+    std::string FaultError;
+    if (!FaultInjector::configure(FaultSpec, FaultError)) {
+      std::fprintf(stderr, "error: bad --inject-faults spec: %s\n",
+                   FaultError.c_str());
+      return ExitUsage;
+    }
+  }
+
+  ServerOptions SO;
+  SO.SocketPath = Options.getString("socket", "");
+  SO.TcpPort = static_cast<int>(Options.getInt("port", 0));
+  if (SO.SocketPath.empty() && SO.TcpPort == 0) {
+    std::fprintf(stderr,
+                 "error: rvpredictd needs a listener; pass --socket=PATH "
+                 "and/or --port=N\n");
+    return ExitUsage;
+  }
+  if (Options.hasOption("jobs") && Options.getInt("jobs", 1) < 0) {
+    std::fprintf(stderr, "error: --jobs must be >= 0\n");
+    return ExitUsage;
+  }
+  SO.Jobs = static_cast<unsigned>(Options.getInt("jobs", 1));
+  SO.MaxSessions = static_cast<unsigned>(Options.getInt("max-sessions", 32));
+  if (SO.MaxSessions == 0) {
+    std::fprintf(stderr, "error: --max-sessions must be >= 1\n");
+    return ExitUsage;
+  }
+  SO.MaxQueuedWindows =
+      static_cast<unsigned>(Options.getInt("max-queued-windows", 8));
+  SO.HighWatermark =
+      static_cast<size_t>(Options.getInt("high-watermark", 1 << 20));
+  SO.LowWatermark =
+      static_cast<size_t>(Options.getInt("low-watermark", 64 << 10));
+  if (SO.LowWatermark > SO.HighWatermark) {
+    std::fprintf(stderr,
+                 "error: --low-watermark (%zu) must not exceed "
+                 "--high-watermark (%zu)\n",
+                 SO.LowWatermark, SO.HighWatermark);
+    return ExitUsage;
+  }
+  SO.DegradeThreshold =
+      static_cast<unsigned>(Options.getInt("degrade-threshold", 0));
+  SO.WindowDeadlineSeconds = Options.getDouble("window-deadline", 0);
+  SO.IdleTimeoutSeconds = Options.getDouble("idle-timeout", 0);
+  SO.StallTimeoutSeconds = Options.getDouble("stall-timeout", 0);
+  SO.CheckpointRoot = Options.getString("checkpoint-root", "");
+
+  // Session defaults. The same combination rules the batch CLI enforces
+  // apply here; a bad default is a usage error, a bad HELLO override is a
+  // per-session ERROR frame (the daemon never exits for a client's sake).
+  StreamOptions &St = SO.Stream;
+  const std::string PropertyName = Options.getString("property", "race");
+  if (!parseStreamProperty(PropertyName, St.Property)) {
+    std::fprintf(stderr,
+                 "error: --property must be race, atomicity, or deadlock "
+                 "(got '%s')\n",
+                 PropertyName.c_str());
+    return ExitUsage;
+  }
+  const std::string TechName = Options.getString("technique", "rv");
+  St.Tech = parseTechnique(TechName);
+  const std::string TierName = Options.getString("tier", "hybrid");
+  if (TierName == "vc")
+    St.Detect.Tier = DetectTier::Vc;
+  else if (TierName == "smt")
+    St.Detect.Tier = DetectTier::Smt;
+  else if (TierName == "hybrid")
+    St.Detect.Tier = DetectTier::Hybrid;
+  else {
+    std::fprintf(stderr,
+                 "error: --tier must be vc, smt, or hybrid (got '%s')\n",
+                 TierName.c_str());
+    return ExitUsage;
+  }
+  if (St.Detect.Tier == DetectTier::Vc &&
+      (PropertyName != "race" || (TechName != "rv" && TechName != "said"))) {
+    std::fprintf(stderr,
+                 "error: --tier=vc covers races under --technique=rv or "
+                 "said only\n");
+    return ExitUsage;
+  }
+  if (Options.getInt("window", 10000) <= 0) {
+    std::fprintf(stderr, "error: --window must be a positive event count\n");
+    return ExitUsage;
+  }
+  St.Detect.WindowSize =
+      static_cast<uint32_t>(Options.getInt("window", 10000));
+  if (Options.getDouble("budget", 60) <= 0) {
+    std::fprintf(stderr, "error: --budget must be positive\n");
+    return ExitUsage;
+  }
+  St.Detect.PerCopBudgetSeconds = Options.getDouble("budget", 60);
+  St.Detect.SolverName = Options.getString("solver", "idl");
+  {
+    std::string BudgetError;
+    if (!parseBudgetList(Options.getString("retry-budgets", ""),
+                         St.Detect.RetryBudgets, BudgetError)) {
+      std::fprintf(stderr, "error: --retry-budgets: %s\n",
+                   BudgetError.c_str());
+      return ExitUsage;
+    }
+  }
+  St.Detect.CheckTiers = false;
+  St.Detect.Jobs = 1; // parallelism comes from the session pool
+  St.Detect.CollectWitnesses = St.Detect.Tier != DetectTier::Vc;
+  St.Parse.SkipBadEvents = Options.getBool("skip-bad-events");
+  St.Render.VcTier = St.Detect.Tier == DetectTier::Vc;
+  St.Render.WitnessTag =
+      St.Tech == Technique::Maximal && St.Detect.CollectWitnesses;
+  St.Render.WitnessEvents = false;
+
+  const bool Stats = Options.getBool("stats");
+  const std::string StatsJsonPath = Options.getString("stats-json", "");
+  if (Stats || !StatsJsonPath.empty()) {
+    Telemetry::setEnabled(true);
+    Telemetry::instance().reset();
+  }
+
+  Server S(SO);
+  std::string Error;
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+  GServer = &S;
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGPIPE, SIG_IGN); // torn clients surface as write errors
+  if (!SO.SocketPath.empty())
+    std::fprintf(stderr, "rvpredictd: listening on %s\n",
+                 SO.SocketPath.c_str());
+  if (SO.TcpPort)
+    std::fprintf(stderr, "rvpredictd: listening on 127.0.0.1:%d\n",
+                 SO.TcpPort);
+
+  int Rc = S.run();
+  GServer = nullptr;
+
+  if (Stats || !StatsJsonPath.empty()) {
+    MetricsSnapshot Snapshot = MetricsRegistry::global().snapshot();
+    if (Stats)
+      for (const auto &C : Snapshot.Counters)
+        std::fprintf(stderr, "%-32s %llu\n", C.first.c_str(),
+                     static_cast<unsigned long long>(C.second));
+    if (!StatsJsonPath.empty()) {
+      std::string Json = metricsToJson(Snapshot);
+      if (StatsJsonPath == "-") {
+        std::fputs("##rvp:stats-json\n", stdout);
+        std::fputs(Json.c_str(), stdout);
+        std::fputc('\n', stdout);
+      } else {
+        std::ofstream File(StatsJsonPath);
+        if (!File) {
+          std::fprintf(stderr, "error: cannot write '%s'\n",
+                       StatsJsonPath.c_str());
+          return ExitInternal;
+        }
+        File << Json << '\n';
+      }
+    }
+  }
+  return Rc;
+}

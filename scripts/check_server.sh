@@ -199,6 +199,51 @@ start_daemon --high-watermark=2048 --low-watermark=512 \
 stop_daemon
 expect_counter server.backpressure_events 1 backpressure
 
+# --- Byte watermark while a worker is in flight --------------------------
+# server.worker_stall pins the first window's analysis for 600ms while the
+# client trickles the rest of the trace; the inbox must cross the byte
+# watermark and pause reads (with the window budget set far out of reach),
+# and the summary must still be byte-identical to batch afterwards.
+
+start_daemon --jobs=1 --inject-faults=server.worker_stall=1 \
+  --high-watermark=512 --low-watermark=128 --max-queued-windows=100000
+RC=0
+"$RVPCLIENT" "$WORK/racy.txt" --socket="$SOCK" --window=30 --chunk=128 \
+  --delay-ms=10 --summary-only >"$WORK/inflight_out.txt" \
+  2>"$WORK/inflight_err.txt" || RC=$?
+CHECKS=$((CHECKS + 1))
+if [ "$RC" -ne 0 ]; then
+  fail "inflight-backpressure: client exited $RC" "$WORK/inflight_err.txt"
+elif ! normalize "$WORK/inflight_out.txt" >"$WORK/inflight_out.n" || \
+     ! cmp -s "$WORK/batch.n" "$WORK/inflight_out.n"; then
+  fail "inflight-backpressure: summary differs from batch" \
+    "$WORK/batch.txt" "$WORK/inflight_out.txt"
+fi
+stop_daemon
+expect_counter server.backpressure_events 1 inflight-backpressure
+
+# --- Bounded drain: a wedged worker cannot hold SIGTERM open forever -----
+# Every window's analysis stalls 600ms (~12 windows queue up, several
+# seconds of work); with --drain-timeout=1 the daemon must still exit 0
+# about a second after SIGTERM, dropping what is left and counting the
+# forced drain.
+
+start_daemon --jobs=1 --inject-faults=server.worker_stall=1+ \
+  --drain-timeout=1
+"$RVPCLIENT" "$WORK/racy.txt" --socket="$SOCK" --window=5 \
+  --summary-only >/dev/null 2>&1 &
+SLOW_PID=$!
+sleep 0.3
+DRAIN_T0=$(date +%s)
+stop_daemon
+DRAIN_T1=$(date +%s)
+wait "$SLOW_PID" 2>/dev/null || true
+CHECKS=$((CHECKS + 1))
+if [ $((DRAIN_T1 - DRAIN_T0)) -gt 3 ]; then
+  fail "forced-drain: SIGTERM took $((DRAIN_T1 - DRAIN_T0))s (wanted <= 3)"
+fi
+expect_counter server.drain_forced 1 forced-drain
+
 # --- Session budget: the N+1th client is refused -------------------------
 
 start_daemon --max-sessions=1
@@ -264,6 +309,73 @@ fi
 daemon_alive recovery-mismatch
 clean_client recovery-mismatch
 stop_daemon
+
+# --- Usage errors exit 2 before any listener binds -----------------------
+
+RC=0
+"$RVPREDICTD" --socket="$WORK/never.sock" --technique=siad \
+  2>"$WORK/tech_err.txt" || RC=$?
+CHECKS=$((CHECKS + 1))
+if [ "$RC" -ne 2 ] || ! grep -q -- "--technique must be" "$WORK/tech_err.txt"
+then
+  fail "usage: bad --technique not refused (rc=$RC)" "$WORK/tech_err.txt"
+fi
+
+# --- A live socket path is never stolen ----------------------------------
+# A second daemon on the same path must refuse to start, leave the first
+# one reachable, and leave its socket file in place on exit.
+
+start_daemon
+RC=0
+"$RVPREDICTD" --socket="$SOCK" 2>"$WORK/steal_err.txt" || RC=$?
+CHECKS=$((CHECKS + 1))
+if [ "$RC" -ne 2 ] || \
+   ! grep -q "already served by a running daemon" "$WORK/steal_err.txt"; then
+  fail "steal: second daemon not refused (rc=$RC)" "$WORK/steal_err.txt"
+fi
+daemon_alive steal
+clean_client steal
+stop_daemon
+
+# --- TCP-only mode: --port with no --socket serves end to end ------------
+
+TCP_OK=0
+for TCP_PORT in $((20000 + $$ % 20000)) $((25000 + $$ % 10000)) 28413; do
+  "$RVPREDICTD" --port="$TCP_PORT" --stats-json="$WORK/stats.json" \
+    2>"$WORK/daemon.err" &
+  DAEMON_PID=$!
+  I=0
+  while ! grep -q "listening on 127.0.0.1:$TCP_PORT" "$WORK/daemon.err" \
+      2>/dev/null; do
+    I=$((I + 1))
+    if [ "$I" -gt 50 ]; then break; fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$DAEMON_PID" 2>/dev/null; then
+    TCP_OK=1
+    break
+  fi
+  wait "$DAEMON_PID" 2>/dev/null || true # port collision: try the next
+  DAEMON_PID=""
+done
+CHECKS=$((CHECKS + 1))
+if [ "$TCP_OK" -ne 1 ]; then
+  fail "tcp-only: daemon never came up on a TCP port" "$WORK/daemon.err"
+else
+  RC=0
+  "$RVPCLIENT" "$WORK/racy.txt" --port="$TCP_PORT" --window=30 \
+    --summary-only >"$WORK/tcp_out.txt" 2>"$WORK/tcp_err.txt" || RC=$?
+  CHECKS=$((CHECKS + 1))
+  if [ "$RC" -ne 0 ]; then
+    fail "tcp-only: client exited $RC" "$WORK/tcp_err.txt"
+  elif ! normalize "$WORK/tcp_out.txt" >"$WORK/tcp_out.n" || \
+       ! cmp -s "$WORK/batch.n" "$WORK/tcp_out.n"; then
+    fail "tcp-only: summary differs from batch" \
+      "$WORK/batch.txt" "$WORK/tcp_out.txt"
+  fi
+  stop_daemon
+fi
 
 # --- SIGTERM mid-session: drain still finishes the open session ----------
 

@@ -22,6 +22,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -101,6 +102,7 @@ struct Server::Impl {
   ServerOptions Opts;
   int UnixFd = -1;
   int TcpFd = -1;
+  bool OwnsSocketPath = false; ///< we bound SocketPath; unlink on exit
   int WakeR = -1, WakeW = -1;
   std::atomic<bool> Stop{false};
   bool ListenersClosed = false;
@@ -142,22 +144,46 @@ struct Server::Impl {
 
 // --------------------------------------------------------------- startup
 
+/// True if something currently accepts connections on \p Addr — i.e. a
+/// live daemon, as opposed to a stale socket file left by a crash.
+static bool unixSocketAlive(const sockaddr_un &Addr) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  bool Alive = ::connect(Fd, reinterpret_cast<const sockaddr *>(&Addr),
+                         sizeof(Addr)) == 0;
+  ::close(Fd);
+  return Alive;
+}
+
 static int listenUnix(const std::string &Path, std::string &Error) {
   if (Path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     Error = "socket path too long: " + Path;
     return -1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  struct stat St;
+  if (::lstat(Path.c_str(), &St) == 0) {
+    // Only a socket file may be removed, and only a dead one: unlinking a
+    // live daemon's socket would silently steal its name (and this
+    // instance's shutdown would later unlink the survivor's socket too).
+    if (!S_ISSOCK(St.st_mode)) {
+      Error = Path + " exists and is not a socket; refusing to remove it";
+      return -1;
+    }
+    if (unixSocketAlive(Addr)) {
+      Error = Path + " is already served by a running daemon";
+      return -1;
+    }
+    ::unlink(Path.c_str());
   }
   int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (Fd < 0) {
     Error = formatString("socket: %s", std::strerror(errno));
     return -1;
   }
-  // A stale socket file from a crashed daemon would block bind; it is
-  // dead weight by definition (nothing accepts on it), so remove it.
-  ::unlink(Path.c_str());
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
       ::listen(Fd, 64) != 0) {
     Error = formatString("bind %s: %s", Path.c_str(), std::strerror(errno));
@@ -189,18 +215,23 @@ static int listenTcp(int Port, std::string &Error) {
 }
 
 bool Server::Impl::start(std::string &Error) {
-  if (Opts.SocketPath.empty()) {
-    Error = "a unix socket path is required (--socket)";
+  if (Opts.SocketPath.empty() && Opts.TcpPort <= 0) {
+    Error = "a listener is required (--socket and/or --port)";
     return false;
   }
-  UnixFd = listenUnix(Opts.SocketPath, Error);
-  if (UnixFd < 0)
-    return false;
+  if (!Opts.SocketPath.empty()) {
+    UnixFd = listenUnix(Opts.SocketPath, Error);
+    if (UnixFd < 0)
+      return false;
+    OwnsSocketPath = true;
+  }
   if (Opts.TcpPort > 0) {
     TcpFd = listenTcp(Opts.TcpPort, Error);
     if (TcpFd < 0) {
-      ::close(UnixFd);
-      UnixFd = -1;
+      if (UnixFd >= 0) {
+        ::close(UnixFd);
+        UnixFd = -1;
+      }
       return false;
     }
   }
@@ -255,11 +286,19 @@ void Server::Impl::acceptClients(int ListenFd) {
 void Server::Impl::readSocket(Session &S) {
   char Buf[65536];
   bool Eof = false;
+  size_t PassBytes = 0;
   for (;;) {
     ssize_t N = ::read(S.Fd, Buf, sizeof(Buf));
     if (N > 0) {
       S.LastActivity = monotonicSeconds();
       S.Decoder.feed(std::string_view(Buf, static_cast<size_t>(N)));
+      PassBytes += static_cast<size_t>(N);
+      // Bound one pass at the high watermark so a client that writes
+      // faster than we drain cannot pin this loop: decode what arrived
+      // and let updatePause judge first — poll is level-triggered, so
+      // anything left in the kernel buffer re-fires immediately.
+      if (PassBytes >= Opts.HighWatermark)
+        break;
       if (static_cast<size_t>(N) < sizeof(Buf))
         break;
       continue;
@@ -499,8 +538,16 @@ uint64_t Server::Impl::globalPending() const {
 }
 
 void Server::Impl::pump(Session &S) {
-  if (S.Dead || S.Draining || S.InFlight || !S.GotHello || !S.Det)
+  if (S.Dead || S.Draining || !S.GotHello || !S.Det)
     return;
+  if (S.InFlight) {
+    // A worker owns the detector, so nothing drains Inbox until the
+    // completion comes back — the byte watermark must stay live here or
+    // a fast client grows the buffer without bound for the whole window
+    // analysis (this path is exactly what the high watermark is for).
+    updatePause(S);
+    return;
+  }
 
   if (!S.Inbox.empty()) {
     S.Det->feed(S.Inbox);
@@ -552,6 +599,10 @@ void Server::Impl::submitStep(Session &S, bool Degrade) {
     try {
       if (FaultInjector::shouldFail(faults::ServerWorkerAbort))
         throw std::runtime_error("injected worker abort");
+      // Drill hook: a slow window analysis, long enough that a client
+      // keeps uploading the whole time — how the byte watermark is hit.
+      if (FaultInjector::shouldFail(faults::ServerWorkerStall))
+        std::this_thread::sleep_for(std::chrono::milliseconds(600));
       std::string Error;
       C.Ok = Det->step(C.Step, Degrade, Error);
       C.Error = Error;
@@ -683,6 +734,9 @@ bool Server::Impl::flushOut(Session &S) {
     }
     ssize_t N = ::write(S.Fd, S.OutBuf.data(), S.OutBuf.size());
     if (N > 0) {
+      // Write progress counts as activity: the draining timeout below
+      // must only reap peers that stopped reading, not slow ones.
+      S.LastActivity = monotonicSeconds();
       S.OutBuf.erase(0, static_cast<size_t>(N));
       continue;
     }
@@ -719,6 +773,10 @@ void Server::Impl::teardown(Session &S) {
 void Server::Impl::updatePause(Session &S) {
   if (S.Dead || S.Draining)
     return;
+  // Two bounds: Inbox bytes accumulate while a worker holds the detector
+  // (pump drains them to zero once it returns), and the pending-window
+  // budget covers bytes already fed but not yet analyzed. Together they
+  // keep per-session ingest bounded no matter how fast the client is.
   bool Pause;
   if (S.Paused)
     // Hysteresis: resume only once both signals are comfortably below
@@ -736,9 +794,20 @@ void Server::Impl::updatePause(Session &S) {
 void Server::Impl::checkTimeouts(double Now) {
   for (auto &[Id, SP] : Sessions) {
     Session &S = *SP;
-    if (S.Dead || S.Draining || S.InFlight)
+    if (S.Dead || S.InFlight)
       continue;
     double Quiet = Now - S.LastActivity;
+    if (S.Draining) {
+      // Write-side timeout: a Draining session persists only while its
+      // OutBuf waits on the peer, so a client that never reads its
+      // SUMMARY would otherwise hold a slot and fd forever (and wedge a
+      // SIGTERM drain). flushOut refreshes LastActivity on progress.
+      if (Opts.IdleTimeoutSeconds > 0 && Quiet > Opts.IdleTimeoutSeconds) {
+        serverCounter("server.drain_timeouts").inc();
+        teardown(S);
+      }
+      continue;
+    }
     if (Opts.StallTimeoutSeconds > 0 && S.Decoder.midFrame() &&
         Quiet > Opts.StallTimeoutSeconds) {
       serverCounter("server.stall_timeouts").inc();
@@ -758,9 +827,11 @@ void Server::Impl::checkTimeouts(double Now) {
 int Server::Impl::run() {
   std::vector<pollfd> Polls;
   std::vector<uint64_t> PollSession; // parallel to Polls; 0 = not a session
+  double DrainStart = 0;
   while (true) {
     bool Stopping = Stop.load(std::memory_order_relaxed);
     if (Stopping && !ListenersClosed) {
+      DrainStart = monotonicSeconds();
       // Drain: stop accepting, force-FIN every live session so each gets
       // a summary over what it sent, and close handshake stragglers.
       if (UnixFd >= 0)
@@ -788,6 +859,17 @@ int Server::Impl::run() {
                                                      : std::next(It);
     if (Stopping && Sessions.empty())
       return ExitSuccess;
+    if (Stopping && Opts.DrainTimeoutSeconds > 0 &&
+        monotonicSeconds() - DrainStart > Opts.DrainTimeoutSeconds) {
+      // The drain must terminate even if a client never reads its
+      // summary or a worker is wedged: drop whatever is left. In-flight
+      // sessions are only marked Dead here; the pool joins in the
+      // destructor before any session memory is released.
+      serverCounter("server.drain_forced").inc();
+      for (auto &[Id, SP] : Sessions)
+        teardown(*SP);
+      return ExitSuccess;
+    }
 
     Polls.clear();
     PollSession.clear();
@@ -893,7 +975,9 @@ Server::~Server() {
     ::close(M->WakeR);
   if (M->WakeW >= 0)
     ::close(M->WakeW);
-  if (!M->Opts.SocketPath.empty())
+  // Unlink only a path this instance actually bound — a start() refused
+  // because a live daemon serves the path must not remove its socket.
+  if (M->OwnsSocketPath)
     ::unlink(M->Opts.SocketPath.c_str());
   delete M;
 }

@@ -23,7 +23,9 @@
 //    next windows answered by the linear WCP tier instead of the solver
 //    pipeline, marked `degraded` in the REPORT frame header.
 //  * Clean drain: SIGTERM stops accepting and reading, finishes every
-//    queued window, sends each session its SUMMARY, and exits 0.
+//    queued window, sends each session its SUMMARY, and exits 0 — with
+//    a hard deadline (--drain-timeout) so a peer that never reads its
+//    summary cannot hold the process open.
 //
 //===----------------------------------------------------------------------===//
 
@@ -38,7 +40,8 @@
 namespace rvp {
 
 struct ServerOptions {
-  /// Unix-domain socket path (required; unlinked on shutdown).
+  /// Unix-domain socket path, unlinked on shutdown ("" = TCP only; at
+  /// least one of SocketPath/TcpPort must be set).
   std::string SocketPath;
   /// Also listen on this TCP port on 127.0.0.1 (0 = unix only).
   int TcpPort = 0;
@@ -57,8 +60,14 @@ struct ServerOptions {
   /// for every session, feeding the retry-budget ladder (0 = keep the
   /// configured budget).
   double WindowDeadlineSeconds = 0;
-  double IdleTimeoutSeconds = 0;  ///< close sessions idle between frames
+  /// Closes sessions idle between frames, and draining sessions whose
+  /// peer stops reading its output (0 = never).
+  double IdleTimeoutSeconds = 0;
   double StallTimeoutSeconds = 0; ///< close sessions stalled mid-frame
+  /// Hard bound on the SIGTERM drain phase: sessions still unfinished
+  /// this many seconds after the stop request are dropped so shutdown
+  /// always terminates (0 = wait forever).
+  double DrainTimeoutSeconds = 60;
   /// Root directory for per-session crash-recovery checkpoints; sessions
   /// opt in with a `ckpt=<key>` HELLO option ("" = recovery off).
   std::string CheckpointRoot;

@@ -19,7 +19,7 @@ const std::vector<std::string> &rvp::knownFaultSites() {
       faults::TraceShortRead, faults::TraceGarble,
       faults::DetectAbort,    faults::NetShortWrite,
       faults::NetClientStall, faults::NetFrameGarble,
-      faults::ServerWorkerAbort,
+      faults::ServerWorkerAbort, faults::ServerWorkerStall,
   };
   return Sites;
 }

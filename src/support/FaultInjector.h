@@ -63,6 +63,7 @@ inline constexpr const char *NetShortWrite = "net.short_write";
 inline constexpr const char *NetClientStall = "net.client_stall";
 inline constexpr const char *NetFrameGarble = "net.frame_garble";
 inline constexpr const char *ServerWorkerAbort = "server.worker_abort";
+inline constexpr const char *ServerWorkerStall = "server.worker_stall";
 } // namespace faults
 
 /// All known site names (used by `--inject-faults=help` and the spec

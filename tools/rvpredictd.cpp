@@ -10,12 +10,12 @@
 /// pool, and streams per-window REPORT frames plus a batch-identical
 /// SUMMARY back to each client.
 ///
-///   rvpredictd --socket=/tmp/rvp.sock [--port=N] [--jobs=N]
+///   rvpredictd [--socket=/tmp/rvp.sock] [--port=N] [--jobs=N]
 ///              [--max-sessions=N] [--max-queued-windows=N]
 ///              [--high-watermark=BYTES] [--low-watermark=BYTES]
 ///              [--degrade-threshold=N] [--window-deadline=S]
 ///              [--idle-timeout=S] [--stall-timeout=S]
-///              [--checkpoint-root=DIR]
+///              [--drain-timeout=S] [--checkpoint-root=DIR]
 ///              [--technique=rv|said|cp|hb] [--property=race|...]
 ///              [--window=N] [--tier=vc|smt|hybrid] [--budget=S]
 ///              [--solver=idl|z3] [--retry-budgets=50ms,250ms,1s]
@@ -53,14 +53,18 @@ void onSignal(int) {
     GServer->requestStop(); // async-signal-safe: flag + self-pipe write
 }
 
-Technique parseTechnique(const std::string &Name) {
+bool parseTechnique(const std::string &Name, Technique &Out) {
   if (Name == "hb")
-    return Technique::Hb;
-  if (Name == "cp")
-    return Technique::Cp;
-  if (Name == "said")
-    return Technique::Said;
-  return Technique::Maximal;
+    Out = Technique::Hb;
+  else if (Name == "cp")
+    Out = Technique::Cp;
+  else if (Name == "said")
+    Out = Technique::Said;
+  else if (Name == "rv")
+    Out = Technique::Maximal;
+  else
+    return false;
+  return true;
 }
 
 } // namespace
@@ -103,6 +107,10 @@ int main(int Argc, const char **Argv) {
                     "seconds a session may stall mid-frame before it is "
                     "closed (0 = never)",
                     "0");
+  Options.addOption("drain-timeout",
+                    "seconds a SIGTERM drain may run before remaining "
+                    "sessions are dropped (0 = wait forever)",
+                    "60");
   Options.addOption("checkpoint-root",
                     "directory for per-session crash-recovery checkpoints; "
                     "clients opt in with ckpt=<key> in HELLO",
@@ -186,6 +194,7 @@ int main(int Argc, const char **Argv) {
   SO.WindowDeadlineSeconds = Options.getDouble("window-deadline", 0);
   SO.IdleTimeoutSeconds = Options.getDouble("idle-timeout", 0);
   SO.StallTimeoutSeconds = Options.getDouble("stall-timeout", 0);
+  SO.DrainTimeoutSeconds = Options.getDouble("drain-timeout", 60);
   SO.CheckpointRoot = Options.getString("checkpoint-root", "");
 
   // Session defaults. The same combination rules the batch CLI enforces
@@ -201,7 +210,13 @@ int main(int Argc, const char **Argv) {
     return ExitUsage;
   }
   const std::string TechName = Options.getString("technique", "rv");
-  St.Tech = parseTechnique(TechName);
+  if (!parseTechnique(TechName, St.Tech)) {
+    std::fprintf(stderr,
+                 "error: --technique must be rv, said, cp, or hb (got "
+                 "'%s')\n",
+                 TechName.c_str());
+    return ExitUsage;
+  }
   const std::string TierName = Options.getString("tier", "hybrid");
   if (TierName == "vc")
     St.Detect.Tier = DetectTier::Vc;
